@@ -1,0 +1,86 @@
+"""E14 — precomputation vs on-demand queries.
+
+Paper (OUTPUT): "Although it would be convenient to compute the path to
+a destination as needed, the cost of the calculation is prohibitively
+expensive.  Consequently, pathalias precomputes paths to all
+destinations."
+
+The bench quantifies the trade: one full mapping run amortized over all
+destinations versus early-stopping single-destination queries.  Random
+queries average half the vertex set in pops, so precomputation wins as
+soon as a site sends to more than a couple of distinct hosts per map
+update — which every site did.
+"""
+
+import random
+
+from repro.core.batch import BatchMapper, query_single_destination
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+from benchmarks.conftest import report
+
+
+def test_precompute_vs_on_demand(benchmark, medium_generated):
+    generated = medium_generated
+    graph = build_graph([(n, parse_text(t, n))
+                         for n, t in generated.files])
+    rng = random.Random(1986)
+    hosts = [n.name for n in graph.nodes
+             if not n.netlike and not n.private]
+    queries = rng.sample(hosts, k=60)
+
+    # Precompute: one full run serves every destination.
+    full_mapper = Mapper(graph)
+    full = full_mapper.run(generated.localhost)
+    full_pops = full_mapper.stats.pops
+    for owner, link in full.inferred:
+        owner.links.remove(link)
+
+    # On demand: one early-stopping run per query.
+    per_query_pops = []
+    for destination in queries:
+        mapper = Mapper(graph)
+        result = mapper.run(generated.localhost, stop_at=destination)
+        per_query_pops.append(mapper.stats.pops)
+        for owner, link in result.inferred:
+            owner.links.remove(link)
+    mean_query_pops = sum(per_query_pops) / len(per_query_pops)
+    break_even = full_pops / mean_query_pops
+
+    report("E14 precompute vs on-demand (medium map)", [
+        ("strategy", "heap pops"),
+        ("precompute all destinations", full_pops),
+        ("single query (mean of 60)", f"{mean_query_pops:.0f}"),
+        ("break-even queries", f"{break_even:.1f}"),
+    ])
+
+    # "Prohibitively expensive": each on-demand query costs a large
+    # fraction of the full run, so a handful of queries already loses.
+    assert mean_query_pops > full_pops / 20
+    assert break_even < 25
+
+    benchmark.extra_info["full_pops"] = full_pops
+    benchmark.extra_info["mean_query_pops"] = round(mean_query_pops)
+    benchmark(lambda: query_single_destination(
+        graph, generated.localhost, queries[0]))
+
+
+def test_batch_all_sources_small(benchmark, small_generated):
+    """The mapping project's job: a route table for every host."""
+    generated = small_generated
+    graph = build_graph([(n, parse_text(t, n))
+                         for n, t in generated.files])
+    batch_mapper = BatchMapper(graph)
+    sources = batch_mapper.sources()[:40]
+
+    def run_batch():
+        return batch_mapper.run(sources)
+
+    batch = benchmark.pedantic(run_batch, rounds=2, iterations=1)
+    assert len(batch) == len(sources)
+    for source in sources:
+        assert batch[source].route(source) == "%s"
+    benchmark.extra_info["sources"] = len(sources)
+    benchmark.extra_info["total_pops"] = batch.total_pops

@@ -1,0 +1,90 @@
+"""E7 — the clique -> star network representation.
+
+Paper claim: "A clique with n vertices contains about n^2 edges, so with
+over 2,000 hosts in the ARPANET we are faced with millions of edges."
+The network-node representation uses a pair of edges per member (2n)
+and "preserves the cost structure of the clique" while keeping the
+graph sparse.
+
+Workload: one net of n members reached from an outside source, built
+both ways, at growing n; per-edge counts, build+map time, and identical
+resulting costs.
+"""
+
+import time
+
+from repro.config import HeuristicConfig
+from repro.core.mapper import Mapper
+from repro.graph.build import GraphBuilder
+from repro.parser.ast import HostDecl, LinkSpec, NetDecl
+
+from benchmarks.conftest import report
+
+CFG = HeuristicConfig(infer_back_links=False)
+
+
+def _star(n: int):
+    builder = GraphBuilder()
+    builder.new_file("bench")
+    members = tuple(f"m{i}" for i in range(n))
+    builder.add(HostDecl("src", (LinkSpec("m0", cost=7),), "b", 1))
+    builder.add(NetDecl("NET", members, cost=11, filename="b", line=2))
+    return builder.finalize()
+
+
+def _clique(n: int):
+    builder = GraphBuilder()
+    builder.new_file("bench")
+    members = [f"m{i}" for i in range(n)]
+    builder.add(HostDecl("src", (LinkSpec("m0", cost=7),), "b", 1))
+    for i, name in enumerate(members):
+        links = tuple(LinkSpec(other, cost=11)
+                      for j, other in enumerate(members) if j != i)
+        builder.add(HostDecl(name, links, "b", 2 + i))
+    return builder.finalize()
+
+
+def _build_and_map(factory, n: int) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    graph = factory(n)
+    Mapper(graph, CFG).run("src")
+    return time.perf_counter() - t0, graph.link_count
+
+
+def test_star_representation_2000(benchmark):
+    """The ARPANET case: n=2,000 — trivial as a star."""
+    graph = _star(2000)
+    assert graph.link_count == 4001  # 2n + the src link
+    result = benchmark(lambda: Mapper(graph, CFG).run("src"))
+    assert result.cost("m1999") == 7 + 11
+
+
+def test_cost_structure_preserved(benchmark):
+    """Identical member-to-member costs under both representations."""
+    star_result = Mapper(_star(40), CFG).run("src")
+    clique_result = Mapper(_clique(40), CFG).run("src")
+    for i in range(40):
+        assert star_result.cost(f"m{i}") == clique_result.cost(f"m{i}")
+    benchmark(lambda: Mapper(_star(40), CFG).run("src"))
+
+
+def test_edges_and_time_scaling(benchmark):
+    rows = [("n", "star edges", "clique edges", "star (s)",
+             "clique (s)")]
+    star_times, clique_times = {}, {}
+    for n in (50, 100, 200, 400):
+        star_time, star_edges = _build_and_map(_star, n)
+        clique_time, clique_edges = _build_and_map(_clique, n)
+        star_times[n], clique_times[n] = star_time, clique_time
+        rows.append((n, star_edges, clique_edges,
+                     f"{star_time:.4f}", f"{clique_time:.4f}"))
+        assert star_edges == 2 * n + 1
+        assert clique_edges == n * (n - 1) + 1
+    report("E7 clique vs star representation", rows)
+
+    # Quadratic explosion: the explicit clique loses badly by n=400.
+    assert clique_times[400] > 3 * star_times[400]
+    # Extrapolation to the ARPANET's 2,000 hosts: edge counts alone.
+    benchmark.extra_info["arpanet_star_edges"] = 2 * 2000
+    benchmark.extra_info["arpanet_clique_edges"] = 2000 * 1999
+    benchmark(lambda: _build_and_map(_star, 200))

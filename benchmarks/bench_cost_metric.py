@@ -1,0 +1,126 @@
+"""E13 (ablation) — the pragmatic cost metric vs the additive theory.
+
+Paper: "In theory, factors that influence cost are additive; in
+practice, experience shows that the per-hop overhead in time and
+reliability is so high that it is important to keep paths short.  Thus,
+for example, DAILY is 10 times greater than HOURLY, instead of 24."
+
+The tuned ratio has an exact operational meaning: one DAILY link is
+worth a chain of ten HOURLY hops.  The bench constructs the competitive
+topologies where that matters — a direct DAILY link racing a k-hop
+HOURLY chain — and locates each table's crossover.  The paper's table
+switches to the short path at k = 11 (ratio 10); the additive-theory
+table (ratio 24) tolerates chains more than twice as long.  A
+realistic-map comparison is reported observationally alongside.
+"""
+
+from repro.config import COST_SYMBOLS
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.graph.build import build_graph
+from repro.netsim.traffic import analyze_routes
+from repro.parser.grammar import Parser
+from repro.parser.scanner import Scanner
+
+from benchmarks.conftest import report
+
+#: The additive theory: costs scale linearly with waiting time.
+THEORY_SYMBOLS = dict(COST_SYMBOLS)
+THEORY_SYMBOLS.update({
+    "DAILY": 24 * COST_SYMBOLS["HOURLY"],     # 12000, not 5000
+    "POLLED": 24 * COST_SYMBOLS["HOURLY"],
+    "EVENING": 12 * COST_SYMBOLS["HOURLY"],
+    "WEEKLY": 7 * 24 * COST_SYMBOLS["HOURLY"],
+})
+
+
+def _routes_under(files, localhost, symbols):
+    decl_sets = []
+    for name, text in files:
+        tokens = Scanner(text, name).tokens()
+        decls = Parser(tokens, name, symbols=symbols).parse()
+        decl_sets.append((name, decls))
+    graph = build_graph(decl_sets)
+    return print_routes(Mapper(graph).run(localhost))
+
+
+def _race_map(max_chain: int) -> str:
+    """For each k >= 2: src -DAILY-> destk racing a k-hop HOURLY chain
+    (k-1 intermediate hosts).  A k-hop chain costs k*HOURLY, so the
+    direct link wins exactly when k*HOURLY >= DAILY — at k = the tuned
+    ratio (ties go to the direct link, which is labeled first)."""
+    lines = []
+    for k in range(2, max_chain + 1):
+        lines.append(f"src dest{k}(DAILY), c{k}x1(HOURLY)")
+        for i in range(1, k - 1):
+            lines.append(f"c{k}x{i} c{k}x{i+1}(HOURLY)")
+        lines.append(f"c{k}x{k-1} dest{k}(HOURLY)")
+    return "\n".join(lines)
+
+
+def _crossover(symbols, max_chain: int) -> tuple[int, dict[int, int]]:
+    """Smallest chain length k at which the direct link is chosen."""
+    table = _routes_under([("race", _race_map(max_chain))], "src",
+                          symbols)
+    hops = {}
+    crossover = max_chain + 1
+    for k in range(2, max_chain + 1):
+        route = table.route(f"dest{k}")
+        hop_count = route.count("!")
+        hops[k] = hop_count
+        if hop_count == 1 and crossover > k:
+            crossover = k
+    return crossover, hops
+
+
+def test_daily_is_worth_ten_hourly_hops(benchmark):
+    max_chain = 30
+    paper_cross, paper_hops = _crossover(COST_SYMBOLS, max_chain)
+    theory_cross, theory_hops = _crossover(THEORY_SYMBOLS, max_chain)
+
+    report("E13 crossover: direct DAILY vs k-hop HOURLY chain", [
+        ("cost table", "direct wins from chain length", "implied ratio"),
+        ("paper (DAILY=10x HOURLY)", paper_cross, 10),
+        ("theory (DAILY=24x HOURLY)", theory_cross, 24),
+    ])
+
+    # A k-hop chain costs k*HOURLY; direct costs DAILY.  Paper: direct
+    # wins once k*500 >= 5000, i.e. at 10 hops — the tuned ratio *is*
+    # the hop-equivalence of a daily link.  Theory tolerates 24.
+    assert paper_cross == 10
+    assert theory_cross == 24
+    assert all(paper_hops[k] <= theory_hops[k]
+               for k in range(2, max_chain + 1))
+
+    benchmark.extra_info["paper_crossover"] = paper_cross
+    benchmark.extra_info["theory_crossover"] = theory_cross
+    benchmark(lambda: _crossover(COST_SYMBOLS, 12))
+
+
+def test_realistic_map_observation(benchmark, medium_generated):
+    """Observational: on a realistic topology the two tables mostly
+    agree (few direct-vs-chain races exist); the point of the tuning is
+    the adversarial case above."""
+    generated = medium_generated
+    pragmatic = analyze_routes(_routes_under(
+        generated.files, generated.localhost, COST_SYMBOLS))
+    theory = analyze_routes(_routes_under(
+        generated.files, generated.localhost, THEORY_SYMBOLS))
+
+    report("E13 realistic-map observation (medium map)", [
+        ("cost table", "mean relays/route", "hub concentration"),
+        ("paper", f"{pragmatic.mean_hops:.3f}",
+         f"{pragmatic.concentration():.2%}"),
+        ("theory", f"{theory.mean_hops:.3f}",
+         f"{theory.concentration():.2%}"),
+    ])
+    # Same ballpark on realistic maps: the tables disagree on under 5%
+    # of mean path length here.
+    assert abs(pragmatic.mean_hops - theory.mean_hops) < \
+        0.05 * max(pragmatic.mean_hops, theory.mean_hops)
+
+    benchmark.extra_info["pragmatic_mean"] = round(pragmatic.mean_hops, 3)
+    benchmark.extra_info["theory_mean"] = round(theory.mean_hops, 3)
+    files = generated.files
+    benchmark(lambda: _routes_under(files, generated.localhost,
+                                    COST_SYMBOLS))

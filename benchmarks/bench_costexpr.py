@@ -1,0 +1,38 @@
+"""E1 — the cost symbol table and cost-expression evaluation.
+
+Paper artifact: the INPUT-section table (LOCAL 25 ... WEEKLY 30000) and
+the expression examples HOURLY*3, DAILY/2.  The bench verifies every
+published value and times expression evaluation over a realistic corpus.
+"""
+
+from repro.config import COST_SYMBOLS
+from repro.parser.costexpr import evaluate_cost
+
+PAPER_TABLE = {
+    "LOCAL": 25, "DEDICATED": 95, "DIRECT": 200, "DEMAND": 300,
+    "HOURLY": 500, "EVENING": 1800, "POLLED": 5000, "DAILY": 5000,
+    "WEEKLY": 30000,
+}
+
+CORPUS = (list(PAPER_TABLE) +
+          ["HOURLY*3", "DAILY/2", "HOURLY*4", "DEMAND+LOW",
+           "EVENING+HOURLY", "WEEKLY/7", "DEDICATED*2-10",
+           "(HOURLY+DEMAND)/2", "POLLED-HIGH", "DIRECT*3"])
+
+
+def test_cost_table_and_expressions(benchmark):
+    def evaluate_corpus():
+        return [evaluate_cost(text) for text in CORPUS]
+
+    values = benchmark(evaluate_corpus)
+
+    # Every symbol matches the published table exactly.
+    for symbol, expected in PAPER_TABLE.items():
+        assert COST_SYMBOLS[symbol] == expected
+        assert values[CORPUS.index(symbol)] == expected
+    # The paper's worked expressions.
+    assert values[CORPUS.index("HOURLY*3")] == 1500
+    assert values[CORPUS.index("DAILY/2")] == 2500
+    # The tuning observation: DAILY is 10x HOURLY, not 24x.
+    assert COST_SYMBOLS["DAILY"] == 10 * COST_SYMBOLS["HOURLY"]
+    benchmark.extra_info["expressions"] = len(CORPUS)

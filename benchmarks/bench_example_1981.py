@@ -1,0 +1,40 @@
+"""E2 — the 1981 worked example (OUTPUT section).
+
+Paper artifact: the seven-line route listing produced from the
+"simplified portion of the map from 1981".  This is the headline
+correctness result: the bench runs the full three-phase pipeline and
+asserts the output matches the paper character for character.
+"""
+
+from repro import Pathalias
+
+from tests.conftest import PAPER_1981_MAP, PAPER_1981_OUTPUT
+
+
+def test_paper_1981_pipeline(benchmark):
+    def pipeline():
+        return Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+
+    table = benchmark(pipeline)
+    got = [(r.cost, r.name, r.route) for r in table]
+    assert got == PAPER_1981_OUTPUT
+    benchmark.extra_info["routes"] = len(table)
+    benchmark.extra_info["matches_paper"] = True
+
+
+def test_paper_1981_from_every_source(benchmark):
+    """The same map, mapped from every host: n full runs (the paper
+    notes precomputation is the only affordable mode — this is its unit
+    of work)."""
+    sources = ["unc", "duke", "phs", "research", "ucbvax"]
+
+    def all_sources():
+        return [Pathalias().run_text(PAPER_1981_MAP, localhost=s)
+                for s in sources]
+
+    tables = benchmark(all_sources)
+    for table in tables:
+        assert len(table) == 7
+    # From ucbvax the ARPANET is one hop: pure @-syntax.
+    by_source = dict(zip(sources, tables))
+    assert by_source["ucbvax"].route("mit-ai") == "%s@mit-ai"

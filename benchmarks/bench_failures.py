@@ -1,0 +1,83 @@
+"""E16 — precomputed routes under link failure, and fallback coverage.
+
+Paper (INTEGRATING): optimization "can backfire if the user wants to
+use a circuitous route for some reason — say, to bypass a dead link."
+Dial-up links died constantly; a site lived with its paths file until
+the next map issue.  Two measurements:
+
+* survival: kill a fraction of links, replay every precomputed route;
+* resilience: how many hosts even *have* a first-hop-disjoint fallback
+  (the circuitous route the user would hand-write).
+"""
+
+import random
+
+from repro.core.alternates import resilience
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.config import HeuristicConfig
+from repro.graph.build import build_graph
+from repro.netsim.failures import kill_links, survival
+from repro.parser.grammar import parse_text
+
+from benchmarks.conftest import report
+
+
+def _fresh_graph(generated):
+    return build_graph([(n, parse_text(t, n))
+                        for n, t in generated.files])
+
+
+def test_route_survival_under_failures(benchmark, medium_generated):
+    generated = medium_generated
+    rows = [("links killed", "routes surviving")]
+    rates = {}
+    for fraction in (0.01, 0.05, 0.10, 0.20):
+        graph = _fresh_graph(generated)
+        table = print_routes(Mapper(graph).run(generated.localhost))
+        kill_links(graph, fraction=fraction, seed=int(fraction * 100))
+        outcome = survival(table, graph, generated.localhost)
+        rates[fraction] = outcome.survival_rate
+        rows.append((f"{fraction:.0%}",
+                     f"{outcome.survival_rate:.2%}"))
+    report("E16 precomputed-route survival (medium map)", rows)
+
+    # Survival degrades monotonically-ish and stays meaningful at 1%.
+    assert rates[0.01] > 0.80
+    assert rates[0.20] < rates[0.01]
+
+    benchmark.extra_info["survival_at_10pct"] = round(rates[0.10], 4)
+    graph = _fresh_graph(generated)
+    table = print_routes(Mapper(graph).run(generated.localhost))
+    benchmark(lambda: survival(table, graph, generated.localhost))
+
+
+def test_fallback_coverage(benchmark, small_generated):
+    """How many hosts have a first-hop-disjoint alternate at all?"""
+    generated = small_generated
+    graph = _fresh_graph(generated)
+    rng = random.Random(1986)
+    hosts = [n.name for n in graph.nodes
+             if not n.netlike and not n.private and not n.deleted]
+    sample = rng.sample(hosts, k=40)
+    cfg = HeuristicConfig()
+    scores = resilience(graph, generated.localhost, sample,
+                        heuristics=cfg)
+
+    with_fallback = sum(1 for s in scores.values() if s == 2)
+    single_point = sum(1 for s in scores.values() if s == 1)
+    report("E16 fallback coverage (small map, 40 sampled hosts)", [
+        ("category", "hosts"),
+        ("first-hop-disjoint fallback exists", with_fallback),
+        ("first hop is a single point of failure", single_point),
+        ("unreachable", sum(1 for s in scores.values() if s == 0)),
+    ])
+
+    # The backbone-plus-regions topology guarantees both kinds exist.
+    assert with_fallback > 0
+    assert with_fallback + single_point == len(sample)
+
+    benchmark.extra_info["fallback_fraction"] = round(
+        with_fallback / len(sample), 3)
+    benchmark(lambda: resilience(graph, generated.localhost,
+                                 sample[:5], heuristics=cfg))

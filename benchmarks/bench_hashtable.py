@@ -1,0 +1,116 @@
+"""E5 — hash-table management.
+
+Paper claims: (a) α_H = 0.79 gives "a predicted ratio of 2 probes per
+access when the table is full"; (b) the textbook secondary hash
+``1+(k mod (T-2))`` behaved anomalously, the inverse did not; (c) δ=2
+(doubling) growth wastes space, the golden-ratio/Fibonacci schedule is
+"large enough but not too large".
+
+Workload: the full-scale host-name population (8,500 names, the paper's
+USENET + other-nets count).
+"""
+
+import pytest
+
+from repro.adt.hashtable import (
+    ALPHA_HIGH,
+    GrowthPolicy,
+    HashTable,
+    SecondaryHash,
+)
+from repro.netsim.models import NameGenerator
+
+from benchmarks.conftest import report
+
+import random
+
+N_HOSTS = 8_500
+
+
+@pytest.fixture(scope="module")
+def host_names():
+    gen = NameGenerator(random.Random(1986))
+    return [gen.host() for _ in range(N_HOSTS)]
+
+
+def _filled(names, **kwargs) -> HashTable:
+    table = HashTable(initial_size=1009, **kwargs)
+    for name in names:
+        table.insert(name, None)
+    return table
+
+
+def test_intern_population(benchmark, host_names):
+    table = benchmark(lambda: _filled(host_names))
+    assert len(table) == N_HOSTS
+    benchmark.extra_info["final_size"] = table.size
+
+
+def test_lookup_storm(benchmark, host_names):
+    table = _filled(host_names)
+    table.reset_stats()
+
+    def storm():
+        for name in host_names:
+            table.lookup(name)
+
+    benchmark(storm)
+    benchmark.extra_info["mean_probes"] = round(table.mean_probes(), 3)
+
+
+def test_probe_prediction_and_secondary_hash(benchmark, host_names):
+    rows = [("secondary hash", "mean probes (lookup @ full load)")]
+    means = {}
+    for secondary in SecondaryHash:
+        # Fill a fixed-size table right up to the high-water mark so
+        # the load factor is exactly the paper's alpha.
+        size = 10_007
+        count = int(size * ALPHA_HIGH) - 1
+        table = HashTable(initial_size=size, secondary=secondary)
+        for name in host_names[:count]:
+            table.insert(name, None)
+        assert table.size == size  # never grew
+        table.reset_stats()
+        for name in host_names[:count]:
+            table.lookup(name)
+        means[secondary] = table.mean_probes()
+        rows.append((secondary.value, f"{means[secondary]:.3f}"))
+    report("E5 probes per access at alpha=0.79 (paper predicts ~2)", rows)
+
+    # Both functions keep the Gonnet prediction's neighborhood; the
+    # inverse (the paper's choice) must be at least as well-behaved.
+    for mean in means.values():
+        assert 1.0 < mean < 3.0
+    # The paper reports the textbook function "anomalous" in their
+    # environment; under this key function both behave, so we assert
+    # only that the inverse stays in the same neighborhood (see
+    # EXPERIMENTS.md for the honest discussion).
+    inverse = means[SecondaryHash.INVERSE]
+    textbook = means[SecondaryHash.TEXTBOOK]
+    assert inverse <= textbook * 1.5
+
+    benchmark.extra_info["inverse_probes"] = round(inverse, 3)
+    benchmark.extra_info["textbook_probes"] = round(textbook, 3)
+    benchmark(lambda: _filled(host_names[:2000]))
+
+
+def test_growth_policy_space(benchmark, host_names):
+    """δ=2 'wastes an excessive amount of space when the total number of
+    hosts happens to be slightly more than α_H·T'."""
+    rows = [("growth policy", "final size", "retired slots",
+             "slots/host")]
+    usage = {}
+    for policy in GrowthPolicy:
+        table = _filled(host_names, growth=policy)
+        total = table.size + table.retired_slots
+        usage[policy] = table.size
+        rows.append((policy.name, table.size, table.retired_slots,
+                     f"{total / N_HOSTS:.2f}"))
+    report("E5 growth policies over 8,500 host names", rows)
+
+    # Doubling's final table is at least as large as the golden-ratio
+    # schedule's (usually much larger just past a threshold).
+    assert usage[GrowthPolicy.DOUBLING] >= usage[GrowthPolicy.FIBONACCI]
+    # Either way the table still honours the load-factor contract.
+    benchmark(lambda: _filled(host_names[:2000],
+                              growth=GrowthPolicy.FIBONACCI))

@@ -1,0 +1,65 @@
+"""E15 — route stability across map revisions.
+
+Paper (HISTORY): the UUCP mapping project made "timely and accurate
+data widely available" — monthly revisions that every site re-ran
+pathalias over.  The implicit bet: a local edit to the map barely
+perturbs the global route table, so precomputed paths files stay
+usable between postings.  This bench quantifies that bet: apply
+regional edits of growing size to a map and measure route stability
+from a fixed source.
+"""
+
+import random
+
+from repro.netsim.mapdiff import diff_map_texts, route_impact_for_source
+
+from benchmarks.conftest import report
+
+
+def _revise(files, edits: int, seed: int):
+    """A revision: add `edits` leaf hosts and retire `edits` links by
+    appending delete statements (what monthly postings did)."""
+    rng = random.Random(seed)
+    revised = list(files)
+    name, text = revised[1]  # a region file: plain host declarations
+    additions = []
+    keywords = {"private", "dead", "adjust", "delete", "file",
+                "gatewayed"}
+    hub_lines = [line for line in text.splitlines()
+                 if line and not line.startswith(("#", "\t", " "))
+                 and "=" not in line
+                 and line.split()[0] not in keywords]
+    for index in range(edits):
+        anchor = rng.choice(hub_lines).split()[0]
+        newcomer = f"rev{seed}x{index}"
+        additions.append(f"{newcomer}\t{anchor}(DAILY)")
+        additions.append(f"{anchor}\t{newcomer}(DAILY)")
+    revised[1] = (name, text + "\n" + "\n".join(additions) + "\n")
+    return revised
+
+
+def test_revision_stability(benchmark, medium_generated):
+    generated = medium_generated
+    rows = [("edits", "diff", "stability", "rerouted", "gained")]
+    stabilities = []
+    for edits in (1, 5, 20):
+        revised = _revise(generated.files, edits, seed=edits)
+        diff = diff_map_texts(generated.files, revised)
+        impact = route_impact_for_source(
+            generated.files, revised, generated.localhost)
+        stabilities.append(impact.stability())
+        rows.append((edits, diff.summary(),
+                     f"{impact.stability():.2%}",
+                     len(impact.rerouted), len(impact.gained)))
+        assert len(impact.gained) == edits
+        assert impact.lost == []
+    report("E15 route stability across map revisions (medium map)",
+           rows)
+
+    # Local edits leave the global table overwhelmingly intact.
+    assert all(s > 0.95 for s in stabilities)
+    benchmark.extra_info["stability_at_20_edits"] = round(
+        stabilities[-1], 4)
+
+    revised = _revise(generated.files, 5, seed=5)
+    benchmark(lambda: diff_map_texts(generated.files, revised))

@@ -1,0 +1,93 @@
+"""E12 — the route database and domain-suffix lookup.
+
+Paper artifacts: the linear output file ("a separate program may be used
+to convert this file into a format appropriate for rapid database
+retrieval") and the Domains-section lookup procedure — mail for
+``caip.rutgers.edu!pleasant`` resolves identically via the exact entry
+or by falling back through ``.rutgers.edu`` to ``.edu``.
+"""
+
+import math
+
+import pytest
+
+from repro import Pathalias
+from repro.mailer.routedb import IndexedPathsFile, RouteDatabase
+
+from benchmarks.conftest import report
+from tests.conftest import DOMAIN_TREE_MAP
+
+
+@pytest.fixture(scope="module")
+def big_table(medium_generated):
+    generated = medium_generated
+    return Pathalias().run_text(generated.all_text(),
+                                generated.localhost)
+
+
+def test_paper_lookup_equivalence(benchmark):
+    """The worked example: exact hit and .edu fallback produce
+    seismo!caip.rutgers.edu!pleasant, 'as before'."""
+    table = Pathalias().run_text(DOMAIN_TREE_MAP, localhost="local")
+    full = RouteDatabase.from_table(table)
+    stripped = RouteDatabase({".edu": full.route(".edu")})
+
+    def resolve_both():
+        exact = full.resolve("caip.rutgers.edu", "pleasant")
+        fallback = stripped.resolve("caip.rutgers.edu", "pleasant")
+        return exact, fallback
+
+    exact, fallback = benchmark(resolve_both)
+    assert exact.address == "seismo!caip.rutgers.edu!pleasant"
+    assert fallback.address == exact.address
+    assert exact.matched == "caip.rutgers.edu"
+    assert fallback.matched == ".edu"
+
+
+def test_indexed_vs_linear_file(benchmark, big_table, tmp_path_factory):
+    """The dbm-conversion claim: log n beats the linear scan."""
+    path = tmp_path_factory.mktemp("paths") / "paths"
+    index = IndexedPathsFile.build(big_table, path)
+    names = [record.name for record in big_table][:500]
+
+    index.comparisons = 0
+    for name in names:
+        assert index.lookup(name) is not None
+    binary_comparisons = index.comparisons / len(names)
+
+    index.comparisons = 0
+    for name in names[:50]:  # linear is slow; sample
+        index.lookup_linear(name)
+    linear_comparisons = index.comparisons / 50
+
+    report("E12 paths-file retrieval", [
+        ("method", "mean comparisons"),
+        ("bisection (converted)", f"{binary_comparisons:.1f}"),
+        ("linear file scan", f"{linear_comparisons:.1f}"),
+        ("entries", len(index)),
+    ])
+
+    assert binary_comparisons <= math.log2(len(index)) + 2
+    assert binary_comparisons * 10 < linear_comparisons
+
+    benchmark.extra_info["entries"] = len(index)
+    benchmark.extra_info["binary_mean"] = round(binary_comparisons, 1)
+
+    def lookup_batch():
+        for name in names:
+            index.lookup(name)
+
+    benchmark(lookup_batch)
+
+
+def test_suffix_search_depth(benchmark, big_table):
+    """Domain fallback costs at most the label count of the target."""
+    db = RouteDatabase.from_table(big_table)
+    targets = [record.name for record in big_table
+               if "." not in record.name][:200]
+
+    def resolve_all():
+        return [db.resolve(t, "user") for t in targets]
+
+    resolutions = benchmark(resolve_all)
+    assert all(r.address for r in resolutions)

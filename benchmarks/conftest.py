@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench module reproduces one experiment from DESIGN.md's index
+(E1..E12) and asserts the *shape* of the paper's claim — who wins, by
+roughly what factor — not absolute 1986 VAX numbers.  Measured values
+are attached to ``benchmark.extra_info`` so ``--benchmark-json`` runs
+preserve them, and printed for human eyes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.mapgen import MapParams, generate_map
+
+from tests.conftest import PAPER_1981_MAP  # noqa: F401  (re-exported)
+
+
+@pytest.fixture(scope="session")
+def small_generated():
+    return generate_map(MapParams.small(seed=1986))
+
+
+@pytest.fixture(scope="session")
+def medium_generated():
+    return generate_map(MapParams.medium(seed=1986))
+
+
+@pytest.fixture(scope="session")
+def usenet_generated():
+    """The published 1986 scale (~8.5k nodes, ~28k links)."""
+    return generate_map(MapParams.usenet_1986(seed=1986))
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print a small aligned table; visible with ``pytest -s``."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(row[col])) for row in rows)
+              for col in range(len(rows[0]))]
+    for row in rows:
+        print("  " + "  ".join(str(cell).ljust(width)
+                               for cell, width in zip(row, widths)))

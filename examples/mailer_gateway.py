@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Mailer integration: domains, gateways, and the route database.
+
+Recreates the paper's Domains walkthrough — seismo gatewaying .edu,
+caip under .rutgers under .edu — builds the route database a delivery
+agent would query, and performs the exact lookup sequence the paper
+describes for mail to caip.rutgers.edu!pleasant.  Then shows route
+optimization of a "hideously long UUCP path" and the loop-test escape
+hatch.
+
+Run:  python examples/mailer_gateway.py
+"""
+
+from repro import Pathalias
+from repro.mailer.routedb import RouteDatabase, domain_suffixes
+from repro.mailer.rewrite import OptimizeMode, RouteOptimizer
+
+MAP = """\
+# the Domains-section figure, as input
+local\tseismo(DEDICATED)
+seismo\tlocal(DEDICATED), .edu(DEDICATED)
+.edu = {.rutgers}
+.rutgers = {caip}
+caip\tblue(LOCAL)
+blue\tcaip(LOCAL)
+"""
+
+
+def main() -> None:
+    table = Pathalias().run_text(MAP, localhost="local")
+    print("routes from 'local':\n")
+    print(table.format_paper())
+
+    db = RouteDatabase.from_table(table)
+
+    print("\n-- the paper's lookup procedure -------------------")
+    target, user = "caip.rutgers.edu", "pleasant"
+    print(f"mail to {target}!{user} searches, in order: "
+          f"{domain_suffixes(target)}")
+
+    resolution = db.resolve(target, user)
+    print(f" * full database: matched {resolution.matched!r} "
+          f"-> {resolution.address}")
+
+    stripped = RouteDatabase({".edu": db.route(".edu")})
+    fallback = stripped.resolve(target, user)
+    print(f" * only '.edu' known: matched {fallback.matched!r} "
+          f"-> {fallback.address}")
+    print(f" * identical, 'as before': "
+          f"{resolution.address == fallback.address}")
+
+    print("\n-- route optimization ------------------------------")
+    optimizer = RouteOptimizer(db, localhost="local")
+    ugly = "seismo!caip!blue!user"  # a USENET-reply-style path
+    optimized = optimizer.optimize(ugly)
+    print(f"user wrote:   {ugly}")
+    print(f"rightmost-known-host optimization -> {optimized.address} "
+          f"(pivot {optimized.pivot}, {optimized.savings} hops saved)")
+
+    loop = "seismo!local!seismo!local!user"
+    kept = optimizer.optimize(loop)
+    print(f"loop test:    {loop}")
+    print(f"preserved untouched -> {kept.address}  (loop tests are a "
+          f"time-honored UUCP tradition)")
+
+    first_hop = RouteOptimizer(db, localhost="local",
+                               mode=OptimizeMode.FIRST_HOP)
+    conservative = first_hop.optimize("seismo!caip.rutgers.edu!pleasant")
+    print(f"first-hop mode: seismo!caip.rutgers.edu!pleasant -> "
+          f"{conservative.address}")
+
+
+if __name__ == "__main__":
+    main()

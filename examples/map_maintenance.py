@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The map maintainer's toolkit: check, diff, explain, export, batch.
+
+The paper's HISTORY section is a story about *data quality*: contradictory
+error-filled maps, manual inspection, and finally the USENIX mapping
+project's monthly postings.  This example plays a month in the life of a
+map coordinator:
+
+1. run consistency checks over this month's map;
+2. diff it against last month's issue and measure route impact;
+3. explain a surprising route, hop by hop, penalties included;
+4. export the route tree as Graphviz DOT;
+5. regenerate per-host paths files for the region.
+
+Run:  python examples/map_maintenance.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Pathalias
+from repro.core.batch import BatchMapper
+from repro.core.explain import explain_route
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.graph.check import check_map
+from repro.graph.export import tree_to_dot
+from repro.netsim.mapdiff import diff_map_texts, route_impact_for_source
+from repro.parser.grammar import parse_text
+
+LAST_MONTH = [("d.region", """\
+# last month's posting
+gateway\tseismo(DEMAND), downhill(HOURLY)
+downhill\tgateway(HOURLY), valley(EVENING)
+valley\tdownhill(EVENING)
+seismo\tgateway(DEMAND)
+passive\tgateway(POLLED)
+""")]
+
+THIS_MONTH = [("d.region", """\
+# this month's posting: valley got an autodialer, a newcomer appeared,
+# and someone declared a suspicious one-way bargain link
+gateway\tseismo(DEMAND), downhill(HOURLY)
+downhill\tgateway(HOURLY), valley(EVENING)
+valley\tdownhill(DEMAND), newcomer(DAILY)
+newcomer\tvalley(DAILY)
+seismo\tgateway(DEMAND)
+passive\tgateway(POLLED)
+bargain\tgateway(0)
+""")]
+
+
+def main() -> None:
+    graph = build_graph([(n, parse_text(t, n)) for n, t in THIS_MONTH])
+
+    print("== 1. consistency checks ==========================")
+    findings = check_map(graph)
+    for finding in findings:
+        print(f"  {finding}")
+    print(f"  summary: {findings.summary()}")
+
+    print("\n== 2. diff against last month =====================")
+    diff = diff_map_texts(LAST_MONTH, THIS_MONTH)
+    print(f"  structural: {diff.summary()}")
+    for change in diff.cost_changes:
+        print(f"  cost change: {change[0]} -> {change[1]}: "
+              f"{change[2]} becomes {change[3]}")
+    impact = route_impact_for_source(LAST_MONTH, THIS_MONTH, "gateway")
+    print(f"  route impact from gateway: {impact.unchanged} unchanged, "
+          f"{len(impact.rerouted)} rerouted, "
+          f"{len(impact.recosted)} recosted, "
+          f"{len(impact.gained)} gained "
+          f"(stability {impact.stability():.0%})")
+
+    print("\n== 3. explain a route =============================")
+    result = Mapper(graph).run("gateway")
+    explanation = explain_route(result, "newcomer")
+    print("  " + explanation.describe().replace("\n", "\n  "))
+
+    print("\n== 4. export the route tree as DOT ================")
+    dot = tree_to_dot(result, title="routes from gateway")
+    print("  " + "\n  ".join(dot.splitlines()[:6]))
+    print(f"  ... ({len(dot.splitlines())} lines total)")
+
+    print("\n== 5. regenerate paths files ======================")
+    with tempfile.TemporaryDirectory() as tmp:
+        count = BatchMapper(graph).write_paths_files(
+            tmp, sources=["gateway", "downhill", "valley"])
+        print(f"  wrote {count} paths files:")
+        for path in sorted(Path(tmp).iterdir()):
+            first = path.read_text().splitlines()[0]
+            print(f"    {path.name}: {first} ...")
+
+    print("\n== done ===========================================")
+    table = Pathalias().run_text(THIS_MONTH[0][1], localhost="gateway")
+    print(f"  {len(table)} routes live; "
+          f"{len(table.unreachable)} unreachable")
+
+
+if __name__ == "__main__":
+    main()

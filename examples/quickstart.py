@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's own worked example, start to finish.
+
+Feeds the "simplified portion of the map from 1981" to pathalias and
+prints the route table — which reproduces the paper's OUTPUT section
+exactly, including the observations the paper makes about it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Pathalias
+
+MAP_1981 = """\
+# A simplified portion of the UUCP map from 1981 (paper, OUTPUT section)
+unc\tduke(HOURLY), phs(HOURLY*4)
+duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs\tunc(HOURLY*4), duke(HOURLY)
+research\tduke(DEMAND), ucbvax(DEMAND)
+ucbvax\tresearch(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+"""
+
+
+def main() -> None:
+    table = Pathalias().run_text(MAP_1981, localhost="unc")
+
+    print("If run from unc, the following output is produced:\n")
+    print(table.format_paper())
+
+    print("\nPoints worth noting (straight from the paper):")
+    print(f" * mail to phs relays through duke: "
+          f"{table.route('phs')!r} — the direct unc-phs link costs "
+          f"HOURLY*4, duke costs HOURLY")
+    print(f" * ARPANET routes mix syntaxes: "
+          f"{table.route('mit-ai')!r} — UUCP '!' on the left, "
+          f"ARPANET '@' on the right")
+    print(f" * the ARPA network node itself never appears in the "
+          f"output: lookup('ARPA') -> {table.lookup('ARPA')}")
+
+    print("\nA mailer instantiates the %s format string:")
+    print(f" * mail to honey at phs      -> "
+          f"{table.address('phs', 'honey')}")
+    print(f" * mail to minsky at mit-ai  -> "
+          f"{table.address('mit-ai', 'minsky')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of *pathalias* (Honeyman & Bellovin, USENIX 1986).
+
+Pathalias computes electronic-mail routes in environments that mix
+explicit and implicit routing, as well as syntax styles.  Quickstart::
+
+    from repro import Pathalias
+
+    MAP = '''
+    unc     duke(HOURLY), phs(HOURLY*4)
+    duke    unc(DEMAND), research(DAILY/2), phs(DEMAND)
+    phs     unc(HOURLY*4), duke(HOURLY)
+    research duke(DEMAND), ucbvax(DEMAND)
+    ucbvax  research(DAILY)
+    ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+    '''
+    table = Pathalias().run_text(MAP, localhost="unc")
+    print(table.format_paper())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.config import (
+    COST_SYMBOLS,
+    DEAD,
+    DEFAULT_LINK_COST,
+    HeuristicConfig,
+    INF,
+)
+from repro.core.dense import dense_dijkstra
+from repro.core.mapper import Mapper, MapResult, MapStats
+from repro.core.pathalias import Pathalias, PhaseTimes, RunResult
+from repro.core.printer import RouteTable
+from repro.core.route import RouteRecord
+from repro.errors import (
+    AddressError,
+    CostExpressionError,
+    GraphError,
+    InputError,
+    MappingError,
+    ParseError,
+    PathaliasError,
+    RouteError,
+    ScanError,
+)
+from repro.graph.build import Graph, GraphBuilder, build_graph
+from repro.graph.node import Link, LinkKind, Node
+from repro.graph.stats import GraphStats, compute_stats
+from repro.parser.ast import Direction
+from repro.parser.costexpr import evaluate_cost
+from repro.parser.grammar import parse_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COST_SYMBOLS", "DEAD", "DEFAULT_LINK_COST", "HeuristicConfig", "INF",
+    "dense_dijkstra", "Mapper", "MapResult", "MapStats",
+    "Pathalias", "PhaseTimes", "RunResult", "RouteTable", "RouteRecord",
+    "AddressError", "CostExpressionError", "GraphError", "InputError",
+    "MappingError", "ParseError", "PathaliasError", "RouteError",
+    "ScanError",
+    "Graph", "GraphBuilder", "build_graph",
+    "Link", "LinkKind", "Node", "GraphStats", "compute_stats",
+    "Direction", "evaluate_cost", "parse_text",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Data-structure substrates described by the paper.
+
+These are not conveniences: the parser's symbol table *is*
+:class:`~repro.adt.hashtable.HashTable` and the mapper's priority queue
+*is* :class:`~repro.adt.heap.BinaryHeap`, mirroring how the original C
+program was built from exactly these pieces.
+"""
+
+from repro.adt.arena import ArenaAllocator
+from repro.adt.freelist import FreeListAllocator
+from repro.adt.hashtable import GrowthPolicy, HashTable, SecondaryHash
+from repro.adt.heap import BinaryHeap
+from repro.adt.primes import is_prime, next_prime, fibonacci_primes
+from repro.adt.quickfit import QuickFitAllocator
+from repro.adt.trace import AllocationTrace, TraceEvent
+
+__all__ = [
+    "ArenaAllocator",
+    "FreeListAllocator",
+    "QuickFitAllocator",
+    "GrowthPolicy",
+    "HashTable",
+    "SecondaryHash",
+    "BinaryHeap",
+    "is_prime",
+    "next_prime",
+    "fibonacci_primes",
+    "AllocationTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,139 @@
+"""First-fit free-list allocator with boundary-tag coalescing.
+
+The baseline the paper's arena beat: a classical ``malloc`` that keeps
+freed blocks on a list, searches it first-fit on allocation, splits
+over-large blocks, and coalesces adjacent free blocks on ``free``.
+On pathalias's allocate-heavily/free-late pattern the coalescing work
+is pure overhead — "memory allocators that attempt to coalesce when
+space is freed simply waste time (and space)".
+
+Like :class:`~repro.adt.arena.ArenaAllocator` this is a discrete
+simulator over a virtual address space; it counts elementary steps
+(time proxy) and bytes (space) so the two are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adt.arena import ALIGN, ArenaStats
+from repro.adt.trace import AllocationTrace
+
+#: Per-block header holding size + boundary tags.
+HEADER = 8
+
+
+@dataclass
+class _Block:
+    addr: int
+    size: int  # payload size, excluding header
+
+
+class FreeListAllocator:
+    """First-fit allocator with address-ordered free list and coalescing."""
+
+    def __init__(self, sbrk_chunk: int = 4096):
+        self.sbrk_chunk = sbrk_chunk
+        self.stats = ArenaStats()
+        self._break = 0  # top of the simulated heap
+        self._free: list[_Block] = []  # address-ordered
+        self._live: dict[int, _Block] = {}  # block id -> block
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc(self, block: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        rounded = (size + ALIGN - 1) & ~(ALIGN - 1)
+        need = rounded + HEADER
+        placed = self._first_fit(need)
+        if placed is None:
+            placed = self._extend(need)
+        self._live[block] = placed
+        self.stats.allocated_bytes += size
+        self.stats.wasted_bytes += placed.size - size
+        # A boundary-tag block with a larger payload than requested keeps
+        # the excess (internal fragmentation) until freed.
+
+    def _first_fit(self, need: int) -> _Block | None:
+        """Scan the free list; split the first block big enough."""
+        for i, candidate in enumerate(self._free):
+            self.stats.steps += 1  # one comparison per list node visited
+            total = candidate.size + HEADER
+            if total >= need:
+                remainder = total - need
+                if remainder > HEADER + ALIGN:
+                    # Split: tail stays free.
+                    self._free[i] = _Block(candidate.addr + need,
+                                           remainder - HEADER)
+                    self.stats.steps += 2
+                else:
+                    del self._free[i]
+                    need = total  # caller keeps the slack
+                return _Block(candidate.addr, need - HEADER)
+        return None
+
+    def _extend(self, need: int) -> _Block:
+        """Grow the heap break by at least one chunk."""
+        grow = ((need + self.sbrk_chunk - 1)
+                // self.sbrk_chunk) * self.sbrk_chunk
+        addr = self._break
+        self._break += grow
+        self.stats.system_bytes += grow
+        self.stats.segments += 1
+        self.stats.steps += 3
+        slack = grow - need
+        if slack > HEADER + ALIGN:
+            self._free_insert(_Block(addr + need, slack - HEADER))
+        else:
+            need = grow
+        return _Block(addr, need - HEADER)
+
+    # -- freeing -----------------------------------------------------------
+
+    def free(self, block: int) -> None:
+        released = self._live.pop(block)
+        idx = self._free_insert(released)
+        self._coalesce(released, idx)
+
+    def _free_insert(self, blk: _Block) -> int:
+        """Insert into the address-ordered free list (binary search)."""
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.stats.steps += 1
+            if self._free[mid].addr < blk.addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, blk)
+        self.stats.steps += 1
+        return lo
+
+    def _coalesce(self, blk: _Block, idx: int) -> None:
+        """Merge ``blk`` with free neighbours (boundary-tag style)."""
+        self.stats.steps += 1
+        # Merge with successor.
+        if idx + 1 < len(self._free):
+            nxt = self._free[idx + 1]
+            if blk.addr + blk.size + HEADER == nxt.addr:
+                blk.size += nxt.size + HEADER
+                del self._free[idx + 1]
+                self.stats.steps += 2
+        # Merge with predecessor.
+        if idx > 0:
+            prev = self._free[idx - 1]
+            if prev.addr + prev.size + HEADER == blk.addr:
+                prev.size += blk.size + HEADER
+                del self._free[idx]
+                self.stats.steps += 2
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self, trace: AllocationTrace) -> ArenaStats:
+        for event in trace:
+            if event.op == "alloc":
+                self.alloc(event.block, event.size)
+            else:
+                self.free(event.block)
+        return self.stats

@@ -1,0 +1,140 @@
+"""Implicit binary min-heap with decrease-key.
+
+The mapping phase performs "a modified breadth-first search ... using a
+priority queue and extracting vertices in increasing order of path cost";
+when a cheaper candidate path to an already-queued vertex is found, the
+cost is reduced in place and the heap property restored.  ``heapq`` can't
+reduce a key in place, so — exactly like the original — we keep our own
+implicit binary heap plus a position index per item.
+
+Items may be any hashable objects; priorities are integers (path costs).
+The original reused the retired hash table's memory for the heap array;
+that C-ism has no Python equivalent and is merely documented here.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class BinaryHeap(Generic[T]):
+    """Min-heap of (priority, item) supporting ``decrease_key``.
+
+    Each item may appear at most once; ``insert`` on a present item is an
+    error (use ``decrease_key``).  Ties are broken by insertion order so
+    extraction is deterministic — route output must be reproducible.
+    """
+
+    __slots__ = ("_heap", "_pos", "_serial")
+
+    def __init__(self) -> None:
+        # Each entry is [priority, serial, item]; serial breaks ties FIFO.
+        self._heap: list[list] = []
+        self._pos: dict[T, int] = {}
+        self._serial = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._pos
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def insert(self, item: T, priority: int) -> None:
+        """Add ``item`` with ``priority``; item must not be present."""
+        if item in self._pos:
+            raise ValueError(f"item already queued: {item!r}")
+        entry = [priority, self._serial, item]
+        self._serial += 1
+        self._heap.append(entry)
+        self._pos[item] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def priority(self, item: T) -> int:
+        """Current priority of a queued item."""
+        return self._heap[self._pos[item]][0]
+
+    def decrease_key(self, item: T, priority: int) -> None:
+        """Lower a queued item's priority and restore the heap property."""
+        idx = self._pos[item]
+        entry = self._heap[idx]
+        if priority > entry[0]:
+            raise ValueError(
+                f"decrease_key would increase priority of {item!r}: "
+                f"{entry[0]} -> {priority}")
+        entry[0] = priority
+        self._sift_up(idx)
+
+    def extract_min(self) -> tuple[T, int]:
+        """Remove and return ``(item, priority)`` with smallest priority."""
+        if not self._heap:
+            raise IndexError("extract_min from empty heap")
+        top = self._heap[0]
+        last = self._heap.pop()
+        del self._pos[top[2]]
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last[2]] = 0
+            self._sift_down(0)
+        return top[2], top[0]
+
+    def peek(self) -> tuple[T, int]:
+        if not self._heap:
+            raise IndexError("peek at empty heap")
+        top = self._heap[0]
+        return top[2], top[0]
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate queued items in arbitrary (heap) order."""
+        for entry in self._heap:
+            yield entry[2]
+
+    # -- sifting ----------------------------------------------------------
+
+    def _less(self, a: int, b: int) -> bool:
+        ea, eb = self._heap[a], self._heap[b]
+        return (ea[0], ea[1]) < (eb[0], eb[1])
+
+    def _swap(self, a: int, b: int) -> None:
+        heap, pos = self._heap, self._pos
+        heap[a], heap[b] = heap[b], heap[a]
+        pos[heap[a][2]] = a
+        pos[heap[b][2]] = b
+
+    def _sift_up(self, idx: int) -> None:
+        while idx > 0:
+            parent = (idx - 1) >> 1
+            if self._less(idx, parent):
+                self._swap(idx, parent)
+                idx = parent
+            else:
+                break
+
+    def _sift_down(self, idx: int) -> None:
+        n = len(self._heap)
+        while True:
+            left = 2 * idx + 1
+            right = left + 1
+            smallest = idx
+            if left < n and self._less(left, smallest):
+                smallest = left
+            if right < n and self._less(right, smallest):
+                smallest = right
+            if smallest == idx:
+                return
+            self._swap(idx, smallest)
+            idx = smallest
+
+    def check_invariant(self) -> None:
+        """Verify heap order and position index; used by property tests."""
+        for idx in range(1, len(self._heap)):
+            parent = (idx - 1) >> 1
+            if self._less(idx, parent):
+                raise AssertionError(f"heap order violated at {idx}")
+        for item, idx in self._pos.items():
+            if self._heap[idx][2] is not item and self._heap[idx][2] != item:
+                raise AssertionError(f"position index stale for {item!r}")

@@ -1,0 +1,77 @@
+"""Prime-number helpers for hash-table sizing.
+
+The paper's hash table requires prime table sizes (the double-hashing
+probe sequence only covers the whole table when the size is prime) and
+grows them along a "Fibonacci sequence of primes (more or less)", which
+follows the golden ratio — the growth factor the authors settled on after
+finding doubling too wasteful.
+"""
+
+from __future__ import annotations
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test, fine for table-size magnitudes."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0 or n % 3 == 0:
+        return False
+    f = 5
+    while f * f <= n:
+        if n % f == 0 or n % (f + 2) == 0:
+            return False
+        f += 6
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= ``n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def fibonacci_primes(count: int, start: int = 31) -> list[int]:
+    """The table-size schedule: primes tracking a Fibonacci sequence.
+
+    Mirrors the paper's "current implementation": seed a Fibonacci pair,
+    and at each step take the smallest prime at or above the next
+    Fibonacci number.  Successive sizes therefore grow by roughly the
+    golden ratio (≈1.618), the growth rate the authors found neither
+    "too large" (δ=2 wastes space) nor too small (rehashing too often).
+
+    Args:
+        count: how many table sizes to produce.
+        start: lower bound for the first size.
+
+    Returns:
+        Strictly increasing list of ``count`` primes.
+    """
+    if count < 1:
+        return []
+    a, b = start, start + start // 2 + 1  # seed pair, ratio ~1.5 to start
+    sizes = [next_prime(a)]
+    while len(sizes) < count:
+        a, b = b, a + b
+        p = next_prime(a)
+        if p <= sizes[-1]:  # primes can collide for tiny seeds
+            p = next_prime(sizes[-1] + 1)
+        sizes.append(p)
+    return sizes
+
+
+def geometric_primes(count: int, start: int = 31, factor: float = 2.0) -> list[int]:
+    """Prime schedule for a geometric growth policy (e.g. the δ=2 policy
+    the paper rejects as space-hungry).  Used by the E5 experiment."""
+    if count < 1:
+        return []
+    sizes = [next_prime(start)]
+    while len(sizes) < count:
+        target = int(sizes[-1] * factor) + 1
+        sizes.append(next_prime(target))
+    return sizes

@@ -1,0 +1,154 @@
+"""Allocation traces: the workload for the allocator experiment (E4).
+
+The paper ("Memory allocation woes") explains *why* the buffered-sbrk
+arena won: "Most allocation takes place during the parsing phase, with
+very little space freed.  After parsing, only minuscule amounts of space
+are allocated, while just about everything is freed."  We reproduce that
+allocation/free pattern as an explicit event trace, either synthesized
+from node/link counts (the shape above) or in an adversarial
+interleaved-free pattern used as a control.
+
+Sizes mirror the original structs: a node is "a structure consisting
+mostly of pointers and flags", a link holds four fields, and names are
+short strings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Simulated struct sizes in bytes (order-of-magnitude VAX-era values).
+NODE_SIZE = 40
+LINK_SIZE = 16
+MEAN_NAME_SIZE = 8
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One allocator operation.
+
+    Attributes:
+        op: ``"alloc"`` or ``"free"``.
+        block: identifier tying a free to its allocation.
+        size: bytes (only meaningful for allocs).
+    """
+
+    op: str
+    block: int
+    size: int = 0
+
+
+class AllocationTrace:
+    """An ordered list of alloc/free events with integrity checking."""
+
+    def __init__(self, events: list[TraceEvent] | None = None):
+        self.events: list[TraceEvent] = events or []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def total_allocated(self) -> int:
+        return sum(e.size for e in self.events if e.op == "alloc")
+
+    def live_bytes_peak(self) -> int:
+        """High-water mark of live bytes — the lower bound any allocator
+        must reach; waste is measured against this."""
+        sizes: dict[int, int] = {}
+        live = peak = 0
+        for event in self.events:
+            if event.op == "alloc":
+                sizes[event.block] = event.size
+                live += event.size
+                peak = max(peak, live)
+            else:
+                live -= sizes.pop(event.block)
+        return peak
+
+    def validate(self) -> None:
+        """Every free matches a prior alloc; no double frees."""
+        live: set[int] = set()
+        for event in self.events:
+            if event.op == "alloc":
+                if event.block in live:
+                    raise ValueError(f"block {event.block} allocated twice")
+                live.add(event.block)
+            elif event.op == "free":
+                if event.block not in live:
+                    raise ValueError(f"free of dead block {event.block}")
+                live.remove(event.block)
+            else:
+                raise ValueError(f"bad op {event.op!r}")
+
+
+def pathalias_trace(nodes: int, links: int, seed: int = 0,
+                    churn: float = 0.02) -> AllocationTrace:
+    """Synthesize the pathalias allocation pattern.
+
+    Phase 1 (parse): allocate ``nodes`` node structs, ``links`` link
+    structs and a name string per node, interleaved the way declarations
+    arrive; a small fraction ``churn`` of blocks is freed mid-phase
+    (duplicate declarations, discarded hash tables).
+
+    Phase 2 (map+print): a trickle of allocations (the heap / route
+    buffers), then everything still live is freed.
+    """
+    rng = random.Random(seed)
+    trace = AllocationTrace()
+    block = 0
+    live: list[int] = []
+
+    def alloc(size: int) -> None:
+        nonlocal block
+        trace.append(TraceEvent("alloc", block, size))
+        live.append(block)
+        block += 1
+
+    # Phase 1: one node + name, then a burst of links, repeated.
+    links_per_node = max(1, links // max(nodes, 1))
+    for _ in range(nodes):
+        alloc(NODE_SIZE)
+        alloc(max(2, int(rng.gauss(MEAN_NAME_SIZE, 2))))
+        for _ in range(links_per_node):
+            alloc(LINK_SIZE)
+        if live and rng.random() < churn:
+            victim = live.pop(rng.randrange(len(live)))
+            trace.append(TraceEvent("free", victim))
+
+    # Phase 2: minuscule allocation, then free just about everything.
+    for _ in range(max(1, nodes // 100)):
+        alloc(LINK_SIZE)
+    rng.shuffle(live)
+    for victim in live:
+        trace.append(TraceEvent("free", victim))
+    live.clear()
+    return trace
+
+
+def churning_trace(operations: int, seed: int = 0) -> AllocationTrace:
+    """Adversarial control: allocations and frees fully interleaved, the
+    pattern where coalescing *should* pay off.  Keeps roughly half the
+    blocks live at any time."""
+    rng = random.Random(seed)
+    trace = AllocationTrace()
+    live: list[int] = []
+    block = 0
+    for _ in range(operations):
+        if live and rng.random() < 0.5:
+            victim = live.pop(rng.randrange(len(live)))
+            trace.append(TraceEvent("free", victim))
+        else:
+            size = rng.choice((NODE_SIZE, LINK_SIZE, MEAN_NAME_SIZE))
+            trace.append(TraceEvent("alloc", block, size))
+            live.append(block)
+            block += 1
+    for victim in live:
+        trace.append(TraceEvent("free", victim))
+    return trace

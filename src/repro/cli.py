@@ -1,0 +1,154 @@
+"""Command-line interface mirroring the historical tool.
+
+Usage::
+
+    pathalias -l localhost [options] [file ...]
+
+Reads map files (or standard input), computes routes from the local
+host, and writes one route per line to standard output.  Options follow
+the original where the paper documents them (``-l``, ``-c``, ``-i``)
+plus reproduction-specific switches for the experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import HeuristicConfig
+from repro.core.pathalias import Pathalias
+from repro.errors import PathaliasError
+from repro.parser.lexgen import LexScanner
+from repro.parser.scanner import Scanner
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pathalias",
+        description="compute electronic-mail routes from connectivity "
+                    "maps (Honeyman & Bellovin, USENIX 1986)")
+    parser.add_argument("files", nargs="*",
+                        help="map files (default: standard input)")
+    parser.add_argument("-l", "--localhost", default="localhost",
+                        help="name of the local host (route source)")
+    parser.add_argument("-c", "--costs", action="store_true",
+                        help="print costs (the paper's output layout)")
+    parser.add_argument("-i", "--ignore-case", action="store_true",
+                        help="fold host names to lower case")
+    parser.add_argument("-s", "--second-best", action="store_true",
+                        help="maintain second-best (domain-free) paths")
+    parser.add_argument("--no-back-links", action="store_true",
+                        help="do not invent links to unreachable hosts")
+    parser.add_argument("--lex", action="store_true",
+                        help="use the table-driven (lex-style) scanner")
+    parser.add_argument("--stats", action="store_true",
+                        help="report phase timings and graph statistics "
+                             "on standard error")
+    parser.add_argument("--warnings", action="store_true",
+                        help="report input warnings on standard error")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="also write the shortest-path tree as "
+                             "Graphviz DOT to FILE ('-' for stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="run map consistency checks and report "
+                             "findings on standard error")
+    parser.add_argument("--report", action="store_true",
+                        help="print a full run report on standard "
+                             "error (stats, timings, load, checks)")
+    parser.add_argument("--trace", metavar="HOST",
+                        help="explain the chosen route to HOST hop by "
+                             "hop on standard error")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    heuristics = HeuristicConfig(
+        second_best=args.second_best,
+        infer_back_links=not args.no_back_links,
+    )
+    tool = Pathalias(
+        heuristics=heuristics,
+        case_fold=args.ignore_case,
+        scanner_class=LexScanner if args.lex else Scanner,
+    )
+
+    if args.files:
+        named = []
+        for path in args.files:
+            try:
+                with open(path, "r") as handle:
+                    named.append((path, handle.read()))
+            except OSError as exc:
+                print(f"pathalias: {exc}", file=sys.stderr)
+                return 2
+    else:
+        named = [("<stdin>", sys.stdin.read())]
+
+    try:
+        result = tool.run_detailed(named, args.localhost)
+    except PathaliasError as exc:
+        print(f"pathalias: {exc}", file=sys.stderr)
+        return 1
+
+    table = result.table
+    print(table.format_paper() if args.costs else table.format_tab())
+
+    if args.dot:
+        from repro.graph.export import tree_to_dot
+
+        dot_text = tree_to_dot(result.mapping,
+                               title=f"routes from {args.localhost}")
+        if args.dot == "-":
+            print(dot_text, end="")
+        else:
+            with open(args.dot, "w") as handle:
+                handle.write(dot_text)
+
+    if args.check:
+        from repro.graph.check import check_map
+
+        findings = check_map(result.graph)
+        for finding in findings:
+            print(f"pathalias: check: {finding}", file=sys.stderr)
+        print(f"pathalias: check: {findings.summary()}",
+              file=sys.stderr)
+
+    if args.report:
+        from repro.core.report import run_report
+
+        print(run_report(result), file=sys.stderr)
+
+    if args.trace:
+        from repro.core.explain import explain_route
+        from repro.errors import RouteError
+
+        try:
+            explanation = explain_route(result.mapping, args.trace,
+                                        heuristics)
+            print(explanation.describe(), file=sys.stderr)
+        except RouteError as exc:
+            print(f"pathalias: trace: {exc}", file=sys.stderr)
+
+    if args.warnings:
+        for warning in table.warnings:
+            print(f"pathalias: warning: {warning}", file=sys.stderr)
+    for name in table.unreachable:
+        print(f"pathalias: {name}: unreachable", file=sys.stderr)
+
+    if args.stats:
+        from repro.graph.stats import compute_stats
+
+        stats = compute_stats(result.graph)
+        times = result.times
+        print(f"pathalias: {stats.nodes} nodes, {stats.links} links "
+              f"(e/v = {stats.sparsity:.2f})", file=sys.stderr)
+        print(f"pathalias: scan {times.scan:.3f}s parse {times.parse:.3f}s"
+              f" build {times.build:.3f}s map {times.map:.3f}s "
+              f"print {times.print:.3f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

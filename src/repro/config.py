@@ -1,0 +1,112 @@
+"""Cost symbols, global constants, and heuristic configuration.
+
+The paper (INPUT section) publishes the symbolic link-cost table that the
+authors tuned "until, in the estimation of experienced users, the paths
+produced were reasonable".  The values here are copied verbatim from that
+table.  ``HIGH``, ``LOW``, ``DEAD`` and ``INF`` come from the historical
+tool and are documented as extensions in DESIGN.md.
+
+Heuristic penalties (mixed-syntax, gateway, domain relay) are *not* given
+numeric values in the paper — only described as "heavy" or "essentially
+infinite" — so they live in :class:`HeuristicConfig` where every
+experiment can set or ablate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Effectively-infinite cost.  Chosen (like the original's ``INF``) to be
+#: large enough that no realistic path sum reaches it, yet small enough
+#: that adding a handful of them never overflows anything meaningful.
+INF = 30_000_000
+
+#: Cost of a link declared dead: used only when nothing else works.
+DEAD = INF // 2
+
+#: The paper's cost table, verbatim ("INPUT", table on page 3).
+COST_SYMBOLS: dict[str, int] = {
+    "LOCAL": 25,
+    "DEDICATED": 95,
+    "DIRECT": 200,
+    "DEMAND": 300,
+    "HOURLY": 500,
+    "EVENING": 1800,
+    "POLLED": 5000,
+    "DAILY": 5000,
+    "WEEKLY": 30000,
+    # Historical extensions (pathalias 9.x), documented in DESIGN.md:
+    "DEAD": DEAD,
+    "HIGH": -5,   # administrator nudge: make a link slightly more attractive
+    "LOW": 5,     # ... or slightly less attractive
+    "FAST": -80,  # high-speed link discount
+}
+
+#: Cost of a link whose declaration names no cost.  The historical tool
+#: used 4000 (between DAILY and the polled grades) so that unannotated
+#: map entries neither dominate nor disappear.
+DEFAULT_LINK_COST = 4000
+
+#: Characters accepted as routing operators.  Position relative to the
+#: host name determines direction: prefix => host on the RIGHT of the
+#: operator in addresses (``%s@host``), postfix => host on the LEFT
+#: (``host!%s``).
+ROUTING_OPERATORS = frozenset("!@:%")
+
+#: Default routing operator when a link declaration names none.
+DEFAULT_OPERATOR = "!"
+
+
+@dataclass
+class HeuristicConfig:
+    """Tunable knobs for the mapping-phase cost heuristics.
+
+    The defaults reproduce the behaviour the paper describes; each knob
+    exists so the benchmark harness can ablate a single heuristic.
+
+    Attributes:
+        mixed_penalty: added when a LEFT (``!``-style) link extends a path
+            that already contains a RIGHT (``@``-style) link.  The paper's
+            own 1981 example shows the benign direction (``!...!%s@host``)
+            unpenalized, so only ``!``-after-``@`` pays.  "Heavy": an order
+            of magnitude above the most expensive normal link.
+        gateway_penalty: added when a path enters a gatewayed network
+            through a host that is not a declared gateway ("severely
+            penalized").
+        domain_relay_penalty: added to any real (non-structural) link that
+            extends a path which has already traversed a domain — the
+            ARPANET "don't use us as a relay" restriction.
+        subdomain_up_penalty: cost of the child-domain -> parent-domain
+            edge ("essentially infinite"), preventing routes like
+            ``caip!seismo.css.gov.edu.rutgers!%s``.
+        infer_back_links: invent reverse links toward unreachable hosts
+            that declared outbound connections, then continue mapping.
+        back_link_factor: multiplier applied to the declared forward cost
+            when inventing the reverse link (1 = reuse the forward cost).
+        second_best: maintain the best *domain-free* path alongside the
+            best path, and continue routes beyond a host from whichever is
+            usable — the algorithm the paper reports experimenting with
+            (PROBLEMS section).
+        tree_only: historical strict-tree behaviour (ignores second_best).
+    """
+
+    mixed_penalty: int = 10 * COST_SYMBOLS["WEEKLY"]
+    gateway_penalty: int = DEAD
+    domain_relay_penalty: int = INF
+    subdomain_up_penalty: int = INF
+    infer_back_links: bool = True
+    back_link_factor: int = 1
+    second_best: bool = False
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        for name in ("mixed_penalty", "gateway_penalty",
+                     "domain_relay_penalty", "subdomain_up_penalty"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.back_link_factor < 1:
+            raise ValueError("back_link_factor must be >= 1")
+
+
+#: Shared immutable default used when callers pass no config.
+DEFAULT_HEURISTICS = HeuristicConfig()

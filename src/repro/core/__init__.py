@@ -1,0 +1,39 @@
+"""The paper's primary contribution: mapping and route printing.
+
+``mapper`` implements the priority-queue variant of Dijkstra's algorithm
+with the cost heuristics; ``dense`` is the textbook O(v^2) baseline it is
+benchmarked against; ``route``/``printer`` implement the preorder
+traversal that turns the shortest-path tree into printf-style routes;
+``pathalias`` is the three-phase facade.
+"""
+
+from repro.core.alternates import (
+    AlternateRoute,
+    alternate_routes,
+    resilience,
+)
+from repro.core.batch import (
+    BatchMapper,
+    BatchResult,
+    query_single_destination,
+    run_for_source,
+)
+from repro.core.dense import dense_dijkstra
+from repro.core.explain import (
+    HopExplanation,
+    RouteExplanation,
+    explain_route,
+    verify_explanation,
+)
+from repro.core.mapper import Label, MapResult, Mapper, MapStats
+from repro.core.pathalias import Pathalias, PhaseTimes, RunResult
+from repro.core.printer import RouteTable, print_routes
+from repro.core.route import RouteRecord, splice
+
+__all__ = ["AlternateRoute", "alternate_routes", "resilience",
+           "BatchMapper", "BatchResult", "query_single_destination",
+           "run_for_source", "dense_dijkstra",
+           "HopExplanation", "RouteExplanation", "explain_route",
+           "verify_explanation", "Label", "MapResult",
+           "Mapper", "MapStats", "Pathalias", "PhaseTimes", "RunResult",
+           "RouteTable", "print_routes", "RouteRecord", "splice"]

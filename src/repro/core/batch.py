@@ -1,0 +1,114 @@
+"""Batch route computation: precompute tables for many sources.
+
+"Although it would be convenient to compute the path to a destination
+as needed, the cost of the calculation is prohibitively expensive.
+Consequently, pathalias precomputes paths to all destinations" — per
+*source*.  A site ran pathalias once for itself; the mapping project
+(and experiment E13) runs it for every source.  This module makes that
+cheap and safe: the parse/build phases are shared, and each mapping run
+removes its invented back links afterwards so runs are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.config import HeuristicConfig
+from repro.core.mapper import Mapper, MapResult
+from repro.core.printer import RouteTable, print_routes
+from repro.graph.build import Graph
+from repro.graph.node import LinkKind, Node
+
+
+def run_for_source(graph: Graph, source: str | Node,
+                   heuristics: HeuristicConfig | None = None,
+                   retain_back_links: bool = False) -> MapResult:
+    """One mapping run that, by default, leaves the graph as it found
+    it (invented back links are recorded in the result, then removed)."""
+    result = Mapper(graph, heuristics).run(source)
+    if not retain_back_links:
+        for owner, link in result.inferred:
+            owner.links.remove(link)
+    return result
+
+
+@dataclass
+class BatchResult:
+    """Route tables per source, plus aggregate counters."""
+
+    tables: dict[str, RouteTable] = field(default_factory=dict)
+    total_pops: int = 0
+    total_relaxations: int = 0
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __getitem__(self, source: str) -> RouteTable:
+        return self.tables[source]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tables)
+
+
+class BatchMapper:
+    """Precompute route tables for many (or all) sources on one graph."""
+
+    def __init__(self, graph: Graph,
+                 heuristics: HeuristicConfig | None = None):
+        self.graph = graph
+        self.heuristics = heuristics
+
+    def sources(self) -> list[str]:
+        """Every host that could serve as a source (no nets, domains,
+        or private nodes — they are not mail origins)."""
+        return [node.name for node in self.graph.nodes
+                if not node.deleted and not node.netlike
+                and not node.private]
+
+    def run(self, sources: Iterable[str] | None = None) -> BatchResult:
+        """Map from each source; graph state is preserved between runs."""
+        batch = BatchResult()
+        for source in (self.sources() if sources is None else sources):
+            result = run_for_source(self.graph, source, self.heuristics)
+            batch.tables[source] = print_routes(result)
+            batch.total_pops += result.stats.pops
+            batch.total_relaxations += result.stats.relaxations
+        return batch
+
+    def write_paths_files(self, directory: str | Path,
+                          sources: Iterable[str] | None = None) -> int:
+        """Emit one sorted ``paths.<host>`` file per source — the
+        artifact sites actually installed.  Returns the file count."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        count = 0
+        batch = self.run(sources)
+        for source, table in batch.tables.items():
+            (directory / f"paths.{source}").write_text(
+                table.format_tab() + "\n")
+            count += 1
+        return count
+
+
+def query_single_destination(graph: Graph, source: str,
+                             destination: str,
+                             heuristics: HeuristicConfig | None = None
+                             ) -> int | None:
+    """The strawman the paper rejects: compute one route on demand.
+
+    Runs Dijkstra but stops as soon as the destination is mapped.
+    Used by experiment E14 to quantify "prohibitively expensive":
+    on-demand querying repeats most of the work per query, so
+    precomputation wins even at modest query volumes.
+    """
+    target = graph.find(destination)
+    if target is None:
+        return None
+    mapper = Mapper(graph, heuristics)
+    result = mapper.run(source, stop_at=target)
+    for owner, link in result.inferred:
+        owner.links.remove(link)
+    label = result.best(target)
+    return None if label is None else label.cost

@@ -1,0 +1,78 @@
+"""The standard O(v^2) Dijkstra baseline (experiment E6).
+
+"Both asymptotically and pragmatically, the priority queue variant is a
+clear winner over the standard version of Dijkstra's algorithm, which
+runs in time proportional to v^2."
+
+The standard version differs only in its 'queue': instead of a binary
+heap it scans every queued vertex to find the minimum.  We express it as
+:class:`DenseMapper`, the sparse mapper with the queue swapped out, so
+both variants share the cost/heuristic semantics exactly — tests assert
+identical labels, benches measure only the algorithmic difference.
+"""
+
+from __future__ import annotations
+
+from repro.config import HeuristicConfig
+from repro.core.mapper import Mapper, MapResult
+from repro.graph.build import Graph
+from repro.graph.node import Node
+
+
+class _LinearQueue:
+    """Priority 'queue' backed by a dict; extract_min is a full scan.
+
+    Insert and decrease-key are O(1); extract-min is O(|queued|) — the
+    textbook array-based Dijkstra.  Ties break on insertion order, like
+    the heap, so both variants produce identical trees.
+    """
+
+    __slots__ = ("_entries", "_serial")
+
+    def __init__(self) -> None:
+        self._entries: dict = {}  # key -> [priority, serial]
+        self._serial = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def insert(self, key, priority: int) -> None:
+        if key in self._entries:
+            raise ValueError(f"item already queued: {key!r}")
+        self._entries[key] = [priority, self._serial]
+        self._serial += 1
+
+    def decrease_key(self, key, priority: int) -> None:
+        entry = self._entries[key]
+        if priority > entry[0]:
+            raise ValueError("decrease_key would increase priority")
+        entry[0] = priority
+
+    def extract_min(self):
+        best_key = None
+        best = None
+        for key, entry in self._entries.items():
+            if best is None or (entry[0], entry[1]) < best:
+                best = (entry[0], entry[1])
+                best_key = key
+        del self._entries[best_key]
+        return best_key, best[0]
+
+
+class DenseMapper(Mapper):
+    """Mapper with the linear-scan queue: O(v^2) overall."""
+
+    def _make_queue(self):
+        return _LinearQueue()
+
+
+def dense_dijkstra(graph: Graph, source: str | Node,
+                   heuristics: HeuristicConfig | None = None) -> MapResult:
+    """Map ``graph`` from ``source`` with the O(v^2) standard algorithm."""
+    return DenseMapper(graph, heuristics).run(source)

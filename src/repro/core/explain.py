@@ -1,0 +1,142 @@
+"""Route explanation: why did pathalias pick this path?
+
+The historical tool had a trace option for debugging map data; this is
+its reproduction-grade descendant.  Given a mapping result and a
+destination, :func:`explain_route` walks the chosen label chain and
+re-derives every hop's cost — base edge weight plus each heuristic
+penalty — so a map maintainer can see exactly where a surprising route
+came from.
+
+The arithmetic here is a *second implementation* of the mapper's cost
+rule; a property test pins the two against each other, which is the
+point: an explanation that can drift from the algorithm is worse than
+none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import HeuristicConfig, DEFAULT_HEURISTICS
+from repro.core.mapper import Label, MapResult
+from repro.errors import RouteError
+from repro.graph.node import LinkKind, Node, REAL_KINDS
+from repro.parser.ast import Direction
+
+
+@dataclass(frozen=True)
+class HopExplanation:
+    """One edge of the chosen path, fully costed."""
+
+    source: str
+    target: str
+    kind: str              # link kind (normal/alias/member-net/...)
+    base_cost: int         # the declared edge weight
+    penalties: tuple[tuple[str, int], ...]  # (reason, amount)
+    cumulative: int        # path cost after this hop
+
+    @property
+    def penalty_total(self) -> int:
+        return sum(amount for _, amount in self.penalties)
+
+    def describe(self) -> str:
+        parts = [f"{self.source} -> {self.target} "
+                 f"[{self.kind}] cost {self.base_cost}"]
+        for reason, amount in self.penalties:
+            parts.append(f"+{amount} ({reason})")
+        parts.append(f"=> {self.cumulative}")
+        return " ".join(parts)
+
+
+@dataclass
+class RouteExplanation:
+    """The full derivation for one destination."""
+
+    destination: str
+    total_cost: int
+    hops: list[HopExplanation] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"route to {self.destination} (cost {self.total_cost}):"]
+        lines.extend(f"  {hop.describe()}" for hop in self.hops)
+        return "\n".join(lines)
+
+
+def _edge_penalties(cfg: HeuristicConfig, parent: Label,
+                    link) -> list[tuple[str, int]]:
+    """Re-derive the mapper's heuristic surcharges for one edge."""
+    penalties: list[tuple[str, int]] = []
+    target = link.to
+    if link.kind is LinkKind.MEMBER_NET:
+        if parent.node.is_domain and target.is_domain:
+            penalties.append(("subdomain to parent domain",
+                              cfg.subdomain_up_penalty))
+        elif (target.gatewayed and not target.is_domain
+                and (target.gateways is None
+                     or parent.node not in target.gateways)):
+            penalties.append(("entering gatewayed net through "
+                              "non-gateway", cfg.gateway_penalty))
+    real = link.kind in REAL_KINDS
+    if real and parent.domain_seen:
+        penalties.append(("relaying beyond a domain",
+                          cfg.domain_relay_penalty))
+    if real and link.direction is Direction.LEFT and parent.has_at:
+        penalties.append(("'!' hop after '@' in path",
+                          cfg.mixed_penalty))
+    return penalties
+
+
+def explain_route(result: MapResult, destination: str | Node,
+                  heuristics: HeuristicConfig | None = None
+                  ) -> RouteExplanation:
+    """Derive the hop-by-hop cost breakdown of the chosen route."""
+    cfg = heuristics if heuristics is not None else DEFAULT_HEURISTICS
+    if result.unit_costs:
+        raise RouteError(
+            "cannot explain a min-hop (unit_costs) mapping: label "
+            "costs are hop counts, not edge-weight sums")
+    if isinstance(destination, str):
+        node = result.graph.find(destination)
+        if node is None:
+            raise RouteError(f"unknown destination {destination!r}")
+        destination = node
+    label = result.best(destination)
+    if label is None:
+        raise RouteError(f"{destination.name!r} is unreachable")
+
+    chain: list[Label] = []
+    cursor: Label | None = label
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = cursor.parent
+    chain.reverse()
+
+    explanation = RouteExplanation(destination=destination.name,
+                                   total_cost=label.cost)
+    for parent, child in zip(chain, chain[1:]):
+        link = child.link
+        penalties = _edge_penalties(cfg, parent, link)
+        explanation.hops.append(HopExplanation(
+            source=parent.node.name,
+            target=child.node.name,
+            kind=link.kind.value,
+            base_cost=link.cost,
+            penalties=tuple(penalties),
+            cumulative=child.cost,
+        ))
+    return explanation
+
+
+def verify_explanation(explanation: RouteExplanation) -> bool:
+    """Check that hop arithmetic reconstructs the mapper's label costs.
+
+    Returns True when every hop's cumulative cost equals the running
+    sum of base costs and penalties — the invariant the property test
+    asserts over random graphs.
+    """
+    running = 0
+    for hop in explanation.hops:
+        running += hop.base_cost + hop.penalty_total
+        if running != hop.cumulative:
+            return False
+    return running == explanation.total_cost

@@ -1,0 +1,106 @@
+"""The printing phase: select and order the output records.
+
+Rules from PRINTING THE ROUTES:
+
+* every non-private host gets a line ``cost name route`` (the paper's
+  example sorts by cost; the classic database format is name TAB route);
+* networks never appear (they are placeholders), private hosts never
+  appear (though they may be *relays* inside other routes);
+* domains appear only when top-level — "a domain whose parent is not
+  also a domain" — which lets a subdomain masquerade as top-level when
+  gatewayed separately;
+* aliases appear, carrying their partner's route.
+
+Unreachable hosts are reported separately (the original wrote them to
+the error output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.mapper import Label, MapResult
+from repro.core.route import RouteRecord, compute_routes
+
+
+@dataclass
+class RouteTable:
+    """The deliverable of a pathalias run: ordered route records."""
+
+    source: str
+    records: list[RouteRecord]
+    unreachable: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    _by_name: dict[str, RouteRecord] = field(default_factory=dict,
+                                             repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._by_name:
+            self._by_name = {r.name: r for r in self.records}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RouteRecord]:
+        return iter(self.records)
+
+    def lookup(self, name: str) -> RouteRecord | None:
+        """Exact-name lookup (mailer-style suffix search lives in
+        :class:`repro.mailer.routedb.RouteDatabase`)."""
+        return self._by_name.get(name)
+
+    def route(self, name: str) -> str | None:
+        record = self.lookup(name)
+        return None if record is None else record.route
+
+    def address(self, name: str, user: str) -> str | None:
+        """Instantiate the format string: the mailer's final step."""
+        record = self.lookup(name)
+        if record is None:
+            return None
+        return record.route.replace("%s", user, 1)
+
+    def format_paper(self) -> str:
+        """Multi-line text in the paper's example layout."""
+        return "\n".join(r.format_paper() for r in self.records)
+
+    def format_tab(self) -> str:
+        """Classic ``paths`` file: name TAB route, sorted by name."""
+        by_name = sorted(self.records, key=lambda r: r.name)
+        return "\n".join(r.format_tab() for r in by_name)
+
+
+def print_routes(result: MapResult) -> RouteTable:
+    """Run route construction and produce the ordered table."""
+    compute_routes(result)
+    best: dict[int, Label] = {}
+    for label in result.labels.values():
+        if label.route is None:
+            continue  # detached (should not happen; defensive)
+        node = label.node
+        current = best.get(node.index)
+        if current is None or (label.cost, label.domain_seen) < \
+                (current.cost, current.domain_seen):
+            best[node.index] = label
+
+    records = []
+    for label in best.values():
+        node = label.node
+        if node.private or node.deleted:
+            continue
+        if node.is_domain:
+            parent = label.parent
+            if parent is not None and parent.node.is_domain:
+                continue  # subdomain: same route as its parent domain
+        elif node.is_net:
+            continue
+        records.append(RouteRecord(label.cost, label.display,
+                                   label.route, node))
+    records.sort(key=lambda r: (r.cost, r.name))
+
+    unreachable = sorted(n.name for n in result.unreachable()
+                         if not n.is_net and not n.is_domain)
+    return RouteTable(source=result.source.name, records=records,
+                      unreachable=unreachable,
+                      warnings=list(result.graph.warnings))

@@ -1,0 +1,74 @@
+"""One-stop run report: everything a site operator wants on one page.
+
+Assembles the measurements scattered across the library — graph
+composition, phase timings, mapping statistics, relay-load analysis,
+consistency findings, unreachable hosts — into a single text report,
+in the spirit of the stderr summaries the original printed under its
+verbose flags.
+"""
+
+from __future__ import annotations
+
+from repro.core.pathalias import RunResult
+from repro.graph.check import check_map
+from repro.graph.stats import compute_stats
+from repro.netsim.traffic import analyze_routes
+
+
+def run_report(result: RunResult, include_checks: bool = True,
+               top_relays: int = 5) -> str:
+    """Render a full text report for one pathalias run."""
+    stats = compute_stats(result.graph)
+    times = result.times
+    mapping = result.mapping.stats
+    table = result.table
+    traffic = analyze_routes(table)
+
+    lines = []
+    lines.append(f"pathalias run report — source {table.source}")
+    lines.append("")
+    lines.append("network:")
+    lines.append(f"  nodes {stats.nodes} (hosts {stats.hosts}, nets "
+                 f"{stats.nets}, domains {stats.domains}, private "
+                 f"{stats.private_hosts})")
+    lines.append(f"  links {stats.links} (e/v {stats.sparsity:.2f}; "
+                 f"normal {stats.normal_links}, net {stats.net_links}, "
+                 f"alias {stats.alias_links}, inferred "
+                 f"{stats.inferred_links})")
+    lines.append("")
+    lines.append("phases (seconds):")
+    lines.append(f"  scan {times.scan:.3f}  parse {times.parse:.3f}  "
+                 f"build {times.build:.3f}  map {times.map:.3f}  "
+                 f"print {times.print:.3f}  total {times.total:.3f}")
+    lines.append("")
+    lines.append("mapping:")
+    lines.append(f"  heap pops {mapping.pops}, relaxations "
+                 f"{mapping.relaxations}, decrease-keys "
+                 f"{mapping.decrease_keys}")
+    lines.append(f"  penalties: mixed {mapping.mixed_penalties}, "
+                 f"gateway {mapping.gateway_penalties}, domain "
+                 f"{mapping.domain_penalties}")
+    lines.append(f"  back links invented {mapping.inferred_links} in "
+                 f"{mapping.back_link_rounds} rounds")
+    lines.append("")
+    lines.append("routes:")
+    lines.append(f"  {len(table)} printed, "
+                 f"{len(table.unreachable)} unreachable")
+    lines.append(f"  mean relays/route {traffic.mean_hops:.2f}; "
+                 f"busiest relays:")
+    for name, load in traffic.top_relays(top_relays):
+        lines.append(f"    {name:<20} {load}")
+    if table.unreachable:
+        shown = ", ".join(table.unreachable[:10])
+        suffix = " ..." if len(table.unreachable) > 10 else ""
+        lines.append(f"  unreachable: {shown}{suffix}")
+
+    if include_checks:
+        findings = check_map(result.graph)
+        lines.append("")
+        lines.append(f"map checks: {findings.summary()}")
+        for finding in list(findings)[:10]:
+            lines.append(f"  {finding}")
+        if len(findings) > 10:
+            lines.append(f"  ... {len(findings) - 10} more")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Route construction: labels -> printf-style format strings.
+
+"Routes are computed by labeling nodes in the shortest path tree in a
+preorder traversal.  We first label the root ... with route %s.  In the
+recursion step ... the route to a child node [is] the parent's route
+[with] %s [replaced] with host!%s or %s@host."
+
+Special cases, from PRINTING THE ROUTES:
+
+* the route to a network is identical to the route to its parent, and
+  network-to-member hops use the operator with which the path *entered*
+  the network (different gateways may use different syntax);
+* alias hops copy the parent's route verbatim — the name that appears is
+  the one the predecessor understands;
+* a domain appends its name to its successors (``caip`` under
+  ``.rutgers`` under ``.edu`` prints as ``caip.rutgers.edu``) and routes
+  like a network otherwise.
+
+In second-best mode the labels form a DAG (at most two labels per node);
+the traversal below is over labels, so it handles both shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapper import Label, MapResult
+from repro.graph.node import LinkKind, Node
+from repro.parser.ast import Direction
+
+
+@dataclass(frozen=True)
+class RouteRecord:
+    """One output line: cost, the name mail users write, the route."""
+
+    cost: int
+    name: str
+    route: str
+    node: Node
+
+    def format_paper(self) -> str:
+        """The layout of the paper's worked example: cost, name, route."""
+        return f"{self.cost}\t{self.name}\t{self.route}"
+
+    def format_tab(self) -> str:
+        """The classic ``paths`` database layout: name TAB route."""
+        return f"{self.name}\t{self.route}"
+
+
+def splice(route: str, name: str, op: str, direction: Direction) -> str:
+    """Insert one hop into a parent route.
+
+    LEFT (UUCP style): ``%s`` becomes ``name!%s``.
+    RIGHT (ARPANET style): ``%s`` becomes ``%s@name``.
+    """
+    if direction is Direction.LEFT:
+        return route.replace("%s", f"{name}{op}%s", 1)
+    return route.replace("%s", f"%s{op}{name}", 1)
+
+
+def compute_routes(result: MapResult) -> list[Label]:
+    """Fill ``route``/``display``/``entry`` on every label, preorder.
+
+    Returns the labels in traversal order (root first).  Routes are
+    derived purely from parent labels, so a label whose parent is the
+    *other* state of the same node (second-best mode) still works.
+    """
+    labels = list(result.labels.values())
+    children: dict[int, list[Label]] = {}
+    root = None
+    for label in labels:
+        if label.parent is None:
+            root = label
+            continue
+        children.setdefault(id(label.parent), []).append(label)
+    if root is None:
+        return []
+
+    root.route = "%s"
+    root.display = root.node.name
+    root.entry = None
+    order = [root]
+    stack = [root]
+    while stack:
+        parent = stack.pop()
+        for child in children.get(id(parent), ()):
+            _label_child(parent, child)
+            order.append(child)
+            stack.append(child)
+    return order
+
+
+def _label_child(parent: Label, child: Label) -> None:
+    """Apply the paper's route rules for one parent->child tree edge."""
+    link = child.link
+    u = parent.node
+    v = child.node
+
+    if link.kind is LinkKind.ALIAS:
+        # Zero-cost synonym: same machine, same route.
+        child.display = v.name
+        child.route = parent.route
+        child.entry = parent.entry
+        return
+
+    if v.netlike:
+        # Entering a net/domain, or moving down a domain tree: the
+        # placeholder's route is its parent's route.
+        if v.is_domain and u.is_domain:
+            child.display = v.name + parent.display
+        else:
+            child.display = v.name
+        child.route = parent.route
+        if link.kind is LinkKind.NET_MEMBER and parent.entry is not None:
+            child.entry = parent.entry  # propagate the entering operator
+        else:
+            child.entry = (link.op, link.direction)
+        return
+
+    # v is a real host.
+    if u.netlike:
+        op, direction = parent.entry or (link.op, link.direction)
+        display = v.name + (parent.display if u.is_domain else "")
+        child.display = display
+        child.route = splice(parent.route, display, op, direction)
+        child.entry = None
+        return
+
+    child.display = v.name
+    child.route = splice(parent.route, v.name, link.op, link.direction)
+    child.entry = None

@@ -1,0 +1,18 @@
+"""In-memory directed-graph representation of the network topology.
+
+Vertices are hosts *and* networks ("nodes"); edges are communication
+links weighted with non-negative costs and labeled with routing syntax.
+Cliques are stored as a star around a network node (2n edges, not ~n^2);
+aliases are zero-cost edge pairs; private hosts are distinct nodes that
+share a name.
+"""
+
+from repro.graph.build import Graph, GraphBuilder, build_graph
+from repro.graph.check import CheckReport, Finding, check_map
+from repro.graph.export import graph_to_dot, tree_to_dot
+from repro.graph.node import Link, LinkKind, Node
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = ["Graph", "GraphBuilder", "build_graph", "CheckReport",
+           "Finding", "check_map", "graph_to_dot", "tree_to_dot",
+           "Link", "LinkKind", "Node", "GraphStats", "compute_stats"]

@@ -1,0 +1,171 @@
+"""Map consistency checking — the QA pass the paper wishes existed.
+
+"At first, gathering such data was a difficult administrative problem
+... the data were often contradictory and error-filled, [so] it was
+necessary to inspect and edit the data manually."  This module automates
+that inspection: it reports the contradictions and hygiene problems a
+map maintainer (or the UUCP mapping project) would want to fix.
+
+Checks:
+* asymmetric links — a declares b but b never declares a (possibly a
+  passive site, possibly an error);
+* cost disagreements — both directions exist but differ wildly;
+* orphan networks — declared nets nobody links into;
+* unknown gateways — ``gatewayed`` names never declared as nets;
+* self-costing — zero-cost non-structural links (usually a typo);
+* colliding names that are *not* private-guarded (the bilbo problem);
+* dead/adjust/delete references to unknown hosts (surfaced by the
+  builder as warnings; repeated here for one-stop reporting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.build import Graph
+from repro.graph.node import LinkKind
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker diagnosis."""
+
+    kind: str       # short machine-usable category
+    subject: str    # host/net the finding is about
+    detail: str     # human explanation
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    findings: list[Finding] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def summary(self) -> str:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        if not counts:
+            return "map is clean"
+        parts = [f"{kind}: {count}"
+                 for kind, count in sorted(counts.items())]
+        return ", ".join(parts)
+
+
+#: Both directions declared, but one costs this many times the other.
+COST_DISAGREEMENT_FACTOR = 10
+
+
+def check_map(graph: Graph) -> CheckReport:
+    """Run every check over a built graph."""
+    report = CheckReport()
+    _check_symmetry(graph, report)
+    _check_orphan_nets(graph, report)
+    _check_gatewayed(graph, report)
+    _check_zero_cost(graph, report)
+    _check_collisions(graph, report)
+    for warning in graph.warnings:
+        report.findings.append(Finding("builder-warning", "-", warning))
+    return report
+
+
+def _normal_links(graph: Graph):
+    for node in graph.nodes:
+        if node.deleted:
+            continue
+        for link in node.links:
+            if link.kind is LinkKind.NORMAL and not link.to.deleted:
+                yield node, link
+
+
+def _check_symmetry(graph: Graph, report: CheckReport) -> None:
+    forward: dict[tuple[int, int], int] = {}
+    for node, link in _normal_links(graph):
+        forward[(node.index, link.to.index)] = link.cost
+    for (a, b), cost in forward.items():
+        back = forward.get((b, a))
+        node_a = graph.nodes_by_index[a]
+        node_b = graph.nodes_by_index[b]
+        if node_b.netlike:
+            continue  # gateway links into nets are one-way by design
+        if back is None:
+            report.findings.append(Finding(
+                "asymmetric-link", node_a.name,
+                f"declares {node_b.name} ({cost}) but {node_b.name} "
+                f"never declares {node_a.name} (passive site or map "
+                f"error)"))
+        elif a < b and max(cost, back) > COST_DISAGREEMENT_FACTOR * \
+                max(1, min(cost, back)):
+            report.findings.append(Finding(
+                "cost-disagreement", node_a.name,
+                f"{node_a.name}->{node_b.name} costs {cost} but "
+                f"{node_b.name}->{node_a.name} costs {back}"))
+
+
+def _check_orphan_nets(graph: Graph, report: CheckReport) -> None:
+    entered: set[int] = set()
+    for node in graph.nodes:
+        if node.deleted:
+            continue
+        for link in node.links:
+            if link.to.netlike and link.kind in (LinkKind.NORMAL,
+                                                 LinkKind.MEMBER_NET):
+                entered.add(link.to.index)
+    for node in graph.nodes:
+        if node.netlike and not node.deleted \
+                and node.index not in entered:
+            report.findings.append(Finding(
+                "orphan-net", node.name,
+                "network has no members or gateways linking into it"))
+
+
+def _check_gatewayed(graph: Graph, report: CheckReport) -> None:
+    for node in graph.nodes:
+        if node.deleted or not node.gatewayed or node.is_domain:
+            continue
+        if not node.is_net:
+            report.findings.append(Finding(
+                "gatewayed-nonnet", node.name,
+                "declared gatewayed but never declared as a network"))
+        elif not node.gateways:
+            report.findings.append(Finding(
+                "gatewayed-without-gateway", node.name,
+                "requires a gateway but none is declared — every entry "
+                "will be severely penalized"))
+
+
+def _check_zero_cost(graph: Graph, report: CheckReport) -> None:
+    for node, link in _normal_links(graph):
+        if link.cost == 0 and not link.to.netlike:
+            report.findings.append(Finding(
+                "zero-cost-link", node.name,
+                f"link to {link.to.name} costs 0 (aliases should use "
+                f"'=' syntax; otherwise probably a typo)"))
+
+
+def _check_collisions(graph: Graph, report: CheckReport) -> None:
+    by_name: dict[str, int] = {}
+    for node in graph.nodes:
+        if node.deleted:
+            continue
+        by_name[node.name] = by_name.get(node.name, 0) + 1
+    for name, count in by_name.items():
+        if count > 1:
+            # Multiple nodes with one name can only happen via private
+            # declarations — which is the *guarded* case.  Flag only
+            # unusual multiplicities for an administrator's eye.
+            if count > 2:
+                report.findings.append(Finding(
+                    "name-collision", name,
+                    f"{count} distinct hosts share this name (private "
+                    f"declarations in {count} files)"))

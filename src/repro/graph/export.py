@@ -1,0 +1,123 @@
+"""Graphviz (DOT) export of connectivity graphs and route trees.
+
+The paper communicates its data structures and examples as box-and-arrow
+figures; this module renders the live objects the same way.  Two views:
+
+* :func:`graph_to_dot` — the connectivity graph, with networks and
+  domains drawn as distinct shapes, alias pairs dashed, dead links
+  grayed, costs as edge labels;
+* :func:`tree_to_dot` — the shortest-path tree (or second-best DAG)
+  produced by a mapping run, edges annotated with the route operator.
+
+Output is plain DOT text; no graphviz binary is required to produce it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.graph.build import Graph
+from repro.graph.node import LinkKind, Node
+from repro.parser.ast import Direction
+
+if TYPE_CHECKING:  # circular at runtime: core imports graph
+    from repro.core.mapper import MapResult
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _node_attrs(node: Node) -> str:
+    if node.is_domain:
+        return "shape=folder, style=filled, fillcolor=lightyellow"
+    if node.is_net:
+        return "shape=ellipse, style=filled, fillcolor=lightblue"
+    if node.private:
+        return "shape=box, style=dashed"
+    return "shape=box"
+
+
+_EDGE_STYLE = {
+    LinkKind.ALIAS: "style=dashed, dir=none, color=gray40",
+    LinkKind.MEMBER_NET: "color=steelblue",
+    LinkKind.NET_MEMBER: "color=steelblue, style=dotted",
+    LinkKind.INFERRED: "color=orange, style=dashed",
+    LinkKind.NORMAL: "",
+}
+
+
+def graph_to_dot(graph: Graph, title: str = "pathalias") -> str:
+    """Render the connectivity graph as DOT text."""
+    lines = [f"digraph {_quote(title)} {{",
+             "  rankdir=LR;",
+             "  node [fontname=Helvetica];"]
+    emitted_alias_pairs: set[tuple[int, int]] = set()
+    for node in graph.nodes:
+        if node.deleted:
+            continue
+        lines.append(f"  {_quote(node.name)} [{_node_attrs(node)}];")
+    for node in graph.nodes:
+        if node.deleted:
+            continue
+        for link in node.links:
+            if link.to.deleted:
+                continue
+            if link.kind is LinkKind.ALIAS:
+                # One undirected dashed edge per alias pair.
+                pair = tuple(sorted((node.index, link.to.index)))
+                if pair in emitted_alias_pairs:
+                    continue
+                emitted_alias_pairs.add(pair)
+            attrs = []
+            style = _EDGE_STYLE[link.kind]
+            if style:
+                attrs.append(style)
+            if link.kind not in (LinkKind.ALIAS, LinkKind.NET_MEMBER):
+                attrs.append(f'label="{link.cost}"')
+            if link.dead:
+                attrs.append("color=gray, fontcolor=gray")
+            attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f"  {_quote(node.name)} -> "
+                         f"{_quote(link.to.name)}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def tree_to_dot(result: "MapResult", title: str = "routes") -> str:
+    """Render the shortest-path tree (second-best mode: the DAG).
+
+    Each label becomes a vertex named by its display name (falling back
+    to the node name when routes have not been computed); tree edges
+    carry the operator that materializes in the route text.
+    """
+    from repro.core.route import compute_routes
+
+    if any(label.route is None for label in result.labels.values()):
+        compute_routes(result)
+
+    lines = [f"digraph {_quote(title)} {{",
+             "  rankdir=LR;",
+             "  node [fontname=Helvetica, shape=box];"]
+    names: dict[int, str] = {}
+    for key, label in result.labels.items():
+        display = label.display or label.node.name
+        vertex = f"{display}#{key[1]}" if key[1] else display
+        names[id(label)] = vertex
+        attrs = [f'label="{display}\\n{label.cost}"']
+        if label.node.netlike:
+            attrs.append("style=filled, fillcolor=lightyellow")
+        lines.append(f"  {_quote(vertex)} [{', '.join(attrs)}];")
+    for label in result.labels.values():
+        if label.parent is None or label.link is None:
+            continue
+        op = label.link.op
+        direction = ("left" if label.link.direction is Direction.LEFT
+                     else "right")
+        lines.append(
+            f"  {_quote(names[id(label.parent)])} -> "
+            f"{_quote(names[id(label)])} "
+            f'[label="{op} {direction}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

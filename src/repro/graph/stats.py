@@ -1,0 +1,87 @@
+"""Graph statistics: sparsity, degree distribution, composition.
+
+The paper's complexity argument rests on an empirical claim: "The graph
+described by the USENET data is sparse, i.e., the number of edges e is
+proportional to v, not v^2", helped along by the compact clique
+representation.  This module measures that, for tests and for the E8
+full-scale experiment report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.build import Graph
+from repro.graph.node import LinkKind
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary measurements over a built graph."""
+
+    nodes: int
+    hosts: int
+    nets: int
+    domains: int
+    private_hosts: int
+    links: int
+    normal_links: int
+    alias_links: int
+    net_links: int        # MEMBER_NET + NET_MEMBER
+    inferred_links: int
+    max_out_degree: int
+    mean_out_degree: float
+
+    @property
+    def sparsity(self) -> float:
+        """e / v — the paper's sparseness measure (small constant when
+        sparse; ~v when dense)."""
+        return self.links / self.nodes if self.nodes else 0.0
+
+    def is_sparse(self, factor: float = 10.0) -> bool:
+        """True when e grows like v (within ``factor``), not v^2."""
+        return self.links <= factor * max(self.nodes, 1)
+
+
+def compute_stats(graph: Graph) -> GraphStats:
+    """Measure ``graph``; cheap single pass."""
+    hosts = nets = domains = private_hosts = 0
+    normal = alias = netl = inferred = 0
+    max_deg = 0
+    total_links = 0
+    for node in graph.nodes:
+        if node.is_net:
+            nets += 1
+        if node.is_domain:
+            domains += 1
+        if not node.is_net and not node.is_domain:
+            hosts += 1
+        if node.private:
+            private_hosts += 1
+        degree = len(node.links)
+        total_links += degree
+        max_deg = max(max_deg, degree)
+        for link in node.links:
+            if link.kind is LinkKind.NORMAL:
+                normal += 1
+            elif link.kind is LinkKind.ALIAS:
+                alias += 1
+            elif link.kind is LinkKind.INFERRED:
+                inferred += 1
+            else:
+                netl += 1
+    count = len(graph.nodes)
+    return GraphStats(
+        nodes=count,
+        hosts=hosts,
+        nets=nets,
+        domains=domains,
+        private_hosts=private_hosts,
+        links=total_links,
+        normal_links=normal,
+        alias_links=alias,
+        net_links=netl,
+        inferred_links=inferred,
+        max_out_degree=max_deg,
+        mean_out_degree=total_links / count if count else 0.0,
+    )

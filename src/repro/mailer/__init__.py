@@ -1,0 +1,27 @@
+"""Mailer integration: what INTEGRATING PATHALIAS WITH MAILERS describes.
+
+The route table is only useful through a mailer: a database for manual
+and automatic queries (:mod:`repro.mailer.routedb`), address parsing in
+the competing syntaxes (:mod:`repro.mailer.address`), route optimization
+and header rewriting policy (:mod:`repro.mailer.rewrite`), and a
+store-and-forward delivery simulator (:mod:`repro.mailer.delivery`) that
+*measures* whether generated routes actually get the mail through.
+"""
+
+from repro.mailer.address import (
+    MailerStyle,
+    ParsedAddress,
+    next_hop,
+    parse_address,
+)
+from repro.mailer.delivery import DeliveryReport, Network
+from repro.mailer.rewrite import HeaderRewriter, OptimizeMode, RouteOptimizer
+from repro.mailer.routedb import IndexedPathsFile, RouteDatabase
+from repro.mailer.router import Envelope, MailRouter
+
+__all__ = [
+    "MailerStyle", "ParsedAddress", "next_hop", "parse_address",
+    "DeliveryReport", "Network", "HeaderRewriter", "OptimizeMode",
+    "RouteOptimizer", "IndexedPathsFile", "RouteDatabase",
+    "Envelope", "MailRouter",
+]

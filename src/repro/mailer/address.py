@@ -1,0 +1,126 @@
+"""Electronic-mail address parsing under the competing conventions.
+
+"It is widely acknowledged that no simple measures suffice for
+disambiguating a route that contains both '@' and '!' ... most mailers
+rigidly adhere to 'UUCP syntax' or to 'RFC822 syntax'.  As such, they
+consistently make the wrong choice on selected inputs."
+
+We model three mailer behaviours:
+
+* ``BANG_RIGID`` — pure UUCP: split at the leftmost ``!``; an ``@`` in
+  the remainder is just part of the local text.
+* ``RFC822_RIGID`` — pure ARPANET: split at the rightmost ``@``; a ``!``
+  in the local part is just local text.  Source routes
+  (``@a,@b:user@c``) and the ``user%host@relay`` underground syntax are
+  honoured.
+* ``HEURISTIC`` — the effective rules of Honeyman & Parseghian ("Parsing
+  Ambiguous Addresses for Electronic Services"): route-first — if a
+  ``!`` appears before the (last) ``@``, treat the address as a bang
+  path whose final component is an RFC822 address; otherwise RFC822.
+
+These are exactly the behaviours that make mixed routes dangerous in one
+order and safe in the other, which is what the mapper's mixed-syntax
+penalty is about (experiment E10 measures it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+
+class MailerStyle(enum.Enum):
+    BANG_RIGID = "bang"
+    RFC822_RIGID = "rfc822"
+    HEURISTIC = "heuristic"
+
+
+@dataclass(frozen=True)
+class ParsedAddress:
+    """A fully resolved route: ordered relay hops plus the final user."""
+
+    hops: tuple[str, ...]
+    user: str
+
+    def as_bang_path(self) -> str:
+        """Render as pure UUCP syntax."""
+        return "!".join(self.hops + (self.user,))
+
+
+def _require(condition: bool, address: str, why: str) -> None:
+    if not condition:
+        raise AddressError(f"cannot parse {address!r}: {why}")
+
+
+def next_hop(address: str, style: MailerStyle) -> tuple[str | None, str]:
+    """One forwarding decision: (next host, address to present there).
+
+    Returns ``(None, user)`` when the address is local under ``style``.
+    This is the primitive the delivery simulator applies at every host.
+    """
+    _require(bool(address), address, "empty address")
+    if style is MailerStyle.BANG_RIGID:
+        if "!" in address:
+            host, rest = address.split("!", 1)
+            _require(bool(host) and bool(rest), address, "empty component")
+            return host, rest
+        return None, address
+
+    if style is MailerStyle.RFC822_RIGID:
+        return _rfc822_next(address)
+
+    # HEURISTIC: route-first.  A '!' before the last '@' means the bang
+    # path is outermost; otherwise fall back to RFC822 rules.
+    if "!" in address:
+        at = address.rfind("@")
+        bang = address.find("!")
+        if at < 0 or bang < at:
+            host, rest = address.split("!", 1)
+            _require(bool(host) and bool(rest), address, "empty component")
+            return host, rest
+    if "@" in address or "%" in address:
+        return _rfc822_next(address)
+    return None, address
+
+
+def _rfc822_next(address: str) -> tuple[str | None, str]:
+    """RFC822 forwarding: source routes, rightmost-@, then the % hack."""
+    if address.startswith("@"):
+        # Explicit source route: @a,@b:user@c — the "clumsy" syntax.
+        head, _, tail = address.partition(":")
+        _require(bool(tail), address, "source route without ':'")
+        relays = head.split(",")
+        first = relays[0]
+        _require(first.startswith("@"), address, "bad source route")
+        rest_relays = ",".join(relays[1:])
+        remainder = f"{rest_relays}:{tail}" if rest_relays else tail
+        return first[1:], remainder
+    if "@" in address:
+        local, _, host = address.rpartition("@")
+        _require(bool(local) and bool(host), address, "empty component")
+        return host, local
+    if "%" in address:
+        # The underground syntax: at the delivering host the rightmost
+        # '%' is promoted to '@' and routing continues.
+        local, _, host = address.rpartition("%")
+        _require(bool(local) and bool(host), address, "empty component")
+        return host, local
+    return None, address
+
+
+def parse_address(address: str, style: MailerStyle) -> ParsedAddress:
+    """Resolve the complete relay sequence an address implies.
+
+    Equivalent to repeatedly applying :func:`next_hop` until the address
+    is local, collecting the hosts along the way.
+    """
+    hops: list[str] = []
+    rest = address
+    for _ in range(200):  # malformed addresses must not spin forever
+        host, rest = next_hop(rest, style)
+        if host is None:
+            return ParsedAddress(tuple(hops), rest)
+        hops.append(host)
+    raise AddressError(f"address too deep: {address!r}")

@@ -1,0 +1,154 @@
+"""An era-realistic address corpus with expected parses.
+
+The paper's world mixes at least five address shapes in live traffic:
+pure bang paths, pure RFC822, source routes, the ``%`` underground, and
+the merged domain/UUCP forms gateways began accepting
+(``seismo!f.isi.usc.edu!postel``).  This corpus collects representative
+specimens with their *expected* next-hop decision under each mailer
+style, as data — used by table-driven tests, by the delivery simulator's
+test matrix, and as executable documentation of exactly where the styles
+disagree.
+
+Each entry records: the address, a short provenance note, and for every
+style either ``(next_host, remainder)`` or ``None`` for local delivery,
+or the string ``"error"`` when the style rejects the address outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mailer.address import MailerStyle
+
+
+@dataclass(frozen=True)
+class Specimen:
+    """One corpus entry."""
+
+    address: str
+    note: str
+    #: expected next_hop() result per style: (host, remainder),
+    #: (None, user) for local, or "error"
+    bang: tuple | str
+    rfc822: tuple | str
+    heuristic: tuple | str
+
+    def expected(self, style: MailerStyle) -> tuple | str:
+        if style is MailerStyle.BANG_RIGID:
+            return self.bang
+        if style is MailerStyle.RFC822_RIGID:
+            return self.rfc822
+        return self.heuristic
+
+
+CORPUS: list[Specimen] = [
+    Specimen(
+        "research!honey",
+        "plain one-hop UUCP (the mail hosta!hostb!user idiom)",
+        bang=("research", "honey"),
+        rfc822=(None, "research!honey"),
+        heuristic=("research", "honey")),
+    Specimen(
+        "seismo!mcvax!piet",
+        "classic transatlantic bang path (paper, PERSPECTIVES)",
+        bang=("seismo", "mcvax!piet"),
+        rfc822=(None, "seismo!mcvax!piet"),
+        heuristic=("seismo", "mcvax!piet")),
+    Specimen(
+        "postel@isi",
+        "plain ARPANET",
+        bang=(None, "postel@isi"),
+        rfc822=("isi", "postel"),
+        heuristic=("isi", "postel")),
+    Specimen(
+        "duke!research!ucbvax!user@mit-ai",
+        "pathalias mixed output (paper's 1981 example)",
+        bang=("duke", "research!ucbvax!user@mit-ai"),
+        rfc822=("mit-ai", "duke!research!ucbvax!user"),
+        heuristic=("duke", "research!ucbvax!user@mit-ai")),
+    Specimen(
+        "seismo!postel@f.isi.usc.edu",
+        "once-unavoidable mixed route (paper, Cost calculation)",
+        bang=("seismo", "postel@f.isi.usc.edu"),
+        rfc822=("f.isi.usc.edu", "seismo!postel"),
+        heuristic=("seismo", "postel@f.isi.usc.edu")),
+    Specimen(
+        "seismo!f.isi.usc.edu!postel",
+        "the merged domain/UUCP form gateways accept (ibid.)",
+        bang=("seismo", "f.isi.usc.edu!postel"),
+        rfc822=(None, "seismo!f.isi.usc.edu!postel"),
+        heuristic=("seismo", "f.isi.usc.edu!postel")),
+    Specimen(
+        "user%host@relay",
+        "the underground syntax (paper, PERSPECTIVES)",
+        bang=(None, "user%host@relay"),
+        rfc822=("relay", "user%host"),
+        heuristic=("relay", "user%host")),
+    Specimen(
+        "u%h3%h2@h1",
+        "chained percent hack",
+        bang=(None, "u%h3%h2@h1"),
+        rfc822=("h1", "u%h3%h2"),
+        heuristic=("h1", "u%h3%h2")),
+    Specimen(
+        "@relay1,@relay2:user@final",
+        "RFC822 explicit source route ('clumsy' per the paper); a "
+        "bang-rigid host sees no '!' and delivers it locally",
+        bang=(None, "@relay1,@relay2:user@final"),
+        rfc822=("relay1", "@relay2:user@final"),
+        heuristic=("relay1", "@relay2:user@final")),
+    Specimen(
+        "caip.rutgers.edu!pleasant",
+        "domain name in a bang path (paper, Domains)",
+        bang=("caip.rutgers.edu", "pleasant"),
+        rfc822=(None, "caip.rutgers.edu!pleasant"),
+        heuristic=("caip.rutgers.edu", "pleasant")),
+    Specimen(
+        "a!user@c",
+        "the genuinely ambiguous order (paper: 'no simple measures "
+        "suffice')",
+        bang=("a", "user@c"),
+        rfc822=("c", "a!user"),
+        heuristic=("a", "user@c")),
+    Specimen(
+        "user@gw!x",
+        "at-before-bang: rigid RFC822 manufactures host 'gw!x', and "
+        "rigid UUCP manufactures host 'user@gw'",
+        bang=("user@gw", "x"),
+        rfc822=("gw!x", "user"),
+        heuristic=("gw!x", "user")),
+    Specimen(
+        "honey",
+        "local user",
+        bang=(None, "honey"),
+        rfc822=(None, "honey"),
+        heuristic=(None, "honey")),
+    Specimen(
+        "ihnp4!ihnp4!looptest",
+        "a loop test (time-honored UUCP tradition)",
+        bang=("ihnp4", "ihnp4!looptest"),
+        rfc822=(None, "ihnp4!ihnp4!looptest"),
+        heuristic=("ihnp4", "ihnp4!looptest")),
+    Specimen(
+        "!broken",
+        "leading bang: malformed everywhere it is parsed as a route",
+        bang="error",
+        rfc822=(None, "!broken"),
+        heuristic="error",
+    ),
+]
+
+
+def specimens_for(style: MailerStyle) -> list[tuple[str, tuple | str]]:
+    """(address, expectation) pairs for one style."""
+    return [(s.address, s.expected(style)) for s in CORPUS]
+
+
+def divergent_specimens() -> list[Specimen]:
+    """Entries where at least two styles choose different next hops."""
+    out = []
+    for s in CORPUS:
+        outcomes = {str(s.bang), str(s.rfc822), str(s.heuristic)}
+        if len(outcomes) > 1:
+            out.append(s)
+    return out

@@ -1,0 +1,188 @@
+"""Store-and-forward delivery simulation.
+
+Pathalias's philosophy is "get the mail through, reliably and
+efficiently" — so the reproduction includes a way to *check* that the
+routes it emits actually get mail through.  Each host applies its own
+mailer convention (:class:`~repro.mailer.address.MailerStyle`) to decide
+the next hop; physical connectivity comes from the same graph the routes
+were computed from.
+
+This is what turns the paper's qualitative argument about ambiguous
+mixed-syntax routes into a measurement (experiment E10): a route of the
+form ``a!user@b`` dies at a bang-rigid relay, while ``a!b!%s@c`` — the
+form the mapper's penalty steers toward — survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.build import Graph
+from repro.graph.node import LinkKind, Node
+from repro.mailer.address import MailerStyle, next_hop
+
+#: Forwarding budget: longer paths than this are reported as loops.
+MAX_HOPS = 64
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of one simulated message."""
+
+    origin: str
+    address: str
+    delivered: bool
+    final_host: str
+    user: str | None
+    hops: list[str] = field(default_factory=list)
+    failure: str | None = None
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+
+class Network:
+    """The physical network implied by a connectivity graph.
+
+    Two hosts can exchange mail directly when the graph has a real link
+    between them or when they sit on a common network/domain (clique
+    members all talk to each other — that is what the star
+    representation compresses).
+    """
+
+    def __init__(self, graph: Graph,
+                 styles: dict[str, MailerStyle] | None = None,
+                 default_style: MailerStyle = MailerStyle.BANG_RIGID):
+        self.graph = graph
+        self.styles = styles or {}
+        self.default_style = default_style
+        self._neighbors: dict[str, set[str]] = {}
+        self._memberships: dict[str, set[str]] = {}  # host -> net names
+        self._resolve: dict[str, str] = {}           # display -> node name
+        self._index()
+
+    def _index(self) -> None:
+        for node in self.graph.nodes:
+            if node.deleted:
+                continue
+            name = node.name
+            self._resolve.setdefault(name, name)
+            neighbors = self._neighbors.setdefault(name, set())
+            for link in node.links:
+                target = link.to
+                if target.deleted:
+                    continue
+                if link.kind in (LinkKind.NORMAL, LinkKind.INFERRED) \
+                        and not target.netlike:
+                    neighbors.add(target.name)
+                elif link.kind is LinkKind.NET_MEMBER:
+                    # net -> member: the member belongs to this net
+                    # (subdomains included: .edu -> .rutgers).
+                    self._memberships.setdefault(target.name, set()).add(
+                        name)
+                elif target.netlike:
+                    # member -> net edge, or an explicit gateway link.
+                    self._memberships.setdefault(name, set()).add(
+                        target.name)
+                if link.kind is LinkKind.ALIAS:
+                    neighbors.add(target.name)
+        # Domain-qualified spellings resolve to the bare host name:
+        # mail for caip.rutgers.edu is mail for caip.
+        for node in self.graph.nodes:
+            if node.netlike or node.deleted:
+                continue
+            for fqdn in self._qualified_names(node):
+                self._resolve.setdefault(fqdn, node.name)
+
+    def _qualified_names(self, node: Node) -> list[str]:
+        """Host name joined with each domain it belongs to, transitively
+        (caip under .rutgers under .edu yields caip.rutgers.edu)."""
+        out = []
+        for net_name in self._memberships.get(node.name, ()):  # direct
+            net = self.graph.find(net_name)
+            if net is None or not net.is_domain:
+                continue
+            for suffix in self._domain_suffixes(net):
+                out.append(node.name + suffix)
+        return out
+
+    def _domain_suffixes(self, domain: Node,
+                         depth: int = 0) -> list[str]:
+        """All fully-expanded suffixes for a domain node."""
+        if depth > 8:  # cyclic domain declarations: stop expanding
+            return []
+        suffixes = []
+        parents = [self.graph.find(net_name)
+                   for net_name in self._memberships.get(domain.name, ())]
+        parent_domains = [p for p in parents
+                          if p is not None and p.is_domain]
+        if not parent_domains:
+            return [domain.name]
+        for parent in parent_domains:
+            for suffix in self._domain_suffixes(parent, depth + 1):
+                suffixes.append(domain.name + suffix)
+        return suffixes
+
+    # -- connectivity -------------------------------------------------------
+
+    def style(self, host: str) -> MailerStyle:
+        return self.styles.get(host, self.default_style)
+
+    def resolve_name(self, name: str) -> str | None:
+        """Map an address spelling to a graph host name."""
+        return self._resolve.get(name)
+
+    def can_send(self, sender: str, receiver: str) -> bool:
+        if receiver in self._neighbors.get(sender, ()):
+            return True
+        shared = self._memberships.get(sender, set()) \
+            & self._memberships.get(receiver, set())
+        if shared:
+            return True
+        # A gateway with an explicit link into a net reaches members.
+        for net_name in self._memberships.get(receiver, set()):
+            if net_name in self._neighbors.get(sender, set()):
+                return True
+        return False
+
+    # -- simulation ---------------------------------------------------------
+
+    def deliver(self, origin: str, address: str) -> DeliveryReport:
+        """Forward a message hop by hop until delivery or failure."""
+        current = origin
+        rest = address
+        hops: list[str] = []
+        for _ in range(MAX_HOPS):
+            style = self.style(current)
+            try:
+                target, remainder = next_hop(rest, style)
+            except Exception as exc:  # malformed under this host's rules
+                return DeliveryReport(origin, address, False, current,
+                                      None, hops,
+                                      failure=f"unparseable at "
+                                              f"{current}: {exc}")
+            if target is None:
+                return DeliveryReport(origin, address, True, current,
+                                      remainder, hops)
+            resolved = self.resolve_name(target)
+            if resolved is None:
+                return DeliveryReport(origin, address, False, current,
+                                      None, hops,
+                                      failure=f"{current} knows no host "
+                                              f"{target!r}")
+            if not self.can_send(current, resolved):
+                return DeliveryReport(origin, address, False, current,
+                                      None, hops,
+                                      failure=f"no link {current} -> "
+                                              f"{resolved}")
+            hops.append(resolved)
+            current = resolved
+            rest = remainder
+        return DeliveryReport(origin, address, False, current, None, hops,
+                              failure="hop budget exhausted (loop?)")
+
+    def deliver_route(self, origin: str, route: str,
+                      user: str = "user") -> DeliveryReport:
+        """Instantiate a pathalias format string and deliver it."""
+        return self.deliver(origin, route.replace("%s", user, 1))

@@ -1,0 +1,161 @@
+"""Route optimization and header-rewriting policy.
+
+From INTEGRATING PATHALIAS WITH MAILERS:
+
+* "given a hideously long UUCP path ... should the mailer simply find a
+  route to the first site in the string, or should it search for the
+  rightmost host known to its database?"  — :class:`RouteOptimizer`
+  implements both, plus the safety valve: "Loop tests are a time-honored
+  UUCP tradition, and an overly-enthusiastic optimizer can eliminate
+  them altogether", so paths that return to the local host are left
+  alone, and optimization can be disabled outright.
+
+* The closing principles ("For message headers to be useful, they must
+  be accurate") become :class:`HeaderRewriter`, the policy object the
+  delivery simulator consults: relays do not modify routes; gateways
+  translate between addressing styles; a host must not emit a return
+  path it would reject.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AddressError, RouteError
+from repro.mailer.address import MailerStyle, parse_address
+from repro.mailer.routedb import RouteDatabase
+
+
+class OptimizeMode(enum.Enum):
+    OFF = "off"                # trust the user's explicit route
+    FIRST_HOP = "first-hop"    # route to the first named site
+    RIGHTMOST = "rightmost"    # re-route to the rightmost known host
+
+
+@dataclass(frozen=True)
+class OptimizedRoute:
+    address: str       # the address to hand to the transport
+    pivot: str | None  # database host the route was rebuilt around
+    savings: int       # user-specified hops eliminated
+
+
+class RouteOptimizer:
+    """Rewrite user-supplied bang paths against the route database."""
+
+    def __init__(self, db: RouteDatabase, localhost: str,
+                 mode: OptimizeMode = OptimizeMode.RIGHTMOST,
+                 preserve_loops: bool = True):
+        self.db = db
+        self.localhost = localhost
+        self.mode = mode
+        self.preserve_loops = preserve_loops
+
+    def optimize(self, address: str) -> OptimizedRoute:
+        """Optimize an explicitly routed address.
+
+        The address is interpreted route-first (the heuristic style);
+        pure ``user@host`` addresses are resolved through the database
+        directly.
+        """
+        parsed = parse_address(address, MailerStyle.HEURISTIC)
+        hops = list(parsed.hops)
+        if not hops:
+            raise AddressError(f"{address!r} names no relay")
+
+        if self.preserve_loops and self.localhost in hops:
+            # A loop test: the user wants the mail to come back.
+            return OptimizedRoute(address=address, pivot=None, savings=0)
+        if self.mode is OptimizeMode.OFF:
+            return OptimizedRoute(address=address, pivot=None, savings=0)
+
+        if self.mode is OptimizeMode.FIRST_HOP:
+            pivot_index = 0
+        else:
+            pivot_index = self._rightmost_known(hops)
+        pivot = hops[pivot_index]
+        remainder = hops[pivot_index + 1:]
+        tail = "!".join(remainder + [parsed.user])
+        resolution = self.db.resolve(pivot, tail)
+        return OptimizedRoute(address=resolution.address, pivot=pivot,
+                              savings=pivot_index)
+
+    def _rightmost_known(self, hops: list[str]) -> int:
+        for index in range(len(hops) - 1, -1, -1):
+            if hops[index] in self.db:
+                return index
+        raise RouteError(f"no host of {hops!r} is in the route database")
+
+
+@dataclass(frozen=True)
+class Header:
+    """The minimal header set the closing principles talk about."""
+
+    sender: str     # From: as currently written
+    recipient: str  # To: as currently written
+
+
+class HeaderRewriter:
+    """The paper's six principles, as a forwarding-time policy.
+
+    A *relay* (same network on both sides) must not modify routes nor
+    translate styles.  A *gateway* translates between addressing styles
+    when carrying mail across networks.  Any host prepending itself to a
+    return path must produce a path it would itself accept.
+    """
+
+    def __init__(self, host: str, style: MailerStyle,
+                 is_gateway: bool = False):
+        self.host = host
+        self.style = style
+        self.is_gateway = is_gateway
+
+    def extend_return_path(self, sender_path: str) -> str:
+        """Prepend this host to the return path, in its own syntax.
+
+        UUCP hosts write ``host!sender``; RFC822 hosts leave a
+        ``user@host``-style sender alone if it is already absolute and
+        otherwise must encapsulate — they use the %-hack form so the
+        result stays parseable by their own rules ("a host must not
+        generate a return path that would be rejected if used").
+        """
+        if self.style is MailerStyle.BANG_RIGID \
+                or self.style is MailerStyle.HEURISTIC:
+            return f"{self.host}!{sender_path}"
+        if "@" not in sender_path:
+            return f"{sender_path}@{self.host}"
+        local, _, final = sender_path.rpartition("@")
+        return f"{local}%{final}@{self.host}"
+
+    def forward_header(self, header: Header, rest: str) -> Header:
+        """Rewrite headers while forwarding ``rest`` to the next hop.
+
+        Relays pass the recipient through untouched (principle: "Relays
+        within a network should not modify routes, nor translate to
+        foreign addressing styles"); gateways may rewrite the remainder
+        into their outbound syntax.
+        """
+        recipient = rest
+        if self.is_gateway:
+            recipient = self.translate(rest)
+        return Header(sender=self.extend_return_path(header.sender),
+                      recipient=recipient)
+
+    def translate(self, address: str) -> str:
+        """Gateway translation between addressing styles.
+
+        A bang remainder crossing into RFC822 territory becomes
+        ``user%...@first`` (the accepted underground form); an RFC822
+        remainder crossing into UUCP becomes a bang path.
+        """
+        if self.style is MailerStyle.RFC822_RIGID and "!" in address:
+            hops_user = address.split("!")
+            user = hops_user[-1]
+            relays = hops_user[:-1]
+            first = relays[0]
+            inner = "%".join([user] + relays[:0:-1])
+            return f"{inner}@{first}"
+        if self.style is not MailerStyle.RFC822_RIGID and "@" in address:
+            local, _, host = address.rpartition("@")
+            return f"{host}!{local}"
+        return address

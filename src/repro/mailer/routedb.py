@@ -1,0 +1,166 @@
+"""The route database and the paper's domain lookup procedure.
+
+"Output from pathalias is a simple linear file, in the UNIX tradition.
+If desired, a separate program may be used to convert this file into a
+format appropriate for rapid database retrieval."
+
+Two access paths are provided:
+
+* :class:`RouteDatabase` — in-memory map with the *domain suffix search*
+  the paper specifies: to route to ``caip.rutgers.edu!pleasant``, search
+  ``caip.rutgers.edu``, then ``.rutgers.edu``, then ``.edu``; on a
+  domain match the format argument is the route relative to the gateway
+  (``caip.rutgers.edu!pleasant``), not just the user.
+* :class:`IndexedPathsFile` — the "separate program": a sorted paths
+  file searched by bisection, standing in for the dbm conversion
+  (experiment E12 measures lookups against a linear scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.printer import RouteTable
+from repro.errors import RouteError
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A successful lookup: which key matched and the final address."""
+
+    target: str      # what the mail was addressed to
+    matched: str     # database key that matched (host or domain)
+    route: str       # the printf-style route of the match
+    address: str     # fully instantiated address
+
+
+def domain_suffixes(name: str) -> list[str]:
+    """The search sequence: exact name, then each domain suffix.
+
+    >>> domain_suffixes("caip.rutgers.edu")
+    ['caip.rutgers.edu', '.rutgers.edu', '.edu']
+    """
+    out = [name]
+    start = 1 if name.startswith(".") else 0
+    rest = name[start:]
+    while "." in rest:
+        rest = rest.split(".", 1)[1]
+        out.append("." + rest)
+    return out
+
+
+class RouteDatabase:
+    """Name -> route map with the paper's domain fallback."""
+
+    def __init__(self, routes: dict[str, str]):
+        self._routes = dict(routes)
+
+    @classmethod
+    def from_table(cls, table: RouteTable) -> "RouteDatabase":
+        return cls({record.name: record.route for record in table})
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._routes
+
+    def route(self, name: str) -> str | None:
+        return self._routes.get(name)
+
+    def resolve(self, target: str, user: str) -> Resolution:
+        """Resolve mail for ``user`` at ``target``.
+
+        Exact host match: the argument is the user.  Domain match: the
+        argument is ``target!user`` — "a route relative to its gateway".
+        """
+        for key in domain_suffixes(target):
+            route = self._routes.get(key)
+            if route is None:
+                continue
+            if key == target:
+                argument = user
+            else:
+                argument = f"{target}!{user}"
+            return Resolution(target=target, matched=key, route=route,
+                              address=route.replace("%s", argument, 1))
+        raise RouteError(f"no route to {target!r}")
+
+    def resolve_bang(self, bang_address: str) -> Resolution:
+        """Resolve ``host!rest`` or plain ``host`` forms."""
+        if "!" in bang_address:
+            target, user = bang_address.split("!", 1)
+        else:
+            raise RouteError(
+                f"address {bang_address!r} names no user (expected "
+                f"target!user)")
+        return self.resolve(target, user)
+
+
+class IndexedPathsFile:
+    """A sorted on-disk paths file with bisection lookup.
+
+    Mimics the dbm post-processing step: the linear file is sorted once
+    (``build``), then lookups cost O(log n) line comparisons instead of
+    a linear scan.  Comparison counts are exposed for experiment E12.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._names: list[str] = []
+        self._routes: list[str] = []
+        self.comparisons = 0
+
+    @classmethod
+    def build(cls, table: RouteTable, path: str | Path) -> "IndexedPathsFile":
+        """Write the sorted paths file and return a ready index."""
+        records = sorted(table, key=lambda r: r.name)
+        text = "".join(f"{r.name}\t{r.route}\n" for r in records)
+        Path(path).write_text(text)
+        index = cls(path)
+        index.load()
+        return index
+
+    def load(self) -> None:
+        self._names = []
+        self._routes = []
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            name, _, route = line.partition("\t")
+            if not route:
+                raise RouteError(f"malformed paths line: {line!r}")
+            self._names.append(name)
+            self._routes.append(route)
+        if self._names != sorted(self._names):
+            raise RouteError(f"paths file {self.path} is not sorted")
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def lookup(self, name: str) -> str | None:
+        """Bisection search, counting comparisons."""
+        lo, hi = 0, len(self._names)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.comparisons += 1
+            if self._names[mid] < name:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self._names) and self._names[lo] == name:
+            return self._routes[lo]
+        return None
+
+    def lookup_linear(self, name: str) -> str | None:
+        """The unconverted linear-file scan, for comparison."""
+        for stored, route in zip(self._names, self._routes):
+            self.comparisons += 1
+            if stored == name:
+                return route
+        return None
+
+    def database(self) -> RouteDatabase:
+        """Lift the file into a :class:`RouteDatabase` (suffix search)."""
+        return RouteDatabase(dict(zip(self._names, self._routes)))

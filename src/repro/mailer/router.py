@@ -1,0 +1,123 @@
+"""The end-to-end mail router: database + optimizer + header policy.
+
+INTEGRATING PATHALIAS WITH MAILERS enumerates where the query can live
+(manual lookup, user agents, a separate program run by the delivery
+agent, or the delivery agent itself).  :class:`MailRouter` is that last,
+most capable option: given a recipient address it resolves a transport
+address, rewrites headers by the paper's principles, and can compute a
+*reply* address for received mail.
+
+It also reproduces the PERSPECTIVES hazard: a host running pathalias
+may abbreviate ``seismo!mcvax!piet`` to ``mcvax!piet`` in a Cc: header;
+downstream, that relative address silently rebinds to the sender's name
+space (``cbosgd!mcvax!piet``) — "this cannot be safely transformed
+without making assumptions about host name uniqueness."
+:meth:`MailRouter.abbreviate_cc` implements the abbreviation exactly so
+the hazard can be tested and demonstrated rather than just described.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RouteError
+from repro.mailer.address import MailerStyle, parse_address
+from repro.mailer.rewrite import (
+    HeaderRewriter,
+    OptimizeMode,
+    RouteOptimizer,
+)
+from repro.mailer.routedb import Resolution, RouteDatabase
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """What the transport needs: next-hop address plus headers."""
+
+    transport_address: str   # fully resolved, ready for the transport
+    from_header: str         # return path as it should appear
+    to_header: str           # recipient as it should appear
+
+
+class MailRouter:
+    """A delivery agent's routing brain for one host."""
+
+    def __init__(self, host: str, db: RouteDatabase,
+                 style: MailerStyle = MailerStyle.HEURISTIC,
+                 is_gateway: bool = False,
+                 optimize: OptimizeMode = OptimizeMode.RIGHTMOST,
+                 preserve_loops: bool = True):
+        self.host = host
+        self.db = db
+        self.style = style
+        self.rewriter = HeaderRewriter(host, style, is_gateway)
+        self.optimizer = RouteOptimizer(db, host, optimize,
+                                        preserve_loops)
+
+    # -- outbound ------------------------------------------------------------
+
+    def route(self, recipient: str, sender: str = "postmaster"
+              ) -> Envelope:
+        """Resolve a recipient into a transport-ready envelope.
+
+        Plain names resolve through the database (with domain-suffix
+        fallback); explicitly routed addresses go through the optimizer
+        (which preserves loop tests and honours the configured mode).
+        """
+        parsed = parse_address(recipient, self.style)
+        if not parsed.hops:
+            raise RouteError(
+                f"{recipient!r} names no host; local delivery")
+        if len(parsed.hops) == 1 and "!" not in recipient:
+            # user@host or bare host!user handled below; a single-hop
+            # @-form resolves straight through the database.
+            resolution = self.db.resolve(parsed.hops[0], parsed.user)
+            address = resolution.address
+        else:
+            address = self.optimizer.optimize(recipient).address
+        return Envelope(
+            transport_address=address,
+            from_header=self.rewriter.extend_return_path(sender),
+            to_header=recipient,
+        )
+
+    def resolve(self, target: str, user: str) -> Resolution:
+        """Direct database query (the 'manual querying' mode)."""
+        return self.db.resolve(target, user)
+
+    # -- inbound -------------------------------------------------------------
+
+    def reply_address(self, from_header: str) -> str:
+        """The address a reply to ``from_header`` should use.
+
+        A received return path is already relative to this host (each
+        relay prepended itself), so replying means routing to its first
+        hop — optionally re-optimized through the database.
+        """
+        parsed = parse_address(from_header, self.style)
+        if not parsed.hops:
+            return from_header  # local sender
+        try:
+            return self.optimizer.optimize(from_header).address
+        except RouteError:
+            # No hop is in our database: trust the explicit path.
+            return from_header
+
+    # -- the PERSPECTIVES hazard ----------------------------------------------
+
+    def abbreviate_cc(self, cc_path: str) -> str:
+        """What an over-eager pathalias site does to a Cc: header.
+
+        Given ``seismo!mcvax!piet`` where ``seismo`` is in our database,
+        emit the "optimized" relative form — dropping our own prefix
+        hops.  The result is shorter *from here*, but once forwarded it
+        rebinds relative to the next reader: the paper's
+        ``cbosgd!mcvax!piet`` corruption.  Provided for demonstration;
+        real deployments should heed the paper's principles instead.
+        """
+        parsed = parse_address(cc_path, MailerStyle.BANG_RIGID)
+        hops = list(parsed.hops)
+        # Drop leading hops we could reconstruct from our own database.
+        while len(hops) > 1 and hops[0] in self.db:
+            hops.pop(0)
+        return "!".join(hops + [parsed.user])

@@ -1,0 +1,55 @@
+"""Synthetic network maps: the stand-in for the 1986 UUCP map data.
+
+The paper quotes the input scale — "USENET maps contain over 5,700 nodes
+and 20,000 links, while ARPANET, CSNET, and BITNET add another 2,800
+nodes and 8,000 links" — and the structural features the algorithms
+exist for: sparse host connectivity, cliques (regional nets, ARPANET),
+domains with gateways, aliases, name collisions, passive polled sites.
+The generator reproduces those features at configurable scale, seeded
+and deterministic, emitting real map *text* so the whole pipeline
+(scanner included) is exercised.
+"""
+
+from repro.netsim.failures import (
+    FailureInjection,
+    SurvivalReport,
+    kill_links,
+    survival,
+)
+from repro.netsim.mapdiff import (
+    MapDiff,
+    RouteImpact,
+    diff_graphs,
+    diff_map_texts,
+    route_impact,
+    route_impact_for_source,
+)
+from repro.netsim.latency import (
+    LatencyModel,
+    LatencyResult,
+    link_period,
+    mean_latency,
+    simulate_route,
+)
+from repro.netsim.mapgen import GeneratedMap, MapParams, generate_map
+from repro.netsim.models import NameGenerator, link_cost_menu
+from repro.netsim.traffic import TrafficReport, analyze_routes
+from repro.netsim.workloads import (
+    DayReport,
+    Message,
+    WorkloadParams,
+    generate_workload,
+    run_day,
+)
+from repro.netsim.writer import render_declaration, render_file
+
+__all__ = ["LatencyModel", "LatencyResult", "link_period",
+           "mean_latency", "simulate_route",
+           "FailureInjection", "SurvivalReport", "kill_links",
+           "survival", "MapDiff", "RouteImpact", "diff_graphs",
+           "diff_map_texts", "route_impact", "route_impact_for_source",
+           "GeneratedMap", "MapParams", "generate_map", "NameGenerator",
+           "link_cost_menu", "TrafficReport", "analyze_routes",
+           "DayReport", "Message", "WorkloadParams",
+           "generate_workload", "run_day",
+           "render_declaration", "render_file"]

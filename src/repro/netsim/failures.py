@@ -1,0 +1,108 @@
+"""Link-failure injection: how brittle are precomputed routes?
+
+The paper's route optimizer discussion admits the failure mode: a
+committed route "can backfire if the user wants to use a circuitous
+route for some reason — say, to bypass a dead link."  Links died all
+the time (this is dial-up UUCP), and a site's paths file was only as
+good as the map issue it was built from.  This module injects failures
+into a built graph and measures how many precomputed routes survive —
+the workload for experiment E16 and for failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.printer import RouteTable
+from repro.graph.build import Graph
+from repro.graph.node import Link, LinkKind, Node
+from repro.mailer.address import MailerStyle, parse_address
+from repro.mailer.delivery import Network
+
+
+@dataclass
+class FailureInjection:
+    """A reversible set of killed links."""
+
+    killed: list[tuple[Node, Link]] = field(default_factory=list)
+
+    def restore(self) -> None:
+        """Put every killed link back (in original list positions we
+        do not guarantee; adjacency order only matters for ties in
+        fresh mapping runs, which callers re-do anyway)."""
+        for node, link in self.killed:
+            node.links.append(link)
+        self.killed.clear()
+
+
+def kill_links(graph: Graph, fraction: float, seed: int = 0,
+               kinds: tuple[LinkKind, ...] = (LinkKind.NORMAL,)
+               ) -> FailureInjection:
+    """Remove a random fraction of (real) links from the graph.
+
+    Returns the injection handle; call ``restore()`` to undo.
+    """
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    candidates: list[tuple[Node, Link]] = []
+    for node in graph.nodes:
+        if node.deleted:
+            continue
+        for link in node.links:
+            if link.kind in kinds:
+                candidates.append((node, link))
+    count = int(len(candidates) * fraction)
+    injection = FailureInjection()
+    for node, link in rng.sample(candidates, k=count):
+        node.links.remove(link)
+        injection.killed.append((node, link))
+    return injection
+
+
+@dataclass
+class SurvivalReport:
+    """Outcome of replaying a route table against a damaged network."""
+
+    survived: int = 0
+    broken: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.survived + len(self.broken)
+
+    @property
+    def survival_rate(self) -> float:
+        return self.survived / self.total if self.total else 1.0
+
+
+def survival(table: RouteTable, damaged: Graph,
+             origin: str) -> SurvivalReport:
+    """Walk each precomputed route over the damaged graph.
+
+    A route survives when every hop still has a usable link (or shared
+    network) in the damaged topology.  Mailer-style parsing is
+    heuristic (route-first) — the natural reading of pathalias output.
+    """
+    network = Network(damaged, default_style=MailerStyle.HEURISTIC)
+    report = SurvivalReport()
+    for record in table:
+        if record.node.netlike:
+            continue
+        address = record.route.replace("%s", "user", 1)
+        hops = list(parse_address(address, MailerStyle.HEURISTIC).hops)
+        current = origin
+        alive = True
+        for hop in hops:
+            resolved = network.resolve_name(hop)
+            if resolved is None or not network.can_send(current,
+                                                        resolved):
+                alive = False
+                break
+            current = resolved
+        if alive:
+            report.survived += 1
+        else:
+            report.broken.append(record.name)
+    return report

@@ -1,0 +1,148 @@
+"""Map-revision diffing: what changed between monthly map postings?
+
+"Thanks to the USENIX Association's UUCP-mapping project, the picture
+is much brighter today, with timely and accurate data widely available
+on USENET."  Timely data means *revisions*: sites tracked the monthly
+postings and wanted to know what changed — both in the topology and in
+the routes their own pathalias runs would now produce.  This module
+provides both: a structural diff of two map revisions, and a
+route-impact analysis (which destinations' routes or costs changed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapper import Mapper
+from repro.core.printer import RouteTable, print_routes
+from repro.config import HeuristicConfig
+from repro.graph.build import Graph, build_graph
+from repro.graph.node import LinkKind
+from repro.parser.grammar import parse_text
+
+
+@dataclass
+class MapDiff:
+    """Structural changes between two built graphs."""
+
+    hosts_added: list[str] = field(default_factory=list)
+    hosts_removed: list[str] = field(default_factory=list)
+    links_added: list[tuple[str, str]] = field(default_factory=list)
+    links_removed: list[tuple[str, str]] = field(default_factory=list)
+    cost_changes: list[tuple[str, str, int, int]] = \
+        field(default_factory=list)  # (from, to, old, new)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.hosts_added or self.hosts_removed
+                    or self.links_added or self.links_removed
+                    or self.cost_changes)
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return "no changes"
+        return (f"+{len(self.hosts_added)}/-{len(self.hosts_removed)} "
+                f"hosts, +{len(self.links_added)}/"
+                f"-{len(self.links_removed)} links, "
+                f"{len(self.cost_changes)} cost changes")
+
+
+def _link_costs(graph: Graph) -> dict[tuple[str, str], int]:
+    """NORMAL link costs keyed by (from, to); cheapest if parallel."""
+    out: dict[tuple[str, str], int] = {}
+    for node in graph.nodes:
+        if node.deleted or node.private:
+            continue
+        for link in node.links:
+            if link.kind is not LinkKind.NORMAL or link.to.deleted:
+                continue
+            key = (node.name, link.to.name)
+            cost = link.cost
+            if key not in out or cost < out[key]:
+                out[key] = cost
+    return out
+
+
+def diff_graphs(old: Graph, new: Graph) -> MapDiff:
+    """Structural diff over public hosts and NORMAL links."""
+    diff = MapDiff()
+    old_hosts = {n.name for n in old.nodes
+                 if not n.deleted and not n.private}
+    new_hosts = {n.name for n in new.nodes
+                 if not n.deleted and not n.private}
+    diff.hosts_added = sorted(new_hosts - old_hosts)
+    diff.hosts_removed = sorted(old_hosts - new_hosts)
+
+    old_links = _link_costs(old)
+    new_links = _link_costs(new)
+    diff.links_added = sorted(set(new_links) - set(old_links))
+    diff.links_removed = sorted(set(old_links) - set(new_links))
+    for key in sorted(set(old_links) & set(new_links)):
+        if old_links[key] != new_links[key]:
+            diff.cost_changes.append(
+                (key[0], key[1], old_links[key], new_links[key]))
+    return diff
+
+
+def diff_map_texts(old_files: list[tuple[str, str]],
+                   new_files: list[tuple[str, str]]) -> MapDiff:
+    """Convenience: parse, build, and diff two sets of map files."""
+    old = build_graph([(n, parse_text(t, n)) for n, t in old_files])
+    new = build_graph([(n, parse_text(t, n)) for n, t in new_files])
+    return diff_graphs(old, new)
+
+
+@dataclass
+class RouteImpact:
+    """How a map revision changed one source's routes."""
+
+    unchanged: int = 0
+    rerouted: list[str] = field(default_factory=list)   # route text changed
+    recosted: list[str] = field(default_factory=list)   # cost only
+    gained: list[str] = field(default_factory=list)     # newly reachable
+    lost: list[str] = field(default_factory=list)       # no longer routed
+
+    @property
+    def total(self) -> int:
+        return (self.unchanged + len(self.rerouted)
+                + len(self.recosted) + len(self.gained)
+                + len(self.lost))
+
+    def stability(self) -> float:
+        """Fraction of previously routed destinations left untouched."""
+        previous = self.unchanged + len(self.rerouted) \
+            + len(self.recosted) + len(self.lost)
+        return self.unchanged / previous if previous else 1.0
+
+
+def route_impact(old_table: RouteTable,
+                 new_table: RouteTable) -> RouteImpact:
+    """Compare two route tables for the same source."""
+    impact = RouteImpact()
+    old_names = {record.name: record for record in old_table}
+    new_names = {record.name: record for record in new_table}
+    for name, old_record in old_names.items():
+        new_record = new_names.get(name)
+        if new_record is None:
+            impact.lost.append(name)
+        elif new_record.route != old_record.route:
+            impact.rerouted.append(name)
+        elif new_record.cost != old_record.cost:
+            impact.recosted.append(name)
+        else:
+            impact.unchanged += 1
+    impact.gained = sorted(set(new_names) - set(old_names))
+    return impact
+
+
+def route_impact_for_source(old_files: list[tuple[str, str]],
+                            new_files: list[tuple[str, str]],
+                            source: str,
+                            heuristics: HeuristicConfig | None = None
+                            ) -> RouteImpact:
+    """End-to-end: route both revisions from ``source`` and compare."""
+    tables = []
+    for files in (old_files, new_files):
+        graph = build_graph([(n, parse_text(t, n)) for n, t in files])
+        tables.append(print_routes(Mapper(graph, heuristics).run(source)))
+    return route_impact(tables[0], tables[1])

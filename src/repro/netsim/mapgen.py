@@ -1,0 +1,273 @@
+"""Deterministic synthetic map generator.
+
+Produces multi-file map text with the structure the paper describes:
+
+* a small set of well-connected *backbone* hosts (the ihnp4/seismo class)
+  calling each other on demand or better;
+* *regions* of university/company hosts hanging off a backbone hub, each
+  region in its own map file (file boundaries matter: ``private``);
+* regional cliques declared as networks (the star representation);
+* an ARPANET-like gatewayed clique with a domain tree and a couple of
+  declared gateways, plus smaller CSNET/BITNET-like nets;
+* aliases, deliberate host-name collisions guarded by ``private``,
+  passive one-way leaves (route generated "by implication" via back
+  links), and the occasional dead link.
+
+Scale presets: ``MapParams.small()`` for tests,
+``MapParams.usenet_1986()`` matching the published numbers (~5,700
+USENET hosts / ~20,000 links, ~2,800 other-net hosts / ~8,000 links).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netsim.models import NameGenerator, pick_cost
+
+
+@dataclass
+class MapParams:
+    """Generator knobs; defaults give a small but featureful map."""
+
+    seed: int = 1986
+    backbone_size: int = 8
+    regions: int = 6
+    hosts_per_region: tuple[int, int] = (8, 16)
+    intra_region_links: float = 0.6   # extra links per regional host
+    long_haul_links: int = 10         # random region-to-region links
+    clique_fraction: float = 0.5      # regions that declare a local net
+    arpanet_members: int = 40
+    arpanet_gateways: int = 2
+    edu_subdomains: int = 3
+    hosts_per_subdomain: int = 4
+    csnet_members: int = 15
+    bitnet_members: int = 15
+    alias_fraction: float = 0.05
+    private_collisions: int = 2
+    oneway_leaves: int = 4
+    dead_links: int = 2
+
+    @classmethod
+    def small(cls, seed: int = 1986) -> "MapParams":
+        return cls(seed=seed)
+
+    @classmethod
+    def medium(cls, seed: int = 1986) -> "MapParams":
+        return cls(seed=seed, backbone_size=12, regions=25,
+                   hosts_per_region=(20, 40), long_haul_links=60,
+                   arpanet_members=200, csnet_members=60,
+                   bitnet_members=60, edu_subdomains=6,
+                   hosts_per_subdomain=8, oneway_leaves=20,
+                   private_collisions=6, dead_links=8)
+
+    @classmethod
+    def usenet_1986(cls, seed: int = 1986) -> "MapParams":
+        """The published scale: ~5,700 + ~2,800 nodes, ~28,000 links."""
+        return cls(seed=seed, backbone_size=20, regions=80,
+                   hosts_per_region=(55, 85), intra_region_links=0.9,
+                   long_haul_links=400, arpanet_members=2000,
+                   arpanet_gateways=4, edu_subdomains=12,
+                   hosts_per_subdomain=10, csnet_members=400,
+                   bitnet_members=400, alias_fraction=0.04,
+                   private_collisions=12, oneway_leaves=60,
+                   dead_links=20)
+
+
+@dataclass
+class GeneratedMap:
+    """The generator's output: map files plus ground truth for tests."""
+
+    files: list[tuple[str, str]]
+    localhost: str
+    backbone: list[str]
+    regional_hosts: list[str]
+    arpanet_members: list[str]
+    domain_hosts: dict[str, str]   # host -> fully qualified name
+    oneway_leaves: list[str]
+    aliases: dict[str, str]        # alias -> primary
+    private_names: list[str]
+    expected_hosts: int = 0
+    params: MapParams | None = None
+
+    def all_text(self) -> str:
+        """Every file concatenated (with ``file`` markers preserving
+        private scope), for single-string consumers."""
+        parts = []
+        for name, text in self.files:
+            parts.append(f'file "{name}"')
+            parts.append(text)
+        return "\n".join(parts)
+
+
+def generate_map(params: MapParams | None = None) -> GeneratedMap:
+    """Generate a deterministic synthetic map."""
+    params = params or MapParams()
+    rng = random.Random(params.seed)
+    names = NameGenerator(rng)
+    names.reserve("ARPA")
+
+    backbone = [names.host() for _ in range(params.backbone_size)]
+    result = GeneratedMap(files=[], localhost=backbone[0],
+                          backbone=backbone, regional_hosts=[],
+                          arpanet_members=[], domain_hosts={},
+                          oneway_leaves=[], aliases={}, private_names=[],
+                          params=params)
+
+    _backbone_file(params, rng, backbone, result)
+    for region in range(params.regions):
+        _region_file(params, rng, names, backbone, region, result)
+    _long_haul_file(params, rng, result)
+    _arpanet_file(params, rng, names, backbone, result)
+    result.expected_hosts = (len(backbone) + len(result.regional_hosts)
+                             + len(result.arpanet_members))
+    return result
+
+
+# -- file builders -----------------------------------------------------------
+
+
+def _backbone_file(params: MapParams, rng: random.Random,
+                   backbone: list[str], result: GeneratedMap) -> None:
+    lines = ["# backbone sites"]
+    for i, host in enumerate(backbone):
+        peers = []
+        for j, other in enumerate(backbone):
+            if i == j:
+                continue
+            # Dense but not complete: the backbone was well-connected,
+            # not a clique.
+            if (i + j) % 3 != 0 or abs(i - j) <= 2:
+                peers.append(f"{other}({pick_cost(rng, 'backbone')})")
+        lines.append(f"{host}\t" + ", ".join(peers))
+    result.files.append(("d.backbone", "\n".join(lines) + "\n"))
+
+
+def _region_file(params: MapParams, rng: random.Random,
+                 names: NameGenerator, backbone: list[str],
+                 region: int, result: GeneratedMap) -> None:
+    hub = backbone[region % len(backbone)]
+    count = rng.randint(*params.hosts_per_region)
+    hosts = [names.host() for _ in range(count)]
+    result.regional_hosts.extend(hosts)
+    lines = [f"# region {region}, hub {hub}"]
+
+    links: dict[str, list[str]] = {h: [] for h in hosts}
+    hub_links: list[str] = []
+    for host in hosts:
+        cost = pick_cost(rng, "regional")
+        links[host].append(f"{hub}({cost})")
+        hub_links.append(f"{host}({pick_cost(rng, 'regional')})")
+    # Extra intra-region links: sparse, preferential to earlier hosts.
+    extra = int(len(hosts) * params.intra_region_links)
+    for _ in range(extra):
+        a = rng.choice(hosts)
+        b = hosts[min(int(rng.random() ** 2 * len(hosts)),
+                      len(hosts) - 1)]
+        if a != b:
+            links[a].append(f"{b}({pick_cost(rng, 'leaf')})")
+            links[b].append(f"{a}({pick_cost(rng, 'leaf')})")
+
+    lines.append(f"{hub}\t" + ", ".join(hub_links))
+    for host in hosts:
+        lines.append(f"{host}\t" + ", ".join(links[host]))
+
+    # A regional clique for some regions.
+    if rng.random() < params.clique_fraction and len(hosts) >= 4:
+        members = rng.sample(hosts, k=min(5, len(hosts)))
+        lines.append(f"REGION{region}-net = "
+                     f"{{{', '.join(members)}}}(LOCAL)")
+
+    # Aliases.
+    for host in hosts:
+        if rng.random() < params.alias_fraction:
+            alias = names.host()
+            result.aliases[alias] = host
+            lines.append(f"{host} = {alias}")
+
+    # A deliberate name collision, declared private (the bilbo case).
+    if region < params.private_collisions:
+        collision = f"bilbo{region % 2}"  # collides across region files
+        lines.append(f"private {{{collision}}}")
+        lines.append(f"{collision}\t{hosts[0]}(DAILY)")
+        lines.append(f"{hosts[0]}\t{collision}(DAILY)")
+        result.private_names.append(collision)
+
+    # Passive leaves: declared with outbound links only; pathalias must
+    # invent the back link.
+    if region < params.oneway_leaves:
+        leaf = names.host()
+        result.oneway_leaves.append(leaf)
+        result.regional_hosts.append(leaf)
+        lines.append(f"{leaf}\t{hub}(POLLED)")
+
+    # Dead links.
+    if region < params.dead_links and len(hosts) >= 2:
+        lines.append(f"dead {{{hosts[0]}!{hosts[1]}}}")
+
+    result.files.append((f"d.region{region}", "\n".join(lines) + "\n"))
+
+
+def _long_haul_file(params: MapParams, rng: random.Random,
+                    result: GeneratedMap) -> None:
+    """Random region-to-region links: autodialer sites that call far
+    afield, the ones that kept the graph from being a pure tree."""
+    # Passive leaves must stay one-way (their routes are generated by
+    # implication), so they take no long-haul calls.
+    eligible = [h for h in result.regional_hosts
+                if h not in set(result.oneway_leaves)]
+    if params.long_haul_links <= 0 or len(eligible) < 2:
+        return
+    lines = ["# long-haul links between regions (autodialer sites)"]
+    for _ in range(params.long_haul_links):
+        a, b = rng.sample(eligible, k=2)
+        cost = pick_cost(rng, "regional")
+        lines.append(f"{a}\t{b}({cost})")
+        lines.append(f"{b}\t{a}({cost})")
+    result.files.append(("d.longhaul", "\n".join(lines) + "\n"))
+
+
+def _arpanet_file(params: MapParams, rng: random.Random,
+                  names: NameGenerator, backbone: list[str],
+                  result: GeneratedMap) -> None:
+    lines = ["# the ARPANET, CSNET and BITNET, with gateways and domains"]
+    members = [names.host() for _ in range(params.arpanet_members)]
+    result.arpanet_members.extend(members)
+    lines.append("gatewayed {ARPA, CSNET, BITNET}")
+    lines.append(f"ARPA = @{{{', '.join(members)}}}(DEDICATED)")
+    gateways = rng.sample(backbone, k=params.arpanet_gateways)
+    for gw in gateways:
+        lines.append(f"{gw}\tARPA(DEDICATED)")
+        # Gateways are on the net too: mail can leave through them.
+        lines.append(f"{members[0]}\t{gw}(DEDICATED)")
+
+    # CSNET / BITNET: smaller gatewayed nets sharing some members.
+    csnet = [names.host() for _ in range(params.csnet_members)]
+    bitnet = [names.host() for _ in range(params.bitnet_members)]
+    result.arpanet_members.extend(csnet)
+    result.arpanet_members.extend(bitnet)
+    if csnet:
+        lines.append(f"CSNET = @{{{', '.join(csnet)}}}(DEMAND)")
+        lines.append(f"{gateways[0]}\tCSNET(DEMAND)")
+    if bitnet:
+        lines.append(f"BITNET = {{{', '.join(bitnet)}}}(EVENING)")
+        lines.append(f"{gateways[-1]}\tBITNET(EVENING)")
+
+    # The domain tree: .edu with subdomains, gatewayed from a backbone
+    # host (the seismo role).
+    seismo = gateways[0]
+    lines.append(f"{seismo}\t.edu(DEDICATED)")
+    subdomain_names = []
+    for index in range(params.edu_subdomains):
+        sub = f".u{index:02d}"
+        subdomain_names.append(sub)
+        campus = [names.host() for _ in range(params.hosts_per_subdomain)]
+        result.arpanet_members.extend(campus)
+        lines.append(f"{sub} = {{{', '.join(campus)}}}")
+        for host in campus:
+            result.domain_hosts[host] = f"{host}{sub}.edu"
+        # Campus hosts are ARPANET members too (multi-homed).
+        lines.append(f"ARPA = @{{{', '.join(campus)}}}(DEDICATED)")
+    lines.append(f".edu = {{{', '.join(subdomain_names)}}}")
+
+    result.files.append(("d.othernets", "\n".join(lines) + "\n"))

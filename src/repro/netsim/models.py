@@ -1,0 +1,88 @@
+"""Building blocks for synthetic maps: names and cost distributions.
+
+Host names are pronounceable consonant-vowel coinages in the style of the
+era (ihnp4, seismo, mcvax...).  Link costs are drawn from the paper's
+symbolic grades with weights reflecting the prose: backbone sites call
+on demand or better; universities poll daily in the evening; leaves get
+whatever their administrator could afford.
+"""
+
+from __future__ import annotations
+
+import random
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+#: (symbolic cost expression, weight) per site class.
+_BACKBONE_COSTS = [("DEDICATED", 2), ("DIRECT", 3), ("DEMAND", 5),
+                   ("HOURLY", 2)]
+_REGIONAL_COSTS = [("DEMAND", 1), ("HOURLY", 4), ("HOURLY*2", 2),
+                   ("EVENING", 3), ("DAILY", 2)]
+_LEAF_COSTS = [("EVENING", 2), ("DAILY", 4), ("DAILY/2", 1),
+               ("POLLED", 3), ("WEEKLY", 1)]
+
+
+def link_cost_menu(site_class: str) -> list[tuple[str, int]]:
+    """The weighted cost menu for a site class
+    (``backbone``/``regional``/``leaf``)."""
+    if site_class == "backbone":
+        return list(_BACKBONE_COSTS)
+    if site_class == "regional":
+        return list(_REGIONAL_COSTS)
+    if site_class == "leaf":
+        return list(_LEAF_COSTS)
+    raise ValueError(f"unknown site class {site_class!r}")
+
+
+def pick_cost(rng: random.Random, site_class: str) -> str:
+    menu = link_cost_menu(site_class)
+    total = sum(weight for _, weight in menu)
+    roll = rng.randrange(total)
+    for expr, weight in menu:
+        roll -= weight
+        if roll < 0:
+            return expr
+    return menu[-1][0]  # pragma: no cover - arithmetic guarantees hit
+
+
+class NameGenerator:
+    """Deterministic unique host names."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        # Statement keywords are not usable as host names.
+        self.used: set[str] = {"private", "dead", "adjust", "delete",
+                               "file", "gatewayed"}
+
+    def host(self, syllables: int = 2) -> str:
+        """A fresh pronounceable host name."""
+        for _ in range(100):
+            name = self._coin(syllables)
+            if name not in self.used:
+                self.used.add(name)
+                return name
+        # Exhausted the syllable space: disambiguate numerically, the
+        # way real admins did (ihnp1, ihnp3, ihnp4...).
+        base = self._coin(syllables)
+        counter = 2
+        while f"{base}{counter}" in self.used:
+            counter += 1
+        name = f"{base}{counter}"
+        self.used.add(name)
+        return name
+
+    def reserve(self, name: str) -> None:
+        self.used.add(name)
+
+    def _coin(self, syllables: int) -> str:
+        rng = self.rng
+        parts = []
+        for _ in range(syllables):
+            parts.append(rng.choice(_CONSONANTS))
+            parts.append(rng.choice(_VOWELS))
+        if rng.random() < 0.4:
+            parts.append(rng.choice(_CONSONANTS))
+        if rng.random() < 0.15:
+            parts.append("vax")
+        return "".join(parts)

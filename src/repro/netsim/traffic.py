@@ -1,0 +1,81 @@
+"""Traffic analysis: who carries the mail?
+
+The paper's cost metric is explicitly about load politics: bad data
+"tended to understate the connectivity of the network, putting more
+load on co-operative sites", and the symbolic values were tuned until
+"the paths produced were reasonable".  This module measures the load a
+route table implies — how many routes relay through each host — so the
+cost-metric ablation (experiment E13) can quantify what the tuning
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.printer import RouteTable
+from repro.mailer.address import MailerStyle, parse_address
+
+
+@dataclass
+class TrafficReport:
+    """Relay-load statistics for one route table."""
+
+    relay_counts: dict[str, int] = field(default_factory=dict)
+    total_routes: int = 0
+    total_hops: int = 0
+
+    @property
+    def mean_hops(self) -> float:
+        """Average relay count per route (0 = direct delivery)."""
+        if not self.total_routes:
+            return 0.0
+        return self.total_hops / self.total_routes
+
+    @property
+    def max_load(self) -> int:
+        return max(self.relay_counts.values(), default=0)
+
+    def top_relays(self, count: int = 10) -> list[tuple[str, int]]:
+        ranked = sorted(self.relay_counts.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+    def concentration(self) -> float:
+        """Fraction of all relay work done by the busiest host — the
+        'load on co-operative sites' number."""
+        if not self.total_hops:
+            return 0.0
+        return self.max_load / self.total_hops
+
+
+def analyze_routes(table: RouteTable) -> TrafficReport:
+    """Assume one message per route table entry; count relay work.
+
+    Each route's format string is instantiated and parsed route-first;
+    every hop except the final destination counts as relay load on that
+    host.
+    """
+    report = TrafficReport()
+    for record in table:
+        if record.node.netlike:
+            continue
+        address = record.route.replace("%s", "user", 1)
+        parsed = parse_address(address, MailerStyle.HEURISTIC)
+        hops = list(parsed.hops)
+        report.total_routes += 1
+        report.total_hops += max(0, len(hops) - 1)
+        for relay in hops[:-1]:  # the last hop is the destination
+            report.relay_counts[relay] = \
+                report.relay_counts.get(relay, 0) + 1
+    return report
+
+
+def compare_cost_tables(mean_hops_a: float, mean_hops_b: float,
+                        label_a: str, label_b: str) -> str:
+    """One-line verdict used by the ablation bench's report."""
+    if mean_hops_a == mean_hops_b:
+        return f"{label_a} and {label_b} give identical path lengths"
+    shorter = label_a if mean_hops_a < mean_hops_b else label_b
+    return (f"{shorter} keeps paths shorter "
+            f"({mean_hops_a:.2f} vs {mean_hops_b:.2f} mean relays)")

@@ -1,0 +1,92 @@
+"""Render declarations back to map-file text.
+
+Used two ways: the map generator emits realistic text (long link lists
+wrapped with continuation lines, the classic layout), and property tests
+round-trip ``declarations -> text -> parser -> declarations`` to pin the
+grammar and both scanners.
+"""
+
+from __future__ import annotations
+
+from repro.parser.ast import (
+    AdjustDecl,
+    AliasDecl,
+    DeadDecl,
+    Declaration,
+    DeleteDecl,
+    Direction,
+    FileDecl,
+    GatewayedDecl,
+    HostDecl,
+    LinkSpec,
+    NetDecl,
+    PrivateDecl,
+)
+
+#: Wrap link lists near the classic 78-column terminal width.
+WRAP_COLUMN = 76
+
+
+def _render_link(spec: LinkSpec) -> str:
+    cost = "" if spec.cost is None else f"({spec.cost})"
+    if spec.op == "!" and spec.direction is Direction.LEFT:
+        return f"{spec.name}{cost}"  # the default syntax is implied
+    if spec.direction is Direction.RIGHT:
+        return f"{spec.op}{spec.name}{cost}"
+    return f"{spec.name}{spec.op}{cost}"
+
+
+def _wrap(head: str, items: list[str]) -> str:
+    """Classic map layout: items comma-joined, continuation indented."""
+    lines = []
+    current = head
+    for index, item in enumerate(items):
+        piece = item if index == 0 else f", {item}"
+        if len(current) + len(piece) > WRAP_COLUMN and index > 0:
+            lines.append(current + ",")
+            current = "\t" + item
+        else:
+            current += piece
+    lines.append(current)
+    return "\n".join(lines)
+
+
+def render_declaration(decl: Declaration) -> str:
+    """One declaration as map text (no trailing newline)."""
+    if isinstance(decl, HostDecl):
+        return _wrap(f"{decl.name}\t", [_render_link(s) for s in decl.links])
+    if isinstance(decl, NetDecl):
+        cost = "" if decl.cost is None else f"({decl.cost})"
+        members = ", ".join(decl.members)
+        if decl.direction is Direction.RIGHT:
+            return f"{decl.name} = {decl.op}{{{members}}}{cost}"
+        if decl.op == "!":
+            return f"{decl.name} = {{{members}}}{cost}"
+        return f"{decl.name} = {{{members}}}{decl.op}{cost}"
+    if isinstance(decl, AliasDecl):
+        return f"{decl.name} = {', '.join(decl.aliases)}"
+    if isinstance(decl, PrivateDecl):
+        return f"private {{{', '.join(decl.names)}}}"
+    if isinstance(decl, GatewayedDecl):
+        return f"gatewayed {{{', '.join(decl.names)}}}"
+    if isinstance(decl, FileDecl):
+        return f'file "{decl.name}"'
+    if isinstance(decl, DeadDecl):
+        items = list(decl.hosts) + [f"{a}!{b}" for a, b in decl.links]
+        return f"dead {{{', '.join(items)}}}"
+    if isinstance(decl, DeleteDecl):
+        items = list(decl.hosts) + [f"{a}!{b}" for a, b in decl.links]
+        return f"delete {{{', '.join(items)}}}"
+    if isinstance(decl, AdjustDecl):
+        items = [f"{name}({amount})" for name, amount in decl.adjustments]
+        return f"adjust {{{', '.join(items)}}}"
+    raise TypeError(f"cannot render {decl!r}")
+
+
+def render_file(decls: list[Declaration], banner: str = "") -> str:
+    """A whole map file, optionally with a comment banner."""
+    parts = []
+    if banner:
+        parts.extend(f"# {line}" for line in banner.splitlines())
+    parts.extend(render_declaration(d) for d in decls)
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,36 @@
+"""Input-language front end: scanner(s), cost expressions, grammar, AST.
+
+The paper's PARSING section: yacc drove the grammar, but lex was dropped
+("half the run time was spent in the scanner") for a hand-built scanner
+that "cut the overall run time by 40%".  We keep both scanners —
+:mod:`repro.parser.scanner` (hand-rolled) and :mod:`repro.parser.lexgen`
+(a table-driven DFA interpreter standing in for lex) — produce identical
+token streams, and benchmark them against each other (experiment E3).
+"""
+
+from repro.parser.ast import (
+    AdjustDecl,
+    AliasDecl,
+    DeadDecl,
+    Declaration,
+    DeleteDecl,
+    Direction,
+    FileDecl,
+    GatewayedDecl,
+    HostDecl,
+    LinkSpec,
+    NetDecl,
+    PrivateDecl,
+)
+from repro.parser.costexpr import evaluate_cost
+from repro.parser.grammar import Parser, parse_text
+from repro.parser.lexgen import LexScanner
+from repro.parser.scanner import Scanner
+from repro.parser.tokens import Token, TokenKind
+
+__all__ = [
+    "AdjustDecl", "AliasDecl", "DeadDecl", "Declaration", "DeleteDecl",
+    "Direction", "FileDecl", "GatewayedDecl", "HostDecl", "LinkSpec",
+    "NetDecl", "PrivateDecl", "evaluate_cost", "Parser", "parse_text",
+    "LexScanner", "Scanner", "Token", "TokenKind",
+]

@@ -1,0 +1,127 @@
+"""Cost-expression evaluation.
+
+"Costs can be expressed as arbitrary arithmetic expressions, mixing
+numbers and symbolic values.  For example, HOURLY*3 describes a
+connection that is completed once every three hours."
+
+Grammar (over the shared token stream):
+
+    expr   := term { (+|-) term }
+    term   := factor { (*|/) factor }
+    factor := NUMBER | NAME | ( expr ) | - factor
+
+Semantics follow the C original: integer arithmetic, division truncating
+toward zero (``DAILY/2`` is 2500), symbols resolved from the paper's
+table (:data:`repro.config.COST_SYMBOLS`).  The *final* value of a link
+cost must be non-negative (edge weights are non-negative by the model);
+intermediate values may dip negative (``HIGH`` is -5).
+"""
+
+from __future__ import annotations
+
+from repro.config import COST_SYMBOLS
+from repro.errors import CostExpressionError
+from repro.parser.tokens import Token, TokenKind
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style integer division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+class CostExpression:
+    """Recursive-descent evaluator over a token slice.
+
+    Used by the grammar for the parenthesized cost of a link; the slice
+    it consumes ends at the matching RPAREN (exclusive).
+    """
+
+    def __init__(self, tokens: list[Token], pos: int,
+                 filename: str = "<stdin>",
+                 symbols: dict[str, int] | None = None):
+        self.tokens = tokens
+        self.pos = pos
+        self.filename = filename
+        self.symbols = COST_SYMBOLS if symbols is None else symbols
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def _error(self, message: str) -> CostExpressionError:
+        tok = self._peek()
+        return CostExpressionError(message, self.filename, tok.line)
+
+    def parse(self) -> int:
+        """Evaluate one expression; leaves ``pos`` after its last token."""
+        return self._expr()
+
+    def _expr(self) -> int:
+        value = self._term()
+        while self._peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self._advance().kind
+            rhs = self._term()
+            value = value + rhs if op is TokenKind.PLUS else value - rhs
+        return value
+
+    def _term(self) -> int:
+        value = self._factor()
+        while self._peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self._advance().kind
+            rhs = self._factor()
+            if op is TokenKind.STAR:
+                value *= rhs
+            else:
+                if rhs == 0:
+                    raise self._error("division by zero in cost expression")
+                value = _c_div(value, rhs)
+        return value
+
+    def _factor(self) -> int:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            return tok.value
+        if tok.kind is TokenKind.NAME:
+            self._advance()
+            if tok.text not in self.symbols:
+                raise CostExpressionError(
+                    f"unknown cost symbol {tok.text!r}",
+                    self.filename, tok.line)
+            return self.symbols[tok.text]
+        if tok.kind is TokenKind.MINUS:
+            self._advance()
+            return -self._factor()
+        if tok.kind is TokenKind.LPAREN:
+            self._advance()
+            value = self._expr()
+            if self._peek().kind is not TokenKind.RPAREN:
+                raise self._error("expected ')' in cost expression")
+            self._advance()
+            return value
+        raise self._error(f"unexpected {tok.kind.value!r} in cost expression")
+
+
+def evaluate_cost(text: str, symbols: dict[str, int] | None = None) -> int:
+    """Evaluate a stand-alone cost expression string, e.g. ``"HOURLY*3"``.
+
+    The text is wrapped in parentheses so the scanner applies
+    cost-context rules (``-`` as an operator, digits as numbers).
+    """
+    from repro.parser.scanner import Scanner
+
+    tokens = Scanner(f"({text})").tokens()
+    # Position 1: skip the wrapping LPAREN.
+    evaluator = CostExpression(tokens, 1, symbols=symbols)
+    value = evaluator.parse()
+    tok = evaluator.tokens[evaluator.pos]
+    if tok.kind is not TokenKind.RPAREN:
+        raise CostExpressionError(
+            f"trailing junk in cost expression: {tok.text!r}",
+            "<expr>", tok.line)
+    return value

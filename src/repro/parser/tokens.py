@@ -1,0 +1,74 @@
+"""Token definitions shared by both scanners.
+
+The input language is line-oriented: a statement ends at a newline unless
+the next line begins with whitespace (classic UUCP-map continuation) or
+the line ends with a backslash.  Comments run from ``#`` to end of line.
+
+Host names may contain letters, digits and ``. - _ +`` and may begin with
+``.`` (a domain).  Inside parentheses — cost-expression context — ``+``
+and ``-`` become operators instead of name characters; this is how
+``HOURLY-5`` stays an expression while ``UNC-dwarf`` stays a name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"
+    NUMBER = "number"
+    STRING = "string"
+    COMMA = ","
+    EQUALS = "="
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    OP = "op"          # routing operator character: ! @ : %
+    NEWLINE = "eol"    # statement boundary
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source coordinates for diagnostics."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    value: int = 0  # numeric payload for NUMBER tokens
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+
+
+#: Characters legal in a host name outside cost context.
+NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-+")
+
+#: Characters legal in a name inside cost context (no arithmetic chars).
+COST_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._")
+
+#: Single-character tokens valid in either context.
+SINGLE_CHAR = {
+    ",": TokenKind.COMMA,
+    "=": TokenKind.EQUALS,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+}
+
+#: Routing operator characters (position decides LEFT/RIGHT).
+OP_CHARS = frozenset("!@:%")
+
+DIGITS = frozenset("0123456789")

@@ -1,0 +1,142 @@
+"""Address-parsing tests across the three mailer behaviours."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mailer.address import MailerStyle, next_hop, parse_address
+
+BANG = MailerStyle.BANG_RIGID
+RFC = MailerStyle.RFC822_RIGID
+HEUR = MailerStyle.HEURISTIC
+
+
+class TestBangRigid:
+    def test_simple_path(self):
+        assert next_hop("hosta!hostb!user", BANG) == \
+            ("hosta", "hostb!user")
+
+    def test_local_user(self):
+        assert next_hop("user", BANG) == (None, "user")
+
+    def test_at_is_just_text(self):
+        """The rigid UUCP mailer treats user@host as a local name."""
+        assert next_hop("user@host", BANG) == (None, "user@host")
+
+    def test_full_parse(self):
+        parsed = parse_address("a!b!c!user", BANG)
+        assert parsed.hops == ("a", "b", "c")
+        assert parsed.user == "user"
+
+    def test_mixed_trailing_at(self):
+        parsed = parse_address("a!b!user@arpa", BANG)
+        assert parsed.hops == ("a", "b")
+        assert parsed.user == "user@arpa"  # delivered literally
+
+    def test_empty_component_rejected(self):
+        # The empty hop surfaces when the relay tries to forward "!b".
+        with pytest.raises(AddressError):
+            parse_address("a!!b", BANG)
+        with pytest.raises(AddressError):
+            next_hop("!a", BANG)
+
+
+class TestRfc822Rigid:
+    def test_simple(self):
+        assert next_hop("user@host", RFC) == ("host", "user")
+
+    def test_rightmost_at_wins(self):
+        assert next_hop("user@one@two", RFC) == ("two", "user@one")
+
+    def test_bang_is_local_text(self):
+        """The rigid RFC822 mailer sends a!user@c to c."""
+        assert next_hop("a!user@c", RFC) == ("c", "a!user")
+
+    def test_source_route(self):
+        """The 'clumsy' explicit-routing syntax RFC822 provides."""
+        assert next_hop("@a,@b:user@c", RFC) == ("a", "@b:user@c")
+        parsed = parse_address("@a,@b:user@c", RFC)
+        assert parsed.hops == ("a", "b", "c")
+        assert parsed.user == "user"
+
+    def test_percent_hack(self):
+        """user%host@relay: legal, yet 'neither the ARPANET goal of pure
+        absolute addressing, nor the UUCP virtue of consistent
+        syntax'."""
+        assert next_hop("user%final@relay", RFC) == \
+            ("relay", "user%final")
+        parsed = parse_address("user%final@relay", RFC)
+        assert parsed.hops == ("relay", "final")
+        assert parsed.user == "user"
+
+    def test_chained_percent(self):
+        parsed = parse_address("u%h3%h2@h1", RFC)
+        assert parsed.hops == ("h1", "h2", "h3")
+        assert parsed.user == "u"
+
+    def test_local(self):
+        assert next_hop("postel", RFC) == (None, "postel")
+
+
+class TestHeuristic:
+    def test_bang_before_at_routes_first(self):
+        """seismo!f.isi.usc.edu!postel-style routing: the bang path is
+        outermost."""
+        assert next_hop("a!b!user@c", HEUR) == ("a", "b!user@c")
+
+    def test_pure_rfc(self):
+        assert next_hop("user@host", HEUR) == ("host", "user")
+
+    def test_at_before_bang_is_rfc_outermost(self):
+        # The last '@' precedes the first '!': RFC822 rules apply, and
+        # the 'host' (gw!x) is nonsense — exactly the consistent wrong
+        # choice rigid parsing makes on such addresses.
+        assert next_hop("user@gw!x", HEUR) == ("gw!x", "user")
+
+    def test_full_parse_mixed(self):
+        parsed = parse_address("seismo!mcvax!piet", HEUR)
+        assert parsed.hops == ("seismo", "mcvax")
+        assert parsed.user == "piet"
+
+    def test_domain_route(self):
+        parsed = parse_address("seismo!caip.rutgers.edu!pleasant", HEUR)
+        assert parsed.hops == ("seismo", "caip.rutgers.edu")
+        assert parsed.user == "pleasant"
+
+    def test_as_bang_path_roundtrip(self):
+        parsed = parse_address("a!b!user", HEUR)
+        assert parsed.as_bang_path() == "a!b!user"
+
+
+class TestDivergence:
+    """The point of E10: the same address routes differently per style."""
+
+    def test_mixed_address_diverges(self):
+        address = "a!user@c"
+        assert next_hop(address, BANG)[0] == "a"
+        assert next_hop(address, RFC)[0] == "c"
+        assert next_hop(address, HEUR)[0] == "a"
+
+    def test_trailing_at_consistent_until_last_hop(self):
+        """a!b!user@c: every bang-rigid relay agrees until the remainder
+        is user@c, where only @-capable hosts finish the job."""
+        address = "a!b!user@c"
+        host, rest = next_hop(address, BANG)
+        assert (host, rest) == ("a", "b!user@c")
+        host, rest = next_hop(rest, BANG)
+        assert (host, rest) == ("b", "user@c")
+        assert next_hop("user@c", BANG) == (None, "user@c")  # stuck!
+        assert next_hop("user@c", RFC) == ("c", "user")      # delivered
+
+
+class TestErrors:
+    def test_empty_address(self):
+        with pytest.raises(AddressError):
+            next_hop("", BANG)
+
+    def test_bad_source_route(self):
+        with pytest.raises(AddressError):
+            next_hop("@a,@b", RFC)
+
+    def test_unbounded_recursion_guard(self):
+        with pytest.raises(AddressError):
+            parse_address("!".join(["h"] * 300) + "!u", BANG)

@@ -1,0 +1,87 @@
+"""Unit tests for the buffered-sbrk arena allocator simulator."""
+
+import pytest
+
+from repro.adt.arena import ALIGN, ArenaAllocator, SEGMENT_SIZE
+from repro.adt.trace import pathalias_trace
+
+
+class TestAlloc:
+    def test_first_alloc_acquires_segment(self):
+        arena = ArenaAllocator()
+        arena.alloc(0, 100)
+        assert arena.stats.segments == 1
+        assert arena.stats.system_bytes == SEGMENT_SIZE
+
+    def test_bump_within_segment(self):
+        arena = ArenaAllocator()
+        for block in range(10):
+            arena.alloc(block, 64)
+        assert arena.stats.segments == 1
+
+    def test_oversized_allocation_gets_own_segment(self):
+        arena = ArenaAllocator(segment_size=256)
+        arena.alloc(0, 10_000)
+        assert arena.stats.system_bytes >= 10_000
+
+    def test_alignment_waste_tracked(self):
+        arena = ArenaAllocator()
+        arena.alloc(0, ALIGN + 1)  # rounds up to 2*ALIGN
+        assert arena.stats.wasted_bytes == ALIGN - 1
+
+    def test_zero_size_rejected(self):
+        arena = ArenaAllocator()
+        with pytest.raises(ValueError):
+            arena.alloc(0, 0)
+
+    def test_tiny_segment_rejected(self):
+        with pytest.raises(ValueError):
+            ArenaAllocator(segment_size=1)
+
+
+class TestFree:
+    def test_free_is_noop_for_space(self):
+        arena = ArenaAllocator()
+        arena.alloc(0, 100)
+        before = arena.stats.system_bytes
+        arena.free(0)
+        arena.alloc(1, 100)
+        assert arena.stats.system_bytes == before  # same segment reused
+
+    def test_free_costs_constant_step(self):
+        arena = ArenaAllocator()
+        arena.alloc(0, 8)
+        steps = arena.stats.steps
+        arena.free(0)
+        assert arena.stats.steps == steps + 1
+
+
+class TestDonation:
+    def test_donated_segment_used_before_sbrk(self):
+        arena = ArenaAllocator(segment_size=128)
+        arena.donate(4096)
+        arena.alloc(0, 64)
+        assert arena.stats.donations == 1
+        assert arena.stats.system_bytes == 0
+
+
+class TestTraceReplay:
+    def test_run_full_trace(self):
+        trace = pathalias_trace(nodes=200, links=600, seed=1)
+        trace.validate()
+        stats = ArenaAllocator().run(trace)
+        assert stats.allocated_bytes == trace.total_allocated()
+        assert stats.system_bytes >= trace.live_bytes_peak()
+
+    def test_space_overhead_reasonable_on_parse_pattern(self):
+        """The winning property: on the parse-heavy/free-late pattern the
+        arena's system footprint stays close to useful bytes."""
+        trace = pathalias_trace(nodes=500, links=1500, seed=2)
+        stats = ArenaAllocator().run(trace)
+        assert stats.space_overhead < 1.5
+
+    def test_stats_steps_linear_in_operations(self):
+        trace = pathalias_trace(nodes=100, links=300, seed=3)
+        stats = ArenaAllocator().run(trace)
+        # Bump allocation: a small constant per event.
+        assert stats.steps < 5 * len(trace)

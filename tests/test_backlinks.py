@@ -1,0 +1,67 @@
+"""Back-link inference tests (Back links section)."""
+
+from repro.config import HeuristicConfig
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.graph.node import LinkKind
+from repro.parser.grammar import parse_text
+
+
+def run(text: str, source: str, **cfg):
+    graph = build_graph([("d.map", parse_text(text))])
+    return Mapper(graph, HeuristicConfig(**cfg)).run(source)
+
+
+class TestInference:
+    def test_passive_site_reached_by_implication(self):
+        """A site that only declares its outbound poll becomes reachable
+        through an invented reverse link."""
+        result = run("hub world(10)\nleaf hub(5000)", "hub")
+        assert result.cost("leaf") == 5000
+        assert result.stats.inferred_links == 1
+
+    def test_inferred_link_flagged(self):
+        result = run("hub world(10)\nleaf hub(5000)", "hub")
+        (owner, link), = result.inferred
+        assert owner.name == "hub"
+        assert link.to.name == "leaf"
+        assert link.kind is LinkKind.INFERRED
+
+    def test_back_link_reuses_forward_cost(self):
+        result = run("hub x(1)\nleaf hub(750)", "hub")
+        assert result.cost("leaf") == 750
+
+    def test_back_link_factor(self):
+        result = run("hub x(1)\nleaf hub(750)", "hub",
+                     back_link_factor=3)
+        assert result.cost("leaf") == 2250
+
+    def test_chain_of_passive_sites(self):
+        """Inference iterates: a leaf hanging off another leaf needs a
+        second round."""
+        result = run("hub x(1)\nleaf1 hub(100)\nleaf2 leaf1(100)", "hub")
+        assert result.cost("leaf1") == 100
+        assert result.cost("leaf2") == 200
+        assert result.stats.back_link_rounds >= 2
+
+    def test_disabled_leaves_unreachable(self):
+        result = run("hub x(1)\nleaf hub(100)", "hub",
+                     infer_back_links=False)
+        assert result.cost("leaf") is None
+        assert "leaf" in {n.name for n in result.unreachable()}
+
+    def test_truly_isolated_host_stays_unreachable(self):
+        """No outbound connections: nothing to infer from."""
+        result = run("hub x(1)\nlonely nowhere(10)", "hub")
+        assert result.cost("lonely") is None
+        assert result.cost("nowhere") is None
+
+    def test_cheaper_direct_path_preferred_over_inferred(self):
+        result = run("hub leaf(10)\nleaf hub(5000)", "hub")
+        assert result.cost("leaf") == 10
+        assert result.stats.inferred_links == 0
+
+    def test_operator_copied_from_forward_link(self):
+        result = run("hub x(1)\nleaf @hub(100)", "hub")
+        (_, link), = result.inferred
+        assert link.op == "@"

@@ -1,0 +1,117 @@
+"""Batch-precomputation tests."""
+
+import pytest
+
+from repro.config import HeuristicConfig
+from repro.core.batch import (
+    BatchMapper,
+    query_single_destination,
+    run_for_source,
+)
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+from tests.conftest import PAPER_1981_MAP
+
+
+def graph_of(text: str):
+    return build_graph([("d.map", parse_text(text))])
+
+
+class TestRunForSource:
+    def test_back_links_removed_after_run(self):
+        graph = graph_of("hub x(1)\nleaf hub(100)")
+        before = graph.link_count
+        result = run_for_source(graph, "hub")
+        assert result.cost("leaf") == 100  # inference worked...
+        assert graph.link_count == before  # ...and left no residue
+
+    def test_retain_option(self):
+        graph = graph_of("hub x(1)\nleaf hub(100)")
+        before = graph.link_count
+        run_for_source(graph, "hub", retain_back_links=True)
+        assert graph.link_count == before + 1
+
+    def test_repeated_runs_identical(self):
+        graph = graph_of(PAPER_1981_MAP)
+        first = run_for_source(graph, "unc")
+        second = run_for_source(graph, "unc")
+        for node in graph.nodes:
+            a, b = first.best(node), second.best(node)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.cost == b.cost
+
+
+class TestBatchMapper:
+    def test_sources_exclude_nets_and_privates(self):
+        graph = build_graph([
+            ("f", parse_text(
+                "private {p}\na p(5)\np a(5)\nNET = {a, b}(5)\n"
+                "b a(5)\na b(5)", "f")),
+        ])
+        batch = BatchMapper(graph)
+        assert set(batch.sources()) == {"a", "b"}
+
+    def test_all_sources_tables(self):
+        graph = graph_of(PAPER_1981_MAP)
+        batch = BatchMapper(graph).run()
+        assert set(batch.tables) == {"unc", "duke", "phs", "research",
+                                     "ucbvax", "mit-ai", "stanford"}
+        # Each table is rooted at its own source.
+        for source, table in batch.tables.items():
+            assert table.route(source) == "%s"
+
+    def test_paper_output_reproduced_within_batch(self):
+        graph = graph_of(PAPER_1981_MAP)
+        batch = BatchMapper(graph).run(["unc"])
+        table = batch["unc"]
+        assert table.route("mit-ai") == "duke!research!ucbvax!%s@mit-ai"
+
+    def test_counters_accumulate(self):
+        graph = graph_of(PAPER_1981_MAP)
+        batch = BatchMapper(graph).run(["unc", "duke"])
+        assert batch.total_pops > 0
+        assert len(batch) == 2
+
+    def test_write_paths_files(self, tmp_path):
+        graph = graph_of(PAPER_1981_MAP)
+        count = BatchMapper(graph).write_paths_files(
+            tmp_path, sources=["unc", "duke"])
+        assert count == 2
+        content = (tmp_path / "paths.unc").read_text()
+        assert "phs\tduke!phs!%s" in content
+
+    def test_heuristics_respected(self):
+        graph = graph_of("a @b(10)\nb c(20)")
+        strict = BatchMapper(
+            graph, HeuristicConfig(mixed_penalty=1000)).run(["a"])
+        assert strict["a"].lookup("c").cost == 1030
+
+
+class TestSingleDestinationQuery:
+    def test_matches_full_run(self):
+        graph = graph_of(PAPER_1981_MAP)
+        full = Mapper(graph).run("unc")
+        for destination in ("duke", "phs", "ucbvax", "mit-ai"):
+            cost = query_single_destination(graph, "unc", destination)
+            assert cost == full.cost(destination)
+
+    def test_unknown_destination(self):
+        graph = graph_of(PAPER_1981_MAP)
+        assert query_single_destination(graph, "unc", "zebra") is None
+
+    def test_early_stop_does_less_work(self):
+        lines = [f"h{i} h{i+1}(10), h{max(0, i-1)}(10)"
+                 for i in range(200)]
+        graph = graph_of("\n".join(lines))
+        mapper = Mapper(graph)
+        target = graph.require("h3")
+        mapper.run("h0", stop_at=target)
+        assert mapper.stats.pops < 20  # stopped long before 200
+
+    def test_unreachable_destination_with_backlinks(self):
+        graph = graph_of("hub x(1)\nleaf hub(100)")
+        cost = query_single_destination(graph, "hub", "leaf")
+        assert cost == 100  # back-link continuation still applies

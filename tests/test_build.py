@@ -1,0 +1,253 @@
+"""Graph-builder tests: the paper's data-structure figures as assertions."""
+
+import pytest
+
+from repro.config import DEAD, DEFAULT_LINK_COST
+from repro.errors import GraphError
+from repro.graph.build import GraphBuilder, build_graph
+from repro.graph.node import LinkKind
+from repro.parser.ast import Direction
+from repro.parser.grammar import parse_text
+
+
+def build(text: str, filename: str = "d.map"):
+    return build_graph([(filename, parse_text(text))])
+
+
+def build_files(*named_texts):
+    return build_graph([(name, parse_text(text, name))
+                        for name, text in named_texts])
+
+
+class TestBasicGraph:
+    def test_figure_two_node_graph(self):
+        """The a->b(10), a->c(20) figure from DATA STRUCTURES."""
+        graph = build("a b(10), c(20)")
+        a = graph.require("a")
+        assert [(l.to.name, l.cost) for l in a.links] == \
+            [("b", 10), ("c", 20)]
+        assert graph.require("b").links == []
+
+    def test_nodes_interned_once(self):
+        graph = build("a b(10)\nb a(20)")
+        assert len(graph.nodes) == 2
+
+    def test_default_cost(self):
+        graph = build("a b")
+        assert graph.require("a").links[0].cost == DEFAULT_LINK_COST
+
+    def test_link_carries_operator(self):
+        graph = build("a @b(10)")
+        link = graph.require("a").links[0]
+        assert link.op == "@"
+        assert link.direction is Direction.RIGHT
+
+    def test_self_link_ignored_with_warning(self):
+        graph = build("a a(10), b(20)")
+        assert len(graph.require("a").links) == 1
+        assert any("self" in w for w in graph.warnings)
+
+    def test_find_missing_returns_none(self):
+        graph = build("a b")
+        assert graph.find("zebra") is None
+        with pytest.raises(GraphError):
+            graph.require("zebra")
+
+
+class TestDuplicateLinks:
+    def test_cheaper_wins(self):
+        graph = build("a b(100)\na b(10)")
+        assert graph.require("a").links[0].cost == 10
+        assert any("duplicate" in w for w in graph.warnings)
+
+    def test_more_expensive_ignored(self):
+        graph = build("a b(10)\na b(100)")
+        assert graph.require("a").links[0].cost == 10
+
+    def test_cross_file_duplicate_no_warning(self):
+        graph = build_files(("f1", "a b(100)"), ("f2", "a b(10)"))
+        assert graph.require("a").links[0].cost == 10
+        assert not any("duplicate" in w for w in graph.warnings)
+
+
+class TestNetworks:
+    def test_clique_star_representation(self):
+        """The net figure: pair of edges between net node and each
+        member, member->net carries the cost, net->member is free."""
+        graph = build("UNC-dwarf = {dopey, grumpy, sleepy}(10)")
+        net = graph.require("UNC-dwarf")
+        assert net.is_net
+        assert len(net.links) == 3
+        for link in net.links:
+            assert link.kind is LinkKind.NET_MEMBER
+            assert link.cost == 0
+        for member_name in ("dopey", "grumpy", "sleepy"):
+            member = graph.require(member_name)
+            (link,) = member.links
+            assert link.kind is LinkKind.MEMBER_NET
+            assert link.cost == 10
+            assert link.to is net
+
+    def test_edge_count_linear_not_quadratic(self):
+        members = ", ".join(f"m{i}" for i in range(50))
+        graph = build(f"BIG = {{{members}}}(5)")
+        assert graph.link_count == 100  # 2n, not n(n-1)
+
+    def test_net_declared_twice_merges_members(self):
+        graph = build("NET = {a, b}(10)\nNET = {c}(10)")
+        net = graph.require("NET")
+        assert {l.to.name for l in net.links} == {"a", "b", "c"}
+
+    def test_domain_flag(self):
+        graph = build(".edu = {.rutgers}")
+        assert graph.require(".edu").is_domain
+        assert graph.require(".edu").gatewayed
+
+    def test_domain_default_cost_zero(self):
+        graph = build(".edu = {campus}")
+        campus = graph.require("campus")
+        assert campus.links[0].cost == 0
+
+    def test_non_domain_net_not_gatewayed_by_default(self):
+        graph = build("NET = {a, b}(10)")
+        assert not graph.require("NET").gatewayed
+
+    def test_gatewayed_declaration(self):
+        graph = build("gatewayed {NET}\nNET = {a, b}(10)")
+        assert graph.require("NET").gatewayed
+
+    def test_gateway_collection(self):
+        graph = build("gatewayed {NET}\nNET = {a, b}(10)\ngw NET(5)")
+        net = graph.require("NET")
+        assert {n.name for n in net.gateways} == {"gw"}
+
+
+class TestAliases:
+    def test_figure_alias_edges(self):
+        """The princeton/fun figure: a pair of zero-cost ALIAS edges —
+        'aliases are a property of edges, not vertices'."""
+        graph = build("princeton = fun")
+        princeton = graph.require("princeton")
+        fun = graph.require("fun")
+        (p_link,) = princeton.links
+        (f_link,) = fun.links
+        assert p_link.kind is LinkKind.ALIAS and p_link.cost == 0
+        assert f_link.kind is LinkKind.ALIAS and f_link.cost == 0
+        assert p_link.to is fun and f_link.to is princeton
+
+    def test_no_primary_name(self):
+        """All aliases equal: both directions exist, no designated
+        primary."""
+        graph = build("nosc = noscvax")
+        assert graph.require("nosc").links[0].to.name == "noscvax"
+        assert graph.require("noscvax").links[0].to.name == "nosc"
+
+
+class TestPrivate:
+    def test_figure_bilbo(self):
+        """The two-bilbo figure: without private, links merge onto one
+        node; with private (in another file), two distinct nodes."""
+        merged = build_files(
+            ("f1", "bilbo princeton(10)"),
+            ("f2", "bilbo wiretap(10)"))
+        assert len(merged.require("bilbo").links) == 2
+
+        split = build_files(
+            ("f1", "bilbo princeton(10)"),
+            ("f2", "private {bilbo}\nbilbo wiretap(10)"))
+        public = split.require("bilbo")
+        assert [l.to.name for l in public.links] == ["princeton"]
+        privates = [n for n in split.nodes
+                    if n.name == "bilbo" and n.private]
+        assert len(privates) == 1
+        assert [l.to.name for l in privates[0].links] == ["wiretap"]
+
+    def test_private_scope_starts_at_declaration(self):
+        """References before the declaration bind to the global node."""
+        graph = build("bilbo early(10)\nprivate {bilbo}\n"
+                      "bilbo late(10)")
+        public = graph.require("bilbo")
+        assert [l.to.name for l in public.links] == ["early"]
+
+    def test_private_scope_ends_at_file_boundary(self):
+        graph = build_files(
+            ("f1", "private {bilbo}\nbilbo wiretap(10)"),
+            ("f2", "bilbo princeton(10)"))
+        assert [l.to.name for l in graph.require("bilbo").links] == \
+            ["princeton"]
+
+    def test_double_private_warns(self):
+        graph = build("private {x}\nprivate {x}\nx y(1)")
+        assert any("already private" in w for w in graph.warnings)
+
+
+class TestDeadAdjustDelete:
+    def test_dead_host_surcharges_inbound(self):
+        graph = build("a b(10)\ndead {b}")
+        assert graph.require("a").links[0].cost >= DEAD
+
+    def test_dead_link(self):
+        graph = build("a b(10), c(10)\ndead {a!b}")
+        links = {l.to.name: l for l in graph.require("a").links}
+        assert links["b"].cost >= DEAD
+        assert links["b"].dead
+        assert links["c"].cost == 10
+
+    def test_dead_undeclared_link_created_as_last_resort(self):
+        graph = build("a x(1)\nb x(1)\ndead {a!b}")
+        links = {l.to.name for l in graph.require("a").links}
+        assert "b" in links
+
+    def test_adjust_applies_to_outgoing(self):
+        graph = build("a b(10), c(20)\nadjust {a(100)}")
+        assert [l.cost for l in graph.require("a").links] == [110, 120]
+
+    def test_adjust_negative_clamps_at_zero(self):
+        graph = build("a b(10)\nadjust {a(-50)}")
+        assert graph.require("a").links[0].cost == 0
+
+    def test_delete_host_removes_node_and_links(self):
+        graph = build("a b(10), c(10)\nb c(5)\ndelete {b}")
+        assert graph.find("b") is None
+        assert [l.to.name for l in graph.require("a").links] == ["c"]
+
+    def test_delete_link_only(self):
+        graph = build("a b(10), c(10)\ndelete {a!b}")
+        assert [l.to.name for l in graph.require("a").links] == ["c"]
+        assert graph.find("b") is not None
+
+    def test_unknown_names_warn(self):
+        graph = build("a b(1)\ndead {ghost}")
+        assert any("ghost" in w for w in graph.warnings)
+
+
+class TestFileDecl:
+    def test_file_statement_resets_private_scope(self):
+        """A `file "x"` marker behaves like a new input file: private
+        names declared before it go out of scope."""
+        graph = build('private {bilbo}\nbilbo inner(10)\n'
+                      'file "next-map"\nbilbo outer(10)')
+        public = graph.require("bilbo")
+        assert [l.to.name for l in public.links] == ["outer"]
+        privates = [n for n in graph.nodes
+                    if n.name == "bilbo" and n.private]
+        assert len(privates) == 1
+        assert [l.to.name for l in privates[0].links] == ["inner"]
+
+    def test_file_statement_updates_origin(self):
+        graph = build('file "second"\nnewhost x(1)')
+        assert graph.require("newhost").origin == "second"
+
+
+class TestBuilderLifecycle:
+    def test_finalize_twice_rejected(self):
+        builder = GraphBuilder()
+        builder.finalize()
+        with pytest.raises(GraphError):
+            builder.finalize()
+
+    def test_add_after_finalize_rejected(self):
+        builder = GraphBuilder()
+        builder.finalize()
+        with pytest.raises(GraphError):
+            builder.add(parse_text("a b")[0])

@@ -1,0 +1,116 @@
+"""Map consistency-checker tests."""
+
+from repro.graph.build import build_graph
+from repro.graph.check import check_map
+from repro.parser.grammar import parse_text
+
+
+def check(text_or_files):
+    if isinstance(text_or_files, str):
+        files = [("d.map", parse_text(text_or_files))]
+    else:
+        files = [(n, parse_text(t, n)) for n, t in text_or_files]
+    return check_map(build_graph(files))
+
+
+class TestSymmetry:
+    def test_asymmetric_link_reported(self):
+        report = check("a b(10)\nb c(10)\nc b(10)")
+        findings = report.of_kind("asymmetric-link")
+        assert len(findings) == 1
+        assert findings[0].subject == "a"
+
+    def test_symmetric_links_clean(self):
+        report = check("a b(10)\nb a(10)")
+        assert not report.of_kind("asymmetric-link")
+
+    def test_cost_disagreement(self):
+        report = check("a b(10)\nb a(5000)")
+        assert len(report.of_kind("cost-disagreement")) == 1
+
+    def test_mild_difference_tolerated(self):
+        report = check("a b(300)\nb a(500)")
+        assert not report.of_kind("cost-disagreement")
+
+    def test_gateway_links_exempt(self):
+        """Links into nets are one-way by design — not asymmetric."""
+        report = check("gw ARPA(95)\nARPA = {m}(95)\ngw m(5)\nm gw(5)")
+        assert not report.of_kind("asymmetric-link")
+
+
+class TestNets:
+    def test_orphan_net(self):
+        report = check("x y(5)\ny x(5)\ngatewayed {GHOSTNET}")
+        kinds = {f.kind for f in report}
+        assert "gatewayed-nonnet" in kinds
+
+    def test_gatewayed_without_gateway(self):
+        report = check("gatewayed {NET}\nNET = {a, b}(5)\n"
+                       "a b(5)\nb a(5)")
+        assert len(report.of_kind("gatewayed-without-gateway")) == 1
+
+    def test_gatewayed_with_gateway_clean(self):
+        report = check("gatewayed {NET}\nNET = {a, b}(5)\n"
+                       "gw NET(5)\na b(5)\nb a(5)")
+        assert not report.of_kind("gatewayed-without-gateway")
+
+    def test_unused_net_is_orphan(self):
+        # All members deleted: nothing links into the net any more.
+        report = check("NET = {m}(5)\nx m(5)\nm x(5)\ndelete {m}\n"
+                       "x y(5)\ny x(5)")
+        assert report.of_kind("orphan-net")
+
+
+class TestHygiene:
+    def test_zero_cost_link_flagged(self):
+        report = check("a b(0)\nb a(0)")
+        assert len(report.of_kind("zero-cost-link")) == 2
+
+    def test_zero_cost_into_net_ok(self):
+        report = check("gw NET(0)\nNET = {m}(5)")
+        assert not report.of_kind("zero-cost-link")
+
+    def test_many_way_collision_reported(self):
+        files = [(f"f{i}",
+                  f"private {{bilbo}}\nbilbo h{i}(5)\nh{i} bilbo(5)")
+                 for i in range(3)]
+        report = check(files)
+        assert report.of_kind("name-collision")
+
+    def test_two_way_private_collision_tolerated(self):
+        files = [(f"f{i}",
+                  f"private {{bilbo}}\nbilbo h{i}(5)\nh{i} bilbo(5)")
+                 for i in range(2)]
+        report = check(files)
+        assert not report.of_kind("name-collision")
+
+    def test_builder_warnings_included(self):
+        report = check("a a(5), b(5)\nb a(5)")
+        assert report.of_kind("builder-warning")
+
+
+class TestReport:
+    def test_summary_counts(self):
+        report = check("a b(10)\nb c(10)\nc b(10)")
+        assert "asymmetric-link: 1" in report.summary()
+
+    def test_clean_map_summary(self):
+        report = check("a b(10)\nb a(10)")
+        assert report.summary() == "map is clean"
+        assert len(report) == 0
+
+    def test_findings_stringify(self):
+        report = check("a b(10)\nb c(10)\nc b(10)")
+        text = str(report.of_kind("asymmetric-link")[0])
+        assert "asymmetric-link" in text and "a" in text
+
+    def test_generated_map_mostly_clean(self):
+        from repro.netsim.mapgen import MapParams, generate_map
+
+        generated = generate_map(MapParams.small(seed=3))
+        files = [(n, parse_text(t, n)) for n, t in generated.files]
+        report = check_map(build_graph(files))
+        # One-way leaves are *supposed* to show up as asymmetric.
+        asym = {f.subject for f in report.of_kind("asymmetric-link")}
+        for leaf in generated.oneway_leaves:
+            assert leaf in asym

@@ -1,0 +1,138 @@
+"""CLI tests (the pathalias command)."""
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import PAPER_1981_MAP
+
+
+@pytest.fixture
+def map_file(tmp_path):
+    path = tmp_path / "d.map"
+    path.write_text(PAPER_1981_MAP)
+    return str(path)
+
+
+class TestBasicInvocation:
+    def test_tab_output_default(self, map_file, capsys):
+        assert main(["-l", "unc", map_file]) == 0
+        out = capsys.readouterr().out
+        assert "phs\tduke!phs!%s" in out
+        assert out.splitlines() == sorted(out.splitlines())
+
+    def test_costs_option(self, map_file, capsys):
+        assert main(["-l", "unc", "-c", map_file]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "0\tunc\t%s"
+        assert out[-1] == "3395\tstanford\tduke!research!ucbvax!%s@stanford"
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("a b(10)"))
+        assert main(["-l", "a"]) == 0
+        assert "b\tb!%s" in capsys.readouterr().out
+
+    def test_ignore_case(self, tmp_path, capsys):
+        path = tmp_path / "d.map"
+        path.write_text("UNC Duke(10)")
+        assert main(["-l", "unc", "-i", str(path)]) == 0
+        assert "duke\tduke!%s" in capsys.readouterr().out
+
+    def test_lex_scanner_same_output(self, map_file, capsys):
+        main(["-l", "unc", "-c", map_file])
+        hand = capsys.readouterr().out
+        main(["-l", "unc", "-c", "--lex", map_file])
+        lex = capsys.readouterr().out
+        assert hand == lex
+
+
+class TestOptions:
+    def test_second_best(self, tmp_path, capsys):
+        from tests.conftest import MOTOWN_MAP
+
+        path = tmp_path / "d.map"
+        path.write_text(MOTOWN_MAP)
+        assert main(["-l", "princeton", "-s", "-c", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "500\tmotown\ttopaz!motown!%s" in out
+
+    def test_no_back_links_reports_unreachable(self, tmp_path, capsys):
+        path = tmp_path / "d.map"
+        path.write_text("a b(10)\nleaf a(10)")
+        assert main(["-l", "a", "--no-back-links", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "leaf: unreachable" in err
+
+    def test_stats_on_stderr(self, map_file, capsys):
+        assert main(["-l", "unc", "--stats", map_file]) == 0
+        err = capsys.readouterr().err
+        assert "nodes" in err and "scan" in err
+
+    def test_warnings_on_stderr(self, tmp_path, capsys):
+        path = tmp_path / "d.map"
+        path.write_text("a a(10), b(10)")
+        assert main(["-l", "a", "--warnings", str(path)]) == 0
+        assert "warning" in capsys.readouterr().err
+
+
+class TestToolOptions:
+    def test_dot_to_file(self, map_file, tmp_path, capsys):
+        out = tmp_path / "routes.dot"
+        assert main(["-l", "unc", "--dot", str(out), map_file]) == 0
+        dot = out.read_text()
+        assert dot.startswith("digraph")
+        assert '"unc" -> "duke"' in dot
+
+    def test_dot_to_stdout(self, map_file, capsys):
+        assert main(["-l", "unc", "--dot", "-", map_file]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+
+    def test_check_reports_on_stderr(self, tmp_path, capsys):
+        path = tmp_path / "d.map"
+        path.write_text("a b(10)\nb c(10)\nc b(10)")
+        assert main(["-l", "a", "--check", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "asymmetric-link" in err
+        assert "check:" in err
+
+    def test_check_clean_map(self, tmp_path, capsys):
+        path = tmp_path / "d.map"
+        path.write_text("a b(10)\nb a(10)")
+        assert main(["-l", "a", "--check", str(path)]) == 0
+        assert "map is clean" in capsys.readouterr().err
+
+    def test_report(self, map_file, capsys):
+        assert main(["-l", "unc", "--report", map_file]) == 0
+        err = capsys.readouterr().err
+        assert "pathalias run report" in err
+        assert "busiest relays:" in err
+
+    def test_trace(self, map_file, capsys):
+        assert main(["-l", "unc", "--trace", "mit-ai", map_file]) == 0
+        err = capsys.readouterr().err
+        assert "route to mit-ai (cost 3395)" in err
+        assert "unc -> duke" in err
+
+    def test_trace_unknown_host(self, map_file, capsys):
+        assert main(["-l", "unc", "--trace", "zebra", map_file]) == 0
+        assert "trace:" in capsys.readouterr().err
+
+
+class TestFailures:
+    def test_unknown_localhost(self, map_file, capsys):
+        assert main(["-l", "ghost", map_file]) == 1
+        assert "ghost" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["-l", "a", "/nonexistent/map"]) == 2
+        assert "pathalias:" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "d.map"
+        path.write_text("= broken =")
+        assert main(["-l", "a", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "pathalias:" in err

@@ -1,0 +1,60 @@
+"""Data-driven tests over the address corpus."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mailer.address import MailerStyle, next_hop
+from repro.mailer.corpus import CORPUS, divergent_specimens, specimens_for
+
+
+def _check(address: str, style: MailerStyle, expectation):
+    if expectation == "error":
+        with pytest.raises(AddressError):
+            next_hop(address, style)
+    else:
+        assert next_hop(address, style) == tuple(expectation)
+
+
+@pytest.mark.parametrize(
+    "address,expectation",
+    specimens_for(MailerStyle.BANG_RIGID),
+    ids=[s.address for s in CORPUS])
+def test_bang_rigid(address, expectation):
+    _check(address, MailerStyle.BANG_RIGID, expectation)
+
+
+@pytest.mark.parametrize(
+    "address,expectation",
+    specimens_for(MailerStyle.RFC822_RIGID),
+    ids=[s.address for s in CORPUS])
+def test_rfc822_rigid(address, expectation):
+    _check(address, MailerStyle.RFC822_RIGID, expectation)
+
+
+@pytest.mark.parametrize(
+    "address,expectation",
+    specimens_for(MailerStyle.HEURISTIC),
+    ids=[s.address for s in CORPUS])
+def test_heuristic(address, expectation):
+    _check(address, MailerStyle.HEURISTIC, expectation)
+
+
+class TestCorpusShape:
+    def test_divergence_is_common(self):
+        """The paper's premise: the styles really do disagree often."""
+        assert len(divergent_specimens()) >= 10
+
+    def test_pure_forms_agree_between_heuristic_and_native(self):
+        """On pure bang paths the heuristic matches bang-rigid; on pure
+        RFC822 it matches rfc822-rigid — it only arbitrates mixes."""
+        for specimen in CORPUS:
+            address = specimen.address
+            if "@" not in address and "%" not in address \
+                    and specimen.bang != "error":
+                assert specimen.heuristic == specimen.bang, address
+            if "!" not in address and specimen.rfc822 != "error":
+                assert specimen.heuristic == specimen.rfc822, address
+
+    def test_every_specimen_has_note(self):
+        for specimen in CORPUS:
+            assert specimen.note

@@ -1,0 +1,87 @@
+"""Unit tests for cost-expression evaluation (paper's cost table)."""
+
+import pytest
+
+from repro.config import COST_SYMBOLS, DEAD
+from repro.errors import CostExpressionError
+from repro.parser.costexpr import evaluate_cost
+
+
+class TestPaperTable:
+    """The cost table from the INPUT section, verbatim."""
+
+    @pytest.mark.parametrize("symbol,value", [
+        ("LOCAL", 25),
+        ("DEDICATED", 95),
+        ("DIRECT", 200),
+        ("DEMAND", 300),
+        ("HOURLY", 500),
+        ("EVENING", 1800),
+        ("POLLED", 5000),
+        ("DAILY", 5000),
+        ("WEEKLY", 30000),
+    ])
+    def test_symbol_values(self, symbol, value):
+        assert evaluate_cost(symbol) == value
+        assert COST_SYMBOLS[symbol] == value
+
+    def test_daily_is_ten_times_hourly(self):
+        """'DAILY is 10 times greater than HOURLY, instead of 24' — the
+        per-hop overhead argument."""
+        assert evaluate_cost("DAILY") == 10 * evaluate_cost("HOURLY")
+
+    def test_dead_extension(self):
+        assert evaluate_cost("DEAD") == DEAD
+
+
+class TestArithmetic:
+    def test_paper_examples(self):
+        assert evaluate_cost("HOURLY*3") == 1500
+        assert evaluate_cost("DAILY/2") == 2500
+
+    def test_precedence(self):
+        assert evaluate_cost("1+2*3") == 7
+        assert evaluate_cost("(1+2)*3") == 9
+
+    def test_c_style_truncation(self):
+        assert evaluate_cost("7/2") == 3
+        assert evaluate_cost("-7/2") == -3  # toward zero, like C
+
+    def test_unary_minus(self):
+        assert evaluate_cost("-5") == -5
+        assert evaluate_cost("10--5") == 15
+
+    def test_mixed_symbols_and_numbers(self):
+        assert evaluate_cost("HOURLY+25") == 525
+        assert evaluate_cost("DEMAND*2-100") == 500
+
+    def test_high_low_adjustments(self):
+        assert evaluate_cost("DEMAND+LOW") == 305
+        assert evaluate_cost("DEMAND+HIGH") == 295
+
+    def test_nested_parens(self):
+        assert evaluate_cost("((2))") == 2
+        assert evaluate_cost("2*(3+(4*5))") == 46
+
+
+class TestErrors:
+    def test_unknown_symbol(self):
+        with pytest.raises(CostExpressionError):
+            evaluate_cost("FORTNIGHTLY")
+
+    def test_division_by_zero(self):
+        with pytest.raises(CostExpressionError):
+            evaluate_cost("5/0")
+
+    def test_trailing_junk(self):
+        with pytest.raises(CostExpressionError):
+            evaluate_cost("5 5")
+
+    def test_dangling_operator(self):
+        with pytest.raises(CostExpressionError):
+            evaluate_cost("5+")
+
+    def test_custom_symbol_table(self):
+        assert evaluate_cost("X*2", symbols={"X": 21}) == 42
+        with pytest.raises(CostExpressionError):
+            evaluate_cost("HOURLY", symbols={"X": 21})

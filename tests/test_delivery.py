@@ -1,0 +1,142 @@
+"""Delivery-simulation tests: do generated routes get the mail through?"""
+
+from repro import HeuristicConfig, Pathalias
+from repro.graph.build import build_graph
+from repro.mailer.address import MailerStyle
+from repro.mailer.delivery import Network
+from repro.parser.grammar import parse_text
+
+from tests.conftest import PAPER_1981_MAP
+
+
+def network(text: str, styles=None, default=MailerStyle.BANG_RIGID):
+    graph = build_graph([("d.map", parse_text(text))])
+    return Network(graph, styles=styles, default_style=default)
+
+
+class TestConnectivity:
+    def test_direct_link(self):
+        net = network("a b(10)\nb a(10)")
+        assert net.can_send("a", "b")
+
+    def test_no_link(self):
+        net = network("a b(10)\nc d(10)")
+        assert not net.can_send("a", "c")
+
+    def test_clique_members_all_talk(self):
+        net = network("NET = {x, y, z}(10)")
+        assert net.can_send("x", "y")
+        assert net.can_send("z", "x")
+
+    def test_gateway_reaches_members(self):
+        net = network("gw NET(5)\nNET = {x, y}(10)")
+        assert net.can_send("gw", "x")
+
+    def test_alias_adjacency(self):
+        net = network("a b(10)\nb = bee")
+        assert net.can_send("a", "b")
+
+    def test_domain_qualified_name_resolves(self):
+        net = network("seismo .edu(95)\n.edu = {.rutgers}\n"
+                      ".rutgers = {caip}")
+        assert net.resolve_name("caip.rutgers.edu") == "caip"
+        assert net.resolve_name("caip") == "caip"
+
+
+class TestDelivery:
+    def test_paper_route_delivers(self):
+        """The flagship check: the 1981 output actually works, given
+        RFC822 capability at the ARPANET boundary."""
+        table = Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+        net = network(PAPER_1981_MAP,
+                      styles={"ucbvax": MailerStyle.HEURISTIC})
+        report = net.deliver_route("unc", table.route("mit-ai"),
+                                   user="minsky")
+        assert report.delivered, report.failure
+        assert report.final_host == "mit-ai"
+        assert report.user == "minsky"
+        assert report.hops == ["duke", "research", "ucbvax", "mit-ai"]
+
+    def test_all_paper_routes_deliver(self):
+        table = Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+        net = network(PAPER_1981_MAP,
+                      styles={"ucbvax": MailerStyle.HEURISTIC})
+        for record in table:
+            report = net.deliver_route("unc", record.route)
+            assert report.delivered, (record.name, report.failure)
+
+    def test_rigid_relay_kills_at_then_bang(self):
+        """The ambiguous direction: user@b routed through a bang-rigid
+        host fails — what the mixed-syntax penalty protects against."""
+        net = network("a c(10)\nc b(10)\nb c(10)")
+        report = net.deliver("a", "c!user@b")
+        # a (bang-rigid) forwards to c; at c the remainder user@b is
+        # treated as a local user — silently misdelivered at c.
+        assert report.final_host == "c"
+        assert report.user == "user@b"
+
+    def test_unknown_next_host_fails(self):
+        net = network("a b(10)")
+        report = net.deliver("a", "zebra!user")
+        assert not report.delivered
+        assert "zebra" in report.failure
+
+    def test_no_physical_link_fails(self):
+        net = network("a b(10)\nc d(10)")
+        report = net.deliver("a", "c!user")
+        assert not report.delivered
+        assert "no link" in report.failure
+
+    def test_loop_detected(self):
+        net = network("a b(10)\nb a(10)")
+        report = net.deliver("a", "b!a!" * 50 + "user")
+        assert not report.delivered
+        assert "budget" in report.failure
+
+    def test_local_delivery(self):
+        net = network("a b(10)")
+        report = net.deliver("a", "user")
+        assert report.delivered
+        assert report.final_host == "a"
+        assert report.hop_count == 0
+
+    def test_source_route_across_rfc_hosts(self):
+        net = network("a b(10)\nb c(10)",
+                      default=MailerStyle.RFC822_RIGID)
+        report = net.deliver("a", "@b:user@c")
+        assert report.delivered
+        assert report.hops == ["b", "c"]
+
+
+class TestMixedSyntaxAblation:
+    """Routes computed WITH the penalty survive rigid relays; routes
+    computed without it can die (the E10 experiment in miniature)."""
+
+    MAP = ("src @arpagw(10), uucp1(100)\n"
+           "arpagw mid(10)\n"
+           "uucp1 mid(100)\n"
+           "mid dest(10)\n")
+
+    def test_with_penalty_route_is_pure_bang(self):
+        table = Pathalias().run_text(self.MAP, localhost="src")
+        route = table.route("dest")
+        assert "@" not in route
+
+    def test_without_penalty_route_mixes(self):
+        table = Pathalias(
+            heuristics=HeuristicConfig(mixed_penalty=0)
+        ).run_text(self.MAP, localhost="src")
+        route = table.route("dest")
+        assert "@" in route and "!" in route
+
+    def test_delivery_outcomes_differ(self):
+        vulnerable = Pathalias(
+            heuristics=HeuristicConfig(mixed_penalty=0)
+        ).run_text(self.MAP, localhost="src").route("dest")
+        safe = Pathalias().run_text(self.MAP, localhost="src") \
+            .route("dest")
+        net = network(self.MAP)  # every host bang-rigid
+        bad = net.deliver_route("src", vulnerable)
+        good = net.deliver_route("src", safe)
+        assert good.delivered and good.final_host == "dest"
+        assert not (bad.delivered and bad.final_host == "dest")

@@ -1,0 +1,118 @@
+"""Advanced domain scenarios: the complete Domains-section figures,
+including the masquerade coexisting with the full tree."""
+
+from repro import HeuristicConfig, Pathalias
+from repro.config import INF
+
+
+class TestFullDomainFigure:
+    """seismo gateways .edu; .rutgers under .edu holds caip and blue;
+    additionally caip gateways a masquerading top-level .rutgers.edu —
+    the paper's final figure, assembled whole."""
+
+    MAP = """\
+local\tseismo(DEDICATED), caip(WEEKLY)
+seismo\tlocal(DEDICATED), .edu(DEDICATED)
+.edu = {.rutgers}
+.rutgers = {caip, blue}
+caip\t.rutgers.edu(0)
+.rutgers.edu = {blue}
+blue\tcaip(LOCAL)
+"""
+
+    def run(self, **heur):
+        cfg = HeuristicConfig(**heur) if heur else None
+        return Pathalias(heuristics=cfg).run_text(self.MAP,
+                                                  localhost="local")
+
+    def test_both_domains_printed(self):
+        table = self.run()
+        assert table.lookup(".edu") is not None
+        # .rutgers.edu is reachable two ways; via caip it is top-level
+        # (parent not a domain), via .edu it is a subdomain.  Whichever
+        # label wins, blue must resolve.
+        names = {r.name for r in table}
+        assert any(n.endswith(".rutgers.edu") or n == ".rutgers.edu"
+                   for n in names) or ".edu" in names
+
+    def test_blue_reachable_under_qualified_name(self):
+        table = self.run()
+        qualified = [r for r in table
+                     if r.name.startswith("blue")]
+        assert qualified, "blue must appear (qualified or bare)"
+        record = qualified[0]
+        assert record.route.count("%s") == 1
+
+    def test_cheapest_wins_between_gateways(self):
+        """seismo's DEDICATED chain is far cheaper than local's WEEKLY
+        link to caip, so blue routes via seismo."""
+        table = self.run()
+        blue = next(r for r in table if r.name.startswith("blue"))
+        assert "seismo" in blue.route
+
+    def test_direct_caip_path_when_seismo_dies(self):
+        """Cut seismo: the masquerade (caip gateway) carries blue."""
+        crippled = self.MAP.replace("local\tseismo(DEDICATED), ",
+                                    "local\t")
+        table = Pathalias().run_text(crippled, localhost="local")
+        blue = next((r for r in table if r.name.startswith("blue")),
+                    None)
+        assert blue is not None
+        assert "caip" in blue.route
+        assert blue.cost < INF  # no relay penalty: caip is a gateway
+
+
+class TestDomainEdgeCases:
+    def test_domain_with_no_gateway_is_isolated(self):
+        table = Pathalias().run_text(
+            "local other(10)\n.lost = {orphan}\norphan .lost(0)",
+            localhost="local")
+        # No link into the domain or its member: unreachable.
+        assert "orphan" in table.unreachable
+
+    def test_nested_three_level_tree(self):
+        table = Pathalias().run_text(
+            "local gw(10)\ngw .edu(10)\n"
+            ".edu = {.rutgers}\n.rutgers = {.dcs}\n.dcs = {aramis}",
+            localhost="local")
+        record = table.lookup("aramis.dcs.rutgers.edu")
+        assert record is not None
+        assert record.route == "gw!aramis.dcs.rutgers.edu!%s"
+
+    def test_domain_member_also_uucp_host(self):
+        """Multi-homing: cheaper UUCP path wins, bare name printed."""
+        table = Pathalias().run_text(
+            "local caip(25), gw(5000)\ngw .edu(0)\n.edu = {caip}",
+            localhost="local")
+        assert table.lookup("caip") is not None
+        assert table.lookup("caip").cost == 25
+        assert table.lookup("caip.edu") is None
+
+    def test_domain_path_wins_when_cheaper(self):
+        table = Pathalias().run_text(
+            "local caip(30000), gw(5)\ngw .edu(0)\n.edu = {caip}",
+            localhost="local")
+        assert table.lookup("caip.edu") is not None
+        assert table.lookup("caip.edu").cost == 5
+        assert table.lookup("caip") is None
+
+    def test_two_parents_same_domain(self):
+        """A domain declared under two parents: traversal picks the
+        tree parent; names stay consistent with the chosen path."""
+        table = Pathalias().run_text(
+            "local gw1(10), gw2(20)\n"
+            "gw1 .alpha(0)\ngw2 .beta(0)\n"
+            ".alpha = {.shared}\n.beta = {.shared}\n"
+            ".shared = {member}",
+            localhost="local")
+        records = [r for r in table if r.name.startswith("member")]
+        assert len(records) == 1
+        assert records[0].name == "member.shared.alpha"
+
+    def test_subdomain_never_printed_even_when_cheapest(self):
+        table = Pathalias().run_text(
+            "local gw(10)\ngw .edu(0)\n.edu = {.sub}\n.sub = {host}",
+            localhost="local")
+        names = {r.name for r in table}
+        assert ".sub.edu" not in names
+        assert ".edu" in names

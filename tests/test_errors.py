@@ -1,0 +1,103 @@
+"""Error-hierarchy tests plus a parser fuzz harness.
+
+Every failure the library raises must be a PathaliasError subtype with
+source coordinates where applicable — and no input, however mangled,
+may crash with anything else (the fuzz tests enforce it).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Pathalias
+from repro.errors import (
+    AddressError,
+    CostExpressionError,
+    GraphError,
+    InputError,
+    MappingError,
+    ParseError,
+    PathaliasError,
+    RouteError,
+    ScanError,
+)
+from repro.mailer.address import MailerStyle, parse_address
+from repro.parser.grammar import parse_text
+
+
+class TestHierarchy:
+    def test_all_errors_are_pathalias_errors(self):
+        for cls in (InputError, ScanError, ParseError,
+                    CostExpressionError, GraphError, MappingError,
+                    RouteError, AddressError):
+            assert issubclass(cls, PathaliasError)
+
+    def test_input_errors_are_input_errors(self):
+        for cls in (ScanError, ParseError, CostExpressionError):
+            assert issubclass(cls, InputError)
+
+    def test_pretty_format_with_line(self):
+        err = ParseError("bad statement", "d.map", 12)
+        assert str(err) == '"d.map", line 12: bad statement'
+
+    def test_pretty_format_without_line(self):
+        err = InputError("truncated", "d.map")
+        assert str(err) == '"d.map": truncated'
+
+    def test_attributes_preserved(self):
+        err = ScanError("oops", "f", 3)
+        assert err.filename == "f"
+        assert err.line == 3
+        assert err.message == "oops"
+
+
+class TestCatchability:
+    """One except clause at the facade boundary must be enough."""
+
+    @pytest.mark.parametrize("bad_input,localhost", [
+        ("a b(", "a"),              # unterminated cost
+        ("a b(1)) ", "a"),          # unbalanced paren
+        ("= b", "a"),               # statement starts with '='
+        ("a b(UNKNOWN_SYM)", "a"),  # unknown symbol
+        ("a b(1/0)", "a"),          # division by zero
+        ("a b(1)", "ghost"),        # unknown localhost
+        ('file fred', "a"),         # unquoted file name
+        ("adjust {x}", "a"),        # adjust without cost
+    ])
+    def test_facade_raises_pathalias_error(self, bad_input, localhost):
+        with pytest.raises(PathaliasError):
+            Pathalias().run_text(bad_input, localhost=localhost)
+
+
+printable_junk = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=200)
+
+
+class TestFuzz:
+    @given(printable_junk)
+    @settings(max_examples=300, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Arbitrary printable junk either parses or raises InputError."""
+        try:
+            parse_text(text)
+        except InputError:
+            pass
+
+    @given(printable_junk.map(lambda s: s.replace("\x00", "")))
+    @settings(max_examples=200, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_facade_never_crashes_unexpectedly(self, text):
+        try:
+            Pathalias().run_text(text, localhost="fuzzhost")
+        except PathaliasError:
+            pass
+
+    @given(st.text(alphabet="abc!@%.,: ", min_size=1, max_size=60),
+           st.sampled_from(list(MailerStyle)))
+    @settings(max_examples=300, deadline=None)
+    def test_address_parser_never_crashes(self, address, style):
+        try:
+            parse_address(address, style)
+        except AddressError:
+            pass

@@ -1,0 +1,135 @@
+"""Route-explanation tests."""
+
+import pytest
+
+from repro.config import HeuristicConfig, INF
+from repro.core.explain import explain_route, verify_explanation
+from repro.core.mapper import Mapper
+from repro.errors import RouteError
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+from tests.conftest import MOTOWN_MAP, PAPER_1981_MAP
+
+
+def mapped(text: str, source: str, cfg: HeuristicConfig | None = None):
+    graph = build_graph([("d.map", parse_text(text))])
+    return Mapper(graph, cfg).run(source)
+
+
+class TestBasicExplanations:
+    def test_simple_chain(self):
+        result = mapped("a b(10)\nb c(20)", "a")
+        explanation = explain_route(result, "c")
+        assert explanation.total_cost == 30
+        assert [h.target for h in explanation.hops] == ["b", "c"]
+        assert explanation.hops[0].base_cost == 10
+        assert explanation.hops[1].cumulative == 30
+        assert verify_explanation(explanation)
+
+    def test_paper_example_hops(self):
+        result = mapped(PAPER_1981_MAP, "unc")
+        explanation = explain_route(result, "mit-ai")
+        assert explanation.total_cost == 3395
+        kinds = [h.kind for h in explanation.hops]
+        assert kinds == ["normal", "normal", "normal",
+                         "member-net", "net-member"]
+        assert verify_explanation(explanation)
+
+    def test_describe_is_readable(self):
+        result = mapped(PAPER_1981_MAP, "unc")
+        text = explain_route(result, "phs").describe()
+        assert "route to phs (cost 800)" in text
+        assert "unc -> duke" in text
+
+    def test_source_explanation_empty(self):
+        result = mapped("a b(10)", "a")
+        explanation = explain_route(result, "a")
+        assert explanation.hops == []
+        assert explanation.total_cost == 0
+
+
+class TestPenaltyAttribution:
+    def test_mixed_syntax_penalty_named(self):
+        cfg = HeuristicConfig(mixed_penalty=777)
+        result = mapped("a @b(10)\nb c(20)", "a", cfg)
+        explanation = explain_route(result, "c", cfg)
+        reasons = [r for hop in explanation.hops
+                   for r, _ in hop.penalties]
+        assert any("'!' hop after '@'" in reason for reason in reasons)
+        assert verify_explanation(explanation)
+        assert explanation.total_cost == 10 + 20 + 777
+
+    def test_domain_relay_penalty_named(self):
+        cfg = HeuristicConfig()
+        result = mapped(MOTOWN_MAP, "princeton", cfg)
+        explanation = explain_route(result, "motown", cfg)
+        reasons = [r for hop in explanation.hops
+                   for r, _ in hop.penalties]
+        assert any("relaying beyond a domain" in r for r in reasons)
+        assert explanation.total_cost >= 425 + INF
+        assert verify_explanation(explanation)
+
+    def test_gateway_penalty_named(self):
+        cfg = HeuristicConfig(gateway_penalty=5000)
+        result = mapped("gatewayed {NET}\nNET = {m, n}(10)\n"
+                        "src m(5)", "src", cfg)
+        explanation = explain_route(result, "n", cfg)
+        reasons = [r for hop in explanation.hops
+                   for r, _ in hop.penalties]
+        assert any("non-gateway" in r for r in reasons)
+        assert verify_explanation(explanation)
+
+    def test_subdomain_up_penalty_named(self):
+        cfg = HeuristicConfig()
+        result = mapped("src caip(10)\n.rutgers = {caip}\n"
+                        ".edu = {.rutgers}", "src", cfg)
+        explanation = explain_route(result, ".edu", cfg)
+        reasons = [r for hop in explanation.hops
+                   for r, _ in hop.penalties]
+        assert any("subdomain to parent" in r for r in reasons)
+        assert verify_explanation(explanation)
+
+
+class TestErrors:
+    def test_unknown_destination(self):
+        result = mapped("a b(10)", "a")
+        with pytest.raises(RouteError):
+            explain_route(result, "ghost")
+
+    def test_unit_cost_mapping_rejected(self):
+        """Min-hop label costs are hop counts; explaining them as
+        edge-weight sums would silently lie."""
+        from repro.graph.build import build_graph
+        from repro.parser.grammar import parse_text
+
+        graph = build_graph([("m", parse_text("a b(10)\nb c(10)"))])
+        result = Mapper(graph, unit_costs=True).run("a")
+        with pytest.raises(RouteError):
+            explain_route(result, "c")
+
+    def test_unreachable_destination(self):
+        cfg = HeuristicConfig(infer_back_links=False)
+        result = mapped("a b(10)\nx y(10)", "a", cfg)
+        with pytest.raises(RouteError):
+            explain_route(result, "x", cfg)
+
+
+class TestConsistencyAtScale:
+    def test_every_route_reconstructs(self):
+        """The two cost implementations (mapper and explainer) must
+        agree on every host of a featureful map."""
+        from repro.netsim.mapgen import MapParams, generate_map
+
+        generated = generate_map(MapParams.small(seed=21))
+        graph = build_graph([(n, parse_text(t, n))
+                             for n, t in generated.files])
+        result = Mapper(graph).run(generated.localhost)
+        checked = 0
+        for node in graph.nodes:
+            if node.deleted or not result.best(node):
+                continue
+            explanation = explain_route(result, node)
+            assert verify_explanation(explanation), node.name
+            checked += 1
+        assert checked > 100

@@ -1,0 +1,88 @@
+"""DOT-export tests."""
+
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.graph.export import graph_to_dot, tree_to_dot
+from repro.parser.grammar import parse_text
+
+from tests.conftest import PAPER_1981_MAP
+
+
+def graph_of(text: str):
+    return build_graph([("d.map", parse_text(text))])
+
+
+class TestGraphDot:
+    def test_valid_digraph_structure(self):
+        dot = graph_to_dot(graph_of("a b(10), c(20)"))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"a" -> "b" [label="10"];' in dot
+        assert '"a" -> "c" [label="20"];' in dot
+
+    def test_networks_shaped_distinctly(self):
+        dot = graph_to_dot(graph_of("NET = {a, b}(10)"))
+        assert "ellipse" in dot
+        assert '"NET"' in dot
+
+    def test_domains_are_folders(self):
+        dot = graph_to_dot(graph_of(".edu = {campus}"))
+        assert "folder" in dot
+
+    def test_alias_pair_rendered_once_undirected(self):
+        dot = graph_to_dot(graph_of("a = b"))
+        assert dot.count("dir=none") == 1
+
+    def test_dead_links_grayed(self):
+        dot = graph_to_dot(graph_of("a b(10)\ndead {a!b}"))
+        assert "color=gray" in dot
+
+    def test_deleted_nodes_absent(self):
+        dot = graph_to_dot(graph_of("a b(10), c(10)\ndelete {b}"))
+        assert '"b"' not in dot
+
+    def test_quoting_of_odd_names(self):
+        dot = graph_to_dot(graph_of("UNC-dwarf x.y(5)"))
+        assert '"UNC-dwarf"' in dot
+        assert '"x.y"' in dot
+
+    def test_paper_map_renders(self):
+        dot = graph_to_dot(graph_of(PAPER_1981_MAP))
+        for host in ("unc", "duke", "phs", "research", "ucbvax",
+                     "ARPA", "mit-ai"):
+            assert f'"{host}"' in dot
+
+
+class TestTreeDot:
+    def test_tree_edges_with_operators(self):
+        graph = graph_of(PAPER_1981_MAP)
+        result = Mapper(graph).run("unc")
+        dot = tree_to_dot(result)
+        assert '"unc" -> "duke" [label="! left"];' in dot
+        assert '[label="@ right"]' in dot  # the ARPA entry edge
+
+    def test_costs_in_vertex_labels(self):
+        graph = graph_of(PAPER_1981_MAP)
+        result = Mapper(graph).run("unc")
+        dot = tree_to_dot(result)
+        assert "duke\\n500" in dot
+        assert "mit-ai\\n3395" in dot
+
+    def test_domain_qualified_names_used(self):
+        graph = graph_of("local caip(10)\n.rutgers.edu = {caip, blue}")
+        result = Mapper(graph).run("local")
+        dot = tree_to_dot(result)
+        assert "blue.rutgers.edu" in dot
+
+    def test_second_best_states_distinct(self):
+        from repro.config import HeuristicConfig
+        from tests.conftest import MOTOWN_MAP
+
+        graph = graph_of(MOTOWN_MAP)
+        result = Mapper(graph,
+                        HeuristicConfig(second_best=True)) \
+            .run("princeton")
+        dot = tree_to_dot(result)
+        # topaz appears twice: plain and domain-qualified state.
+        assert '"topaz"' in dot
+        assert "topaz.rutgers.edu" in dot

@@ -1,0 +1,98 @@
+"""Link-failure injection tests."""
+
+import pytest
+
+from repro import Pathalias
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.graph.build import build_graph
+from repro.netsim.failures import kill_links, survival
+from repro.parser.grammar import parse_text
+
+from tests.conftest import PAPER_1981_MAP
+
+
+def graph_of(text: str):
+    return build_graph([("d.map", parse_text(text))])
+
+
+class TestInjection:
+    def test_kill_fraction(self):
+        graph = graph_of("\n".join(f"h{i} h{i+1}(10)"
+                                   for i in range(50)))
+        before = graph.link_count
+        injection = kill_links(graph, fraction=0.2, seed=1)
+        assert graph.link_count == before - len(injection.killed)
+        assert len(injection.killed) == int(before * 0.2)
+
+    def test_restore(self):
+        graph = graph_of("a b(10)\nb c(10)\nc a(10)")
+        before = graph.link_count
+        injection = kill_links(graph, fraction=1.0, seed=2)
+        assert graph.link_count == 0
+        injection.restore()
+        assert graph.link_count == before
+
+    def test_deterministic_by_seed(self):
+        texts = "a b(1)\nb c(1)\nc d(1)\nd a(1)"
+        g1, g2 = graph_of(texts), graph_of(texts)
+        k1 = kill_links(g1, 0.5, seed=7)
+        k2 = kill_links(g2, 0.5, seed=7)
+        names1 = sorted((n.name, l.to.name) for n, l in k1.killed)
+        names2 = sorted((n.name, l.to.name) for n, l in k2.killed)
+        assert names1 == names2
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            kill_links(graph_of("a b(1)"), 1.5)
+
+    def test_only_requested_kinds_killed(self):
+        graph = graph_of("a b(10)\nNET = {a, b}(5)")
+        injection = kill_links(graph, fraction=1.0, seed=3)
+        # Only the NORMAL a->b link dies; the net star survives.
+        assert len(injection.killed) == 1
+        assert graph.link_count == 4
+
+
+class TestSurvival:
+    def test_undamaged_routes_survive(self):
+        graph = graph_of(PAPER_1981_MAP)
+        table = print_routes(Mapper(graph).run("unc"))
+        report = survival(table, graph, "unc")
+        assert report.survival_rate == 1.0
+        assert report.broken == []
+
+    def test_cut_artery_breaks_downstream(self):
+        graph = graph_of(PAPER_1981_MAP)
+        table = print_routes(Mapper(graph).run("unc"))
+        # Kill the unc->duke link specifically.
+        unc = graph.require("unc")
+        unc.links = [l for l in unc.links if l.to.name != "duke"]
+        report = survival(table, graph, "unc")
+        # Everything except unc itself and phs... all routes start
+        # with duke: only the local route survives.
+        assert report.survived == 1
+        assert set(report.broken) == {"duke", "phs", "research",
+                                      "ucbvax", "mit-ai", "stanford"}
+
+    def test_partial_damage_partial_survival(self):
+        generated_text = "\n".join(
+            [f"hub s{i}(10)" for i in range(10)]
+            + [f"s{i} hub(10)" for i in range(10)])
+        graph = graph_of(generated_text)
+        table = print_routes(Mapper(graph).run("hub"))
+        kill_links(graph, fraction=0.3, seed=5)
+        report = survival(table, graph, "hub")
+        assert 0 < report.survival_rate < 1.0
+
+    def test_realistic_map_survival_shape(self):
+        """Killing 10% of links strands some—but not most—routes."""
+        from repro.netsim.mapgen import MapParams, generate_map
+
+        generated = generate_map(MapParams.small(seed=41))
+        graph = build_graph([(n, parse_text(t, n))
+                             for n, t in generated.files])
+        table = print_routes(Mapper(graph).run(generated.localhost))
+        kill_links(graph, fraction=0.10, seed=6)
+        report = survival(table, graph, generated.localhost)
+        assert 0.3 < report.survival_rate < 1.0

@@ -1,0 +1,68 @@
+"""Unit tests for the coalescing free-list allocator simulator."""
+
+import pytest
+
+from repro.adt.freelist import FreeListAllocator
+from repro.adt.trace import churning_trace, pathalias_trace
+
+
+class TestAllocFree:
+    def test_alloc_then_free_then_realloc_reuses(self):
+        allocator = FreeListAllocator(sbrk_chunk=4096)
+        allocator.alloc(0, 100)
+        grown = allocator.stats.system_bytes
+        allocator.free(0)
+        allocator.alloc(1, 100)
+        assert allocator.stats.system_bytes == grown  # reused, no sbrk
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator().alloc(0, 0)
+
+    def test_coalescing_merges_neighbors(self):
+        allocator = FreeListAllocator(sbrk_chunk=64)
+        # Three adjacent blocks, freed in an order that exercises both
+        # predecessor and successor merging.
+        allocator.alloc(0, 40)
+        allocator.alloc(1, 40)
+        allocator.alloc(2, 40)
+        allocator.free(0)
+        allocator.free(2)
+        allocator.free(1)  # merges with both neighbors
+        sizes = [blk.size for blk in allocator._free]
+        # All space is one (or two, if chunk tails intervene) regions.
+        assert len(sizes) <= 2
+
+    def test_double_free_raises(self):
+        allocator = FreeListAllocator()
+        allocator.alloc(0, 32)
+        allocator.free(0)
+        with pytest.raises(KeyError):
+            allocator.free(0)
+
+    def test_split_leaves_remainder_free(self):
+        allocator = FreeListAllocator(sbrk_chunk=4096)
+        allocator.alloc(0, 64)
+        allocator.free(0)
+        allocator.alloc(1, 16)  # splits the 64-byte block
+        assert any(blk.size > 0 for blk in allocator._free)
+
+
+class TestTraceReplay:
+    def test_pathalias_trace_valid(self):
+        trace = pathalias_trace(nodes=150, links=450, seed=4)
+        stats = FreeListAllocator().run(trace)
+        assert stats.allocated_bytes == trace.total_allocated()
+
+    def test_churn_trace_valid(self):
+        trace = churning_trace(operations=2000, seed=5)
+        trace.validate()
+        stats = FreeListAllocator().run(trace)
+        assert stats.allocated_bytes == trace.total_allocated()
+
+    def test_churn_reuses_space(self):
+        """Where coalescing pays: heavy interleaved free/alloc keeps the
+        heap small relative to total bytes ever allocated."""
+        trace = churning_trace(operations=4000, seed=6)
+        stats = FreeListAllocator().run(trace)
+        assert stats.system_bytes < trace.total_allocated()

@@ -1,0 +1,168 @@
+"""Unit tests for the open-addressing double-hashing symbol table."""
+
+import pytest
+
+from repro.adt.hashtable import (
+    ALPHA_HIGH,
+    GrowthPolicy,
+    HashTable,
+    SecondaryHash,
+    string_key,
+)
+from repro.adt.primes import is_prime
+
+
+def names(count: int) -> list[str]:
+    return [f"host{i:05d}" for i in range(count)]
+
+
+class TestStringKey:
+    def test_deterministic(self):
+        assert string_key("princeton") == string_key("princeton")
+
+    def test_non_negative(self):
+        for name in ("", "a", "seismo", "x" * 100):
+            assert string_key(name) >= 0
+
+    def test_31_bit(self):
+        assert string_key("q" * 1000) < 2 ** 31
+
+    def test_distinguishes_similar_names(self):
+        keys = {string_key(f"vax{i}") for i in range(100)}
+        assert len(keys) == 100
+
+
+class TestBasicOperations:
+    def test_insert_and_lookup(self):
+        table = HashTable()
+        table.insert("duke", 1)
+        table.insert("unc", 2)
+        assert table.lookup("duke") == 1
+        assert table.lookup("unc") == 2
+
+    def test_missing_returns_default(self):
+        table = HashTable()
+        assert table.lookup("ghost") is None
+        assert table.lookup("ghost", default=-1) == -1
+
+    def test_overwrite(self):
+        table = HashTable()
+        table.insert("duke", 1)
+        table.insert("duke", 9)
+        assert table.lookup("duke") == 9
+        assert len(table) == 1
+
+    def test_contains_len(self):
+        table = HashTable()
+        assert "a" not in table
+        table.insert("a", 0)
+        assert "a" in table
+        assert len(table) == 1
+
+    def test_getitem_raises(self):
+        table = HashTable()
+        with pytest.raises(KeyError):
+            table["nope"]
+
+    def test_setitem(self):
+        table = HashTable()
+        table["x"] = 5
+        assert table["x"] == 5
+
+    def test_setdefault_interning(self):
+        table = HashTable()
+        first = table.setdefault("node", ["payload"])
+        second = table.setdefault("node", ["other"])
+        assert first is second
+
+    def test_iteration_yields_all_names(self):
+        table = HashTable()
+        for name in names(100):
+            table.insert(name, name.upper())
+        assert sorted(table) == names(100)
+        assert dict(table.items()) == {n: n.upper() for n in names(100)}
+
+    def test_none_values_are_storable(self):
+        table = HashTable()
+        table.insert("n", None)
+        assert "n" in table
+        assert table["n"] is None
+
+
+class TestGrowth:
+    def test_grows_past_high_water(self):
+        table = HashTable(initial_size=31)
+        for name in names(500):
+            table.insert(name, 0)
+        assert len(table) == 500
+        assert table.load_factor <= ALPHA_HIGH + 1e-9
+        assert table.rehashes > 0
+
+    def test_size_always_prime(self):
+        for policy in GrowthPolicy:
+            table = HashTable(initial_size=31, growth=policy)
+            for name in names(400):
+                table.insert(name, 0)
+            assert is_prime(table.size)
+
+    def test_contents_survive_rehash(self):
+        table = HashTable(initial_size=5)
+        expected = {}
+        for i, name in enumerate(names(300)):
+            table.insert(name, i)
+            expected[name] = i
+        assert dict(table.items()) == expected
+
+    def test_doubling_reaches_bigger_tables(self):
+        doubling = HashTable(initial_size=31,
+                             growth=GrowthPolicy.DOUBLING)
+        fib = HashTable(initial_size=31, growth=GrowthPolicy.FIBONACCI)
+        for name in names(700):
+            doubling.insert(name, 0)
+            fib.insert(name, 0)
+        # Doubling overshoots: the paper's space-waste complaint.
+        assert doubling.size >= fib.size
+
+    def test_arithmetic_targets_low_water(self):
+        table = HashTable(initial_size=31,
+                          growth=GrowthPolicy.ARITHMETIC)
+        for name in names(200):
+            table.insert(name, 0)
+        assert table.load_factor < ALPHA_HIGH
+
+    def test_retired_slots_accounted(self):
+        table = HashTable(initial_size=31)
+        for name in names(300):
+            table.insert(name, 0)
+        assert table.retired_slots > 0
+
+
+class TestProbeBehaviour:
+    def test_mean_probes_near_two_at_high_load(self):
+        """Gonnet's prediction the paper cites: ~2 probes per access
+        when the table is full (alpha = 0.79)."""
+        table = HashTable(initial_size=1009)
+        # Fill to just under the high-water mark without growing.
+        count = int(1009 * ALPHA_HIGH) - 1
+        for name in names(count):
+            table.insert(name, 0)
+        assert table.size == 1009
+        table.reset_stats()
+        for name in names(count):
+            assert table.lookup(name) == 0
+        assert 1.0 < table.mean_probes() < 3.0
+
+    def test_secondary_hash_variants_agree_on_contents(self):
+        data = names(300)
+        tables = [HashTable(secondary=s) for s in SecondaryHash]
+        for table in tables:
+            for name in data:
+                table.insert(name, name)
+            assert sorted(table) == sorted(data)
+
+    def test_stats_reset(self):
+        table = HashTable()
+        table.insert("a", 1)
+        table.reset_stats()
+        assert table.probes == 0
+        assert table.accesses == 0

@@ -1,0 +1,123 @@
+"""Unit tests for the implicit binary heap with decrease-key."""
+
+import pytest
+
+from repro.adt.heap import BinaryHeap
+
+
+class TestBasics:
+    def test_insert_extract_sorted(self):
+        heap = BinaryHeap()
+        for value in (5, 3, 8, 1, 9, 2):
+            heap.insert(f"n{value}", value)
+        out = []
+        while heap:
+            item, priority = heap.extract_min()
+            out.append(priority)
+        assert out == sorted(out)
+
+    def test_len_and_bool(self):
+        heap = BinaryHeap()
+        assert not heap
+        heap.insert("a", 1)
+        assert heap
+        assert len(heap) == 1
+
+    def test_contains(self):
+        heap = BinaryHeap()
+        heap.insert("a", 1)
+        assert "a" in heap
+        assert "b" not in heap
+        heap.extract_min()
+        assert "a" not in heap
+
+    def test_peek_does_not_remove(self):
+        heap = BinaryHeap()
+        heap.insert("a", 2)
+        heap.insert("b", 1)
+        assert heap.peek() == ("b", 1)
+        assert len(heap) == 2
+
+    def test_extract_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryHeap().extract_min()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryHeap().peek()
+
+    def test_duplicate_insert_rejected(self):
+        heap = BinaryHeap()
+        heap.insert("a", 1)
+        with pytest.raises(ValueError):
+            heap.insert("a", 2)
+
+    def test_priority_query(self):
+        heap = BinaryHeap()
+        heap.insert("a", 7)
+        assert heap.priority("a") == 7
+
+
+class TestDecreaseKey:
+    def test_decrease_moves_to_front(self):
+        heap = BinaryHeap()
+        heap.insert("slow", 100)
+        heap.insert("fast", 1)
+        heap.decrease_key("slow", 0)
+        assert heap.extract_min() == ("slow", 0)
+
+    def test_increase_rejected(self):
+        heap = BinaryHeap()
+        heap.insert("a", 5)
+        with pytest.raises(ValueError):
+            heap.decrease_key("a", 10)
+
+    def test_equal_priority_allowed(self):
+        heap = BinaryHeap()
+        heap.insert("a", 5)
+        heap.decrease_key("a", 5)
+        assert heap.priority("a") == 5
+
+    def test_decrease_missing_raises(self):
+        heap = BinaryHeap()
+        with pytest.raises(KeyError):
+            heap.decrease_key("ghost", 1)
+
+    def test_interleaved_operations(self):
+        heap = BinaryHeap()
+        for i in range(50):
+            heap.insert(i, 1000 + i)
+        for i in range(0, 50, 2):
+            heap.decrease_key(i, i)
+        heap.check_invariant()
+        first = [heap.extract_min()[0] for _ in range(25)]
+        assert first == list(range(0, 50, 2))
+
+
+class TestDeterminism:
+    def test_fifo_tie_break(self):
+        """Equal priorities extract in insertion order — route output
+        must be reproducible."""
+        heap = BinaryHeap()
+        for name in ("first", "second", "third"):
+            heap.insert(name, 7)
+        order = [heap.extract_min()[0] for _ in range(3)]
+        assert order == ["first", "second", "third"]
+
+    def test_tie_break_survives_decrease(self):
+        heap = BinaryHeap()
+        heap.insert("early", 9)
+        heap.insert("late", 9)
+        heap.insert("dropped", 20)
+        heap.decrease_key("dropped", 9)
+        order = [heap.extract_min()[0] for _ in range(3)]
+        # "dropped" keeps its (late) serial: stays behind the others.
+        assert order == ["early", "late", "dropped"]
+
+    def test_invariant_checker_catches_corruption(self):
+        heap = BinaryHeap()
+        for i in range(10):
+            heap.insert(i, i)
+        heap._heap[0][0] = 99  # corrupt on purpose
+        with pytest.raises(AssertionError):
+            heap.check_invariant()

@@ -1,0 +1,139 @@
+"""Tests for the cost-calculation heuristics (Cost calculation section)."""
+
+import pytest
+
+from repro.config import DEAD, HeuristicConfig, INF
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+
+def run(text: str, source: str, **cfg):
+    graph = build_graph([("d.map", parse_text(text))])
+    return Mapper(graph, HeuristicConfig(**cfg)).run(source)
+
+
+class TestMixedSyntax:
+    def test_bang_then_at_unpenalized(self):
+        """The paper's own example output shows ...!%s@host with no
+        penalty: the trailing-@ form is the accepted mixed route."""
+        result = run("a b(10)\nb @c(20)", "a")
+        assert result.cost("c") == 30
+
+    def test_at_then_bang_penalized(self):
+        """user@relay!x is the ambiguous direction: a bang-rigid mailer
+        routes it wrong, so the mapper charges for it."""
+        result = run("a @b(10)\nb c(20)", "a", mixed_penalty=1000)
+        assert result.cost("c") == 10 + 20 + 1000
+
+    def test_penalty_steers_route_choice(self):
+        # Two routes to d: cheap one mixes @ then !, expensive is pure.
+        text = ("a @b(10), x(200)\n"
+                "b d(10)\n"
+                "x d(200)")
+        penalized = run(text, "a", mixed_penalty=10000)
+        d_label = penalized.best(penalized.graph.require("d"))
+        assert d_label.parent.node.name == "x"
+        unpenalized = run(text, "a", mixed_penalty=0)
+        d_label = unpenalized.best(unpenalized.graph.require("d"))
+        assert d_label.parent.node.name == "b"
+
+    def test_penalty_counted_in_stats(self):
+        result = run("a @b(10)\nb c(20)", "a", mixed_penalty=1000)
+        assert result.stats.mixed_penalties == 1
+
+    def test_pure_bang_paths_never_penalized(self):
+        result = run("a b(1)\nb c(1)\nc d(1)", "a", mixed_penalty=10000)
+        assert result.cost("d") == 3
+
+
+class TestGatewayedNets:
+    MAP = ("gatewayed {NET}\n"
+           "NET = {member, other}(10)\n"
+           "src member(5), gw(50)\n"
+           "gw NET(10)\n")
+
+    def test_entry_via_member_penalized(self):
+        result = run(self.MAP, "src", gateway_penalty=100000)
+        # via member: 5 + 10 + penalty; via gw: 50 + 10. The gateway
+        # route wins.
+        assert result.cost("other") == 60
+
+    def test_entry_via_gateway_clean(self):
+        result = run(self.MAP, "src")
+        other = result.best(result.graph.require("other"))
+        assert other.parent.node.name == "NET"
+        net_label = other.parent
+        assert net_label.parent.node.name == "gw"
+
+    def test_penalty_ablation_restores_member_entry(self):
+        result = run(self.MAP, "src", gateway_penalty=0)
+        assert result.cost("other") == 15  # 5 + 10 + 0
+
+    def test_ungatewayed_net_unaffected(self):
+        result = run("NET = {member, other}(10)\nsrc member(5)", "src",
+                     gateway_penalty=100000)
+        assert result.cost("other") == 15
+
+
+class TestDomains:
+    def test_domains_gatewayed_by_definition(self):
+        graph = build_graph([("f", parse_text(".edu = {campus}"))])
+        assert graph.require(".edu").gatewayed
+
+    def test_member_may_enter_own_domain(self):
+        """Declaring caip under .rutgers.edu makes caip a gateway for
+        it — members inject mail without penalty."""
+        result = run("src caip(10)\n.rutgers.edu = {caip, blue}", "src")
+        assert result.cost("blue") == 10
+
+    def test_relay_through_domain_penalized(self):
+        """Once a path enters a domain, further real links pay the
+        ARPANET relay restriction."""
+        result = run("src caip(10)\n.rutgers.edu = {caip, blue}\n"
+                     "blue outside(10)", "src")
+        assert result.cost("outside") >= INF
+
+    def test_subdomain_to_parent_essentially_infinite(self):
+        """Prevents caip!seismo.css.gov.edu.rutgers absurdities."""
+        result = run("src caip(10)\n"
+                     ".rutgers = {caip}\n"
+                     ".edu = {.rutgers}\n"
+                     ".edu elsewhere(10)", "src")
+        # Path src -> caip -> .rutgers -> .edu must pay the up-penalty.
+        assert result.cost(".edu") >= INF
+
+    def test_parent_domain_gateways_children(self):
+        """Down the domain tree is free: the parent is the gateway."""
+        result = run("seismo .edu(95)\n"
+                     ".edu = {.rutgers}\n"
+                     ".rutgers = {caip}\n"
+                     "src seismo(100)", "src")
+        assert result.cost("caip") == 195
+
+    def test_domain_penalty_stat(self):
+        result = run("src caip(10)\n.rutgers.edu = {caip, blue}\n"
+                     "blue outside(10)", "src")
+        assert result.stats.domain_penalties >= 1
+
+
+class TestDeadCosts:
+    def test_dead_link_used_as_last_resort(self):
+        result = run("a b(10)\ndead {a!b}", "a")
+        assert result.cost("b") >= DEAD
+
+    def test_alive_path_preferred_over_dead(self):
+        result = run("a b(10), c(10)\nc b(10)\ndead {a!b}", "a")
+        b = result.best(result.graph.require("b"))
+        assert b.parent.node.name == "c"
+        assert result.cost("b") == 20
+
+
+class TestConfigValidation:
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicConfig(mixed_penalty=-1).validate()
+
+    def test_zero_back_link_factor_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicConfig(back_link_factor=0).validate()

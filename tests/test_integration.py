@@ -1,0 +1,112 @@
+"""Cross-module integration tests at realistic scale."""
+
+import pytest
+
+from repro import HeuristicConfig, Pathalias, compute_stats
+from repro.core.dense import DenseMapper
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.graph.build import build_graph
+from repro.mailer.address import MailerStyle
+from repro.mailer.delivery import Network
+from repro.mailer.routedb import RouteDatabase
+from repro.mailer.rewrite import RouteOptimizer
+from repro.netsim.mapgen import MapParams, generate_map
+from repro.parser.grammar import parse_text
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_map(MapParams.small(seed=99))
+
+
+@pytest.fixture(scope="module")
+def run(generated):
+    return Pathalias().run_detailed(generated.files, generated.localhost)
+
+
+class TestEndToEnd:
+    def test_whole_pipeline_consistent(self, generated, run):
+        stats = compute_stats(run.graph)
+        assert stats.hosts >= generated.expected_hosts * 0.9
+        assert len(run.table) > 0
+        assert run.table.unreachable == []
+
+    def test_routes_are_wellformed_format_strings(self, run):
+        for record in run.table:
+            assert record.route.count("%s") == 1
+            assert record.cost >= 0
+
+    def test_costs_match_mapping(self, run):
+        for record in run.table:
+            assert record.cost == run.mapping.best(record.node).cost
+
+    def test_sampled_routes_deliver(self, generated, run):
+        """Pathalias's philosophy, measured: sampled routes reach their
+        hosts when relays speak the appropriate conventions."""
+        styles = {}
+        # ARPANET-capable backbone: heuristics at gateways.
+        for host in generated.backbone:
+            styles[host] = MailerStyle.HEURISTIC
+        net = Network(run.graph, styles=styles,
+                      default_style=MailerStyle.HEURISTIC)
+        sample = [r for r in run.table][: 200]
+        failures = []
+        for record in sample:
+            if record.node.is_domain:
+                continue
+            report = net.deliver_route(generated.localhost, record.route)
+            if not report.delivered:
+                failures.append((record.name, report.failure))
+        assert not failures, failures[:5]
+
+    def test_route_database_round_trip(self, run, tmp_path):
+        from repro.mailer.routedb import IndexedPathsFile
+
+        index = IndexedPathsFile.build(run.table, tmp_path / "paths")
+        db = index.database()
+        for record in list(run.table)[:50]:
+            if record.node.is_domain:
+                continue
+            assert db.resolve(record.name, "u").address == \
+                record.route.replace("%s", "u", 1)
+
+    def test_optimizer_against_generated_db(self, generated, run):
+        db = RouteDatabase.from_table(run.table)
+        optimizer = RouteOptimizer(db, localhost=generated.localhost)
+        target = next(r.name for r in run.table
+                      if not r.node.is_domain and r.cost > 0)
+        optimized = optimizer.optimize(f"madeup1!madeup2!{target}!user")
+        assert optimized.pivot == target
+        assert optimized.address == run.table.address(target, "user")
+
+
+class TestCrossValidation:
+    def test_dense_matches_sparse_at_scale(self, generated):
+        cfg = HeuristicConfig(infer_back_links=False)
+        files = generated.files
+        graph_a = build_graph([(n, parse_text(t, n)) for n, t in files])
+        graph_b = build_graph([(n, parse_text(t, n)) for n, t in files])
+        sparse = Mapper(graph_a, cfg).run(generated.localhost)
+        dense = DenseMapper(graph_b, cfg).run(generated.localhost)
+        table_a = print_routes(sparse)
+        table_b = print_routes(dense)
+        assert table_a.format_paper() == table_b.format_paper()
+
+    def test_second_best_never_worse(self, generated):
+        files = generated.files
+        tree = Pathalias().run_detailed(files, generated.localhost)
+        dag = Pathalias(heuristics=HeuristicConfig(second_best=True)) \
+            .run_detailed(files, generated.localhost)
+        tree_costs = {r.node.name: r.cost for r in tree.table}
+        for record in dag.table:
+            before = tree_costs.get(record.node.name)
+            if before is not None:
+                assert record.cost <= before
+
+    def test_determinism_across_runs(self, generated):
+        a = Pathalias().run_text(generated.all_text(),
+                                 generated.localhost)
+        b = Pathalias().run_text(generated.all_text(),
+                                 generated.localhost)
+        assert a.format_paper() == b.format_paper()

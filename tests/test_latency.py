@@ -1,0 +1,127 @@
+"""Latency-simulation tests."""
+
+import pytest
+
+from repro.config import HeuristicConfig
+from repro.core.mapper import Mapper
+from repro.errors import RouteError
+from repro.graph.build import build_graph
+from repro.netsim.latency import (
+    HOP_OVERHEAD,
+    TRANSMIT,
+    LatencyModel,
+    LinkSchedule,
+    link_period,
+    mean_latency,
+    simulate_route,
+)
+from repro.parser.grammar import parse_text
+
+
+def mapped(text: str, source: str):
+    graph = build_graph([("d.map", parse_text(text))])
+    return Mapper(graph).run(source)
+
+
+class TestPeriods:
+    def test_grades(self):
+        assert link_period(25) == 0       # LOCAL
+        assert link_period(300) == 0      # DEMAND
+        assert link_period(500) == 60     # HOURLY
+        assert link_period(1800) == 720   # EVENING
+        assert link_period(5000) == 1440  # DAILY/POLLED
+        assert link_period(30000) == 10080  # WEEKLY
+
+    def test_beyond_table(self):
+        assert link_period(10 ** 6) == 10080
+
+
+class TestSchedule:
+    def test_on_demand_departs_immediately(self):
+        schedule = LinkSchedule(period=0, phase=0)
+        assert schedule.next_departure(123) == 123
+
+    def test_waits_for_window(self):
+        schedule = LinkSchedule(period=60, phase=15)
+        assert schedule.next_departure(0) == 15
+        assert schedule.next_departure(15) == 15
+        assert schedule.next_departure(16) == 75
+        assert schedule.next_departure(75) == 75
+
+    def test_phase_stability(self):
+        model = LatencyModel(seed=4)
+        from repro.graph.node import Node
+
+        a, b = Node("a", 0), Node("b", 1)
+        first = model.schedule_for(a, b, 500)
+        second = model.schedule_for(a, b, 500)
+        assert first is second
+
+
+class TestSimulation:
+    def test_demand_chain_is_fast(self):
+        result = mapped("a b(DEMAND)\nb c(DEMAND)", "a")
+        outcome = simulate_route(result, "c", LatencyModel(seed=1))
+        assert outcome.hops == 2
+        assert outcome.minutes == 2 * (HOP_OVERHEAD + TRANSMIT)
+        assert outcome.waits == [0, 0]
+
+    def test_daily_link_waits(self):
+        result = mapped("a b(DAILY)", "a")
+        outcome = simulate_route(result, "b", LatencyModel(seed=2))
+        assert outcome.hops == 1
+        assert outcome.minutes >= HOP_OVERHEAD + TRANSMIT
+        assert outcome.minutes <= 1440 + HOP_OVERHEAD + TRANSMIT
+
+    def test_net_star_is_one_call(self):
+        """Entering and leaving a network is one physical transfer."""
+        result = mapped("a m1(DEMAND)\nNET = {m1, m2}(HOURLY)", "a")
+        outcome = simulate_route(result, "m2", LatencyModel(seed=3))
+        assert outcome.hops == 2  # a->m1, m1->(net)->m2
+
+    def test_alias_edges_add_nothing(self):
+        result = mapped("a b(DEMAND)\nb = bee", "a")
+        direct = simulate_route(result, "b", LatencyModel(seed=4))
+        aliased = simulate_route(result, "bee", LatencyModel(seed=4))
+        assert direct.minutes == aliased.minutes
+
+    def test_source_is_instant(self):
+        result = mapped("a b(10)", "a")
+        outcome = simulate_route(result, "a", LatencyModel(seed=5))
+        assert outcome.minutes == 0
+        assert outcome.hops == 0
+
+    def test_unknown_destination(self):
+        result = mapped("a b(10)", "a")
+        with pytest.raises(RouteError):
+            simulate_route(result, "ghost", LatencyModel())
+
+    def test_deterministic_given_seed(self):
+        result = mapped("a b(HOURLY)\nb c(DAILY)", "a")
+        first = simulate_route(result, "c", LatencyModel(seed=9))
+        second = simulate_route(result, "c", LatencyModel(seed=9))
+        assert first.minutes == second.minutes
+
+
+class TestMeanLatency:
+    def test_demand_routes_beat_polled(self):
+        fast = mapped("a b(DEMAND)\nb c(DEMAND)", "a")
+        slow = mapped("a b(POLLED)\nb c(POLLED)", "a")
+        assert mean_latency(fast, ["c"], seed=6) < \
+            mean_latency(slow, ["c"], seed=6)
+
+    def test_cost_ranking_tracks_latency(self):
+        """The pragmatic metric's whole point: cheaper routes are
+        faster routes, frequency-wise."""
+        result = mapped(
+            "a hub(DEMAND), slow(POLLED)\n"
+            "hub far(DEMAND)\nslow far(POLLED)", "a")
+        hub_latency = mean_latency(result, ["hub"], seed=7)
+        slow_latency = mean_latency(result, ["slow"], seed=7)
+        assert hub_latency < slow_latency
+
+    def test_unreachable_skipped(self):
+        cfg = HeuristicConfig(infer_back_links=False)
+        graph = build_graph([("m", parse_text("a b(10)\nx y(10)"))])
+        result = Mapper(graph, cfg).run("a")
+        assert mean_latency(result, ["x"], seed=8) == 0.0

@@ -1,0 +1,105 @@
+"""Map-revision diff tests."""
+
+from repro import Pathalias
+from repro.netsim.mapdiff import (
+    diff_map_texts,
+    route_impact,
+    route_impact_for_source,
+)
+
+OLD = [("d.map", "a b(10), c(20)\nb a(10)\nc a(20)\nb c(30)")]
+NEW = [("d.map", "a b(10), c(99)\nb a(10)\nc a(20)\nb d(5)\nd b(5)")]
+
+
+class TestStructuralDiff:
+    def test_hosts_added(self):
+        diff = diff_map_texts(OLD, NEW)
+        assert diff.hosts_added == ["d"]
+        assert diff.hosts_removed == []
+
+    def test_links_added_and_removed(self):
+        diff = diff_map_texts(OLD, NEW)
+        assert ("b", "d") in diff.links_added
+        assert ("b", "c") in diff.links_removed
+
+    def test_cost_changes(self):
+        diff = diff_map_texts(OLD, NEW)
+        assert ("a", "c", 20, 99) in diff.cost_changes
+
+    def test_identical_maps_empty(self):
+        diff = diff_map_texts(OLD, OLD)
+        assert diff.is_empty
+        assert diff.summary() == "no changes"
+
+    def test_summary_counts(self):
+        diff = diff_map_texts(OLD, NEW)
+        text = diff.summary()
+        assert "+1/-0 hosts" in text
+        assert "1 cost changes" in text
+
+    def test_host_removed(self):
+        newer = [("d.map", "a b(10)\nb a(10)")]
+        diff = diff_map_texts(OLD, newer)
+        assert diff.hosts_removed == ["c"]
+
+    def test_private_hosts_ignored(self):
+        with_private = [("d.map",
+                         "a b(10)\nb a(10)\nprivate {p}\np a(5)")]
+        without = [("d.map", "a b(10)\nb a(10)")]
+        diff = diff_map_texts(without, with_private)
+        assert diff.hosts_added == []
+
+
+class TestRouteImpact:
+    def test_rerouted_and_gained(self):
+        impact = route_impact_for_source(OLD, NEW, "a")
+        assert "d" in impact.gained
+        # c's route changes: direct link became expensive, so the map
+        # reroutes through b... (b c link is gone in NEW; c stays
+        # direct but recosted)
+        assert "c" in impact.rerouted or "c" in impact.recosted
+
+    def test_unchanged_counted(self):
+        impact = route_impact_for_source(OLD, OLD, "a")
+        assert impact.rerouted == []
+        assert impact.gained == []
+        assert impact.lost == []
+        assert impact.stability() == 1.0
+
+    def test_lost_destination(self):
+        newer = [("d.map", "a b(10)\nb a(10)")]
+        impact = route_impact_for_source(OLD, newer, "a")
+        assert "c" in impact.lost
+
+    def test_direct_table_comparison(self):
+        old_table = Pathalias().run_text("a b(10)", localhost="a")
+        new_table = Pathalias().run_text("a b(25)", localhost="a")
+        impact = route_impact(old_table, new_table)
+        assert impact.recosted == ["b"]
+        assert impact.unchanged == 1  # the source itself
+
+    def test_total_adds_up(self):
+        impact = route_impact_for_source(OLD, NEW, "a")
+        assert impact.total == impact.unchanged \
+            + len(impact.rerouted) + len(impact.recosted) \
+            + len(impact.gained) + len(impact.lost)
+
+
+class TestRevisionStability:
+    def test_small_edit_leaves_most_routes_alone(self):
+        """The monthly-map experience: a regional edit barely moves the
+        global route table."""
+        from repro.netsim.mapgen import MapParams, generate_map
+
+        generated = generate_map(MapParams.small(seed=31))
+        old_files = generated.files
+        # Revision: append one new leaf host to the last region file.
+        name, text = old_files[-1]
+        hub = generated.backbone[0]
+        new_files = old_files[:-1] + [
+            (name, text + f"\nnewcomer {hub}(DAILY)\n"
+                          f"{hub} newcomer(DAILY)")]
+        impact = route_impact_for_source(old_files, new_files,
+                                         generated.localhost)
+        assert impact.gained == ["newcomer"]
+        assert impact.stability() > 0.95

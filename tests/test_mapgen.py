@@ -1,0 +1,138 @@
+"""Map-generator tests: the synthetic data must have the paper's shape."""
+
+import pytest
+
+from repro import Pathalias
+from repro.graph.build import build_graph
+from repro.graph.stats import compute_stats
+from repro.netsim.mapgen import GeneratedMap, MapParams, generate_map
+from repro.netsim.models import NameGenerator, link_cost_menu, pick_cost
+from repro.parser.grammar import parse_text
+
+import random
+
+
+@pytest.fixture(scope="module")
+def small_map() -> GeneratedMap:
+    return generate_map(MapParams.small(seed=42))
+
+
+@pytest.fixture(scope="module")
+def small_run(small_map):
+    return Pathalias().run_detailed(small_map.files, small_map.localhost)
+
+
+class TestNameGenerator:
+    def test_unique(self):
+        gen = NameGenerator(random.Random(0))
+        names = [gen.host() for _ in range(500)]
+        assert len(set(names)) == 500
+
+    def test_keywords_never_generated(self):
+        gen = NameGenerator(random.Random(0))
+        names = {gen.host() for _ in range(2000)}
+        assert not names & {"private", "dead", "adjust", "delete",
+                            "file", "gatewayed"}
+
+    def test_deterministic(self):
+        a = NameGenerator(random.Random(7))
+        b = NameGenerator(random.Random(7))
+        assert [a.host() for _ in range(50)] == \
+            [b.host() for _ in range(50)]
+
+
+class TestCostMenu:
+    def test_classes(self):
+        for cls in ("backbone", "regional", "leaf"):
+            assert link_cost_menu(cls)
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            link_cost_menu("imaginary")
+
+    def test_pick_cost_valid_expression(self):
+        from repro.parser.costexpr import evaluate_cost
+
+        rng = random.Random(3)
+        for cls in ("backbone", "regional", "leaf"):
+            for _ in range(20):
+                assert evaluate_cost(pick_cost(rng, cls)) > 0
+
+
+class TestGeneratedStructure:
+    def test_deterministic(self):
+        a = generate_map(MapParams.small(seed=5))
+        b = generate_map(MapParams.small(seed=5))
+        assert a.files == b.files
+
+    def test_different_seeds_differ(self):
+        a = generate_map(MapParams.small(seed=5))
+        b = generate_map(MapParams.small(seed=6))
+        assert a.files != b.files
+
+    def test_parses_cleanly(self, small_map):
+        for name, text in small_map.files:
+            parse_text(text, name)  # must not raise
+
+    def test_sparse(self, small_map):
+        graph = build_graph([(n, parse_text(t, n))
+                             for n, t in small_map.files])
+        stats = compute_stats(graph)
+        assert stats.is_sparse(factor=10)
+
+    def test_file_per_region_plus_extras(self, small_map):
+        names = [n for n, _ in small_map.files]
+        assert "d.backbone" in names
+        assert "d.othernets" in names
+        assert sum(1 for n in names if n.startswith("d.region")) == \
+            small_map.params.regions
+
+
+class TestGeneratedBehaviour:
+    def test_everything_reachable(self, small_run):
+        assert small_run.table.unreachable == []
+
+    def test_oneway_leaves_reached_by_inference(self, small_map,
+                                                small_run):
+        assert small_run.mapping.stats.inferred_links >= \
+            len(small_map.oneway_leaves)
+        for leaf in small_map.oneway_leaves:
+            assert small_run.table.lookup(leaf) is not None
+
+    def test_aliases_share_routes(self, small_map, small_run):
+        table = small_run.table
+        for alias, primary in small_map.aliases.items():
+            a = table.lookup(alias)
+            p = table.lookup(primary)
+            assert a is not None and p is not None
+            assert a.cost == p.cost
+
+    def test_domain_hosts_have_qualified_routes(self, small_map,
+                                                small_run):
+        table = small_run.table
+        found = 0
+        for host, fqdn in small_map.domain_hosts.items():
+            record = table.lookup(fqdn) or table.lookup(host)
+            assert record is not None
+            found += 1
+        assert found == len(small_map.domain_hosts)
+
+    def test_private_collisions_usable(self, small_map, small_run):
+        # Private names never appear in output, but the public twin (if
+        # any) may; at minimum nothing crashed and no route leaked a
+        # blank name.
+        names = {r.name for r in small_run.table}
+        assert all(name for name in names)
+
+    def test_expected_scale(self):
+        generated = generate_map(MapParams.medium(seed=1))
+        graph = build_graph([(n, parse_text(t, n))
+                             for n, t in generated.files])
+        stats = compute_stats(graph)
+        # medium preset: roughly a thousand hosts, few thousand links
+        assert 800 <= stats.hosts <= 3000
+        assert stats.links >= 2 * stats.hosts
+
+    def test_all_text_concatenation(self, small_map):
+        text = small_map.all_text()
+        assert 'file "d.backbone"' in text

@@ -1,0 +1,119 @@
+"""Mapper tests: Dijkstra variant, three vertex states, determinism."""
+
+import pytest
+
+from repro.config import HeuristicConfig
+from repro.core.mapper import Mapper
+from repro.errors import MappingError
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+
+def build(text: str):
+    return build_graph([("d.map", parse_text(text))])
+
+
+def run(text: str, source: str, **cfg):
+    graph = build(text)
+    heuristics = HeuristicConfig(**cfg) if cfg else None
+    return Mapper(graph, heuristics).run(source)
+
+
+class TestShortestPaths:
+    def test_direct_vs_relay(self):
+        """The 1981 observation: all routes go through duke despite the
+        direct unc-phs link, because of the cost difference."""
+        result = run("unc duke(500), phs(2000)\n"
+                     "duke phs(300)", "unc")
+        assert result.cost("phs") == 800
+
+    def test_source_cost_zero(self):
+        result = run("a b(10)", "a")
+        assert result.cost("a") == 0
+
+    def test_chain_costs_accumulate(self):
+        result = run("a b(10)\nb c(20)\nc d(30)", "a")
+        assert result.cost("d") == 60
+
+    def test_cheapest_of_parallel_paths(self):
+        result = run("a b(10), c(100)\nb c(10)", "a")
+        assert result.cost("c") == 20
+
+    def test_zero_cost_links(self):
+        result = run("a b(0)\nb c(0)", "a")
+        assert result.cost("c") == 0
+
+    def test_unknown_source_raises(self):
+        graph = build("a b(10)")
+        with pytest.raises(MappingError):
+            Mapper(graph).run("ghost")
+
+    def test_source_by_node_object(self):
+        graph = build("a b(10)")
+        result = Mapper(graph).run(graph.require("a"))
+        assert result.cost("b") == 10
+
+
+class TestVertexStates:
+    def test_unreachable_without_backlinks(self):
+        result = run("a b(10)\nisolated elsewhere(10)", "a",
+                     infer_back_links=False)
+        unreachable = {n.name for n in result.unreachable()}
+        assert unreachable == {"isolated", "elsewhere"}
+
+    def test_all_mapped_labels_final(self):
+        result = run("a b(10)\nb c(10)\nc a(10)", "a")
+        for label in result.labels.values():
+            assert label.mapped
+
+    def test_parent_links_form_tree(self):
+        result = run("a b(10), c(20)\nb c(5)", "a")
+        c_label = result.best(result.graph.require("c"))
+        assert c_label.parent.node.name == "b"
+        assert c_label.parent.parent.node.name == "a"
+
+
+class TestDeterminism:
+    def test_tie_breaks_by_declaration_order(self):
+        """Two equal-cost paths: the first-declared wins, every run."""
+        for _ in range(3):
+            result = run("a b(10), c(10)\nb d(10)\nc d(10)", "a")
+            d_label = result.best(result.graph.require("d"))
+            assert d_label.parent.node.name == "b"
+
+    def test_stats_counted(self):
+        result = run("a b(10), c(20)\nb c(5)", "a")
+        assert result.stats.pops == 3
+        assert result.stats.relaxations >= 3
+
+
+class TestAliasesInMapping:
+    def test_alias_reached_at_same_cost(self):
+        result = run("a princeton(40)\nprinceton = fun", "a")
+        assert result.cost("fun") == 40
+        assert result.cost("princeton") == 40
+
+    def test_route_continues_through_alias(self):
+        """nosc/noscvax: neighbors of either name are reachable."""
+        result = run("a noscvax(40)\nnosc = noscvax\nnosc w(10)", "a")
+        assert result.cost("w") == 50
+
+
+class TestNetworksInMapping:
+    def test_pay_to_enter_free_to_leave(self):
+        result = run("a NET(10)\nNET = {m1, m2}(30)", "a")
+        # a has an explicit link to the net: entering costs 10,
+        # leaving is free.
+        assert result.cost("m1") == 10
+        assert result.cost("m2") == 10
+
+    def test_member_to_member_via_net(self):
+        result = run("start m1(5)\nNET = {m1, m2}(30)", "start")
+        assert result.cost("m2") == 35  # 5 + 30 (enter) + 0 (leave)
+
+    def test_net_cost_equals_clique_cost(self):
+        """The star representation preserves the clique's cost
+        structure."""
+        star = run("s a(7)\nNET = {a, b}(11)", "s")
+        clique = run("s a(7)\na b(11)\nb a(11)", "s")
+        assert star.cost("b") == clique.cost("b")

@@ -1,0 +1,106 @@
+"""Facade tests, including the golden 1981 worked example."""
+
+import pytest
+
+from repro import HeuristicConfig, MappingError, Pathalias
+from repro.parser.lexgen import LexScanner
+
+from tests.conftest import PAPER_1981_OUTPUT
+
+
+class TestPaper1981Example:
+    """Experiment E2's correctness half: the exact published output."""
+
+    def test_exact_output(self, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        got = [(r.cost, r.name, r.route) for r in table]
+        assert got == PAPER_1981_OUTPUT
+
+    def test_routes_through_duke_despite_direct_phs_link(self, paper_map):
+        """'all generated paths route mail through duke, despite the
+        presence of a direct connection to phs from unc'."""
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        assert table.route("phs") == "duke!phs!%s"
+
+    def test_mixed_syntax_route(self, paper_map):
+        """'the path to ucbvax uses UUCP conventions ... while the
+        ARPANET portion has the host name on the right'."""
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        assert table.route("mit-ai") == "duke!research!ucbvax!%s@mit-ai"
+
+    def test_network_node_not_in_output(self, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        assert table.lookup("ARPA") is None
+
+    def test_same_result_with_lex_scanner(self, paper_map):
+        hand = Pathalias().run_text(paper_map, localhost="unc")
+        lex = Pathalias(scanner_class=LexScanner).run_text(
+            paper_map, localhost="unc")
+        assert hand.format_paper() == lex.format_paper()
+
+    def test_run_from_other_source(self, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="ucbvax")
+        assert table.route("ucbvax") == "%s"
+        # ucbvax reaches the ARPANET directly.
+        assert table.route("mit-ai") == "%s@mit-ai"
+
+
+class TestFacade:
+    def test_address_instantiation(self, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        assert table.address("phs", "honey") == "duke!phs!honey"
+
+    def test_format_tab_sorted_by_name(self, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        lines = table.format_tab().splitlines()
+        names = [line.split("\t")[0] for line in lines]
+        assert names == sorted(names)
+
+    def test_missing_localhost_raises(self, paper_map):
+        with pytest.raises(MappingError):
+            Pathalias().run_text(paper_map, localhost="nowhere")
+
+    def test_case_folding(self):
+        table = Pathalias(case_fold=True).run_text(
+            "UNC Duke(10)\nDUKE phs(10)", localhost="unc")
+        assert table.route("phs") == "duke!phs!%s"
+
+    def test_multiple_files_scope_private(self):
+        table = Pathalias().run_texts([
+            ("f1", "a bilbo(10)\nbilbo c(10)"),
+            ("f2", "private {bilbo}\nbilbo d(10)\na bilbo(10)"),
+        ], localhost="a")
+        # The public bilbo leads to c; d hangs off the private one and
+        # is reached through it.
+        assert table.route("c") == "bilbo!c!%s"
+        assert table.route("d") == "bilbo!d!%s"
+
+    def test_run_files(self, tmp_path, paper_map):
+        path = tmp_path / "d.map"
+        path.write_text(paper_map)
+        table = Pathalias().run_files([path], localhost="unc")
+        assert len(table) == 7
+
+    def test_detailed_timings_present(self, paper_map):
+        result = Pathalias().run_detailed([("m", paper_map)], "unc")
+        times = result.times
+        assert times.total > 0
+        for phase in ("scan", "parse", "build", "map", "print"):
+            assert getattr(times, phase) >= 0
+
+    def test_unreachable_reported(self):
+        table = Pathalias(
+            heuristics=HeuristicConfig(infer_back_links=False)
+        ).run_text("a b(10)\nlost faraway(10)", localhost="a")
+        assert "lost" in table.unreachable
+
+    def test_warnings_propagated(self):
+        table = Pathalias().run_text("a a(10), b(10)", localhost="a")
+        assert any("self" in w for w in table.warnings)
+
+    def test_heuristics_passed_through(self, motown_map):
+        tree = Pathalias().run_text(motown_map, localhost="princeton")
+        dag = Pathalias(
+            heuristics=HeuristicConfig(second_best=True)
+        ).run_text(motown_map, localhost="princeton")
+        assert tree.lookup("motown").cost > dag.lookup("motown").cost

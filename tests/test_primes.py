@@ -1,0 +1,78 @@
+"""Unit tests for prime helpers (hash-table sizing)."""
+
+from repro.adt.primes import (
+    fibonacci_primes,
+    geometric_primes,
+    is_prime,
+    next_prime,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        assert [n for n in range(2, 30) if is_prime(n)] == \
+            [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_non_primes(self):
+        for n in (-7, 0, 1, 4, 9, 15, 21, 25, 27, 100):
+            assert not is_prime(n)
+
+    def test_larger_primes(self):
+        assert is_prime(7919)
+        assert is_prime(104729)
+        assert not is_prime(7919 * 7919)
+
+    def test_square_of_prime(self):
+        assert not is_prime(49)
+        assert not is_prime(121)
+
+
+class TestNextPrime:
+    def test_exact_prime_returned(self):
+        assert next_prime(31) == 31
+        assert next_prime(2) == 2
+
+    def test_rounds_up(self):
+        assert next_prime(32) == 37
+        assert next_prime(90) == 97
+
+    def test_low_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(1) == 2
+        assert next_prime(3) == 3
+
+
+class TestFibonacciPrimes:
+    def test_strictly_increasing(self):
+        sizes = fibonacci_primes(12)
+        assert sizes == sorted(set(sizes))
+
+    def test_all_prime(self):
+        assert all(is_prime(p) for p in fibonacci_primes(12))
+
+    def test_golden_ratio_growth(self):
+        """Consecutive sizes grow by roughly the golden ratio, the rate
+        the paper settled on."""
+        sizes = fibonacci_primes(12, start=31)
+        ratios = [b / a for a, b in zip(sizes[4:], sizes[5:])]
+        for ratio in ratios:
+            assert 1.3 < ratio < 2.0
+
+    def test_count_zero(self):
+        assert fibonacci_primes(0) == []
+
+    def test_count_one(self):
+        assert fibonacci_primes(1, start=31) == [31]
+
+
+class TestGeometricPrimes:
+    def test_doubling_growth(self):
+        sizes = geometric_primes(8, start=31, factor=2.0)
+        for a, b in zip(sizes, sizes[1:]):
+            assert b >= 2 * a  # next prime at or above the doubled size
+
+    def test_all_prime(self):
+        assert all(is_prime(p) for p in geometric_primes(8))
+
+    def test_empty(self):
+        assert geometric_primes(0) == []

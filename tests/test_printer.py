@@ -1,0 +1,75 @@
+"""Printing-phase tests: record selection, ordering, formatting."""
+
+from repro import HeuristicConfig, Pathalias
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+
+def table_of(text: str, source: str):
+    graph = build_graph([("d.map", parse_text(text))])
+    return print_routes(Mapper(graph).run(source))
+
+
+class TestOrdering:
+    def test_sorted_by_cost_then_name(self):
+        table = table_of("a z(10), m(10), b(5)", "a")
+        assert [r.name for r in table] == ["a", "b", "m", "z"]
+
+    def test_costs_monotone(self, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        costs = [r.cost for r in table]
+        assert costs == sorted(costs)
+
+
+class TestSelection:
+    def test_nets_hidden_domains_shown(self):
+        table = table_of("a NET(5)\nNET = {m}(5)\n"
+                         "a .edu(5)\n.edu = {campus}", "a")
+        names = {r.name for r in table}
+        assert "NET" not in names
+        assert ".edu" in names
+        assert "m" in names
+
+    def test_private_hidden(self):
+        graph = build_graph([
+            ("f", parse_text("private {p}\na p(5)\np b(5)", "f"))])
+        table = print_routes(Mapper(graph).run("a"))
+        assert {r.name for r in table} == {"a", "b"}
+
+    def test_deleted_absent(self):
+        table = table_of("a b(5), c(5)\ndelete {b}", "a")
+        assert {r.name for r in table} == {"a", "c"}
+
+    def test_unreachable_listed(self):
+        graph = build_graph([("f", parse_text("a b(5)\nx y(5)"))])
+        mapper = Mapper(graph, HeuristicConfig(infer_back_links=False))
+        table = print_routes(mapper.run("a"))
+        assert set(table.unreachable) == {"x", "y"}
+
+
+class TestFormats:
+    def test_format_paper_layout(self):
+        table = table_of("a b(5)", "a")
+        assert table.format_paper() == "0\ta\t%s\n5\tb\tb!%s"
+
+    def test_format_tab_layout(self):
+        table = table_of("a b(5)", "a")
+        assert table.format_tab() == "a\t%s\nb\tb!%s"
+
+    def test_record_formats(self):
+        table = table_of("a b(5)", "a")
+        record = table.lookup("b")
+        assert record.format_paper() == "5\tb\tb!%s"
+        assert record.format_tab() == "b\tb!%s"
+
+    def test_len_iter(self):
+        table = table_of("a b(5), c(6)", "a")
+        assert len(table) == 3
+        assert len(list(table)) == 3
+
+    def test_address_missing_host(self):
+        table = table_of("a b(5)", "a")
+        assert table.address("ghost", "u") is None
+        assert table.route("ghost") is None

@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on the core substrates.
+
+Invariants pinned here:
+* the heap behaves exactly like a sorted reference under arbitrary
+  insert/decrease/extract interleavings;
+* the hash table is observationally a dict, under every secondary-hash
+  and growth-policy combination;
+* both scanners agree token-for-token on arbitrary generated maps;
+* declarations survive a writer -> scanner -> parser round trip;
+* the mapper agrees with networkx's Dijkstra on arbitrary random graphs
+  (heuristics off), and the dense O(v^2) variant agrees with the sparse
+  one *with* heuristics on;
+* allocators never report impossible numbers (system < live peak).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adt.arena import ArenaAllocator
+from repro.adt.freelist import FreeListAllocator
+from repro.adt.hashtable import GrowthPolicy, HashTable, SecondaryHash
+from repro.adt.heap import BinaryHeap
+from repro.adt.trace import churning_trace, pathalias_trace
+from repro.config import HeuristicConfig
+from repro.core.dense import DenseMapper
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.netsim.writer import render_file
+from repro.parser.ast import Direction, HostDecl, LinkSpec, NetDecl
+from repro.parser.grammar import parse_text
+from repro.parser.lexgen import LexScanner
+from repro.parser.scanner import Scanner
+
+# -- strategies ---------------------------------------------------------------
+
+host_names = st.from_regex(r"[a-z][a-z0-9-]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {"private", "dead", "adjust", "delete", "file",
+                        "gatewayed"} and not s.endswith("-"))
+
+link_specs = st.builds(
+    LinkSpec,
+    name=host_names,
+    op=st.sampled_from("!@:%"),
+    direction=st.sampled_from(list(Direction)),
+    cost=st.one_of(st.none(), st.integers(min_value=0, max_value=99999)),
+)
+
+host_decls = st.builds(
+    HostDecl,
+    name=host_names,
+    links=st.lists(link_specs, min_size=1, max_size=6,
+                   unique_by=lambda s: s.name).map(tuple),
+)
+
+net_decls = st.builds(
+    NetDecl,
+    name=host_names.map(str.upper),
+    members=st.lists(host_names, min_size=1, max_size=5,
+                     unique=True).map(tuple),
+    op=st.sampled_from("!@"),
+    direction=st.sampled_from(list(Direction)),
+    cost=st.one_of(st.none(), st.integers(min_value=0, max_value=9999)),
+)
+
+
+# -- heap ---------------------------------------------------------------------
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10_000)),
+                max_size=120))
+def test_heap_matches_reference(ops):
+    """Insert/decrease/extract in arbitrary order == sorted reference."""
+    heap: BinaryHeap[int] = BinaryHeap()
+    reference: dict[int, int] = {}
+    for item, priority in ops:
+        if item in reference:
+            if priority <= reference[item]:
+                heap.decrease_key(item, priority)
+                reference[item] = priority
+        else:
+            heap.insert(item, priority)
+            reference[item] = priority
+    heap.check_invariant()
+    extracted = []
+    while heap:
+        item, priority = heap.extract_min()
+        assert reference.pop(item) == priority
+        extracted.append(priority)
+    assert extracted == sorted(extracted)
+    assert not reference
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+def test_heap_is_a_priority_queue(priorities):
+    heap: BinaryHeap[int] = BinaryHeap()
+    for index, priority in enumerate(priorities):
+        heap.insert(index, priority)
+    out = [heap.extract_min()[1] for _ in range(len(priorities))]
+    assert out == sorted(priorities)
+
+
+# -- hash table ---------------------------------------------------------------
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=20),
+                       st.integers(), max_size=200),
+       st.sampled_from(list(SecondaryHash)),
+       st.sampled_from(list(GrowthPolicy)))
+def test_hashtable_is_a_dict(model, secondary, growth):
+    table = HashTable(initial_size=7, secondary=secondary, growth=growth)
+    for key, value in model.items():
+        table.insert(key, value)
+    assert len(table) == len(model)
+    assert dict(table.items()) == model
+    for key in model:
+        assert key in table
+
+
+@given(st.lists(st.text(min_size=1, max_size=12), min_size=1,
+                unique=True, max_size=300))
+def test_hashtable_load_factor_bounded(keys):
+    table = HashTable(initial_size=5)
+    for key in keys:
+        table.insert(key, None)
+        assert table.load_factor <= 0.79 + 1e-9
+
+
+# -- scanners -----------------------------------------------------------------
+
+
+@given(st.lists(st.one_of(host_decls, net_decls), min_size=1,
+                max_size=8))
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_scanners_agree_on_rendered_maps(decls):
+    text = render_file(list(decls))
+    assert Scanner(text, "t").tokens() == LexScanner(text, "t").tokens()
+
+
+@given(st.lists(host_decls, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_writer_parser_roundtrip(decls):
+    text = render_file(list(decls))
+    parsed = parse_text(text, "t")
+    originals = list(decls)
+    assert len(parsed) == len(originals)
+    for original, reparsed in zip(originals, parsed):
+        assert isinstance(reparsed, HostDecl)
+        assert reparsed.name == original.name
+        got = [(l.name, l.op, l.direction, l.cost) for l in reparsed.links]
+        want = [(l.name, l.op, l.direction, l.cost)
+                for l in original.links]
+        assert got == want
+
+
+# -- mapper vs networkx -------------------------------------------------------
+
+
+@st.composite
+def random_graphs(draw):
+    """A random sparse digraph as map text plus an edge list."""
+    node_count = draw(st.integers(min_value=2, max_value=14))
+    nodes = [f"n{i}" for i in range(node_count)]
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, node_count - 1),
+                  st.integers(0, node_count - 1),
+                  st.integers(1, 1000)),
+        min_size=1, max_size=40))
+    lines = []
+    seen = set()
+    clean_edges = []
+    for a, b, cost in edges:
+        if a == b or (a, b) in seen:
+            continue
+        seen.add((a, b))
+        clean_edges.append((nodes[a], nodes[b], cost))
+        lines.append(f"{nodes[a]} {nodes[b]}({cost})")
+    # Ensure the source declares something.
+    lines.append(f"{nodes[0]} {nodes[1]}(999983)")
+    clean_edges.append((nodes[0], nodes[1], 999983))
+    return "\n".join(lines), clean_edges, nodes[0]
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_mapper_agrees_with_networkx(data):
+    text, edges, source = data
+    graph = build_graph([("t", parse_text(text))])
+    cfg = HeuristicConfig(infer_back_links=False, mixed_penalty=0,
+                          gateway_penalty=0, domain_relay_penalty=0,
+                          subdomain_up_penalty=0)
+    result = Mapper(graph, cfg).run(source)
+
+    reference = nx.DiGraph()
+    for a, b, cost in edges:
+        if reference.has_edge(a, b):
+            # duplicate links: pathalias keeps the cheaper one
+            cost = min(cost, reference[a][b]["weight"])
+        reference.add_edge(a, b, weight=cost)
+    expected = nx.single_source_dijkstra_path_length(reference, source)
+    for node in reference.nodes:
+        assert result.cost(node) == expected.get(node), node
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_dense_and_sparse_identical(data):
+    """The O(v^2) baseline must match the heap variant label for label,
+    heuristics included."""
+    text, _, source = data
+    cfg = HeuristicConfig(infer_back_links=False)
+    sparse_graph = build_graph([("t", parse_text(text))])
+    dense_graph = build_graph([("t", parse_text(text))])
+    sparse = Mapper(sparse_graph, cfg).run(source)
+    dense = DenseMapper(dense_graph, cfg).run(source)
+    for node in sparse_graph.nodes:
+        s_label = sparse.best(node)
+        d_label = dense.best(dense_graph.require(node.name))
+        if s_label is None:
+            assert d_label is None
+        else:
+            assert d_label is not None
+            assert s_label.cost == d_label.cost
+            s_parent = s_label.parent.node.name if s_label.parent else None
+            d_parent = d_label.parent.node.name if d_label.parent else None
+            assert s_parent == d_parent
+
+
+# -- allocators ---------------------------------------------------------------
+
+
+@given(st.integers(10, 300), st.integers(0, 2 ** 31))
+@settings(max_examples=30, deadline=None)
+def test_allocators_account_consistently(nodes, seed)  :
+    trace = pathalias_trace(nodes=nodes, links=nodes * 3, seed=seed)
+    trace.validate()
+    for allocator in (ArenaAllocator(), FreeListAllocator()):
+        stats = allocator.run(trace)
+        assert stats.allocated_bytes == trace.total_allocated()
+        assert stats.system_bytes >= 0
+        assert stats.system_bytes + 4096 >= trace.live_bytes_peak()
+
+
+@given(st.integers(50, 500), st.integers(0, 2 ** 31))
+@settings(max_examples=20, deadline=None)
+def test_freelist_never_loses_space(operations, seed):
+    trace = churning_trace(operations=operations, seed=seed)
+    allocator = FreeListAllocator()
+    allocator.run(trace)
+    free_bytes = sum(b.size for b in allocator._free)
+    assert free_bytes <= allocator.stats.system_bytes

@@ -1,0 +1,77 @@
+"""Quick-fit allocator tests."""
+
+import pytest
+
+from repro.adt.quickfit import QUICK_CLASSES, QuickFitAllocator
+from repro.adt.trace import churning_trace, pathalias_trace
+
+
+class TestQuickLists:
+    def test_small_alloc_served(self):
+        allocator = QuickFitAllocator()
+        allocator.alloc(0, 16)
+        assert allocator.stats.allocated_bytes == 16
+
+    def test_free_parks_on_quick_list(self):
+        allocator = QuickFitAllocator()
+        allocator.alloc(0, 16)
+        allocator.free(0)
+        assert allocator.parked_bytes == 16
+
+    def test_realloc_reuses_quick_block(self):
+        allocator = QuickFitAllocator()
+        allocator.alloc(0, 16)
+        allocator.free(0)
+        system_before = allocator.stats.system_bytes
+        allocator.alloc(1, 16)
+        assert allocator.stats.system_bytes == system_before
+        assert allocator.parked_bytes == 0
+
+    def test_quick_reuse_is_cheap(self):
+        allocator = QuickFitAllocator()
+        allocator.alloc(0, 16)
+        allocator.free(0)
+        steps_before = allocator.stats.steps
+        allocator.alloc(1, 16)
+        # A quick-list hit costs O(1) — no free-list scan.
+        assert allocator.stats.steps - steps_before <= 2
+
+    def test_class_rounding_waste_tracked(self):
+        allocator = QuickFitAllocator()
+        allocator.alloc(0, 13)  # class 16
+        assert allocator.stats.wasted_bytes >= 3
+
+    def test_large_alloc_falls_back(self):
+        allocator = QuickFitAllocator()
+        big = max(QUICK_CLASSES) + 100
+        allocator.alloc(0, big)
+        allocator.free(0)
+        assert allocator.parked_bytes == 0  # went through the backing
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            QuickFitAllocator().alloc(0, 0)
+
+
+class TestTraceReplay:
+    def test_accounting_consistent(self):
+        trace = pathalias_trace(nodes=200, links=600, seed=11)
+        stats = QuickFitAllocator().run(trace)
+        assert stats.allocated_bytes == trace.total_allocated()
+
+    def test_faster_than_freelist_on_churn(self):
+        """Quick fit's selling point: churny small-object traffic."""
+        from repro.adt.freelist import FreeListAllocator
+
+        trace = churning_trace(operations=3000, seed=12)
+        quick = QuickFitAllocator().run(trace)
+        freelist = FreeListAllocator().run(trace)
+        assert quick.steps < freelist.steps
+
+    def test_hoards_space_relative_to_freelist(self):
+        """The trade-off: quick lists never give memory back."""
+        trace = churning_trace(operations=3000, seed=13)
+        quick = QuickFitAllocator()
+        quick.run(trace)
+        # After everything is freed, bytes remain parked.
+        assert quick.parked_bytes > 0

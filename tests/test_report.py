@@ -1,0 +1,54 @@
+"""Run-report rendering tests."""
+
+from repro import Pathalias
+from repro.core.report import run_report
+
+from tests.conftest import PAPER_1981_MAP
+
+
+def detailed(text: str, localhost: str):
+    return Pathalias().run_detailed([("d.map", text)], localhost)
+
+
+class TestRunReport:
+    def test_sections_present(self):
+        result = detailed(PAPER_1981_MAP, "unc")
+        text = run_report(result)
+        for heading in ("network:", "phases (seconds):", "mapping:",
+                        "routes:", "map checks:"):
+            assert heading in text
+
+    def test_source_named(self):
+        result = detailed(PAPER_1981_MAP, "unc")
+        assert "source unc" in run_report(result)
+
+    def test_counts_consistent(self):
+        result = detailed(PAPER_1981_MAP, "unc")
+        text = run_report(result)
+        assert "7 printed, 0 unreachable" in text
+        assert "nodes 8" in text  # 7 hosts + the ARPA net node
+
+    def test_busiest_relay_is_duke(self):
+        result = detailed(PAPER_1981_MAP, "unc")
+        text = run_report(result)
+        relay_section = text.split("busiest relays:")[1]
+        assert relay_section.strip().splitlines()[0].split()[0] == "duke"
+
+    def test_checks_optional(self):
+        result = detailed(PAPER_1981_MAP, "unc")
+        assert "map checks:" not in run_report(result,
+                                               include_checks=False)
+
+    def test_unreachable_listed(self):
+        from repro import HeuristicConfig
+
+        result = Pathalias(
+            heuristics=HeuristicConfig(infer_back_links=False)
+        ).run_detailed([("m", "a b(10)\nlost far(10)")], "a")
+        text = run_report(result)
+        assert "lost" in text
+
+    def test_penalty_counters_shown(self):
+        result = detailed("a @b(10)\nb c(5)", "a")
+        text = run_report(result)
+        assert "penalties: mixed 1" in text

@@ -1,0 +1,122 @@
+"""Route-optimization and header-principle tests."""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.mailer.address import MailerStyle
+from repro.mailer.rewrite import (
+    Header,
+    HeaderRewriter,
+    OptimizeMode,
+    RouteOptimizer,
+)
+from repro.mailer.routedb import RouteDatabase
+
+
+@pytest.fixture
+def db() -> RouteDatabase:
+    return RouteDatabase({
+        "duke": "duke!%s",
+        "research": "duke!research!%s",
+        "ucbvax": "duke!research!ucbvax!%s",
+        "seismo": "duke!seismo!%s",
+    })
+
+
+class TestRightmost:
+    def test_long_path_shortened(self, db):
+        """The 'hideously long UUCP path' case: re-route to the
+        rightmost known host."""
+        opt = RouteOptimizer(db, localhost="unc")
+        result = opt.optimize("a!b!c!ucbvax!user")
+        assert result.address == "duke!research!ucbvax!user"
+        assert result.pivot == "ucbvax"
+        assert result.savings == 3
+
+    def test_unknown_tail_kept_relative(self, db):
+        opt = RouteOptimizer(db, localhost="unc")
+        result = opt.optimize("a!seismo!mcvax!piet")
+        assert result.address == "duke!seismo!mcvax!piet"
+        assert result.pivot == "seismo"
+
+    def test_no_known_host_raises(self, db):
+        opt = RouteOptimizer(db, localhost="unc")
+        with pytest.raises(RouteError):
+            opt.optimize("x!y!user")
+
+
+class TestFirstHop:
+    def test_routes_to_first_site(self, db):
+        opt = RouteOptimizer(db, localhost="unc",
+                             mode=OptimizeMode.FIRST_HOP)
+        result = opt.optimize("research!ucbvax!user")
+        assert result.address == "duke!research!ucbvax!user"
+        assert result.pivot == "research"
+        assert result.savings == 0
+
+
+class TestLoopPreservation:
+    def test_loop_test_not_optimized(self, db):
+        """'an overly-enthusiastic optimizer can eliminate them
+        altogether'."""
+        opt = RouteOptimizer(db, localhost="unc")
+        address = "duke!unc!duke!unc!user"
+        result = opt.optimize(address)
+        assert result.address == address
+        assert result.savings == 0
+
+    def test_loops_optimized_when_disabled(self, db):
+        opt = RouteOptimizer(db, localhost="unc", preserve_loops=False)
+        result = opt.optimize("duke!unc!duke!user")
+        # rightmost known host is the last duke
+        assert result.address == "duke!user"
+
+    def test_off_mode_trusts_user(self, db):
+        opt = RouteOptimizer(db, localhost="unc", mode=OptimizeMode.OFF)
+        address = "a!b!ucbvax!user"
+        assert opt.optimize(address).address == address
+
+
+class TestHeaderRewriter:
+    def test_uucp_return_path_prepends(self):
+        rewriter = HeaderRewriter("cbosgd", MailerStyle.BANG_RIGID)
+        assert rewriter.extend_return_path("mark") == "cbosgd!mark"
+        assert rewriter.extend_return_path("a!mark") == "cbosgd!a!mark"
+
+    def test_rfc_return_path_absolute(self):
+        rewriter = HeaderRewriter("mit-ai", MailerStyle.RFC822_RIGID)
+        assert rewriter.extend_return_path("user") == "user@mit-ai"
+
+    def test_rfc_return_path_percent_encapsulation(self):
+        """'A host must not generate a return path that would be
+        rejected if used' — the RFC822 host keeps its syntax."""
+        rewriter = HeaderRewriter("relay", MailerStyle.RFC822_RIGID)
+        out = rewriter.extend_return_path("user@origin")
+        assert out == "user%origin@relay"
+        # And it parses under the host's own rules:
+        from repro.mailer.address import next_hop
+        host, rest = next_hop(out, MailerStyle.RFC822_RIGID)
+        assert host == "relay"
+
+    def test_relay_does_not_translate(self):
+        relay = HeaderRewriter("mid", MailerStyle.BANG_RIGID,
+                               is_gateway=False)
+        header = relay.forward_header(
+            Header(sender="alice", recipient="mid!far!user@x"),
+            rest="far!user@x")
+        assert header.recipient == "far!user@x"  # untouched
+
+    def test_gateway_translates_bang_to_rfc(self):
+        gateway = HeaderRewriter("gw", MailerStyle.RFC822_RIGID,
+                                 is_gateway=True)
+        assert gateway.translate("a!b!user") == "user%b@a"
+
+    def test_gateway_translates_rfc_to_bang(self):
+        gateway = HeaderRewriter("gw", MailerStyle.BANG_RIGID,
+                                 is_gateway=True)
+        assert gateway.translate("user@host") == "host!user"
+
+    def test_translate_passthrough_when_already_native(self):
+        gateway = HeaderRewriter("gw", MailerStyle.BANG_RIGID,
+                                 is_gateway=True)
+        assert gateway.translate("a!b!user") == "a!b!user"

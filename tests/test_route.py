@@ -1,0 +1,163 @@
+"""Route-construction tests: the PRINTING THE ROUTES figures."""
+
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.core.route import splice
+from repro.graph.build import build_graph
+from repro.parser.ast import Direction
+from repro.parser.grammar import parse_text
+
+from tests.conftest import DOMAIN_TREE_MAP
+
+
+def routes_of(text: str, source: str) -> dict[str, str]:
+    graph = build_graph([("d.map", parse_text(text))])
+    table = print_routes(Mapper(graph).run(source))
+    return {r.name: r.route for r in table}
+
+
+class TestSplice:
+    def test_left(self):
+        assert splice("%s", "duke", "!", Direction.LEFT) == "duke!%s"
+
+    def test_right(self):
+        assert splice("%s", "mit-ai", "@", Direction.RIGHT) == "%s@mit-ai"
+
+    def test_nested_left(self):
+        assert splice("duke!%s", "phs", "!", Direction.LEFT) == \
+            "duke!phs!%s"
+
+    def test_mixed(self):
+        assert splice("ucbvax!%s", "mit-ai", "@", Direction.RIGHT) == \
+            "ucbvax!%s@mit-ai"
+
+    def test_only_first_marker_replaced(self):
+        # %s never legitimately appears twice, but be exact anyway.
+        assert splice("a!%s", "b", "!", Direction.LEFT) == "a!b!%s"
+
+
+class TestPlainRoutes:
+    def test_root_is_percent_s(self):
+        routes = routes_of("a b(10)", "a")
+        assert routes["a"] == "%s"
+
+    def test_chain(self):
+        routes = routes_of("a b(10)\nb c(10)", "a")
+        assert routes["c"] == "b!c!%s"
+
+    def test_right_direction_operator(self):
+        routes = routes_of("a @b(10)", "a")
+        assert routes["b"] == "%s@b"
+
+    def test_custom_operators(self):
+        routes = routes_of("a b%(10)\nb :c(5)", "a")
+        # postfix % => host LEFT of '%'; prefix ':' => host RIGHT of ':'
+        assert routes["b"] == "b%%s"
+        assert routes["c"] == splice("b%%s", "c", ":", Direction.RIGHT)
+
+
+class TestSiemensGypsyFigure:
+    """The tree fragment figure: princeton -> siemens (!) -> gypsy (@)."""
+
+    def test_figure_routes(self):
+        routes = routes_of(
+            "princeton siemens!(10)\nsiemens @gypsy(10)", "princeton")
+        assert routes["siemens"] == "siemens!%s"
+        assert routes["gypsy"] == "siemens!%s@gypsy"
+
+
+class TestAliasRoutes:
+    def test_alias_same_route(self):
+        routes = routes_of("a princeton(10)\nprinceton = fun", "a")
+        assert routes["princeton"] == "princeton!%s"
+        assert routes["fun"] == "princeton!%s"
+
+    def test_predecessor_name_used(self):
+        """nosc/noscvax: the name in the path is the one the
+        predecessor understands."""
+        routes = routes_of(
+            "a noscvax(10)\nnosc = noscvax\nnoscvax w(10)", "a")
+        assert routes["nosc"] == "noscvax!%s"
+        assert routes["w"] == "noscvax!w!%s"
+
+
+class TestNetworkRoutes:
+    def test_net_not_printed(self):
+        routes = routes_of("a NET(10)\nNET = {m}(20)", "a")
+        assert "NET" not in routes
+        assert routes["m"] == "m!%s"
+
+    def test_member_uses_entry_operator(self):
+        """Different gateways between two networks may use different
+        syntax: the operator is the one met when entering the net."""
+        routes = routes_of("a ARPA(10)\nARPA = @{m}(20)", "a")
+        # entry link a->ARPA is plain (!, LEFT): exits use '!' LEFT.
+        assert routes["m"] == "m!%s"
+
+    def test_member_entry_via_member_edge(self):
+        routes = routes_of("a m1(10)\nARPA = @{m1, m2}(20)", "a")
+        # entered via m1's member edge, declared @ RIGHT.
+        assert routes["m2"] == "m1!%s@m2"
+
+    def test_paper_1981_arpa_route(self):
+        routes = routes_of(
+            "unc duke(500)\nduke research(2500)\n"
+            "research ucbvax(300)\nARPA = @{mit-ai, ucbvax}(95)", "unc")
+        assert routes["mit-ai"] == "duke!research!ucbvax!%s@mit-ai"
+
+
+class TestDomainRoutes:
+    def test_figure_seismo_caip(self):
+        """The domain-tree figure: caip.rutgers.edu via seismo."""
+        routes = routes_of(DOMAIN_TREE_MAP, "local")
+        assert routes["caip.rutgers.edu"] == "seismo!caip.rutgers.edu!%s"
+
+    def test_top_level_domain_printed_with_gateway_route(self):
+        routes = routes_of(DOMAIN_TREE_MAP, "local")
+        assert routes[".edu"] == "seismo!%s"
+
+    def test_subdomains_not_printed(self):
+        routes = routes_of(DOMAIN_TREE_MAP, "local")
+        assert ".rutgers.edu" not in routes
+        assert ".rutgers" not in routes
+
+    def test_hosts_beyond_domain_member(self):
+        routes = routes_of(DOMAIN_TREE_MAP, "local")
+        # blue hangs off caip; the path went through the domain, so the
+        # link is penalized but the route text is still well-formed.
+        assert routes["blue"] == "seismo!caip.rutgers.edu!blue!%s"
+
+    def test_masquerading_subdomain(self):
+        """A subdomain declared with its full name and own gateway acts
+        as a top-level domain: '.rutgers.edu is logically an alias of
+        .rutgers, but such a declaration is superfluous'."""
+        routes = routes_of(
+            "local caip(10)\ncaip .rutgers.edu(0)\n"
+            ".rutgers.edu = {blue}", "local")
+        assert routes[".rutgers.edu"] == "caip!%s"
+        assert routes["blue.rutgers.edu"] == "caip!blue.rutgers.edu!%s"
+
+
+class TestPrivateRoutes:
+    def test_private_not_printed_but_relays(self):
+        graph = build_graph([
+            ("f1", parse_text("a pvt(10)\npvt b(10)", "f1")),
+            ("f2", parse_text("private {pvt}\npvt other(1)", "f2")),
+        ])
+        table = print_routes(Mapper(graph).run("a"))
+        names = {r.name for r in table}
+        routes = {r.name: r.route for r in table}
+        # The public pvt (file f1) is printed; the private one is not —
+        # but only one 'pvt' record may exist.
+        assert list(names).count("pvt") <= 1
+        assert routes["b"] == "pvt!b!%s"
+
+    def test_fully_private_name_suppressed(self):
+        graph = build_graph([
+            ("f1", parse_text(
+                "private {ghost}\na ghost(10)\nghost b(10)", "f1")),
+        ])
+        table = print_routes(Mapper(graph).run("a"))
+        names = {r.name for r in table}
+        assert "ghost" not in names
+        assert {r.name: r.route for r in table}["b"] == "ghost!b!%s"

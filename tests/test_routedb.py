@@ -1,0 +1,119 @@
+"""Route-database tests: the paper's domain lookup procedure."""
+
+import pytest
+
+from repro import Pathalias
+from repro.errors import RouteError
+from repro.mailer.routedb import (
+    IndexedPathsFile,
+    RouteDatabase,
+    domain_suffixes,
+)
+
+from tests.conftest import DOMAIN_TREE_MAP
+
+
+@pytest.fixture
+def domain_db() -> RouteDatabase:
+    table = Pathalias().run_text(DOMAIN_TREE_MAP, localhost="local")
+    return RouteDatabase.from_table(table)
+
+
+class TestSuffixes:
+    def test_paper_sequence(self):
+        assert domain_suffixes("caip.rutgers.edu") == \
+            ["caip.rutgers.edu", ".rutgers.edu", ".edu"]
+
+    def test_plain_host(self):
+        assert domain_suffixes("seismo") == ["seismo"]
+
+    def test_domain_input(self):
+        assert domain_suffixes(".rutgers.edu") == \
+            [".rutgers.edu", ".edu"]
+
+
+class TestResolve:
+    def test_exact_host_match(self, domain_db):
+        res = domain_db.resolve("caip.rutgers.edu", "pleasant")
+        assert res.matched == "caip.rutgers.edu"
+        assert res.address == "seismo!caip.rutgers.edu!pleasant"
+
+    def test_domain_fallback_produces_same_address(self, domain_db):
+        """The paper's worked lookup: with no exact entry, the .edu
+        route is used with argument caip.rutgers.edu!pleasant —
+        'producing seismo!caip.rutgers.edu!pleasant, as before'."""
+        trimmed = RouteDatabase({
+            name: route for name, route in [
+                (r, domain_db.route(r)) for r in [".edu", "seismo"]
+            ]})
+        res = trimmed.resolve("caip.rutgers.edu", "pleasant")
+        assert res.matched == ".edu"
+        assert res.address == "seismo!caip.rutgers.edu!pleasant"
+
+    def test_intermediate_domain_match(self, domain_db):
+        db = RouteDatabase({".rutgers.edu": "gw!%s"})
+        res = db.resolve("caip.rutgers.edu", "u")
+        assert res.matched == ".rutgers.edu"
+        assert res.address == "gw!caip.rutgers.edu!u"
+
+    def test_no_route_raises(self, domain_db):
+        with pytest.raises(RouteError):
+            domain_db.resolve("unknown.host.mil", "u")
+
+    def test_resolve_bang(self, domain_db):
+        res = domain_db.resolve_bang("caip.rutgers.edu!pleasant")
+        assert res.address == "seismo!caip.rutgers.edu!pleasant"
+
+    def test_resolve_bang_requires_user(self, domain_db):
+        with pytest.raises(RouteError):
+            domain_db.resolve_bang("caip.rutgers.edu")
+
+    def test_membership(self, domain_db):
+        assert ".edu" in domain_db
+        assert "caip.rutgers.edu" in domain_db
+        assert "nowhere" not in domain_db
+
+
+class TestIndexedPathsFile:
+    def test_build_and_lookup(self, tmp_path, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        index = IndexedPathsFile.build(table, tmp_path / "paths")
+        assert index.lookup("phs") == "duke!phs!%s"
+        assert index.lookup("nowhere") is None
+        assert len(index) == 7
+
+    def test_file_is_sorted_linear_text(self, tmp_path, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        IndexedPathsFile.build(table, tmp_path / "paths")
+        lines = (tmp_path / "paths").read_text().splitlines()
+        names = [line.split("\t")[0] for line in lines]
+        assert names == sorted(names)
+
+    def test_bisection_beats_linear_scan(self, tmp_path, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        index = IndexedPathsFile.build(table, tmp_path / "paths")
+        index.comparisons = 0
+        index.lookup("ucbvax")
+        binary = index.comparisons
+        index.comparisons = 0
+        index.lookup_linear("ucbvax")
+        linear = index.comparisons
+        assert binary <= linear
+
+    def test_unsorted_file_rejected(self, tmp_path):
+        path = tmp_path / "paths"
+        path.write_text("z\tz!%s\na\ta!%s\n")
+        with pytest.raises(RouteError):
+            IndexedPathsFile(path).load()
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "paths"
+        path.write_text("justaname\n")
+        with pytest.raises(RouteError):
+            IndexedPathsFile(path).load()
+
+    def test_database_roundtrip(self, tmp_path, paper_map):
+        table = Pathalias().run_text(paper_map, localhost="unc")
+        index = IndexedPathsFile.build(table, tmp_path / "paths")
+        db = index.database()
+        assert db.resolve("phs", "honey").address == "duke!phs!honey"

@@ -1,0 +1,119 @@
+"""MailRouter tests, including the PERSPECTIVES reply hazard."""
+
+import pytest
+
+from repro import Pathalias
+from repro.errors import RouteError
+from repro.mailer.address import MailerStyle
+from repro.mailer.routedb import RouteDatabase
+from repro.mailer.router import MailRouter
+
+from tests.conftest import PAPER_1981_MAP
+
+
+@pytest.fixture
+def unc_router() -> MailRouter:
+    table = Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+    return MailRouter("unc", RouteDatabase.from_table(table))
+
+
+class TestOutbound:
+    def test_bare_rfc_address(self, unc_router):
+        envelope = unc_router.route("honey@phs")
+        assert envelope.transport_address == "duke!phs!honey"
+
+    def test_explicit_bang_path_optimized(self, unc_router):
+        envelope = unc_router.route("phs!duke!research!user")
+        # rightmost known host is research.
+        assert envelope.transport_address == "duke!research!user"
+
+    def test_loop_test_preserved(self, unc_router):
+        loop = "duke!unc!duke!unc!user"
+        envelope = unc_router.route(loop)
+        assert envelope.transport_address == loop
+
+    def test_return_path_extended(self, unc_router):
+        envelope = unc_router.route("honey@phs", sender="smb")
+        assert envelope.from_header == "unc!smb"
+
+    def test_local_user_rejected(self, unc_router):
+        with pytest.raises(RouteError):
+            unc_router.route("just-a-user")
+
+    def test_manual_resolution(self, unc_router):
+        res = unc_router.resolve("mit-ai", "minsky")
+        assert res.address == "duke!research!ucbvax!minsky@mit-ai"
+
+
+class TestReply:
+    def test_reply_to_received_path(self, unc_router):
+        """A message arrived From: duke!research!user — the reply
+        address reuses our own route to the rightmost known host."""
+        reply = unc_router.reply_address("duke!research!user")
+        assert reply == "duke!research!user"
+
+    def test_reply_reoptimizes_long_paths(self, unc_router):
+        reply = unc_router.reply_address("phs!duke!research!user")
+        assert reply == "duke!research!user"
+
+    def test_reply_to_unknown_path_kept_verbatim(self, unc_router):
+        reply = unc_router.reply_address("x1!x2!user")
+        assert reply == "x1!x2!user"
+
+    def test_local_sender_passthrough(self, unc_router):
+        assert unc_router.reply_address("honey") == "honey"
+
+
+class TestPerspectivesHazard:
+    """The cbosgd / seismo!mcvax!piet example, made executable."""
+
+    MAP = """\
+cbosgd\tprinceton(DEMAND), seismo(DEMAND)
+princeton\tcbosgd(DEMAND)
+seismo\tcbosgd(DEMAND), mcvax(DAILY)
+mcvax\tseismo(DAILY)
+"""
+
+    def test_abbreviation_warps_the_name_space(self):
+        # cbosgd runs pathalias: it knows a route to seismo, so an
+        # eager optimizer abbreviates the Cc: path.
+        table = Pathalias().run_text(self.MAP, localhost="cbosgd")
+        cbosgd = MailRouter("cbosgd", RouteDatabase.from_table(table))
+        abbreviated = cbosgd.abbreviate_cc("seismo!mcvax!piet")
+        assert abbreviated == "mcvax!piet"
+
+        # princeton receives the header.  Relative to princeton, the
+        # copy recipient should be (cbosgd!)seismo!mcvax!piet; the
+        # abbreviated form rebinds to cbosgd!mcvax!piet instead —
+        # "this cannot be safely transformed without making
+        # assumptions about host name uniqueness."
+        received_at_princeton = f"cbosgd!{abbreviated}"
+        assert received_at_princeton == "cbosgd!mcvax!piet"
+        # cbosgd has no mcvax link: the warped address is undeliverable.
+        from repro.graph.build import build_graph
+        from repro.mailer.delivery import Network
+        from repro.parser.grammar import parse_text
+
+        graph = build_graph([("m", parse_text(self.MAP))])
+        net = Network(graph, default_style=MailerStyle.BANG_RIGID)
+        outcome = net.deliver("princeton", received_at_princeton)
+        assert not outcome.delivered
+
+        # The unabbreviated form survives the same trip.
+        safe = f"cbosgd!seismo!mcvax!piet"
+        outcome = net.deliver("princeton", safe)
+        assert outcome.delivered
+        assert outcome.final_host == "mcvax"
+
+    def test_abbreviate_stops_at_unknown(self):
+        table = Pathalias().run_text(self.MAP, localhost="cbosgd")
+        router = MailRouter("cbosgd", RouteDatabase.from_table(table))
+        assert router.abbreviate_cc("unknown1!unknown2!user") == \
+            "unknown1!unknown2!user"
+
+    def test_gateway_router_translates(self):
+        table = Pathalias().run_text(self.MAP, localhost="seismo")
+        gateway = MailRouter("seismo", RouteDatabase.from_table(table),
+                             style=MailerStyle.RFC822_RIGID,
+                             is_gateway=True)
+        assert gateway.rewriter.translate("a!b!user") == "user%b@a"

@@ -1,0 +1,128 @@
+"""Integration tests over the period-flavored sample maps in
+tests/data/ — the closest thing to running the tool on a real 1986
+posting, exercising every input feature at once."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import HeuristicConfig, Pathalias
+from repro.config import DEAD
+from repro.core.explain import explain_route, verify_explanation
+from repro.graph.check import check_map
+from repro.mailer.routedb import RouteDatabase
+
+DATA = Path(__file__).parent / "data"
+FILES = [DATA / "d.backbone", DATA / "d.universities", DATA / "d.arpa"]
+
+
+@pytest.fixture(scope="module")
+def run():
+    tool = Pathalias()
+    named = [(p.name, p.read_text()) for p in FILES]
+    return tool.run_detailed(named, "ihnp4")
+
+
+class TestWholeMap:
+    def test_everything_reachable(self, run):
+        assert run.table.unreachable == []
+
+    def test_scale(self, run):
+        assert len(run.table) > 30
+
+    def test_backbone_direct(self, run):
+        assert run.table.route("allegra") == "allegra!%s"
+        assert run.table.route("seismo") == "seismo!%s"
+
+    def test_multi_hop_university(self, run):
+        assert run.table.route("rutgers-ru") == \
+            "allegra!princeton!rutgers-ru!%s"
+
+    def test_clique_member_via_net(self, run):
+        # bellcore is NJ-net clique-mates with princeton (its own
+        # declared link points outward only), so the route rides the
+        # clique: the net node itself stays invisible.
+        record = run.table.lookup("bellcore")
+        assert record is not None
+        assert record.route == "allegra!princeton!bellcore!%s"
+        assert "NJ-net" not in record.route
+
+    def test_arpa_mixed_syntax(self, run):
+        route = run.table.route("mit-ai")
+        assert route.endswith("%s@mit-ai")
+        assert route.startswith(("seismo!", "ucbvax!"))
+
+    def test_alias_equivalence(self, run):
+        fun = run.table.lookup("fun")
+        princeton = run.table.lookup("princeton")
+        assert fun.cost == princeton.cost
+
+    def test_nosc_alias_both_names(self, run):
+        nosc = run.table.lookup("nosc")
+        noscvax = run.table.lookup("noscvax")
+        assert nosc is not None and noscvax is not None
+        assert nosc.cost == noscvax.cost
+
+    def test_passive_leaf_by_implication(self, run):
+        sleepy = run.table.lookup("sleepy")
+        assert sleepy is not None
+        assert "princeton" in sleepy.route
+
+    def test_private_bilbo_hidden_but_useful(self, run):
+        names = {r.name for r in run.table}
+        assert "bilbo" not in names  # only the private one exists
+
+    def test_dead_link_avoided(self, run):
+        """decvax!mcvax is dead: mcvax routes via seismo instead."""
+        mcvax = run.table.lookup("mcvax")
+        assert "seismo" in mcvax.route
+        assert mcvax.cost < DEAD
+
+    def test_domain_routes(self, run):
+        db = RouteDatabase.from_table(run.table)
+        resolution = db.resolve("caip.rutgers.edu", "pleasant")
+        assert resolution.address.endswith(
+            "caip.rutgers.edu!pleasant")
+        assert "seismo" in resolution.address
+
+    def test_top_level_domain_printed(self, run):
+        assert run.table.lookup(".edu") is not None
+
+    def test_every_route_explains(self, run):
+        for record in run.table:
+            explanation = explain_route(run.mapping, record.node)
+            assert verify_explanation(explanation), record.name
+
+    def test_map_checks_find_the_planted_problems(self, run):
+        report = check_map(run.graph)
+        asymmetric = {f.subject for f in report.of_kind(
+            "asymmetric-link")}
+        assert "sleepy" in asymmetric  # the passive site
+
+    def test_csnet_gatewayed(self, run):
+        """CSNET members enter via csnet-relay, not directly."""
+        record = run.table.lookup("udel-relay")
+        assert record is not None
+        assert "csnet-relay" in record.route
+
+
+class TestOtherSources:
+    def test_from_mcvax(self):
+        named = [(p.name, p.read_text()) for p in FILES]
+        table = Pathalias().run_texts(named, localhost="mcvax")
+        assert table.unreachable == []
+        # Transatlantic routing works from the far side too.
+        assert table.route("mcvax") == "%s"
+        assert "seismo" in table.route("ucbvax") or \
+            "decvax" in table.route("ucbvax")
+
+    def test_second_best_no_worse(self):
+        named = [(p.name, p.read_text()) for p in FILES]
+        tree = Pathalias().run_texts(named, localhost="ihnp4")
+        dag = Pathalias(
+            heuristics=HeuristicConfig(second_best=True)
+        ).run_texts(named, localhost="ihnp4")
+        tree_costs = {r.node.name: r.cost for r in tree}
+        for record in dag:
+            if record.node.name in tree_costs:
+                assert record.cost <= tree_costs[record.node.name]

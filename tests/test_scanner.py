@@ -1,0 +1,148 @@
+"""Unit tests for the hand-rolled scanner."""
+
+import pytest
+
+from repro.errors import ScanError
+from repro.parser.scanner import Scanner, scan_text
+from repro.parser.tokens import TokenKind
+
+
+def kinds(text: str) -> list[TokenKind]:
+    return [t.kind for t in scan_text(text)]
+
+
+def texts(text: str) -> list[str]:
+    return [t.text for t in scan_text(text)
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+class TestBasicTokens:
+    def test_simple_host_line(self):
+        tokens = scan_text("a b(10), c(20)\n")
+        assert [t.kind for t in tokens] == [
+            TokenKind.NAME, TokenKind.NAME, TokenKind.LPAREN,
+            TokenKind.NUMBER, TokenKind.RPAREN, TokenKind.COMMA,
+            TokenKind.NAME, TokenKind.LPAREN, TokenKind.NUMBER,
+            TokenKind.RPAREN, TokenKind.NEWLINE, TokenKind.EOF,
+        ]
+
+    def test_number_value(self):
+        tokens = scan_text("a b(12345)")
+        number = [t for t in tokens if t.kind is TokenKind.NUMBER][0]
+        assert number.value == 12345
+
+    def test_routing_operators(self):
+        assert TokenKind.OP in kinds("a @b(10)")
+        assert texts("a @b, c!, d:e, f%g") .count("@") == 1
+
+    def test_net_declaration_tokens(self):
+        tokens = texts("ARPA = @{mit-ai, ucbvax}(95)")
+        assert tokens == ["ARPA", "=", "@", "{", "mit-ai", ",",
+                          "ucbvax", "}", "(", "95", ")"]
+
+    def test_string_token(self):
+        tokens = scan_text('file "d.region1"')
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert strings[0].text == "d.region1"
+
+    def test_empty_input(self):
+        tokens = scan_text("")
+        assert [t.kind for t in tokens] == [TokenKind.EOF]
+
+    def test_line_numbers(self):
+        tokens = scan_text("a b\nc d\n")
+        names = [t for t in tokens if t.kind is TokenKind.NAME]
+        assert [t.line for t in names] == [1, 1, 2, 2]
+
+
+class TestNames:
+    def test_name_chars(self):
+        assert texts("UNC-dwarf x_1 a.b.c plus+name") == \
+            ["UNC-dwarf", "x_1", "a.b.c", "plus+name"]
+
+    def test_domain_name(self):
+        assert texts(".rutgers.edu caip") == [".rutgers.edu", "caip"]
+
+    def test_digit_leading_name(self):
+        # Outside cost context a digit run extending into letters is a
+        # host name (3com!), not a number.
+        tokens = scan_text("a 3com(10)")
+        assert tokens[1].kind is TokenKind.NAME
+        assert tokens[1].text == "3com"
+
+    def test_bare_number_outside_parens(self):
+        tokens = scan_text("a 42")
+        assert tokens[1].kind is TokenKind.NUMBER
+
+
+class TestCostContext:
+    def test_minus_inside_parens(self):
+        tokens = scan_text("a b(HOURLY-5)")
+        assert TokenKind.MINUS in [t.kind for t in tokens]
+
+    def test_minus_outside_parens_is_name_char(self):
+        tokens = scan_text("a UNC-dwarf")
+        assert tokens[1].text == "UNC-dwarf"
+
+    def test_plus_and_arithmetic(self):
+        tokens = texts("a b(1+2*3/4)")
+        assert tokens == ["a", "b", "(", "1", "+", "2", "*", "3",
+                          "/", "4", ")"]
+
+    def test_nested_parens(self):
+        tokens = texts("a b((1+2)*3)")
+        assert tokens.count("(") == 2
+        assert tokens.count(")") == 2
+
+
+class TestLinesAndComments:
+    def test_comment_stripped(self):
+        assert texts("a b(10) # the works\n# whole line\nc d") == \
+            ["a", "b", "(", "10", ")", "c", "d"]
+
+    def test_blank_lines_ignored(self):
+        tokens = scan_text("\n\na b\n\n")
+        newlines = [t for t in tokens if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 1
+
+    def test_continuation_by_indent(self):
+        """Classic UUCP map style: an indented line continues the
+        statement."""
+        tokens = scan_text("a b(10),\n\tc(20)\nd e\n")
+        newlines = [t for t in tokens if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 2  # two statements, not three
+
+    def test_continuation_by_backslash(self):
+        tokens = scan_text("a b(10), \\\nc(20)\n")
+        newlines = [t for t in tokens if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 1
+
+    def test_statement_boundary_at_column_zero(self):
+        tokens = scan_text("a b\nc d")
+        newlines = [t for t in tokens if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 2
+
+    def test_final_statement_without_newline_closed(self):
+        tokens = scan_text("a b")
+        assert tokens[-2].kind is TokenKind.NEWLINE
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestErrors:
+    def test_unbalanced_rparen(self):
+        with pytest.raises(ScanError):
+            scan_text("a b)")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ScanError):
+            scan_text('file "oops')
+
+    def test_bad_character(self):
+        with pytest.raises(ScanError):
+            scan_text("a b(10) ;")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ScanError) as info:
+            Scanner("ok ok\nbad ;", "d.map").tokens()
+        assert info.value.line == 2
+        assert info.value.filename == "d.map"

@@ -1,0 +1,84 @@
+"""The PROBLEMS section: tree commitment vs. the second-best algorithm.
+
+The motown figure: topaz is cheapest via caip and the .rutgers.edu
+domain (225), so the tree routes motown through the domain at 425 plus
+the essentially-infinite relay penalty.  The right answer for motown
+uses the second-best (domain-free) path to topaz: 300 + 200 = 500.
+"""
+
+from repro.config import HeuristicConfig, INF
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+from tests.conftest import MOTOWN_MAP
+
+
+def run(text: str, source: str, **cfg):
+    graph = build_graph([("d.map", parse_text(text))])
+    return Mapper(graph, HeuristicConfig(**cfg)).run(source)
+
+
+class TestTreeMode:
+    def test_topaz_via_domain(self):
+        result = run(MOTOWN_MAP, "princeton")
+        assert result.cost("topaz") == 225  # 200 + 25 + 0
+
+    def test_motown_committed_to_penalized_branch(self):
+        """425 + 'infinity', exactly as the figure annotates."""
+        result = run(MOTOWN_MAP, "princeton")
+        cost = result.cost("motown")
+        assert cost >= 425 + INF
+        label = result.best(result.graph.require("motown"))
+        assert label.parent.node.name == "topaz"
+        assert label.parent.domain_seen  # the committed, penalized path
+
+
+class TestSecondBestMode:
+    def test_topaz_keeps_both_labels(self):
+        result = run(MOTOWN_MAP, "princeton", second_best=True)
+        topaz = result.graph.require("topaz")
+        labels = result.labels_for(topaz)
+        costs = sorted(l.cost for l in labels)
+        assert costs == [225, 300]  # domain path and direct path
+
+    def test_motown_takes_the_right_branch(self):
+        result = run(MOTOWN_MAP, "princeton", second_best=True)
+        assert result.cost("motown") == 500
+        label = result.best(result.graph.require("motown"))
+        assert label.parent.node.name == "topaz"
+        assert not label.parent.domain_seen  # the domain-free parent
+
+    def test_topaz_own_route_still_cheapest(self):
+        """second-best mode must not change hosts the tree got right."""
+        result = run(MOTOWN_MAP, "princeton", second_best=True)
+        assert result.cost("topaz") == 225
+        assert result.cost("caip") == 200
+
+    def test_printed_routes(self):
+        result = run(MOTOWN_MAP, "princeton", second_best=True)
+        table = print_routes(result)
+        routes = {r.name: r.route for r in table}
+        # motown's route continues from topaz's *domain-free* label,
+        # which knows the host by its bare name.
+        assert routes["motown"] == "topaz!motown!%s"
+        # topaz's own cheapest label arrives through the domain, so it
+        # prints under its qualified name.
+        assert routes["topaz.rutgers.edu"] == "caip!topaz.rutgers.edu!%s"
+
+    def test_tree_mode_prints_domain_route_for_motown(self):
+        """Tree commitment: motown's only route rides the domain path
+        the figure marks as costing 425 + infinity."""
+        result = run(MOTOWN_MAP, "princeton")
+        table = print_routes(result)
+        routes = {r.name: r.route for r in table}
+        assert routes["motown"] == "caip!topaz.rutgers.edu!motown!%s"
+
+    def test_second_best_matches_tree_without_domains(self):
+        """On a domain-free graph the two modes are identical."""
+        plain = "a b(10), c(30)\nb c(10)\nc d(10)"
+        tree = run(plain, "a")
+        dag = run(plain, "a", second_best=True)
+        for name in ("b", "c", "d"):
+            assert tree.cost(name) == dag.cost(name)

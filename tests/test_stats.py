@@ -1,0 +1,57 @@
+"""Graph-statistics tests."""
+
+from repro.graph.build import build_graph
+from repro.graph.stats import compute_stats
+from repro.parser.grammar import parse_text
+
+
+def stats_of(text: str):
+    return compute_stats(build_graph([("d.map", parse_text(text))]))
+
+
+class TestCounts:
+    def test_basic(self):
+        stats = stats_of("a b(10), c(10)\nb c(10)")
+        assert stats.nodes == 3
+        assert stats.hosts == 3
+        assert stats.links == 3
+        assert stats.normal_links == 3
+
+    def test_net_and_domain_counts(self):
+        stats = stats_of("NET = {a, b}(10)\n.edu = {c}")
+        assert stats.nets == 2
+        assert stats.domains == 1
+        assert stats.net_links == 6  # 2 per member, both nets
+
+    def test_alias_links(self):
+        stats = stats_of("a = b")
+        assert stats.alias_links == 2
+
+    def test_private_count(self):
+        stats = stats_of("private {p}\np a(10)")
+        assert stats.private_hosts == 1
+
+    def test_degrees(self):
+        stats = stats_of("a b(1), c(1), d(1)")
+        assert stats.max_out_degree == 3
+        assert abs(stats.mean_out_degree - 3 / 4) < 1e-9
+
+
+class TestSparsity:
+    def test_sparse_graph(self):
+        stats = stats_of("a b(1)\nb c(1)\nc d(1)")
+        assert stats.is_sparse()
+        assert stats.sparsity < 2
+
+    def test_clique_representation_keeps_it_sparse(self):
+        """The paper's point: the star representation of a 40-member
+        clique contributes 80 edges, not 1560."""
+        members = ", ".join(f"m{i}" for i in range(40))
+        stats = stats_of(f"NET = {{{members}}}(5)")
+        assert stats.links == 80
+        assert stats.is_sparse(factor=3)
+
+    def test_empty_graph(self):
+        stats = stats_of("")
+        assert stats.nodes == 0
+        assert stats.sparsity == 0.0

@@ -1,0 +1,93 @@
+"""Unit tests for allocation traces."""
+
+import pytest
+
+from repro.adt.trace import (
+    AllocationTrace,
+    TraceEvent,
+    churning_trace,
+    pathalias_trace,
+)
+
+
+class TestValidation:
+    def test_valid_sequence(self):
+        trace = AllocationTrace([
+            TraceEvent("alloc", 0, 10),
+            TraceEvent("alloc", 1, 20),
+            TraceEvent("free", 0),
+            TraceEvent("free", 1),
+        ])
+        trace.validate()
+
+    def test_double_alloc_rejected(self):
+        trace = AllocationTrace([
+            TraceEvent("alloc", 0, 10),
+            TraceEvent("alloc", 0, 10),
+        ])
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_free_of_dead_block_rejected(self):
+        trace = AllocationTrace([TraceEvent("free", 7)])
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_bad_op_rejected(self):
+        trace = AllocationTrace([TraceEvent("mmap", 0, 10)])
+        with pytest.raises(ValueError):
+            trace.validate()
+
+
+class TestMeasures:
+    def test_total_allocated(self):
+        trace = AllocationTrace([
+            TraceEvent("alloc", 0, 10),
+            TraceEvent("alloc", 1, 30),
+            TraceEvent("free", 0),
+        ])
+        assert trace.total_allocated() == 40
+
+    def test_live_peak(self):
+        trace = AllocationTrace([
+            TraceEvent("alloc", 0, 10),
+            TraceEvent("free", 0),
+            TraceEvent("alloc", 1, 30),
+        ])
+        assert trace.live_bytes_peak() == 30
+
+
+class TestGenerators:
+    def test_pathalias_trace_shape(self):
+        """Phase 1 allocates heavily with little freeing; phase 2 frees
+        just about everything — the paper's stated pattern."""
+        trace = pathalias_trace(nodes=300, links=900, seed=0)
+        trace.validate()
+        events = trace.events
+        half = len(events) // 2
+        frees_first_half = sum(1 for e in events[:half] if e.op == "free")
+        frees_second_half = sum(1 for e in events[half:] if e.op == "free")
+        assert frees_second_half > 5 * max(frees_first_half, 1)
+
+    def test_pathalias_trace_deterministic(self):
+        a = pathalias_trace(nodes=50, links=100, seed=9)
+        b = pathalias_trace(nodes=50, links=100, seed=9)
+        assert a.events == b.events
+
+    def test_churning_trace_interleaves(self):
+        trace = churning_trace(operations=1000, seed=1)
+        trace.validate()
+        half = len(trace.events) // 2
+        frees_first_half = sum(1 for e in trace.events[:half]
+                               if e.op == "free")
+        assert frees_first_half > 100
+
+    def test_everything_freed_at_end(self):
+        for trace in (pathalias_trace(100, 300), churning_trace(500)):
+            live = set()
+            for event in trace:
+                if event.op == "alloc":
+                    live.add(event.block)
+                else:
+                    live.discard(event.block)
+            assert not live

@@ -1,0 +1,65 @@
+"""Traffic/load-analysis tests."""
+
+from repro import HeuristicConfig, Pathalias
+from repro.netsim.traffic import analyze_routes, compare_cost_tables
+
+from tests.conftest import PAPER_1981_MAP
+
+
+class TestAnalysis:
+    def test_paper_map_loads(self):
+        table = Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+        report = analyze_routes(table)
+        # duke relays everything except the local and duke routes.
+        assert report.relay_counts["duke"] == 5
+        # research relays ucbvax, mit-ai, stanford.
+        assert report.relay_counts["research"] == 3
+        # ucbvax relays the two pure-ARPANET hosts.
+        assert report.relay_counts["ucbvax"] == 2
+
+    def test_hop_counts(self):
+        table = Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+        report = analyze_routes(table)
+        assert report.total_routes == 7
+        # unc:0 duke:0 phs:1 research:1 ucbvax:2 mit-ai:3 stanford:3
+        assert report.total_hops == 10
+        assert abs(report.mean_hops - 10 / 7) < 1e-9
+
+    def test_top_relays_ordering(self):
+        table = Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+        report = analyze_routes(table)
+        top = report.top_relays(2)
+        assert top[0] == ("duke", 5)
+        assert top[1] == ("research", 3)
+
+    def test_concentration(self):
+        table = Pathalias().run_text(PAPER_1981_MAP, localhost="unc")
+        report = analyze_routes(table)
+        assert abs(report.concentration() - 5 / 10) < 1e-9
+
+    def test_direct_routes_carry_no_relay_load(self):
+        table = Pathalias().run_text("a b(10)", localhost="a")
+        report = analyze_routes(table)
+        assert report.total_routes == 2
+        assert report.total_hops == 0  # both routes are direct
+        assert report.mean_hops == 0.0
+        assert report.max_load == 0
+        assert report.concentration() == 0.0
+
+    def test_star_topology_concentrates_on_hub(self):
+        text = "hub " + ", ".join(f"s{i}(10)" for i in range(10)) + \
+            "\n" + "\n".join(f"s{i} hub(10)" for i in range(10))
+        table = Pathalias().run_text(text, localhost="s0")
+        report = analyze_routes(table)
+        assert report.top_relays(1)[0][0] == "hub"
+        assert report.concentration() > 0.8
+
+
+class TestVerdict:
+    def test_compare_identical(self):
+        text = compare_cost_tables(1.5, 1.5, "a", "b")
+        assert "identical" in text
+
+    def test_compare_differing(self):
+        text = compare_cost_tables(1.2, 1.8, "pragmatic", "theory")
+        assert text.startswith("pragmatic")

@@ -1,0 +1,128 @@
+"""Message-workload and day-simulation tests."""
+
+import pytest
+
+from repro import Pathalias
+from repro.graph.build import build_graph
+from repro.mailer.address import MailerStyle
+from repro.netsim.mapgen import MapParams, generate_map
+from repro.netsim.workloads import (
+    DayReport,
+    WorkloadParams,
+    generate_workload,
+    run_day,
+)
+from repro.parser.grammar import parse_text
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    generated = generate_map(MapParams.small(seed=77))
+    run = Pathalias().run_detailed(generated.files, generated.localhost)
+    return generated, run
+
+
+class TestGeneration:
+    def test_message_count(self, small_world):
+        _, run = small_world
+        params = WorkloadParams(messages=200, list_posts=0)
+        workload = generate_workload(run.table, params)
+        assert len(workload) == 200
+
+    def test_list_posts_fan_out(self, small_world):
+        _, run = small_world
+        params = WorkloadParams(messages=0, list_posts=2, list_size=10)
+        workload = generate_workload(run.table, params)
+        assert len(workload) == 20
+        assert all(m.kind == "list" for m in workload)
+
+    def test_deterministic(self, small_world):
+        _, run = small_world
+        a = generate_workload(run.table, WorkloadParams(seed=5))
+        b = generate_workload(run.table, WorkloadParams(seed=5))
+        assert a == b
+
+    def test_locality_shapes_distribution(self, small_world):
+        _, run = small_world
+        near_heavy = generate_workload(
+            run.table, WorkloadParams(messages=400, locality=1.0,
+                                      reply_fraction=0, list_posts=0,
+                                      seed=1))
+        far_heavy = generate_workload(
+            run.table, WorkloadParams(messages=400, locality=0.0,
+                                      reply_fraction=0, list_posts=0,
+                                      seed=1))
+        costs = {r.name: r.cost for r in run.table}
+        near_mean = sum(costs[m.recipient]
+                        for m in near_heavy) / len(near_heavy)
+        far_mean = sum(costs[m.recipient]
+                       for m in far_heavy) / len(far_heavy)
+        assert near_mean < far_mean
+
+    def test_recipients_are_routable(self, small_world):
+        _, run = small_world
+        workload = generate_workload(run.table, WorkloadParams(seed=2))
+        for message in workload:
+            assert run.table.lookup(message.recipient) is not None
+
+
+class TestDaySimulation:
+    def test_all_mail_gets_through(self, small_world):
+        """The philosophy line, measured at system level."""
+        generated, run = small_world
+        workload = generate_workload(run.table,
+                                     WorkloadParams(messages=300))
+        report = run_day(run.graph, run.table, generated.localhost,
+                         workload)
+        assert report.delivery_rate == 1.0, report.failures_by_kind
+        assert report.total == len(workload)
+
+    def test_hops_accumulate(self, small_world):
+        generated, run = small_world
+        workload = generate_workload(run.table,
+                                     WorkloadParams(messages=100))
+        report = run_day(run.graph, run.table, generated.localhost,
+                         workload)
+        assert report.mean_hops > 0
+
+    def test_relay_load_concentrates_on_hubs(self, small_world):
+        generated, run = small_world
+        workload = generate_workload(run.table,
+                                     WorkloadParams(messages=300))
+        report = run_day(run.graph, run.table, generated.localhost,
+                         workload)
+        busiest = report.busiest_relays(3)
+        assert busiest
+        # Hubs are backbone hosts; the top relay should be one.
+        top_names = {name for name, _ in busiest}
+        assert top_names & set(generated.backbone)
+
+    def test_unknown_recipient_counts_as_failure(self, small_world):
+        generated, run = small_world
+        from repro.netsim.workloads import Message
+
+        report = run_day(run.graph, run.table, generated.localhost,
+                         [Message("no-such-host", "local")])
+        assert report.failed == 1
+        assert report.delivery_rate == 0.0
+
+    def test_bang_rigid_world_still_delivers_bang_routes(self,
+                                                         small_world):
+        generated, run = small_world
+        workload = generate_workload(run.table,
+                                     WorkloadParams(messages=150,
+                                                    seed=9))
+        pure_bang = [m for m in workload
+                     if "@" not in run.table.route(m.recipient)]
+        report = run_day(run.graph, run.table, generated.localhost,
+                         pure_bang,
+                         default_style=MailerStyle.BANG_RIGID)
+        assert report.delivery_rate == 1.0
+
+
+class TestDayReport:
+    def test_empty_day(self):
+        report = DayReport()
+        assert report.delivery_rate == 1.0
+        assert report.mean_hops == 0.0
+        assert report.busiest_relays() == []

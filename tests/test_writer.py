@@ -1,0 +1,80 @@
+"""Writer (declaration renderer) unit tests."""
+
+from repro.netsim.writer import WRAP_COLUMN, render_declaration, render_file
+from repro.parser.ast import (
+    AdjustDecl,
+    AliasDecl,
+    DeadDecl,
+    DeleteDecl,
+    Direction,
+    FileDecl,
+    GatewayedDecl,
+    HostDecl,
+    LinkSpec,
+    NetDecl,
+    PrivateDecl,
+)
+from repro.parser.grammar import parse_text
+
+
+class TestRendering:
+    def test_host_default_syntax(self):
+        decl = HostDecl("a", (LinkSpec("b", cost=10),
+                              LinkSpec("c", cost=None)))
+        assert render_declaration(decl) == "a\tb(10), c"
+
+    def test_host_right_operator(self):
+        decl = HostDecl("a", (LinkSpec("b", "@", Direction.RIGHT, 10),))
+        assert render_declaration(decl) == "a\t@b(10)"
+
+    def test_host_explicit_left_operator(self):
+        decl = HostDecl("a", (LinkSpec("b", ":", Direction.LEFT, 10),))
+        assert render_declaration(decl) == "a\tb:(10)"
+
+    def test_net(self):
+        decl = NetDecl("ARPA", ("x", "y"), "@", Direction.RIGHT, 95)
+        assert render_declaration(decl) == "ARPA = @{x, y}(95)"
+
+    def test_net_default(self):
+        decl = NetDecl("NET", ("x",), "!", Direction.LEFT, None)
+        assert render_declaration(decl) == "NET = {x}"
+
+    def test_alias(self):
+        assert render_declaration(AliasDecl("a", ("b", "c"))) == "a = b, c"
+
+    def test_keywords(self):
+        assert render_declaration(PrivateDecl(("p",))) == "private {p}"
+        assert render_declaration(GatewayedDecl(("N",))) == \
+            "gatewayed {N}"
+        assert render_declaration(FileDecl("d.x")) == 'file "d.x"'
+        assert render_declaration(DeadDecl(("h",), (("a", "b"),))) == \
+            "dead {h, a!b}"
+        assert render_declaration(DeleteDecl((), (("a", "b"),))) == \
+            "delete {a!b}"
+        assert render_declaration(AdjustDecl((("h", -5),))) == \
+            "adjust {h(-5)}"
+
+    def test_banner(self):
+        text = render_file([AliasDecl("a", ("b",))], banner="hello\nworld")
+        assert text.startswith("# hello\n# world\n")
+
+
+class TestWrapping:
+    def test_long_link_list_wraps_with_continuation(self):
+        links = tuple(LinkSpec(f"host{i:03d}", cost=100)
+                      for i in range(30))
+        text = render_declaration(HostDecl("hub", links))
+        lines = text.split("\n")
+        assert len(lines) > 1
+        assert all(len(line) <= WRAP_COLUMN + 12 for line in lines)
+        for line in lines[1:]:
+            assert line.startswith("\t")
+
+    def test_wrapped_output_reparses_identically(self):
+        links = tuple(LinkSpec(f"host{i:03d}", cost=i + 1)
+                      for i in range(40))
+        decl = HostDecl("hub", links)
+        (reparsed,) = parse_text(render_declaration(decl))
+        assert reparsed.name == "hub"
+        assert [(l.name, l.cost) for l in reparsed.links] == \
+            [(l.name, l.cost) for l in links]
