@@ -1,0 +1,127 @@
+"""E18 — the compiled engine vs the reference mapper.
+
+The paper's whole economic argument is that route computation is cheap
+enough to precompute for every destination; the ROADMAP extends that to
+every *source* at production scale.  This bench pins the compiled
+engine's advantage on the published 1986 workload (~8.5k nodes, ~28k
+links): `CompactMapper` must map a full graph at least 3x faster than
+the reference `Mapper`, and the parallel batch mapper must distribute
+without changing a byte of output.
+
+``benchmarks/run_bench.py`` runs the same measurements standalone and
+records them in ``BENCH_routing.json``.
+"""
+
+import os
+
+from repro.core.batch import BatchMapper
+from repro.core.fastmap import CompactMapper, compact_route_table
+from repro.core.mapper import Mapper
+from repro.graph.build import build_graph
+from repro.graph.compact import CompactGraph
+from repro.parser.grammar import parse_text
+
+from benchmarks.conftest import report
+
+
+def _graph(generated):
+    return build_graph([(n, parse_text(t, n)) for n, t in generated.files])
+
+
+def _time(fn, rounds=3):
+    import time
+
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_compact_vs_reference_fullmap(benchmark, usenet_generated):
+    """The acceptance bar: >= 3x on the full published-scale mapping."""
+    generated = usenet_generated
+    graph = _graph(generated)
+    cgraph = CompactGraph.compile(graph)
+    fast_mapper = CompactMapper(cgraph)
+
+    def reference_run():
+        mapper = Mapper(graph)
+        result = mapper.run(generated.localhost)
+        for owner, link in result.inferred:
+            owner.links.remove(link)
+        return result
+
+    t_reference = _time(reference_run)
+    t_compact = _time(lambda: fast_mapper.run(generated.localhost))
+    speedup = t_reference / t_compact
+
+    result = benchmark(lambda: fast_mapper.run(generated.localhost))
+    assert result.stats.pops >= 8_000
+
+    # Identical output is the license for the aggressive rewrite.
+    fast_table = compact_route_table(fast_mapper.run(generated.localhost))
+    reference = reference_run()
+    from repro.core.printer import print_routes
+    ref_table = print_routes(reference)
+    assert fast_table.format_tab() == ref_table.format_tab()
+
+    report("E18 compiled engine vs reference (usenet_1986)", [
+        ("engine", "full map (ms)", "speedup"),
+        ("Mapper (reference)", f"{t_reference * 1e3:.1f}", "1.0x"),
+        ("CompactMapper", f"{t_compact * 1e3:.1f}", f"{speedup:.2f}x"),
+    ])
+    assert speedup >= 3.0, f"compiled engine only {speedup:.2f}x"
+    benchmark.extra_info["reference_ms"] = round(t_reference * 1e3, 2)
+    benchmark.extra_info["compact_ms"] = round(t_compact * 1e3, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+
+def test_batch_throughput_and_scaling(benchmark, usenet_generated):
+    """Batch precomputation: compiled serial vs process-pool fan-out.
+
+    Near-linear scaling needs real cores; on a single-CPU runner the
+    assertion degrades to "the pool must not corrupt or reorder
+    output", and the measured ratio is still reported.
+    """
+    generated = usenet_generated
+    graph = _graph(generated)
+    sources = BatchMapper(graph).sources()[:16]
+
+    serial_mapper = BatchMapper(graph)
+    parallel_mapper = BatchMapper(graph, jobs=4)
+    serial_mapper.compiled  # compile outside the timed region
+
+    t_serial = _time(lambda: serial_mapper.run(sources), rounds=2)
+    t_parallel = _time(lambda: parallel_mapper.run(sources), rounds=2)
+    scaling = t_serial / t_parallel
+
+    serial = serial_mapper.run(sources)
+    parallel = parallel_mapper.run(sources)
+    assert list(parallel.tables) == sources
+    for source in sources:
+        assert parallel[source].format_tab() == \
+            serial[source].format_tab()
+
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    report("E18 batch throughput (16 sources, usenet_1986)", [
+        ("mode", "seconds", "tables/s"),
+        ("serial", f"{t_serial:.2f}", f"{len(sources) / t_serial:.1f}"),
+        ("4 workers", f"{t_parallel:.2f}",
+         f"{len(sources) / t_parallel:.1f}"),
+        ("scaling", f"{scaling:.2f}x", f"({cpus} cpus visible)"),
+    ])
+    if cpus >= 4:
+        assert scaling >= 2.5, f"4 workers only {scaling:.2f}x"
+    elif cpus >= 2:
+        assert scaling >= 1.3, f"{cpus} cpus but only {scaling:.2f}x"
+
+    benchmark.extra_info["serial_tables_per_sec"] = round(
+        len(sources) / t_serial, 2)
+    benchmark.extra_info["parallel_tables_per_sec"] = round(
+        len(sources) / t_parallel, 2)
+    benchmark.extra_info["scaling_4_workers"] = round(scaling, 2)
+    benchmark.extra_info["cpus"] = cpus
+    benchmark(lambda: serial_mapper.run(sources[:2]))

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Record the routing-performance trajectory in BENCH_routing.json.
+
+Standalone (no pytest): generates the published-scale 1986 map, then
+measures
+
+* full-map time — reference ``Mapper`` vs compiled ``CompactMapper``,
+  mapping only and mapping + route-table construction;
+* batch throughput — route tables per second over a source sample,
+  serial and with a process pool at each requested worker count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --scale medium --jobs 1,2,4,8 --batch-sources 64 --out my.json
+
+The JSON lands at the repo root by default so successive PRs can track
+the numbers.  Results include the visible CPU count: parallel scaling
+is only meaningful where the hardware can actually run workers
+side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.batch import BatchMapper, default_jobs  # noqa: E402
+from repro.core.fastmap import (  # noqa: E402
+    CompactMapper,
+    compact_route_table,
+)
+from repro.core.mapper import Mapper  # noqa: E402
+from repro.core.printer import print_routes  # noqa: E402
+from repro.graph.build import build_graph  # noqa: E402
+from repro.graph.compact import CompactGraph  # noqa: E402
+from repro.netsim.mapgen import MapParams, generate_map  # noqa: E402
+from repro.parser.grammar import parse_text  # noqa: E402
+
+SCALES = {
+    "small": MapParams.small,
+    "medium": MapParams.medium,
+    "usenet_1986": MapParams.usenet_1986,
+}
+
+
+def best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_fullmap(graph, cgraph, localhost: str, rounds: int) -> dict:
+    fast_mapper = CompactMapper(cgraph)
+
+    def reference_run():
+        result = Mapper(graph).run(localhost)
+        for owner, link in result.inferred:
+            owner.links.remove(link)
+        return result
+
+    def reference_table():
+        result = Mapper(graph).run(localhost)
+        table = print_routes(result)
+        for owner, link in result.inferred:
+            owner.links.remove(link)
+        return table
+
+    t_ref = best_of(reference_run, rounds)
+    t_fast = best_of(lambda: fast_mapper.run(localhost), rounds)
+    t_ref_table = best_of(reference_table, rounds)
+    t_fast_table = best_of(
+        lambda: compact_route_table(fast_mapper.run(localhost)), rounds)
+
+    # Equivalence check rides along: the numbers only count if the
+    # output is byte-identical.
+    assert compact_route_table(
+        fast_mapper.run(localhost)).format_tab() == \
+        reference_table().format_tab(), "engines disagree!"
+
+    return {
+        "source": localhost,
+        "reference_map_ms": round(t_ref * 1e3, 2),
+        "compact_map_ms": round(t_fast * 1e3, 2),
+        "map_speedup": round(t_ref / t_fast, 2),
+        "reference_map_and_table_ms": round(t_ref_table * 1e3, 2),
+        "compact_map_and_table_ms": round(t_fast_table * 1e3, 2),
+        "map_and_table_speedup": round(t_ref_table / t_fast_table, 2),
+    }
+
+
+def bench_batch(graph, n_sources: int, jobs_list: list[int],
+                rounds: int) -> dict:
+    sources = BatchMapper(graph).sources()[:n_sources]
+    out: dict = {"sources": len(sources), "runs": []}
+    serial_seconds = None
+    reference_text = None
+    for jobs in jobs_list:
+        mapper = BatchMapper(graph, jobs=jobs)
+        mapper.compiled  # compile outside the timed region
+        seconds = best_of(lambda: mapper.run(sources), rounds)
+        batch = mapper.run(sources)
+        text = {s: batch[s].format_tab() for s in batch}
+        if reference_text is None:
+            reference_text = text
+        else:
+            assert text == reference_text, f"jobs={jobs} changed output!"
+        if jobs <= 1:
+            serial_seconds = seconds
+        out["runs"].append({
+            "jobs": jobs,
+            "engine": batch.engine,
+            "seconds": round(seconds, 3),
+            "tables_per_sec": round(len(sources) / seconds, 2),
+            "speedup_vs_serial": (round(serial_seconds / seconds, 2)
+                                  if serial_seconds else None),
+        })
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure routing-engine performance and write "
+                    "BENCH_routing.json")
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default="usenet_1986")
+    parser.add_argument("--seed", type=int, default=1986)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--batch-sources", type=int, default=32)
+    parser.add_argument("--jobs", default="1,4",
+                        help="comma-separated worker counts to measure "
+                             "(default: 1,4)")
+    parser.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
+    args = parser.parse_args(argv)
+
+    jobs_list = [int(j) for j in args.jobs.split(",")]
+    print(f"generating {args.scale} map (seed {args.seed})...",
+          file=sys.stderr)
+    generated = generate_map(SCALES[args.scale](seed=args.seed))
+    graph = build_graph([(n, parse_text(t, n))
+                         for n, t in generated.files])
+
+    t0 = time.perf_counter()
+    cgraph = CompactGraph.compile(graph)
+    compile_ms = (time.perf_counter() - t0) * 1e3
+
+    print("benchmarking full-map engines...", file=sys.stderr)
+    fullmap = bench_fullmap(graph, cgraph, generated.localhost,
+                            args.rounds)
+    print("benchmarking batch throughput...", file=sys.stderr)
+    batch = bench_batch(graph, args.batch_sources, jobs_list,
+                        max(1, args.rounds - 1))
+
+    document = {
+        "benchmark": "BENCH_routing",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "visible_cpus": default_jobs(),
+        },
+        "map": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "nodes": len(graph.nodes),
+            "links": graph.link_count,
+            "compile_ms": round(compile_ms, 2),
+        },
+        "fullmap": fullmap,
+        "batch": batch,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

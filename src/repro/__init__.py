@@ -27,7 +27,14 @@ from repro.config import (
     HeuristicConfig,
     INF,
 )
+from repro.core.batch import BatchMapper, BatchResult
 from repro.core.dense import dense_dijkstra
+from repro.core.fastmap import (
+    CompactMapper,
+    CompactMapResult,
+    compact_route_table,
+    map_routes,
+)
 from repro.core.mapper import Mapper, MapResult, MapStats
 from repro.core.pathalias import Pathalias, PhaseTimes, RunResult
 from repro.core.printer import RouteTable
@@ -44,6 +51,7 @@ from repro.errors import (
     ScanError,
 )
 from repro.graph.build import Graph, GraphBuilder, build_graph
+from repro.graph.compact import CompactGraph
 from repro.graph.node import Link, LinkKind, Node
 from repro.graph.stats import GraphStats, compute_stats
 from repro.parser.ast import Direction
@@ -55,6 +63,9 @@ __version__ = "1.0.0"
 __all__ = [
     "COST_SYMBOLS", "DEAD", "DEFAULT_LINK_COST", "HeuristicConfig", "INF",
     "dense_dijkstra", "Mapper", "MapResult", "MapStats",
+    "BatchMapper", "BatchResult",
+    "CompactGraph", "CompactMapper", "CompactMapResult",
+    "compact_route_table", "map_routes",
     "Pathalias", "PhaseTimes", "RunResult", "RouteTable", "RouteRecord",
     "AddressError", "CostExpressionError", "GraphError", "InputError",
     "MappingError", "ParseError", "PathaliasError", "RouteError",

@@ -1,0 +1,252 @@
+"""Int-keyed binary min-heap with a flat-list position index.
+
+The compiled routing engine (:mod:`repro.core.fastmap`) identifies every
+mapping state by a small dense integer, so the general
+:class:`repro.adt.heap.BinaryHeap` — whose position index is a dict of
+hashable items — pays for hashing it never needs.  This heap restricts
+items to ``0 <= state < size`` and keeps the position index in a plain
+list, turning every bookkeeping step into an integer index operation.
+
+Semantics match :class:`BinaryHeap` exactly, because the two engines
+must produce identical shortest-path trees:
+
+* ties break FIFO on an insertion serial, so extraction order (and
+  therefore route output) is deterministic;
+* ``decrease_key`` keeps the item's original serial, as the reference
+  heap does — a requeued priority does not rejuvenate its tie-break.
+
+Priority and serial are packed into one integer (``priority << SHIFT |
+serial``), so heap comparisons are single int compares instead of tuple
+comparisons.  Python ints are arbitrary precision: pathological cost
+sums merely grow the int, they never overflow the packing.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+#: Bits reserved for the insertion serial.  2^40 insertions is far
+#: beyond any single mapping run (serials count inserts, not states).
+SERIAL_BITS = 40
+SERIAL_MASK = (1 << SERIAL_BITS) - 1
+
+#: Packing layout for :class:`LazyPackedHeap` entries.
+PACK_STATE_BITS = 28
+PACK_STATE_MASK = (1 << PACK_STATE_BITS) - 1
+PACK_SERIAL_BITS = 36
+PACK_KEY_SHIFT = PACK_STATE_BITS + PACK_SERIAL_BITS  # cost starts here
+
+
+class IntHeap:
+    """Min-heap over integer states ``0..size-1`` with decrease-key.
+
+    Each state may appear at most once; ``insert`` on a present state is
+    an error (use ``decrease_key``).
+    """
+
+    __slots__ = ("_keys", "_states", "_pos", "_serial")
+
+    def __init__(self, size: int) -> None:
+        # Parallel arrays: packed (priority, serial) key and the state.
+        self._keys: list[int] = []
+        self._states: list[int] = []
+        # state -> heap index, -1 when absent.  Flat list, no hashing.
+        self._pos: list[int] = [-1] * size
+        self._serial = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __contains__(self, state: int) -> bool:
+        return self._pos[state] >= 0
+
+    def clear(self) -> None:
+        """Empty the heap, resetting the position index for reuse."""
+        pos = self._pos
+        for state in self._states:
+            pos[state] = -1
+        self._keys.clear()
+        self._states.clear()
+        self._serial = 0
+
+    def grow(self, size: int) -> None:
+        """Widen the position index to admit states up to ``size - 1``."""
+        if size > len(self._pos):
+            self._pos.extend([-1] * (size - len(self._pos)))
+
+    def insert(self, state: int, priority: int) -> None:
+        """Add ``state`` with ``priority``; state must not be present."""
+        if self._pos[state] >= 0:
+            raise ValueError(f"state already queued: {state}")
+        key = (priority << SERIAL_BITS) | self._serial
+        self._serial += 1
+        idx = len(self._keys)
+        self._keys.append(key)
+        self._states.append(state)
+        self._pos[state] = idx
+        self._sift_up(idx)
+
+    def priority(self, state: int) -> int:
+        """Current priority of a queued state."""
+        idx = self._pos[state]
+        if idx < 0:
+            raise KeyError(state)
+        return self._keys[idx] >> SERIAL_BITS
+
+    def decrease_key(self, state: int, priority: int) -> None:
+        """Lower a queued state's priority, keeping its serial."""
+        idx = self._pos[state]
+        if idx < 0:
+            raise KeyError(state)
+        old = self._keys[idx]
+        if priority > old >> SERIAL_BITS:
+            raise ValueError(
+                f"decrease_key would increase priority of {state}: "
+                f"{old >> SERIAL_BITS} -> {priority}")
+        self._keys[idx] = (priority << SERIAL_BITS) | (old & SERIAL_MASK)
+        self._sift_up(idx)
+
+    def extract_min(self) -> tuple[int, int]:
+        """Remove and return ``(state, priority)`` with smallest key."""
+        keys = self._keys
+        if not keys:
+            raise IndexError("extract_min from empty heap")
+        states = self._states
+        pos = self._pos
+        top_key = keys[0]
+        top_state = states[0]
+        pos[top_state] = -1
+        last_key = keys.pop()
+        last_state = states.pop()
+        if keys:
+            keys[0] = last_key
+            states[0] = last_state
+            pos[last_state] = 0
+            self._sift_down(0)
+        return top_state, top_key >> SERIAL_BITS
+
+    def peek(self) -> tuple[int, int]:
+        if not self._keys:
+            raise IndexError("peek at empty heap")
+        return self._states[0], self._keys[0] >> SERIAL_BITS
+
+    # -- sifting ----------------------------------------------------------
+
+    def _sift_up(self, idx: int) -> None:
+        keys, states, pos = self._keys, self._states, self._pos
+        key = keys[idx]
+        state = states[idx]
+        while idx > 0:
+            parent = (idx - 1) >> 1
+            pkey = keys[parent]
+            if key >= pkey:
+                break
+            keys[idx] = pkey
+            states[idx] = states[parent]
+            pos[states[idx]] = idx
+            idx = parent
+        keys[idx] = key
+        states[idx] = state
+        pos[state] = idx
+
+    def _sift_down(self, idx: int) -> None:
+        keys, states, pos = self._keys, self._states, self._pos
+        n = len(keys)
+        key = keys[idx]
+        state = states[idx]
+        while True:
+            left = 2 * idx + 1
+            if left >= n:
+                break
+            right = left + 1
+            child = left
+            ckey = keys[left]
+            if right < n and keys[right] < ckey:
+                child = right
+                ckey = keys[right]
+            if key <= ckey:
+                break
+            keys[idx] = ckey
+            states[idx] = states[child]
+            pos[states[idx]] = idx
+            idx = child
+        keys[idx] = key
+        states[idx] = state
+        pos[state] = idx
+
+    def check_invariant(self) -> None:
+        """Verify heap order and position index; used by tests."""
+        keys = self._keys
+        for idx in range(1, len(keys)):
+            if keys[idx] < keys[(idx - 1) >> 1]:
+                raise AssertionError(f"heap order violated at {idx}")
+        seen = 0
+        for state, idx in enumerate(self._pos):
+            if idx < 0:
+                continue
+            seen += 1
+            if self._states[idx] != state:
+                raise AssertionError(f"position index stale for {state}")
+        if seen != len(keys):
+            raise AssertionError("position index size mismatch")
+
+
+class LazyPackedHeap:
+    """Lazy-deletion min-queue over packed integers, for the hot loop.
+
+    :class:`IntHeap` is the faithful decrease-key ADT; this is the
+    engine-room variant the compiled mapper's drain loop actually
+    drives, because ``heapq``'s C sifting beats any pure-Python heap by
+    an order of magnitude.  Each entry packs ``(cost, serial, state)``
+    into one int::
+
+        entry = cost << PACK_KEY_SHIFT | serial << PACK_STATE_BITS | state
+
+    so C-level int comparison orders by cost, then FIFO serial, then
+    state (state is unreachable as a tie-break: serials are unique).
+
+    There is no decrease-key: lowering a state's cost pushes a *new*
+    entry carrying the state's original serial — exactly the ordering
+    ``BinaryHeap.decrease_key`` produces, since a decrease there keeps
+    the item's serial too.  The superseded entry remains queued with a
+    strictly larger cost; the consumer must skip entries whose state
+    was already extracted (its ``mapped`` flag, or a cost comparison).
+    The consumer owns the serial-per-state bookkeeping; hot loops may
+    bypass these methods and drive ``entries`` with ``heapq`` directly.
+    """
+
+    __slots__ = ("entries", "serial")
+
+    def __init__(self) -> None:
+        self.entries: list[int] = []
+        self.serial = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.serial = 0
+
+    def next_serial(self) -> int:
+        serial = self.serial
+        self.serial = serial + 1
+        return serial
+
+    def push(self, state: int, cost: int, serial: int) -> None:
+        heapq.heappush(
+            self.entries,
+            (cost << PACK_KEY_SHIFT) | (serial << PACK_STATE_BITS)
+            | state)
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return ``(state, cost)``; caller discards stale
+        states (already extracted at a lower cost)."""
+        entry = heapq.heappop(self.entries)
+        return entry & PACK_STATE_MASK, entry >> PACK_KEY_SHIFT

@@ -4,29 +4,55 @@
 as needed, the cost of the calculation is prohibitively expensive.
 Consequently, pathalias precomputes paths to all destinations" — per
 *source*.  A site ran pathalias once for itself; the mapping project
-(and experiment E13) runs it for every source.  This module makes that
-cheap and safe: the parse/build phases are shared, and each mapping run
-removes its invented back links afterwards so runs are independent.
+(and experiment E13) runs it for every source.
+
+This module makes that cheap in two layers:
+
+* the graph is **compiled once** into a :class:`CompactGraph` and every
+  source is mapped by the compiled engine
+  (:class:`~repro.core.fastmap.CompactMapper`), which reuses its label
+  scratch between runs and never mutates the shared graph — no
+  back-link cleanup, no cross-run interference;
+* with ``jobs > 1`` the sources **fan out across a process pool**: the
+  pickled ``CompactGraph`` (flat arrays, no object graph) ships to each
+  worker once, each worker keeps one scratch-reusing mapper for its
+  lifetime, and the workers return portable route tables (plain
+  tuples) that the coordinator rehydrates and merges in deterministic
+  source order.  Any failure to stand up the pool degrades to the
+  serial path.
+
+The reference engine remains available (``engine="reference"``) as the
+differential baseline, and :func:`run_for_source` still exposes the
+historical leave-no-residue single run on the object graph.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.config import HeuristicConfig
+from repro.core.fastmap import (
+    CompactMapper,
+    build_portable_table,
+    compact_route_table,
+    table_from_portable,
+)
 from repro.core.mapper import Mapper, MapResult
 from repro.core.printer import RouteTable, print_routes
 from repro.graph.build import Graph
-from repro.graph.node import LinkKind, Node
+from repro.graph.compact import CompactGraph
+from repro.graph.node import Node
 
 
 def run_for_source(graph: Graph, source: str | Node,
                    heuristics: HeuristicConfig | None = None,
                    retain_back_links: bool = False) -> MapResult:
-    """One mapping run that, by default, leaves the graph as it found
-    it (invented back links are recorded in the result, then removed)."""
+    """One reference-engine run that, by default, leaves the graph as
+    it found it (invented back links are recorded, then removed)."""
     result = Mapper(graph, heuristics).run(source)
     if not retain_back_links:
         for owner, link in result.inferred:
@@ -41,6 +67,9 @@ class BatchResult:
     tables: dict[str, RouteTable] = field(default_factory=dict)
     total_pops: int = 0
     total_relaxations: int = 0
+    #: how the tables were produced: "reference", "compact", or
+    #: "compact/N" for an N-worker pool
+    engine: str = "compact"
 
     def __len__(self) -> int:
         return len(self.tables)
@@ -52,13 +81,79 @@ class BatchResult:
         return iter(self.tables)
 
 
+# -- worker-process plumbing --------------------------------------------------
+
+#: Lazily resolved (and test-injectable) pool class: importing
+#: concurrent.futures.process drags in all of multiprocessing, a cost
+#: every plain ``import repro`` should not pay.
+ProcessPoolExecutor = None
+
+
+def _pool_class():
+    global ProcessPoolExecutor
+    if ProcessPoolExecutor is None:
+        from concurrent.futures import (
+            ProcessPoolExecutor as pool_cls,
+        )
+        ProcessPoolExecutor = pool_cls
+    return ProcessPoolExecutor
+
+
+#: One compiled mapper per worker process, created by the initializer
+#: and reused (scratch arrays included) for every chunk it serves.
+_WORKER_MAPPER: CompactMapper | None = None
+
+
+def _worker_init(cgraph: CompactGraph,
+                 heuristics: HeuristicConfig | None) -> None:
+    global _WORKER_MAPPER
+    _WORKER_MAPPER = CompactMapper(cgraph, heuristics)
+
+
+def _worker_map(sources: list[str]):
+    """Map a chunk of sources; returns picklable portable tables."""
+    mapper = _WORKER_MAPPER
+    out = []
+    for source in sources:
+        result = mapper.run(source)
+        out.append((build_portable_table(result),
+                    mapper.stats.pops, mapper.stats.relaxations))
+    return out
+
+
 class BatchMapper:
-    """Precompute route tables for many (or all) sources on one graph."""
+    """Precompute route tables for many (or all) sources on one graph.
+
+    Args:
+        graph: the finalized connectivity graph.
+        heuristics: mapping-phase cost heuristics (default: the
+            paper's).
+        jobs: worker processes for ``run``/``write_paths_files``.
+            ``None``, 0 or 1 map serially in-process; ``n > 1`` fans
+            out over a process pool (falling back to serial if a pool
+            cannot be created).
+        engine: "compact" (default) or "reference" — the differential
+            baseline, always serial.
+    """
 
     def __init__(self, graph: Graph,
-                 heuristics: HeuristicConfig | None = None):
+                 heuristics: HeuristicConfig | None = None,
+                 jobs: int | None = None,
+                 engine: str = "compact"):
+        if engine not in ("compact", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.graph = graph
         self.heuristics = heuristics
+        self.jobs = jobs
+        self.engine = engine
+        self._compiled: CompactGraph | None = None
+
+    @property
+    def compiled(self) -> CompactGraph:
+        """The compiled graph (compiled on first use, then cached)."""
+        if self._compiled is None:
+            self._compiled = CompactGraph.compile(self.graph)
+        return self._compiled
 
     def sources(self) -> list[str]:
         """Every host that could serve as a source (no nets, domains,
@@ -69,27 +164,93 @@ class BatchMapper:
 
     def run(self, sources: Iterable[str] | None = None) -> BatchResult:
         """Map from each source; graph state is preserved between runs."""
-        batch = BatchResult()
-        for source in (self.sources() if sources is None else sources):
+        wanted = list(self.sources() if sources is None else sources)
+        if self.engine == "reference":
+            return self._run_reference(wanted)
+        jobs = self.jobs or 0
+        if jobs > 1 and len(wanted) > 1:
+            try:
+                return self._run_parallel(wanted, jobs)
+            except (OSError, ImportError, BrokenExecutor) as exc:
+                # No pool (restricted sandbox, missing sem support,
+                # workers killed mid-run...): the serial compiled path
+                # is always available.
+                batch = self._run_serial(wanted)
+                batch.engine = f"compact (serial fallback: {exc})"
+                return batch
+        return self._run_serial(wanted)
+
+    # -- engines ------------------------------------------------------------
+
+    def _run_reference(self, wanted: list[str]) -> BatchResult:
+        batch = BatchResult(engine="reference")
+        for source in wanted:
             result = run_for_source(self.graph, source, self.heuristics)
             batch.tables[source] = print_routes(result)
             batch.total_pops += result.stats.pops
             batch.total_relaxations += result.stats.relaxations
         return batch
 
+    def _run_serial(self, wanted: list[str]) -> BatchResult:
+        batch = BatchResult(engine="compact")
+        mapper = CompactMapper(self.compiled, self.heuristics)
+        for source in wanted:
+            result = mapper.run(source)
+            batch.tables[source] = compact_route_table(result)
+            batch.total_pops += result.stats.pops
+            batch.total_relaxations += result.stats.relaxations
+        return batch
+
+    def _run_parallel(self, wanted: list[str], jobs: int) -> BatchResult:
+        cgraph = self.compiled
+        jobs = min(jobs, len(wanted))
+        # A few chunks per worker keeps the pool busy even when some
+        # sources (deep back-link rounds) run long.
+        chunk_count = min(len(wanted), jobs * 4)
+        chunks = [wanted[i::chunk_count] for i in range(chunk_count)]
+        by_source: dict[str, tuple] = {}
+        total_pops = total_relax = 0
+        with _pool_class()(
+                max_workers=jobs, initializer=_worker_init,
+                initargs=(cgraph, self.heuristics)) as pool:
+            for chunk_result in pool.map(_worker_map, chunks):
+                for portable, pops, relax in chunk_result:
+                    by_source[portable[0]] = portable
+                    total_pops += pops
+                    total_relax += relax
+        batch = BatchResult(engine=f"compact/{jobs}")
+        batch.total_pops = total_pops
+        batch.total_relaxations = total_relax
+        # Deterministic merge: requested order, not completion order.
+        for source in wanted:
+            batch.tables[source] = table_from_portable(
+                self.compiled, by_source[source])
+        return batch
+
     def write_paths_files(self, directory: str | Path,
-                          sources: Iterable[str] | None = None) -> int:
+                          sources: Iterable[str] | None = None,
+                          batch: BatchResult | None = None) -> int:
         """Emit one sorted ``paths.<host>`` file per source — the
-        artifact sites actually installed.  Returns the file count."""
+        artifact sites actually installed.  Returns the file count.
+        Pass an already-computed ``batch`` to just write it out."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         count = 0
-        batch = self.run(sources)
+        if batch is None:
+            batch = self.run(sources)
         for source, table in batch.tables.items():
             (directory / f"paths.{source}").write_text(
                 table.format_tab() + "\n")
             count += 1
         return count
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0`` / "use what the machine has"."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
 
 
 def query_single_destination(graph: Graph, source: str,

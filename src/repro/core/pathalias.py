@@ -61,14 +61,21 @@ class Pathalias:
         scanner_class: the hand scanner by default; pass
             :class:`repro.parser.lexgen.LexScanner` to run the lex-style
             baseline end to end.
+        engine: "reference" (the paper-shaped object-graph mapper, the
+            default) or "compact" (the compiled flat-array engine,
+            differentially tested to identical output).
     """
 
     def __init__(self, heuristics: HeuristicConfig | None = None,
                  case_fold: bool = False,
-                 scanner_class: type[Scanner] = Scanner):
+                 scanner_class: type[Scanner] = Scanner,
+                 engine: str = "reference"):
+        if engine not in ("reference", "compact"):
+            raise MappingError(f"unknown engine {engine!r}")
         self.heuristics = heuristics
         self.case_fold = case_fold
         self.scanner_class = scanner_class
+        self.engine = engine
 
     # -- entry points ---------------------------------------------------------
 
@@ -89,10 +96,11 @@ class Pathalias:
         named = [(str(p), Path(p).read_text()) for p in paths]
         return self.run_detailed(named, localhost).table
 
-    def run_detailed(self, named_texts: list[tuple[str, str]],
-                     localhost: str) -> RunResult:
-        """Full pipeline, returning graph/mapping/timing detail."""
-        times = PhaseTimes()
+    def build(self, named_texts: list[tuple[str, str]],
+              times: PhaseTimes | None = None) -> Graph:
+        """Scan, parse and build the graph only — the shared front half
+        of the pipeline, reusable by batch precomputation."""
+        times = times if times is not None else PhaseTimes()
         builder = GraphBuilder()
         for filename, text in named_texts:
             t0 = time.perf_counter()
@@ -112,12 +120,27 @@ class Pathalias:
         graph = builder.finalize()
         t1 = time.perf_counter()
         times.build += t1 - t0
+        return graph
+
+    def run_detailed(self, named_texts: list[tuple[str, str]],
+                     localhost: str) -> RunResult:
+        """Full pipeline, returning graph/mapping/timing detail."""
+        times = PhaseTimes()
+        graph = self.build(named_texts, times)
 
         source = localhost.lower() if self.case_fold else localhost
         if graph.find(source) is None:
             raise MappingError(f"local host {source!r} not in input")
         t0 = time.perf_counter()
-        mapping = Mapper(graph, self.heuristics).run(source)
+        if self.engine == "compact":
+            from repro.core.fastmap import CompactMapper
+            from repro.graph.compact import CompactGraph
+
+            compact = CompactMapper(CompactGraph.compile(graph),
+                                    self.heuristics).run(source)
+            mapping = compact.to_map_result()
+        else:
+            mapping = Mapper(graph, self.heuristics).run(source)
         t1 = time.perf_counter()
         table = print_routes(mapping)
         t2 = time.perf_counter()

@@ -1,0 +1,99 @@
+"""Tests for the parallel (and compiled-serial) batch mapper."""
+
+import pytest
+
+from repro.config import HeuristicConfig
+from repro.core import batch as batch_module
+from repro.core.batch import BatchMapper, default_jobs
+from repro.graph.build import build_graph
+from repro.parser.grammar import parse_text
+
+from tests.conftest import PAPER_1981_MAP
+from tests.test_sample_maps import FILES as SAMPLE_FILES
+
+
+@pytest.fixture(scope="module")
+def sample_graph():
+    named = [(p.name, p.read_text()) for p in SAMPLE_FILES]
+    return build_graph([(n, parse_text(t, n)) for n, t in named])
+
+
+def tables_text(batch):
+    return {source: batch[source].format_tab() for source in batch}
+
+
+class TestEngines:
+    def test_compact_matches_reference(self, sample_graph):
+        sources = BatchMapper(sample_graph).sources()
+        ref = BatchMapper(sample_graph, engine="reference").run(sources)
+        fast = BatchMapper(sample_graph, engine="compact").run(sources)
+        assert tables_text(ref) == tables_text(fast)
+        assert ref.total_pops == fast.total_pops
+        assert ref.total_relaxations == fast.total_relaxations
+        assert fast.engine == "compact"
+
+    def test_unknown_engine_rejected(self, sample_graph):
+        with pytest.raises(ValueError):
+            BatchMapper(sample_graph, engine="vax")
+
+    def test_heuristics_respected_by_compact(self):
+        graph = build_graph([("f", parse_text("a @b(10)\nb c(20)", "f"))])
+        strict = BatchMapper(
+            graph, HeuristicConfig(mixed_penalty=1000)).run(["a"])
+        assert strict["a"].lookup("c").cost == 1030
+
+
+class TestParallel:
+    def test_matches_serial_and_merges_deterministically(
+            self, sample_graph):
+        sources = BatchMapper(sample_graph).sources()
+        serial = BatchMapper(sample_graph).run(sources)
+        parallel = BatchMapper(sample_graph, jobs=2).run(sources)
+        assert list(parallel.tables) == sources  # requested order
+        assert tables_text(serial) == tables_text(parallel)
+        assert parallel.total_pops == serial.total_pops
+        assert parallel.total_relaxations == serial.total_relaxations
+        assert parallel.engine == "compact/2"
+
+    def test_rehydrated_records_carry_graph_nodes(self, sample_graph):
+        parallel = BatchMapper(sample_graph, jobs=2).run(["ihnp4"])
+        record = parallel["ihnp4"].lookup("mcvax")
+        assert record.node is sample_graph.require("mcvax")
+
+    def test_more_jobs_than_sources(self, sample_graph):
+        batch = BatchMapper(sample_graph, jobs=8).run(["ihnp4", "mcvax"])
+        assert set(batch.tables) == {"ihnp4", "mcvax"}
+        assert batch.engine == "compact/2"  # clamped to the work
+
+    def test_single_source_stays_serial(self, sample_graph):
+        batch = BatchMapper(sample_graph, jobs=4).run(["ihnp4"])
+        assert batch.engine == "compact"
+
+    def test_write_paths_files_parallel(self, sample_graph, tmp_path):
+        count = BatchMapper(sample_graph, jobs=2).write_paths_files(
+            tmp_path, sources=["ihnp4", "mcvax", "princeton"])
+        assert count == 3
+        content = (tmp_path / "paths.ihnp4").read_text()
+        assert "allegra\tallegra!%s" in content
+
+    def test_pool_failure_falls_back_to_serial(self, sample_graph,
+                                               monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(batch_module, "ProcessPoolExecutor",
+                            broken_pool)
+        batch = BatchMapper(sample_graph, jobs=2).run(["ihnp4", "mcvax"])
+        assert set(batch.tables) == {"ihnp4", "mcvax"}
+        assert batch.engine.startswith("compact (serial fallback")
+
+    def test_second_best_survives_worker_round_trip(self):
+        graph = build_graph([("d.map", parse_text(PAPER_1981_MAP))])
+        cfg = HeuristicConfig(second_best=True)
+        serial = BatchMapper(graph, cfg).run(["unc", "ucbvax"])
+        parallel = BatchMapper(graph, cfg, jobs=2).run(["unc", "ucbvax"])
+        assert tables_text(serial) == tables_text(parallel)
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1

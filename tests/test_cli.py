@@ -136,3 +136,45 @@ class TestFailures:
         assert main(["-l", "a", str(path)]) == 1
         err = capsys.readouterr().err
         assert "pathalias:" in err
+
+
+class TestEngineSelection:
+    def test_engines_agree_byte_for_byte(self, map_file, capsys):
+        assert main(["-l", "unc", "--engine", "compact", map_file]) == 0
+        compact = capsys.readouterr().out
+        assert main(["-l", "unc", "--engine", "reference", map_file]) == 0
+        reference = capsys.readouterr().out
+        assert compact == reference
+        assert "phs\tduke!phs!%s" in compact
+
+    def test_compact_supports_trace_and_report(self, map_file, capsys):
+        assert main(["-l", "unc", "--engine", "compact", "--report",
+                     "--trace", "mit-ai", map_file]) == 0
+        err = capsys.readouterr().err
+        assert "pathalias run report" in err
+        assert "route to mit-ai (cost 3395)" in err
+
+
+class TestBatchMode:
+    def test_batch_writes_all_sources(self, map_file, tmp_path, capsys):
+        out = tmp_path / "paths"
+        assert main(["--batch", str(out), map_file]) == 0
+        written = sorted(p.name for p in out.iterdir())
+        assert "paths.unc" in written and "paths.ucbvax" in written
+        assert "phs\tduke!phs!%s" in (out / "paths.unc").read_text()
+        assert "batch:" in capsys.readouterr().err
+
+    def test_batch_parallel_jobs(self, map_file, tmp_path, capsys):
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        assert main(["--batch", str(serial), map_file]) == 0
+        assert main(["--batch", str(parallel), "-j", "2", map_file]) == 0
+        assert "jobs=2" in capsys.readouterr().err
+        for path in serial.iterdir():
+            assert (parallel / path.name).read_text() == path.read_text()
+
+    def test_batch_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "d.map"
+        path.write_text("= broken =")
+        assert main(["--batch", str(tmp_path / "out"), str(path)]) == 1
+        assert "pathalias:" in capsys.readouterr().err

@@ -1,0 +1,234 @@
+"""Differential tests: the compiled engine against the reference.
+
+Correctness here is a graph-reachability property, so the whole proof
+obligation is route-for-route equivalence: for every map and every
+source, ``CompactMapper``'s route table must be *byte-identical* to
+``Mapper``'s — same costs, same routes, same tie-breaks, same
+unreachable list — across tree mode, second-best mode, min-hop costs,
+and back-link inference.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import HeuristicConfig
+from repro.core.fastmap import (
+    CompactMapper,
+    build_portable_table,
+    compact_route_table,
+    map_routes,
+)
+from repro.core.mapper import Mapper
+from repro.core.printer import print_routes
+from repro.errors import MappingError
+from repro.graph.build import build_graph
+from repro.graph.compact import CompactGraph
+from repro.netsim.mapgen import MapParams, generate_map
+from repro.parser.grammar import parse_text
+
+from tests.conftest import DOMAIN_TREE_MAP, MOTOWN_MAP, PAPER_1981_MAP
+from tests.test_sample_maps import FILES as SAMPLE_FILES
+
+
+def graph_of(text: str):
+    return build_graph([("d.map", parse_text(text))])
+
+
+def graph_of_files(named):
+    return build_graph([(name, parse_text(text, name))
+                        for name, text in named])
+
+
+def reference_table(graph, source, heuristics=None, unit_costs=False):
+    """Reference run that leaves the graph as it found it."""
+    result = Mapper(graph, heuristics, unit_costs=unit_costs).run(source)
+    table = print_routes(result)
+    for owner, link in result.inferred:
+        owner.links.remove(link)
+    return table
+
+
+def assert_identical(graph, sources, heuristics=None, unit_costs=False):
+    """The core differential check, byte-for-byte on both layouts."""
+    cgraph = CompactGraph.compile(graph)
+    for source in sources:
+        mapper = CompactMapper(cgraph, heuristics, unit_costs=unit_costs)
+        fast = compact_route_table(mapper.run(source))
+        ref = reference_table(graph, source, heuristics, unit_costs)
+        assert fast.format_paper() == ref.format_paper(), source
+        assert fast.format_tab() == ref.format_tab(), source
+        assert fast.unreachable == ref.unreachable, source
+        assert fast.warnings == ref.warnings, source
+
+
+class TestPaperMaps:
+    def test_paper_1981(self):
+        graph = graph_of(PAPER_1981_MAP)
+        assert_identical(graph, ["unc", "duke", "phs", "research",
+                                 "ucbvax", "mit-ai", "stanford"])
+
+    def test_paper_1981_second_best(self):
+        graph = graph_of(PAPER_1981_MAP)
+        assert_identical(graph, ["unc", "ucbvax"],
+                         HeuristicConfig(second_best=True))
+
+    def test_paper_1981_unit_costs(self):
+        graph = graph_of(PAPER_1981_MAP)
+        assert_identical(graph, ["unc", "research"], unit_costs=True)
+
+    def test_domain_tree(self):
+        graph = graph_of(DOMAIN_TREE_MAP)
+        assert_identical(graph, ["local", "blue"])
+        assert_identical(graph_of(DOMAIN_TREE_MAP), ["local"],
+                         HeuristicConfig(second_best=True))
+
+    def test_motown_problems_graph(self):
+        for cfg in (None, HeuristicConfig(second_best=True)):
+            graph = graph_of(MOTOWN_MAP)
+            assert_identical(graph, ["princeton", "motown"], cfg)
+
+
+class TestSampleMaps:
+    @pytest.fixture(scope="class")
+    def named(self):
+        return [(p.name, p.read_text()) for p in SAMPLE_FILES]
+
+    def test_all_hosts_tree_mode(self, named):
+        graph = graph_of_files(named)
+        sources = [n.name for n in graph.nodes
+                   if not n.netlike and not n.private]
+        assert_identical(graph, sources)
+
+    def test_second_best(self, named):
+        graph = graph_of_files(named)
+        assert_identical(graph, ["ihnp4", "mcvax", "princeton"],
+                         HeuristicConfig(second_best=True))
+
+    def test_unit_costs(self, named):
+        graph = graph_of_files(named)
+        assert_identical(graph, ["ihnp4", "mcvax"], unit_costs=True)
+
+    def test_back_link_inference_matches(self, named):
+        """sleepy is only reachable through an invented back link; the
+        overlay must reproduce the reference's graph mutation."""
+        graph = graph_of_files(named)
+        cgraph = CompactGraph.compile(graph)
+        result = CompactMapper(cgraph).run("ihnp4")
+        assert result.stats.inferred_links > 0
+        assert result.stats.back_link_rounds > 0
+        table = compact_route_table(result)
+        assert table.route("sleepy") == "allegra!princeton!sleepy!%s"
+        # The source graph was never touched.
+        assert all(l.kind.value != "inferred"
+                   for n in graph.nodes for l in n.links)
+
+
+class TestGeneratedMaps:
+    @pytest.mark.parametrize("params", [
+        MapParams.small(seed=1986),
+        MapParams.small(seed=2026),
+        MapParams.medium(seed=1986),
+    ], ids=["small-1986", "small-2026", "medium-1986"])
+    def test_tree_mode(self, params):
+        generated = generate_map(params)
+        graph = graph_of_files(generated.files)
+        sources = [generated.localhost] + generated.backbone[-2:] \
+            + generated.regional_hosts[:2]
+        assert_identical(graph, dict.fromkeys(sources))
+
+    def test_small_second_best_and_back_links(self):
+        generated = generate_map(MapParams.small(seed=1986))
+        graph = graph_of_files(generated.files)
+        assert_identical(graph, [generated.localhost],
+                         HeuristicConfig(second_best=True))
+        assert_identical(graph, [generated.localhost],
+                         HeuristicConfig(back_link_factor=3))
+        assert_identical(graph, [generated.localhost],
+                         HeuristicConfig(infer_back_links=False))
+
+    def test_small_unit_costs(self):
+        generated = generate_map(MapParams.small(seed=1986))
+        graph = graph_of_files(generated.files)
+        assert_identical(graph, [generated.localhost], unit_costs=True)
+
+
+class TestResultSemantics:
+    def test_costs_and_stats_match(self):
+        graph = graph_of(PAPER_1981_MAP)
+        cgraph = CompactGraph.compile(graph)
+        fast_mapper = CompactMapper(cgraph)
+        fast = fast_mapper.run("unc")
+        ref_mapper = Mapper(graph)
+        ref = ref_mapper.run("unc")
+        for node in graph.nodes:
+            cid = cgraph.find(node.name)
+            assert fast.cost_of(cid) == ref.cost(node)
+        assert fast_mapper.stats.pops == ref_mapper.stats.pops
+        assert fast_mapper.stats.relaxations == ref_mapper.stats.relaxations
+        assert fast_mapper.stats.inserts == ref_mapper.stats.inserts
+        assert fast_mapper.stats.decrease_keys == \
+            ref_mapper.stats.decrease_keys
+
+    def test_to_map_result_feeds_reference_printer(self):
+        graph = graph_of(PAPER_1981_MAP)
+        cgraph = CompactGraph.compile(graph)
+        materialized = CompactMapper(cgraph).run("unc").to_map_result()
+        table = print_routes(materialized)
+        ref = reference_table(graph, "unc")
+        assert table.format_paper() == ref.format_paper()
+        best = materialized.best(graph.require("mit-ai"))
+        assert best.parent.node.name == "ARPA"
+        assert best.parent.parent.node.name == "ucbvax"
+
+    def test_stop_at_early_exit(self):
+        graph = graph_of(PAPER_1981_MAP)
+        cgraph = CompactGraph.compile(graph)
+        mapper = CompactMapper(cgraph)
+        result = mapper.run("unc", stop_at="duke")
+        assert result.cost_of("duke") == 500
+        assert mapper.stats.pops < cgraph.n
+
+    def test_scratch_reuse_across_runs(self):
+        """One mapper, many sources: each run starts clean."""
+        graph = graph_of(PAPER_1981_MAP)
+        cgraph = CompactGraph.compile(graph)
+        mapper = CompactMapper(cgraph)
+        first = compact_route_table(mapper.run("unc")).format_paper()
+        compact_route_table(mapper.run("ucbvax"))
+        again = compact_route_table(mapper.run("unc")).format_paper()
+        assert first == again
+        assert first == reference_table(graph, "unc").format_paper()
+
+    def test_unknown_source_raises(self):
+        cgraph = CompactGraph.compile(graph_of(PAPER_1981_MAP))
+        with pytest.raises(MappingError):
+            CompactMapper(cgraph).run("zebra")
+
+    def test_map_routes_convenience(self):
+        graph = graph_of(PAPER_1981_MAP)
+        table = map_routes(CompactGraph.compile(graph), "unc")
+        assert table.route("mit-ai") == "duke!research!ucbvax!%s@mit-ai"
+
+
+class TestPickledWorkerPath:
+    def test_detached_graph_round_trip(self):
+        graph = graph_of(PAPER_1981_MAP)
+        cgraph = pickle.loads(pickle.dumps(CompactGraph.compile(graph)))
+        assert cgraph.graph is None
+        source, records, unreachable, warnings = build_portable_table(
+            CompactMapper(cgraph).run("unc"))
+        assert source == "unc"
+        ref = reference_table(graph, "unc")
+        assert [(c, n, r) for c, n, r, _cid in records] == \
+            [(r.cost, r.name, r.route) for r in
+             sorted(ref, key=lambda r: (r.cost, r.name))]
+        assert unreachable == ref.unreachable
+
+    def test_detached_materialization_refused(self):
+        cgraph = pickle.loads(pickle.dumps(
+            CompactGraph.compile(graph_of(PAPER_1981_MAP))))
+        with pytest.raises(MappingError):
+            CompactMapper(cgraph).run("unc").to_map_result()

@@ -1,0 +1,228 @@
+"""Unit tests for the int-keyed heaps: the flat-index IntHeap and the
+packed lazy-deletion LazyPackedHeap the compiled engine drives, each
+checked for extraction-order equivalence with the reference BinaryHeap
+under random operation streams."""
+
+import random
+
+import pytest
+
+from repro.adt.heap import BinaryHeap
+from repro.adt.intheap import IntHeap, LazyPackedHeap
+
+
+class TestBasics:
+    def test_insert_extract_sorted(self):
+        heap = IntHeap(16)
+        for value in (5, 3, 8, 1, 9, 2):
+            heap.insert(value, value)
+        out = []
+        while heap:
+            _state, priority = heap.extract_min()
+            out.append(priority)
+        assert out == sorted(out)
+
+    def test_len_bool_contains(self):
+        heap = IntHeap(4)
+        assert not heap
+        heap.insert(2, 1)
+        assert heap and len(heap) == 1
+        assert 2 in heap and 0 not in heap
+        heap.extract_min()
+        assert 2 not in heap
+
+    def test_peek_does_not_remove(self):
+        heap = IntHeap(4)
+        heap.insert(0, 2)
+        heap.insert(1, 1)
+        assert heap.peek() == (1, 1)
+        assert len(heap) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(IndexError):
+            IntHeap(1).extract_min()
+        with pytest.raises(IndexError):
+            IntHeap(1).peek()
+
+    def test_duplicate_insert_rejected(self):
+        heap = IntHeap(4)
+        heap.insert(1, 1)
+        with pytest.raises(ValueError):
+            heap.insert(1, 2)
+
+    def test_priority_query(self):
+        heap = IntHeap(4)
+        heap.insert(3, 7)
+        assert heap.priority(3) == 7
+        with pytest.raises(KeyError):
+            heap.priority(0)
+
+    def test_clear_resets_for_reuse(self):
+        heap = IntHeap(8)
+        for i in range(8):
+            heap.insert(i, 8 - i)
+        heap.extract_min()
+        heap.clear()
+        assert not heap and 3 not in heap
+        heap.insert(3, 1)  # fresh serial space after clear
+        assert heap.extract_min() == (3, 1)
+
+    def test_grow_admits_new_states(self):
+        heap = IntHeap(2)
+        heap.insert(1, 5)
+        heap.grow(10)
+        heap.insert(9, 1)
+        assert heap.extract_min() == (9, 1)
+
+
+class TestDecreaseKey:
+    def test_decrease_moves_to_front(self):
+        heap = IntHeap(4)
+        heap.insert(0, 100)
+        heap.insert(1, 1)
+        heap.decrease_key(0, 0)
+        assert heap.extract_min() == (0, 0)
+
+    def test_increase_rejected(self):
+        heap = IntHeap(4)
+        heap.insert(0, 5)
+        with pytest.raises(ValueError):
+            heap.decrease_key(0, 10)
+
+    def test_decrease_missing_raises(self):
+        with pytest.raises(KeyError):
+            IntHeap(4).decrease_key(0, 1)
+
+    def test_fifo_tie_break_survives_decrease(self):
+        heap = IntHeap(4)
+        heap.insert(0, 9)
+        heap.insert(1, 9)
+        heap.insert(2, 20)
+        heap.decrease_key(2, 9)
+        order = [heap.extract_min()[0] for _ in range(3)]
+        # State 2 keeps its (late) serial: stays behind the others.
+        assert order == [0, 1, 2]
+
+    def test_invariant_checker_catches_corruption(self):
+        heap = IntHeap(10)
+        for i in range(10):
+            heap.insert(i, i)
+        heap._keys[0] = heap._keys[9] + 1  # corrupt on purpose
+        with pytest.raises(AssertionError):
+            heap.check_invariant()
+
+
+class TestEquivalenceWithBinaryHeap:
+    """The two engines must extract identical (state, priority)
+    sequences — route determinism depends on it."""
+
+    def test_random_streams_match(self):
+        rng = random.Random(1986)
+        for _round in range(20):
+            size = rng.randint(1, 200)
+            ref: BinaryHeap[int] = BinaryHeap()
+            fast = IntHeap(size)
+            queued: set[int] = set()
+            for _op in range(500):
+                choice = rng.random()
+                if choice < 0.5 and len(queued) < size:
+                    state = rng.choice(
+                        [s for s in range(size) if s not in queued])
+                    pri = rng.randint(0, 50)
+                    ref.insert(state, pri)
+                    fast.insert(state, pri)
+                    queued.add(state)
+                elif choice < 0.75 and queued:
+                    state = rng.choice(sorted(queued))
+                    new = rng.randint(0, ref.priority(state))
+                    ref.decrease_key(state, new)
+                    fast.decrease_key(state, new)
+                elif queued:
+                    popped = ref.extract_min()
+                    assert popped == fast.extract_min()
+                    queued.remove(popped[0])
+                fast.check_invariant()
+            while ref:
+                assert ref.extract_min() == fast.extract_min()
+            assert not fast
+
+
+class TestLazyPackedHeap:
+    """The heap the compiled mapper actually drives: no decrease-key,
+    a cost decrease re-pushes under the state's original serial and
+    the consumer skips states it has already extracted."""
+
+    def test_basic_ordering_and_clear(self):
+        heap = LazyPackedHeap()
+        for state, cost in ((3, 30), (1, 10), (2, 20)):
+            heap.push(state, cost, heap.next_serial())
+        assert len(heap) == 3 and heap
+        assert [heap.pop() for _ in range(3)] == \
+            [(1, 10), (2, 20), (3, 30)]
+        assert not heap
+        heap.push(5, 1, heap.next_serial())
+        heap.clear()
+        assert not heap and heap.serial == 0
+
+    def test_fifo_tie_break_and_stale_skip(self):
+        heap = LazyPackedHeap()
+        serial_a = heap.next_serial()
+        serial_b = heap.next_serial()
+        heap.push(0, 9, serial_a)
+        heap.push(1, 9, serial_b)
+        heap.push(0, 5, serial_a)  # "decrease": same serial, lower cost
+        extracted = []
+        seen = set()
+        while heap:
+            state, cost = heap.pop()
+            if state in seen:
+                continue  # stale superseded entry
+            seen.add(state)
+            extracted.append((state, cost))
+        # State 0's decrease wins; the stale (0, 9) entry was skipped;
+        # equal-cost states would extract in serial (FIFO) order.
+        assert extracted == [(0, 5), (1, 9)]
+
+    def test_random_streams_match_binary_heap(self):
+        """Dijkstra-shaped random workloads: insert, decrease, extract
+        — the live extraction sequence must equal BinaryHeap's."""
+        rng = random.Random(2026)
+        for _round in range(20):
+            size = rng.randint(1, 150)
+            ref: BinaryHeap[int] = BinaryHeap()
+            lazy = LazyPackedHeap()
+            serial_of = {}
+            extracted = set()
+            queued: set[int] = set()
+
+            def lazy_pop():
+                while True:
+                    state, cost = lazy.pop()
+                    if state not in extracted:
+                        extracted.add(state)
+                        return state, cost
+
+            for _op in range(400):
+                choice = rng.random()
+                free = [s for s in range(size)
+                        if s not in queued and s not in extracted]
+                if choice < 0.5 and free:
+                    state = rng.choice(free)
+                    pri = rng.randint(0, 40)
+                    ref.insert(state, pri)
+                    serial_of[state] = lazy.next_serial()
+                    lazy.push(state, pri, serial_of[state])
+                    queued.add(state)
+                elif choice < 0.75 and queued:
+                    state = rng.choice(sorted(queued))
+                    new = rng.randint(0, ref.priority(state))
+                    if new < ref.priority(state):
+                        ref.decrease_key(state, new)
+                        lazy.push(state, new, serial_of[state])
+                elif queued:
+                    popped = ref.extract_min()
+                    assert popped == lazy_pop()
+                    queued.remove(popped[0])
+            while ref:
+                popped = ref.extract_min()
+                assert popped == lazy_pop()
