@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Measure the serving tier and record it in BENCH_routing.json.
+
+Three numbers the ROADMAP cares about:
+
+* snapshot build time (the offline cost of the store);
+* incremental update vs full rebuild after a single link-cost change
+  (the paper's monthly-revision scenario) — with the byte-identity
+  guarantee asserted while we are at it;
+* daemon lookup throughput over real sockets, with hot-swap reloads
+  happening mid-traffic.
+
+The map is a deterministic ring-with-chords (explicit numeric costs,
+no symbol table) so a one-link revision is easy to synthesize and its
+affected-source set is a stable fraction of the whole.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --hosts 200 --clients 8 --requests 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pathalias import Pathalias  # noqa: E402
+from repro.service.daemon import RouteService, serve  # noqa: E402
+from repro.service.incremental import update_snapshot  # noqa: E402
+from repro.service.store import (  # noqa: E402
+    SnapshotReader,
+    build_snapshot,
+)
+
+
+def ring_map(hosts: int, changed_cost: int | None = None) -> str:
+    """A ring with +7 chords; optionally reprice one ring link."""
+    lines = []
+    for i in range(hosts):
+        right = (i + 1) % hosts
+        left = (i - 1) % hosts
+        chord = (i + 7) % hosts
+        cost = 100
+        if changed_cost is not None and i == 10:
+            cost = changed_cost
+        lines.append(f"h{i:03d}\th{right:03d}({cost}), "
+                     f"h{left:03d}(100), h{chord:03d}(300)")
+    return "\n".join(lines) + "\n"
+
+
+def build(text: str):
+    return Pathalias().build([("d.ring", text)])
+
+
+def bench_store(tmp: Path, hosts: int) -> dict:
+    graph = build(ring_map(hosts))
+    base = tmp / "base.snap"
+    t0 = time.perf_counter()
+    info = build_snapshot(graph, base)
+    build_s = time.perf_counter() - t0
+
+    revised = build(ring_map(hosts, changed_cost=140))
+    t0 = time.perf_counter()
+    report = update_snapshot(base, revised, tmp / "inc.snap")
+    incremental_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    build_snapshot(revised, tmp / "full.snap",
+                   heuristics=report.heuristics)
+    full_s = time.perf_counter() - t0
+    identical = (tmp / "inc.snap").read_bytes() == \
+        (tmp / "full.snap").read_bytes()
+    assert identical, "incremental update diverged from full rebuild!"
+    assert report.mode == "incremental", report.reason
+    return {
+        "hosts": hosts,
+        "sources": len(info.sources),
+        "snapshot_bytes": info.size,
+        "build_sec": round(build_s, 3),
+        "incremental": {
+            "mode": report.mode,
+            "remapped_sources": len(report.remapped),
+            "reused_sources": report.reused,
+            "update_sec": round(incremental_s, 3),
+            "full_rebuild_sec": round(full_s, 3),
+            "speedup_vs_full": round(full_s / incremental_s, 2)
+            if incremental_s > 0 else None,
+            "byte_identical_to_full": identical,
+        },
+    }
+
+
+def bench_daemon(tmp: Path, clients: int, requests: int,
+                 reloads: int) -> dict:
+    base, alt = str(tmp / "base.snap"), str(tmp / "inc.snap")
+
+    async def scenario() -> dict:
+        service = RouteService(base)
+        server = await serve(service)
+        port = server.sockets[0].getsockname()[1]
+        reader = SnapshotReader.open(base)
+        destinations = [name for _, name, _ in
+                        reader.table(reader.sources()[0]).records()]
+
+        async def client(i: int) -> int:
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            count = 0
+            for k in range(requests):
+                dest = destinations[(i + k * 13) % len(destinations)]
+                w.write(f"ROUTE {dest} u{k}\n".encode())
+                await w.drain()
+                reply = await r.readline()
+                assert reply.startswith(b"OK "), reply
+                count += 1
+            w.write(b"QUIT\n")
+            await w.drain()
+            w.close()
+            return count
+
+        async def reloader() -> None:
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            for k in range(reloads):
+                target = alt if k % 2 == 0 else base
+                w.write(f"RELOAD {target}\n".encode())
+                await w.drain()
+                reply = await r.readline()
+                assert reply.startswith(b"OK reloaded"), reply
+                await asyncio.sleep(0.01)
+            w.close()
+
+        t0 = time.perf_counter()
+        answered = await asyncio.gather(
+            *(client(i) for i in range(clients)), reloader())
+        elapsed = time.perf_counter() - t0
+        server.close()
+        await server.wait_closed()
+        total = sum(a for a in answered if a is not None)
+        return {
+            "clients": clients,
+            "requests": total,
+            "reloads_mid_traffic": reloads,
+            "seconds": round(elapsed, 3),
+            "lookups_per_sec": round(total / elapsed, 1),
+            "dropped": 0,  # every request asserted OK above
+        }
+
+    return asyncio.run(scenario())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the route service tier")
+    parser.add_argument("--hosts", type=int, default=120)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=400,
+                        help="lookups per client")
+    parser.add_argument("--reloads", type=int, default=20)
+    parser.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        print("benchmarking snapshot store + incremental update...",
+              file=sys.stderr)
+        store = bench_store(tmp, args.hosts)
+        print("benchmarking daemon throughput under reload...",
+              file=sys.stderr)
+        daemon = bench_daemon(tmp, args.clients, args.requests,
+                              args.reloads)
+
+    section = {"store": store, "daemon": daemon}
+    out = Path(args.out)
+    document = json.loads(out.read_text()) if out.exists() else {
+        "benchmark": "BENCH_routing"}
+    document["service"] = section
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote service section -> {out}", file=sys.stderr)
+    print(json.dumps(section, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

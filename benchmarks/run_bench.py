@@ -143,6 +143,12 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: 1,4)")
     parser.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit nonzero unless the compact engine "
+                             "maps at least X times faster than the "
+                             "reference Mapper (the CI regression "
+                             "gate)")
     args = parser.parse_args(argv)
 
     jobs_list = [int(j) for j in args.jobs.split(",")]
@@ -185,6 +191,12 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.out}", file=sys.stderr)
     print(json.dumps(document, indent=2))
+    if args.min_speedup is not None \
+            and fullmap["map_speedup"] < args.min_speedup:
+        print(f"FAIL: compact engine speedup "
+              f"{fullmap['map_speedup']}x is below the "
+              f"{args.min_speedup}x floor", file=sys.stderr)
+        return 1
     return 0
 
 

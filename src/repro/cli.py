@@ -8,6 +8,14 @@ Reads map files (or standard input), computes routes from the local
 host, and writes one route per line to standard output.  Options follow
 the original where the paper documents them (``-l``, ``-c``, ``-i``)
 plus reproduction-specific switches for the experiments.
+
+The serving tier lives behind subcommands (the flat form above stays
+the default when the first argument is not one of them)::
+
+    pathalias snapshot -o routes.snap [map ...]     build a snapshot
+    pathalias update old.snap -o new.snap [map ...] diff-driven update
+    pathalias lookup routes.snap dest [user]        one-shot query
+    pathalias serve routes.snap [--port N]          the lookup daemon
 """
 
 from __future__ import annotations
@@ -107,7 +115,211 @@ def _run_batch(tool: Pathalias, named: list[tuple[str, str]],
     return 0
 
 
+#: First arguments that route into the service sub-CLI instead of the
+#: historical flat option set.
+SERVICE_COMMANDS = ("snapshot", "update", "lookup", "serve")
+
+
+def build_service_parser(command: str) -> argparse.ArgumentParser:
+    """One standalone parser per service command.
+
+    Standalone (rather than argparse subparsers) so map files can
+    follow ``-o``/``-j`` between the positionals via
+    ``parse_intermixed_args``, which subparsers do not support.
+    """
+    if command == "snapshot":
+        snap = argparse.ArgumentParser(
+            prog="pathalias snapshot",
+            description="precompute every source's routes into a "
+                        "binary snapshot")
+        snap.add_argument("files", nargs="*",
+                          help="map files (default: standard input)")
+        snap.add_argument("-o", "--out", required=True, metavar="FILE",
+                          help="snapshot file to write "
+                               "(atomic replace)")
+        snap.add_argument("-j", "--jobs", type=int, default=1,
+                          metavar="N",
+                          help="worker processes (0 = all CPUs)")
+        snap.add_argument("-s", "--second-best", action="store_true",
+                          help="maintain second-best (domain-free) "
+                               "paths")
+        snap.add_argument("--no-back-links", action="store_true",
+                          help="do not invent links to unreachable "
+                               "hosts")
+        snap.add_argument("-i", "--ignore-case", action="store_true",
+                          help="fold host names to lower case")
+        return snap
+
+    if command == "update":
+        upd = argparse.ArgumentParser(
+            prog="pathalias update",
+            description="rebuild a snapshot for a revised map, "
+                        "remapping only the sources the revision can "
+                        "affect")
+        upd.add_argument("snapshot", help="the previous snapshot")
+        upd.add_argument("files", nargs="*",
+                         help="revised map files (default: standard "
+                              "input)")
+        upd.add_argument("-o", "--out", required=True, metavar="FILE",
+                         help="snapshot file to write")
+        upd.add_argument("-j", "--jobs", type=int, default=1,
+                         metavar="N",
+                         help="worker processes (0 = all CPUs)")
+        upd.add_argument("--full-threshold", type=float, default=0.5,
+                         metavar="F",
+                         help="affected-source fraction beyond which "
+                              "a full rebuild is cheaper (default "
+                              "0.5)")
+        upd.add_argument("-i", "--ignore-case", action="store_true",
+                         help="fold host names to lower case")
+        return upd
+
+    if command == "lookup":
+        look = argparse.ArgumentParser(
+            prog="pathalias lookup",
+            description="one-shot route lookup against a snapshot")
+        look.add_argument("snapshot")
+        look.add_argument("destination")
+        look.add_argument("user", nargs="?",
+                          help="instantiate the route for this user")
+        look.add_argument("-l", "--localhost", metavar="HOST",
+                          help="source table to search (default: the "
+                               "snapshot's first source)")
+        return look
+
+    srv = argparse.ArgumentParser(
+        prog="pathalias serve",
+        description="run the route lookup daemon on a snapshot")
+    srv.add_argument("snapshot")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=4176,
+                     help="TCP port (default 4176; 0 = ephemeral)")
+    srv.add_argument("--source", metavar="HOST",
+                     help="default source table (default: the "
+                          "snapshot's first source)")
+    return srv
+
+
+def _read_named(files: list[str]) -> list[tuple[str, str]] | None:
+    """Read map inputs; None (after reporting) on I/O failure."""
+    if not files:
+        return [("<stdin>", sys.stdin.read())]
+    named = []
+    for path in files:
+        try:
+            with open(path, "r") as handle:
+                named.append((path, handle.read()))
+        except OSError as exc:
+            print(f"pathalias: {exc}", file=sys.stderr)
+            return None
+    return named
+
+
+def _effective_jobs(jobs: int) -> int:
+    from repro.core.batch import default_jobs
+
+    return default_jobs() if jobs == 0 else max(1, jobs)
+
+
+def service_main(argv: list[str]) -> int:
+    """Entry point for the snapshot/update/lookup/serve subcommands."""
+    import time
+
+    from repro.errors import PathaliasError
+
+    command = argv[0]
+    # parse_intermixed_args: map files may follow -o/-j between the
+    # positionals, e.g. ``pathalias update old.snap -o new.snap *.map``.
+    args = build_service_parser(command).parse_intermixed_args(argv[1:])
+    args.command = command
+
+    try:
+        if args.command == "snapshot":
+            from repro.service.store import build_snapshot
+
+            named = _read_named(args.files)
+            if named is None:
+                return 2
+            heuristics = HeuristicConfig(
+                second_best=args.second_best,
+                infer_back_links=not args.no_back_links)
+            tool = Pathalias(heuristics=heuristics,
+                             case_fold=args.ignore_case)
+            t0 = time.perf_counter()
+            graph = tool.build(named)
+            info = build_snapshot(graph, args.out, heuristics,
+                                  jobs=_effective_jobs(args.jobs),
+                                  case_fold=args.ignore_case)
+            elapsed = time.perf_counter() - t0
+            print(f"pathalias: snapshot: {len(info.sources)} sources "
+                  f"-> {info.path} ({info.size} bytes) in "
+                  f"{elapsed:.2f}s (engine={info.engine})",
+                  file=sys.stderr)
+            return 0
+
+        if args.command == "update":
+            from repro.service.incremental import update_snapshot
+            from repro.service.store import SnapshotReader
+
+            named = _read_named(args.files)
+            if named is None:
+                return 2
+            # The old snapshot knows how its map was parsed: honour
+            # its case-folding flag (or the explicit -i) so the
+            # revision diffs cleanly, and tell update_snapshot which
+            # folding actually applied so the new header is truthful.
+            reader = SnapshotReader.open(args.snapshot)
+            case_fold = args.ignore_case or reader.case_fold
+            tool = Pathalias(case_fold=case_fold)
+            graph = tool.build(named)
+            report = update_snapshot(
+                reader, graph, args.out,
+                jobs=_effective_jobs(args.jobs),
+                full_threshold=args.full_threshold,
+                case_fold=case_fold)
+            print(f"pathalias: update: {report.summary()} -> "
+                  f"{report.out_path} in {report.seconds:.2f}s",
+                  file=sys.stderr)
+            return 0
+
+        if args.command == "lookup":
+            from repro.service.store import (
+                SnapshotError,
+                SnapshotReader,
+            )
+
+            reader = SnapshotReader.open(args.snapshot)
+            source = args.localhost
+            if source is None:
+                sources = reader.sources()
+                if not sources:
+                    raise SnapshotError(
+                        f"{args.snapshot}: snapshot has no source "
+                        f"tables")
+                source = sources[0]
+            cost, resolution = reader.table(source).resolve_with_cost(
+                args.destination,
+                args.user if args.user is not None else "%s")
+            print(f"{cost}\t{resolution.matched}\t"
+                  f"{resolution.address}")
+            return 0
+
+        if args.command == "serve":
+            from repro.service.daemon import run_daemon
+
+            return run_daemon(args.snapshot, host=args.host,
+                              port=args.port, source=args.source)
+    except PathaliasError as exc:
+        print(f"pathalias: {args.command}: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SERVICE_COMMANDS:
+        return service_main(argv)
     args = build_arg_parser().parse_args(argv)
 
     heuristics = HeuristicConfig(
@@ -121,17 +333,9 @@ def main(argv: list[str] | None = None) -> int:
         engine=args.engine,
     )
 
-    if args.files:
-        named = []
-        for path in args.files:
-            try:
-                with open(path, "r") as handle:
-                    named.append((path, handle.read()))
-            except OSError as exc:
-                print(f"pathalias: {exc}", file=sys.stderr)
-                return 2
-    else:
-        named = [("<stdin>", sys.stdin.read())]
+    named = _read_named(args.files)
+    if named is None:
+        return 2
 
     if args.batch:
         return _run_batch(tool, named, heuristics, args)

@@ -103,22 +103,89 @@ def _pool_class():
 #: and reused (scratch arrays included) for every chunk it serves.
 _WORKER_MAPPER: CompactMapper | None = None
 
+#: The per-source payload callable the pool was stood up with.
+_WORKER_PAYLOAD = None
+
 
 def _worker_init(cgraph: CompactGraph,
-                 heuristics: HeuristicConfig | None) -> None:
-    global _WORKER_MAPPER
+                 heuristics: HeuristicConfig | None,
+                 payload_fn=None) -> None:
+    global _WORKER_MAPPER, _WORKER_PAYLOAD
     _WORKER_MAPPER = CompactMapper(cgraph, heuristics)
+    _WORKER_PAYLOAD = payload_fn
 
 
-def _worker_map(sources: list[str]):
-    """Map a chunk of sources; returns picklable portable tables."""
+def _worker_apply(sources: list[str]):
+    """Apply the configured payload to a chunk of sources."""
     mapper = _WORKER_MAPPER
-    out = []
-    for source in sources:
-        result = mapper.run(source)
-        out.append((build_portable_table(result),
-                    mapper.stats.pops, mapper.stats.relaxations))
-    return out
+    return [_WORKER_PAYLOAD(mapper, source) for source in sources]
+
+
+def _portable_payload(mapper: CompactMapper, source: str):
+    """The batch mapper's payload: a portable table plus run stats."""
+    result = mapper.run(source)
+    return (build_portable_table(result),
+            mapper.stats.pops, mapper.stats.relaxations)
+
+
+def map_sources(cgraph: CompactGraph, sources: Iterable[str],
+                payload_fn, heuristics: HeuristicConfig | None = None,
+                jobs: int | None = None):
+    """Run ``payload_fn(mapper, source)`` for every source.
+
+    The generic fan-out primitive behind :class:`BatchMapper` and the
+    snapshot store: ``payload_fn`` must be a picklable module-level
+    callable taking a scratch-reusing :class:`CompactMapper` and a
+    source name, returning a picklable payload.  With ``jobs > 1`` the
+    sources spread over a process pool (the compiled graph ships to
+    each worker once); any failure to stand the pool up degrades to the
+    always-available serial path.
+
+    Returns ``(payloads, engine_tag)`` with payloads in ``sources``
+    order and the tag describing what actually ran (``"compact"``,
+    ``"compact/N"``, or the serial-fallback note).
+    """
+    wanted = list(sources)
+    jobs = jobs or 0
+    if jobs > 1 and len(wanted) > 1:
+        try:
+            return _map_sources_pool(cgraph, wanted, payload_fn,
+                                     heuristics, jobs)
+        except (OSError, ImportError, BrokenExecutor) as exc:
+            # No pool (restricted sandbox, missing sem support, workers
+            # killed mid-run...): fall back to in-process mapping.
+            payloads = _map_sources_serial(cgraph, wanted, payload_fn,
+                                           heuristics)
+            return payloads, f"compact (serial fallback: {exc})"
+    return (_map_sources_serial(cgraph, wanted, payload_fn, heuristics),
+            "compact")
+
+
+def _map_sources_serial(cgraph: CompactGraph, wanted: list[str],
+                        payload_fn,
+                        heuristics: HeuristicConfig | None):
+    mapper = CompactMapper(cgraph, heuristics)
+    return [payload_fn(mapper, source) for source in wanted]
+
+
+def _map_sources_pool(cgraph: CompactGraph, wanted: list[str],
+                      payload_fn, heuristics: HeuristicConfig | None,
+                      jobs: int):
+    jobs = min(jobs, len(wanted))
+    # A few chunks per worker keeps the pool busy even when some
+    # sources (deep back-link rounds) run long.
+    chunk_count = min(len(wanted), jobs * 4)
+    chunks = [wanted[i::chunk_count] for i in range(chunk_count)]
+    by_source: dict[str, object] = {}
+    with _pool_class()(
+            max_workers=jobs, initializer=_worker_init,
+            initargs=(cgraph, heuristics, payload_fn)) as pool:
+        for chunk, chunk_result in zip(chunks,
+                                       pool.map(_worker_apply, chunks)):
+            for source, payload in zip(chunk, chunk_result):
+                by_source[source] = payload
+    # Deterministic merge: requested order, not completion order.
+    return [by_source[source] for source in wanted], f"compact/{jobs}"
 
 
 class BatchMapper:
@@ -169,15 +236,7 @@ class BatchMapper:
             return self._run_reference(wanted)
         jobs = self.jobs or 0
         if jobs > 1 and len(wanted) > 1:
-            try:
-                return self._run_parallel(wanted, jobs)
-            except (OSError, ImportError, BrokenExecutor) as exc:
-                # No pool (restricted sandbox, missing sem support,
-                # workers killed mid-run...): the serial compiled path
-                # is always available.
-                batch = self._run_serial(wanted)
-                batch.engine = f"compact (serial fallback: {exc})"
-                return batch
+            return self._run_parallel(wanted, jobs)
         return self._run_serial(wanted)
 
     # -- engines ------------------------------------------------------------
@@ -202,29 +261,15 @@ class BatchMapper:
         return batch
 
     def _run_parallel(self, wanted: list[str], jobs: int) -> BatchResult:
-        cgraph = self.compiled
-        jobs = min(jobs, len(wanted))
-        # A few chunks per worker keeps the pool busy even when some
-        # sources (deep back-link rounds) run long.
-        chunk_count = min(len(wanted), jobs * 4)
-        chunks = [wanted[i::chunk_count] for i in range(chunk_count)]
-        by_source: dict[str, tuple] = {}
-        total_pops = total_relax = 0
-        with _pool_class()(
-                max_workers=jobs, initializer=_worker_init,
-                initargs=(cgraph, self.heuristics)) as pool:
-            for chunk_result in pool.map(_worker_map, chunks):
-                for portable, pops, relax in chunk_result:
-                    by_source[portable[0]] = portable
-                    total_pops += pops
-                    total_relax += relax
-        batch = BatchResult(engine=f"compact/{jobs}")
-        batch.total_pops = total_pops
-        batch.total_relaxations = total_relax
-        # Deterministic merge: requested order, not completion order.
-        for source in wanted:
-            batch.tables[source] = table_from_portable(
-                self.compiled, by_source[source])
+        payloads, engine = map_sources(self.compiled, wanted,
+                                       _portable_payload,
+                                       self.heuristics, jobs)
+        batch = BatchResult(engine=engine)
+        for source, (portable, pops, relax) in zip(wanted, payloads):
+            batch.tables[source] = table_from_portable(self.compiled,
+                                                       portable)
+            batch.total_pops += pops
+            batch.total_relaxations += relax
         return batch
 
     def write_paths_files(self, directory: str | Path,

@@ -59,6 +59,7 @@ from repro.graph.compact import (
     K_ALIAS,
     K_INFERRED,
     K_NET_MEMBER,
+    K_NORMAL,
 )
 from repro.graph.node import Link, LinkKind
 from repro.parser.ast import Direction
@@ -704,6 +705,34 @@ def _route_records(result: CompactMapResult):
         names[cid] for cid in range(cg.n)
         if not is_net[cid] and not dom[cid] and cid not in best)
     return records, unreachable
+
+
+def tree_link_pairs(result: CompactMapResult) -> list[tuple[str, str]]:
+    """``(from, to)`` host-name pairs of every NORMAL link this mapping
+    leaned on: the shortest-path-tree edges, plus the forward links that
+    seeded invented back links (their cost scales the invented link, so
+    a change to either can change this source's routes).
+
+    The snapshot store persists these per source so diff-driven
+    recompute (:mod:`repro.service.incremental`) can bound which sources
+    a link-cost change could possibly affect.
+    """
+    cg = result.cgraph
+    names = cg.names
+    shift = result.shift
+    csr = cg.link_count
+    mapper = result._mapper
+    pairs: set[tuple[str, str]] = set()
+    for state in result.touched:
+        j = result.link[state]
+        if 0 <= j < csr and cg.kind[j] == K_NORMAL:
+            owner = result.parent[state] >> shift
+            pairs.add((names[owner], names[state >> shift]))
+    for owner, link_id in result.inferred:
+        # The invented link owner->target was derived from the CSR link
+        # target->owner; record that *forward* pair.
+        pairs.add((names[mapper._ov_to[link_id - csr]], names[owner]))
+    return sorted(pairs)
 
 
 def build_portable_table(result: CompactMapResult):

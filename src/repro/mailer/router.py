@@ -40,7 +40,15 @@ class Envelope:
 
 
 class MailRouter:
-    """A delivery agent's routing brain for one host."""
+    """A delivery agent's routing brain for one host.
+
+    ``db`` is anything with the :class:`RouteDatabase` query surface
+    (``resolve``, ``route``, ``in``): the in-memory table, an indexed
+    paths file lifted into one, or — via :meth:`connected` — a live
+    route daemon, so the delivery agent shares one precomputed
+    snapshot with every other agent on the machine instead of loading
+    its own copy.
+    """
 
     def __init__(self, host: str, db: RouteDatabase,
                  style: MailerStyle = MailerStyle.HEURISTIC,
@@ -53,6 +61,21 @@ class MailRouter:
         self.rewriter = HeaderRewriter(host, style, is_gateway)
         self.optimizer = RouteOptimizer(db, host, optimize,
                                         preserve_loops)
+
+    @classmethod
+    def connected(cls, host: str, daemon_address: tuple[str, int],
+                  source: str | None = None,
+                  **kwargs) -> "MailRouter":
+        """A router backed by a running route daemon.
+
+        ``source`` names the snapshot table to query (default: this
+        host, which is what a delivery agent normally wants).
+        """
+        from repro.service.daemon import DaemonRouteDatabase
+
+        db = DaemonRouteDatabase(daemon_address,
+                                 source=source or host)
+        return cls(host, db, **kwargs)
 
     # -- outbound ------------------------------------------------------------
 

@@ -63,18 +63,18 @@ def _link_costs(graph: Graph) -> dict[tuple[str, str], int]:
     return out
 
 
-def diff_graphs(old: Graph, new: Graph) -> MapDiff:
-    """Structural diff over public hosts and NORMAL links."""
+def diff_link_maps(old_hosts: set[str], new_hosts: set[str],
+                   old_links: dict[tuple[str, str], int],
+                   new_links: dict[tuple[str, str], int]) -> MapDiff:
+    """Diff two already-extracted host sets and link-cost maps.
+
+    The shared core of :func:`diff_graphs`; the snapshot service feeds
+    it link maps reconstructed from a stored :class:`CompactGraph`
+    rather than from live ``Node`` objects.
+    """
     diff = MapDiff()
-    old_hosts = {n.name for n in old.nodes
-                 if not n.deleted and not n.private}
-    new_hosts = {n.name for n in new.nodes
-                 if not n.deleted and not n.private}
     diff.hosts_added = sorted(new_hosts - old_hosts)
     diff.hosts_removed = sorted(old_hosts - new_hosts)
-
-    old_links = _link_costs(old)
-    new_links = _link_costs(new)
     diff.links_added = sorted(set(new_links) - set(old_links))
     diff.links_removed = sorted(set(old_links) - set(new_links))
     for key in sorted(set(old_links) & set(new_links)):
@@ -82,6 +82,16 @@ def diff_graphs(old: Graph, new: Graph) -> MapDiff:
             diff.cost_changes.append(
                 (key[0], key[1], old_links[key], new_links[key]))
     return diff
+
+
+def diff_graphs(old: Graph, new: Graph) -> MapDiff:
+    """Structural diff over public hosts and NORMAL links."""
+    old_hosts = {n.name for n in old.nodes
+                 if not n.deleted and not n.private}
+    new_hosts = {n.name for n in new.nodes
+                 if not n.deleted and not n.private}
+    return diff_link_maps(old_hosts, new_hosts,
+                          _link_costs(old), _link_costs(new))
 
 
 def diff_map_texts(old_files: list[tuple[str, str]],

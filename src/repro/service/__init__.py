@@ -1,0 +1,45 @@
+"""The persistent route service.
+
+"Output from pathalias is a simple linear file, in the UNIX tradition.
+If desired, a separate program may be used to convert this file into a
+format appropriate for rapid database retrieval."  This package is that
+separate program, grown into a serving tier:
+
+* :mod:`repro.service.store` — a binary on-disk *route snapshot*: a
+  compiled graph plus every source's route table in flat,
+  offset-indexed sections, opened and searched by bisection without
+  re-parsing or re-mapping;
+* :mod:`repro.service.incremental` — diff-driven snapshot updates that
+  remap only the sources a map revision can actually affect;
+* :mod:`repro.service.daemon` — a long-running asyncio lookup server
+  (``ROUTE`` / ``RELOAD`` / ``STATS`` over a line protocol) with atomic
+  hot-swap of snapshots mid-traffic, plus the synchronous client that
+  lets :class:`repro.mailer.router.MailRouter` route through it.
+"""
+
+from repro.service.store import (
+    SnapshotError,
+    SnapshotInfo,
+    SnapshotReader,
+    SnapshotTable,
+    build_snapshot,
+)
+from repro.service.incremental import UpdateReport, update_snapshot
+from repro.service.daemon import (
+    DaemonRouteDatabase,
+    RouteService,
+    serve,
+)
+
+__all__ = [
+    "SnapshotError",
+    "SnapshotInfo",
+    "SnapshotReader",
+    "SnapshotTable",
+    "build_snapshot",
+    "UpdateReport",
+    "update_snapshot",
+    "DaemonRouteDatabase",
+    "RouteService",
+    "serve",
+]

@@ -1,0 +1,410 @@
+"""The route lookup daemon: snapshots served over a line protocol.
+
+The paper places the pathalias query inside the delivery agent; at
+mapping-project scale the query belongs in a long-running process that
+many delivery agents share.  This daemon serves a
+:class:`~repro.service.store.SnapshotReader` over TCP, one UTF-8 line
+per request:
+
+========================  ===================================================
+``ROUTE <dest> [user]``   domain-suffix search from the connection's
+                          source; replies ``OK <cost> <matched> <route>
+                          <address>``.  Without a user the address is
+                          the relative template (``%s`` left in place).
+``EXACT <dest>``          exact-name lookup only; ``OK <cost> <dest>
+                          <route>``.
+``SOURCE <host>``         switch this connection's source table.
+``RELOAD <snapshot>``     open a new snapshot off-loop and hot-swap it;
+                          in-flight lookups keep the old reader (it is
+                          immutable, wholly in memory) so no request is
+                          ever dropped or mixed mid-swap.
+``STATS``                 one ``key=value`` line of counters.
+``QUIT``                  close the connection.
+========================  ===================================================
+
+Errors come back as ``ERR <code> <detail>``; the connection survives
+them.  All daemon state lives in :class:`RouteService`, which is also
+directly usable in-process (the benchmark drives it without sockets).
+
+:class:`DaemonRouteDatabase` is the synchronous client side: it speaks
+the same protocol and quacks like
+:class:`~repro.mailer.routedb.RouteDatabase`, so a
+:class:`~repro.mailer.router.MailRouter` can route live traffic
+through a daemon instead of an in-memory table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import sys
+import time
+
+from repro.errors import RouteError
+from repro.mailer.routedb import Resolution
+from repro.service.store import SnapshotError, SnapshotReader
+
+
+class RouteService:
+    """Daemon state: the current snapshot reader plus counters.
+
+    Swapping snapshots is a single attribute assignment of an immutable
+    reader, so concurrent lookups need no locking — each request grabs
+    the reader reference once and works against that snapshot for its
+    whole lifetime.
+    """
+
+    def __init__(self, snapshot_path: str | None = None,
+                 reader: SnapshotReader | None = None,
+                 default_source: str | None = None):
+        if reader is None:
+            if snapshot_path is None:
+                raise SnapshotError("RouteService needs a snapshot "
+                                    "path or an open reader")
+            reader = SnapshotReader.open(snapshot_path)
+        self.reader = reader
+        if default_source is None:
+            sources = reader.sources()
+            if not sources:
+                raise SnapshotError(f"{reader.path}: snapshot has no "
+                                    f"source tables")
+            default_source = sources[0]
+        elif not reader.has_source(default_source):
+            raise SnapshotError(
+                f"{reader.path}: no table for source "
+                f"{default_source!r}")
+        self.default_source = default_source
+        self.started = time.monotonic()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.reloads = 0
+        self.connections = 0
+        self._reload_lock = asyncio.Lock()
+
+    # -- operations -----------------------------------------------------------
+
+    def lookup(self, source: str, target: str,
+               user: str | None = None) -> tuple[int, Resolution]:
+        """Suffix-search ``target`` in ``source``'s table.
+
+        Returns ``(cost, resolution)``; raises
+        :class:`~repro.errors.RouteError` on a miss.  Counts both ways.
+        """
+        reader = self.reader  # pin one snapshot for this request
+        self.lookups += 1
+        try:
+            table = reader.table(source)
+            cost, resolution = table.resolve_with_cost(
+                target, "%s" if user is None else user)
+        except (RouteError, SnapshotError):
+            # RouteError: no such destination.  SnapshotError: the
+            # connection's source table vanished in a RELOAD.
+            self.misses += 1
+            raise
+        self.hits += 1
+        return cost, resolution
+
+    def exact(self, source: str, target: str) -> tuple[int, str]:
+        reader = self.reader
+        self.lookups += 1
+        try:
+            hit = reader.table(source).lookup(target)
+        except SnapshotError:
+            self.misses += 1
+            raise
+        if hit is None:
+            self.misses += 1
+            raise RouteError(f"no route to {target!r}")
+        self.hits += 1
+        return hit
+
+    async def reload(self, snapshot_path: str) -> SnapshotReader:
+        """Open a new snapshot off the event loop and swap it in.
+
+        The old reader stays valid for requests that already hold it;
+        a failed open leaves the current snapshot serving.
+        """
+        async with self._reload_lock:
+            reader = await asyncio.to_thread(SnapshotReader.open,
+                                             snapshot_path)
+            if not reader.has_source(self.default_source):
+                sources = reader.sources()
+                if not sources:
+                    raise SnapshotError(
+                        f"{reader.path}: snapshot has no source tables")
+                self.default_source = sources[0]
+            self.reader = reader
+            self.reloads += 1
+            return reader
+
+    def stats_line(self) -> str:
+        reader = self.reader
+        uptime = time.monotonic() - self.started
+        return (f"lookups={self.lookups} hits={self.hits} "
+                f"misses={self.misses} reloads={self.reloads} "
+                f"connections={self.connections} "
+                f"sources={reader.source_count} "
+                f"snapshot_bytes={reader.size} "
+                f"uptime_sec={uptime:.1f} "
+                f"source={self.default_source} "
+                f"snapshot={reader.path}")
+
+    # -- protocol -------------------------------------------------------------
+
+    async def handle_line(self, line: str, state: dict) -> str | None:
+        """One request in, one reply line out (None closes)."""
+        parts = line.split(None, 1)
+        if not parts:
+            return "ERR empty-request send ROUTE/EXACT/SOURCE/RELOAD/" \
+                   "STATS/QUIT"
+        command = parts[0].upper()
+        rest = parts[1] if len(parts) > 1 else ""
+        if command == "ROUTE":
+            args = rest.split()
+            if not args or len(args) > 2:
+                return "ERR usage ROUTE <dest> [user]"
+            try:
+                cost, res = self.lookup(
+                    state["source"], args[0],
+                    args[1] if len(args) == 2 else None)
+            except RouteError:
+                return f"ERR noroute {args[0]}"
+            except SnapshotError:
+                # a RELOAD replaced the snapshot and this connection's
+                # chosen source is not in the new one
+                return f"ERR unknown-source {state['source']}"
+            return (f"OK {cost} {res.matched} {res.route} "
+                    f"{res.address}")
+        if command == "EXACT":
+            args = rest.split()
+            if len(args) != 1:
+                return "ERR usage EXACT <dest>"
+            try:
+                cost, route = self.exact(state["source"], args[0])
+            except RouteError:
+                return f"ERR noroute {args[0]}"
+            except SnapshotError:
+                return f"ERR unknown-source {state['source']}"
+            return f"OK {cost} {args[0]} {route}"
+        if command == "SOURCE":
+            args = rest.split()
+            if len(args) != 1:
+                return "ERR usage SOURCE <host>"
+            if not self.reader.has_source(args[0]):
+                return f"ERR unknown-source {args[0]}"
+            state["source"] = args[0]
+            return f"OK source {args[0]}"
+        if command == "RELOAD":
+            path = rest.strip()
+            if not path:
+                return "ERR usage RELOAD <snapshot>"
+            try:
+                reader = await self.reload(path)
+            except SnapshotError as exc:
+                return f"ERR reload {exc}"
+            return f"OK reloaded {reader.source_count} {reader.path}"
+        if command == "STATS":
+            return f"OK {self.stats_line()}"
+        if command == "QUIT":
+            return None
+        return f"ERR unknown-command {command}"
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        state = {"source": self.default_source}
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                try:
+                    line = raw.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    writer.write(b"ERR encoding expected UTF-8\n")
+                    await writer.drain()
+                    continue
+                reply = await self.handle_line(line, state)
+                if reply is None:
+                    writer.write(b"OK bye\n")
+                    await writer.drain()
+                    break
+                writer.write(reply.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # close() alone: awaiting wait_closed() here would raise
+            # CancelledError noise when the loop tears down while a
+            # handler drains, and the transport closes regardless.
+            writer.close()
+
+
+async def serve(service: RouteService, host: str = "127.0.0.1",
+                port: int = 0) -> asyncio.AbstractServer:
+    """Start serving; ``port=0`` picks a free port (see
+    ``server.sockets[0].getsockname()``)."""
+    return await asyncio.start_server(service.handle_connection,
+                                      host, port)
+
+
+def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
+               port: int = 4176, source: str | None = None) -> int:
+    """Blocking daemon entry point for ``pathalias serve``."""
+
+    async def main() -> None:
+        service = RouteService(snapshot_path, default_source=source)
+        server = await serve(service, host, port)
+        bound = server.sockets[0].getsockname()
+        print(f"pathalias: serve: {service.reader.source_count} "
+              f"sources from {snapshot_path}; listening on "
+              f"{bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("pathalias: serve: interrupted", file=sys.stderr)
+    return 0
+
+
+class DaemonRouteDatabase:
+    """A live daemon quacking like
+    :class:`~repro.mailer.routedb.RouteDatabase`.
+
+    One blocking TCP connection, reconnected transparently if the
+    daemon restarted between requests.  Host and user tokens travel on
+    a whitespace-delimited wire, so addresses containing spaces are
+    rejected rather than silently corrupted.
+    """
+
+    def __init__(self, address: tuple[str, int],
+                 source: str | None = None, timeout: float = 5.0):
+        self.address = address
+        self.timeout = timeout
+        self.source = source
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- wire -----------------------------------------------------------------
+
+    def _connect(self) -> None:
+        self.close()
+        sock = socket.create_connection(self.address,
+                                        timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        if self.source is not None:
+            reply = self._send(f"SOURCE {self.source}")
+            if not reply.startswith("OK"):
+                raise RouteError(f"daemon rejected source "
+                                 f"{self.source!r}: {reply}")
+
+    def _send(self, line: str) -> str:
+        if any(ch in "\r\n" for ch in line):
+            raise RouteError(f"request {line!r} contains a newline")
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("daemon closed the connection")
+        return raw.decode("utf-8").rstrip("\r\n")
+
+    def _request(self, line: str) -> str:
+        if self._sock is None:
+            self._connect()
+            return self._send(line)
+        try:
+            return self._send(line)
+        except (ConnectionError, OSError, socket.timeout):
+            # One transparent reconnect: the daemon may have been
+            # restarted (or hot-swapped hosts) since the last call.
+            self._connect()
+            return self._send(line)
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "DaemonRouteDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- RouteDatabase interface ----------------------------------------------
+
+    @staticmethod
+    def _token(value: str, what: str) -> str:
+        if not value or any(ch.isspace() for ch in value):
+            raise RouteError(f"{what} {value!r} does not fit the "
+                             f"daemon's whitespace-delimited protocol")
+        return value
+
+    def route(self, name: str) -> str | None:
+        """Exact-name route lookup (no suffix search)."""
+        reply = self._request(f"EXACT {self._token(name, 'host')}")
+        if reply.startswith("ERR noroute"):
+            return None
+        parts = reply.split()
+        if len(parts) != 4 or parts[0] != "OK":
+            raise RouteError(f"daemon protocol error: {reply!r}")
+        return parts[3]
+
+    def __contains__(self, name: str) -> bool:
+        return self.route(name) is not None
+
+    def resolve(self, target: str, user: str) -> Resolution:
+        """Resolve mail for ``user`` at ``target`` via the daemon's
+        domain-suffix search."""
+        reply = self._request(
+            f"ROUTE {self._token(target, 'host')} "
+            f"{self._token(user, 'user')}")
+        if reply.startswith("ERR noroute"):
+            raise RouteError(f"no route to {target!r}")
+        parts = reply.split()
+        if len(parts) != 5 or parts[0] != "OK":
+            raise RouteError(f"daemon protocol error: {reply!r}")
+        _, _, matched, route, address = parts
+        return Resolution(target=target, matched=matched, route=route,
+                          address=address)
+
+    def resolve_bang(self, bang_address: str) -> Resolution:
+        """Resolve ``host!rest`` forms, like RouteDatabase."""
+        if "!" not in bang_address:
+            raise RouteError(
+                f"address {bang_address!r} names no user (expected "
+                f"target!user)")
+        target, user = bang_address.split("!", 1)
+        return self.resolve(target, user)
+
+    def stats(self) -> dict[str, str]:
+        reply = self._request("STATS")
+        if not reply.startswith("OK "):
+            raise RouteError(f"daemon protocol error: {reply!r}")
+        out: dict[str, str] = {}
+        for token in reply[3:].split():
+            key, _, value = token.partition("=")
+            out[key] = value
+        return out
+
+    def reload(self, snapshot_path: str) -> int:
+        """Ask the daemon to hot-swap a new snapshot; returns its
+        source count."""
+        reply = self._request(f"RELOAD {snapshot_path}")
+        parts = reply.split()
+        if len(parts) < 3 or parts[:2] != ["OK", "reloaded"]:
+            raise RouteError(f"daemon refused reload: {reply}")
+        return int(parts[2])

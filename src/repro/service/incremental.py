@@ -1,0 +1,289 @@
+"""Diff-driven snapshot updates: remap only what a revision touched.
+
+Every monthly map posting forced sites to rerun pathalias from
+scratch, even though most revisions touch a handful of links.  Given
+the previous snapshot and the new map, this module
+
+1. diffs the stored compact graph against the freshly compiled one
+   (:func:`repro.netsim.mapdiff.diff_link_maps` over link-cost maps
+   reconstructed from both);
+2. if the revision is *pure NORMAL-link cost changes* on an otherwise
+   identical topology, computes the **affected-source set** — sources
+   whose recorded shortest-path tree leaned on a changed link, plus
+   (for cost decreases) sources where the cheaper link could open a
+   better-or-equal path, judged by the triangle test
+   ``cost(s, from) + new_cost <= cost(s, to)`` over the stored tables
+   (ties count: an equal-cost path can win the label by relaxation
+   order and change the route text);
+3. remaps only those sources (fanning out over the batch pool) and
+   splices every other source's table section out of the old snapshot
+   **verbatim** — the output is byte-identical to a from-scratch
+   rebuild;
+4. falls back to a full rebuild whenever the incremental path cannot
+   be proven equivalent: topology changes (hosts or links added or
+   removed, kind or flag or operator changes), second-best snapshots
+   (their two-label states break the triangle test), negative link
+   costs, changed links touching nets, domains, or private nodes, or
+   an affected set above ``full_threshold``.
+
+The conservative direction is always "remap more": a source wrongly
+counted as affected costs one redundant (identical) remap; a source
+wrongly skipped would corrupt the store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import HeuristicConfig
+from repro.core.batch import map_sources
+from repro.graph.build import Graph
+from repro.graph.compact import CompactGraph, K_NORMAL
+from repro.netsim.mapdiff import MapDiff, diff_link_maps
+from repro.service.store import (
+    FLAG_CASE_FOLD,
+    FLAG_SECOND_BEST,
+    SnapshotReader,
+    build_snapshot,
+    eligible_sources,
+    encode_graph_section,
+    encode_meta_section,
+    encode_table_section,
+    snapshot_payload,
+    write_snapshot,
+)
+
+
+@dataclass
+class UpdateReport:
+    """What an update did and why."""
+
+    mode: str                 # "incremental" | "full"
+    reason: str               # why this mode was chosen
+    diff: MapDiff | None      # NORMAL-link view of the revision
+    total_sources: int = 0
+    remapped: list[str] = field(default_factory=list)
+    reused: int = 0
+    engine: str = ""
+    seconds: float = 0.0
+    out_path: Path | None = None
+    heuristics: HeuristicConfig | None = None
+
+    def summary(self) -> str:
+        base = (f"{self.mode} update ({self.reason}): "
+                f"{len(self.remapped)}/{self.total_sources} sources "
+                f"remapped, {self.reused} reused")
+        if self.diff is not None:
+            base += f"; map diff: {self.diff.summary()}"
+        return base
+
+
+def compact_link_costs(cg: CompactGraph) -> dict[tuple[str, str], int]:
+    """NORMAL link costs keyed by (from, to); cheapest if parallel.
+
+    The array-level mirror of ``mapdiff._link_costs`` so a stored
+    snapshot can be diffed without rehydrating ``Node`` objects.
+    """
+    out: dict[tuple[str, str], int] = {}
+    for cid in range(cg.n):
+        if cg.private[cid]:
+            continue
+        for j in range(cg.off[cid], cg.off[cid + 1]):
+            if cg.kind[j] != K_NORMAL:
+                continue
+            key = (cg.names[cid], cg.names[cg.to[j]])
+            cost = cg.cost[j]
+            if key not in out or cost < out[key]:
+                out[key] = cost
+    return out
+
+
+def compact_hosts(cg: CompactGraph) -> set[str]:
+    """Public node names (mirrors the host universe of diff_graphs)."""
+    return {cg.names[cid] for cid in range(cg.n) if not cg.private[cid]}
+
+
+def diff_compact_graphs(old: CompactGraph, new: CompactGraph) -> MapDiff:
+    """The mapdiff structural view between two compiled graphs."""
+    return diff_link_maps(compact_hosts(old), compact_hosts(new),
+                          compact_link_costs(old),
+                          compact_link_costs(new))
+
+
+def _cost_only_changes(old: CompactGraph,
+                       new: CompactGraph) -> list[int] | None:
+    """Link ids whose cost changed, if that is the *only* difference.
+
+    Returns None when the graphs differ in any structural way — node
+    set, flags, kinds, operators, link order, or the cost of a
+    non-NORMAL link — in which case the caller must rebuild fully.
+    With identical structure, link ids line up one-to-one between the
+    two graphs, so per-link comparison is exact (parallel links
+    included, which the name-keyed mapdiff view cannot distinguish).
+    """
+    if (old.n != new.n or old.names != new.names
+            or old.is_domain != new.is_domain
+            or old.is_net != new.is_net
+            or old.netlike != new.netlike
+            or old.private != new.private
+            or old.off != new.off or old.to != new.to
+            or old.flags != new.flags or old.kind != new.kind
+            or old.op != new.op):
+        return None
+    changed = []
+    for j, (c_old, c_new) in enumerate(zip(old.cost, new.cost)):
+        if c_old != c_new:
+            if new.kind[j] != K_NORMAL:
+                return None
+            changed.append(j)
+    return changed
+
+
+def _link_owner(cg: CompactGraph, j: int) -> int:
+    """Compact id of the node whose CSR slice contains link ``j``."""
+    lo, hi = 0, cg.n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cg.off[mid + 1] <= j:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def affected_sources(reader: SnapshotReader, new_cg: CompactGraph,
+                     changed: list[int]) -> list[str] | None:
+    """Sources whose tables could differ after the cost changes.
+
+    Returns None when the triangle test cannot be trusted for some
+    changed link (an endpoint that is a net, domain, or private node,
+    or a negative cost on either side) — callers rebuild fully.
+    """
+    old_cg = reader.decode_graph()
+    links = []
+    for j in changed:
+        u = _link_owner(new_cg, j)
+        v = new_cg.to[j]
+        c_old, c_new = old_cg.cost[j], new_cg.cost[j]
+        if c_old < 0 or c_new < 0:
+            return None
+        if c_new < c_old and (
+                new_cg.netlike[u] or new_cg.private[u]
+                or new_cg.netlike[v] or new_cg.private[v]):
+            # A cheaper link into or out of a placeholder or private
+            # node: its costs are not in the stored tables, so the
+            # triangle test has nothing to stand on.
+            return None
+        links.append((new_cg.names[u], new_cg.names[v], c_old, c_new))
+
+    affected = []
+    for source in reader.sources():
+        table = reader.table(source)
+        pairs = table.tree_links()
+        for u_name, v_name, c_old, c_new in links:
+            if (u_name, v_name) in pairs:
+                affected.append(source)
+                break
+            if c_new < c_old:
+                # The cheaper edge can change this source if it opens
+                # a path to its head that is better *or equal*: an
+                # exact tie can still steal the label by relaxation
+                # order (the earlier labeler wins under strict-<
+                # decrease) and change the route text at the same
+                # cost.  Unknown cost to the tail is conservative (a
+                # host displayed under a domain name, say): count it
+                # affected.
+                cu = table.cost(u_name)
+                cv = table.cost(v_name)
+                if cu is None or cv is None or cu + c_new <= cv:
+                    affected.append(source)
+                    break
+    return affected
+
+
+def update_snapshot(old: str | Path | SnapshotReader,
+                    new_graph: Graph | CompactGraph,
+                    out_path: str | Path,
+                    jobs: int | None = None,
+                    full_threshold: float = 0.5,
+                    case_fold: bool | None = None) -> UpdateReport:
+    """Produce the snapshot for ``new_graph`` at ``out_path``, reusing
+    the old snapshot's table sections wherever the revision provably
+    cannot have changed them.
+
+    ``old`` is a snapshot path or an already-open
+    :class:`SnapshotReader` (callers that read the header flags before
+    building the revision graph should pass their reader rather than
+    pay a second full-file read and CRC).  The heuristic configuration
+    is taken from the old snapshot (the tables must be mapped
+    consistently); ``case_fold`` overrides the recorded folding flag
+    when the caller parsed the revision differently (the CLI's ``-i``)
+    so the output header stays truthful.  ``full_threshold`` is the
+    affected fraction beyond which incremental splicing loses to a
+    plain rebuild.  Output bytes are identical to
+    ``build_snapshot(new_graph, out_path, heuristics=old.heuristics(),
+    case_fold=...)`` in every mode.
+    """
+    t0 = time.perf_counter()
+    reader = old if isinstance(old, SnapshotReader) \
+        else SnapshotReader.open(old)
+    cfg = reader.heuristics()
+    fold = reader.case_fold if case_fold is None else case_fold
+    out_flags = (FLAG_SECOND_BEST if cfg.second_best else 0) \
+        | (FLAG_CASE_FOLD if fold else 0)
+    new_cg = new_graph if isinstance(new_graph, CompactGraph) \
+        else CompactGraph.compile(new_graph)
+    diff = diff_compact_graphs(reader.decode_graph(), new_cg)
+
+    def full(reason: str) -> UpdateReport:
+        info = build_snapshot(new_cg, out_path, heuristics=cfg,
+                              jobs=jobs, case_fold=fold)
+        return UpdateReport(
+            mode="full", reason=reason, diff=diff,
+            total_sources=len(info.sources),
+            remapped=list(info.sources), reused=0, engine=info.engine,
+            seconds=time.perf_counter() - t0,
+            out_path=Path(out_path), heuristics=cfg)
+
+    if reader.second_best or cfg.second_best:
+        return full("second-best snapshots always remap fully")
+    changed = _cost_only_changes(reader.decode_graph(), new_cg)
+    if changed is None:
+        return full("topology changed")
+    affected = affected_sources(reader, new_cg, changed)
+    if affected is None:
+        return full("changed link touches a net, domain, private "
+                    "node, or negative cost")
+    sources = eligible_sources(new_cg)
+    if sources != reader.sources():
+        # Cannot happen when the structural guard passed, but the
+        # splice below depends on it, so verify rather than assume.
+        return full("eligible source set changed")
+    if len(affected) > full_threshold * len(sources):
+        return full(f"{len(affected)}/{len(sources)} sources affected "
+                    f"(threshold {full_threshold:.0%})")
+
+    payloads, engine = map_sources(new_cg, affected, snapshot_payload,
+                                   cfg, jobs)
+    fresh = {
+        source: encode_table_section(records, unreachable, pairs)
+        for source, (records, unreachable, pairs)
+        in zip(affected, payloads)}
+    table_sections = [
+        (source, fresh[source] if source in fresh
+         else reader.table_bytes(source))
+        for source in sources]
+    write_snapshot(
+        out_path, encode_graph_section(new_cg),
+        encode_meta_section(cfg), table_sections,
+        flags=out_flags)
+    reason = ("no route-relevant changes" if not changed
+              else f"{len(changed)} link cost change(s)")
+    return UpdateReport(
+        mode="incremental", reason=reason, diff=diff,
+        total_sources=len(sources), remapped=list(affected),
+        reused=len(sources) - len(affected), engine=engine,
+        seconds=time.perf_counter() - t0, out_path=Path(out_path),
+        heuristics=cfg)

@@ -1,0 +1,622 @@
+"""The binary route-snapshot store.
+
+A *snapshot* is one file holding everything the serving tier needs: the
+compiled connectivity graph (:class:`~repro.graph.compact.CompactGraph`
+flattened section-by-section, not pickled) and one precomputed route
+table per eligible source, each in its own contiguous section.  A
+reader opens the file and answers lookups by binary search — no parse,
+no mapping, no per-line scan:
+
+::
+
+    +--------+---------------+------+----------------------+---------+
+    | header | graph section | meta | table sections ...   | index   |
+    +--------+---------------+------+----------------------+---------+
+
+* the fixed **header** carries a magic, a format version, a CRC of the
+  payload, and (offset, length) pointers to every region;
+* the **graph section** is the compact graph's parallel arrays plus a
+  deduplicated string pool (names, operators, warnings);
+* **meta** records the heuristic configuration the tables were mapped
+  with, so an incremental update can reproduce them exactly;
+* each **table section** is self-contained: fixed-width record entries
+  sorted by destination name (binary-searchable against the section's
+  local string blob), the unreachable list, and the *tree links* — the
+  NORMAL links this source's shortest-path tree leaned on, which is
+  what lets :mod:`repro.service.incremental` bound the blast radius of
+  a map revision;
+* the **source index** maps source names (sorted, binary-searchable)
+  to their table sections.
+
+Every encoder here is deterministic — no timestamps, no hash-order
+dependence — so rebuilding a snapshot from the same map bytes yields
+the same file bytes, and an incremental update can splice *unchanged*
+table sections from the old file verbatim while staying byte-identical
+to a from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import DEFAULT_HEURISTICS, HeuristicConfig
+from repro.core.batch import map_sources
+from repro.core.fastmap import build_portable_table, tree_link_pairs
+from repro.errors import PathaliasError, RouteError
+from repro.graph.build import Graph
+from repro.graph.compact import CompactGraph
+from repro.mailer.routedb import Resolution, domain_suffixes
+
+MAGIC = b"PATHSNP1"
+VERSION = 1
+
+#: header flag bits
+FLAG_SECOND_BEST = 1
+FLAG_CASE_FOLD = 2
+
+#: magic, version, flags, source_count, crc32, then (offset, length)
+#: for the graph, meta, index and tables regions.
+_HEADER = struct.Struct("<8sIIII8Q")
+
+#: (offset, length) reference into a section-local string blob.
+_REF = struct.Struct("<II")
+
+#: one route record: cost, name ref, route ref.
+_RECORD = struct.Struct("<qIIII")
+
+#: one tree-link pair: from ref, to ref.
+_PAIR = struct.Struct("<IIII")
+
+#: one source-index entry: name ref (index blob), absolute table
+#: offset, table length.
+_INDEX_ENTRY = struct.Struct("<IIQI")
+
+#: table section prefix: record count, unreachable count, tree-pair
+#: count, blob length.
+_TABLE_HEADER = struct.Struct("<IIII")
+
+#: graph section prefix: node count, link count, warning count.
+_GRAPH_HEADER = struct.Struct("<III")
+
+#: meta section: the HeuristicConfig fields the mapping ran with.
+_META = struct.Struct("<qqqqqBB")
+
+
+class SnapshotError(PathaliasError):
+    """A snapshot file is missing, malformed, corrupt, or truncated."""
+
+
+class _StringPool:
+    """Deduplicating string blob; add() returns a stable (off, len)."""
+
+    def __init__(self) -> None:
+        self._blob = bytearray()
+        self._seen: dict[str, tuple[int, int]] = {}
+
+    def add(self, text: str) -> tuple[int, int]:
+        ref = self._seen.get(text)
+        if ref is None:
+            raw = text.encode("utf-8")
+            ref = (len(self._blob), len(raw))
+            self._blob += raw
+            self._seen[text] = ref
+        return ref
+
+    def getvalue(self) -> bytes:
+        return bytes(self._blob)
+
+
+# -- section encoders ---------------------------------------------------------
+
+
+def encode_graph_section(cg: CompactGraph) -> bytes:
+    """Flatten a compact graph's arrays into one deterministic blob."""
+    n, m = cg.n, cg.link_count
+    pool = _StringPool()
+    name_refs = [pool.add(name) for name in cg.names]
+    op_refs = [pool.add(op) for op in cg.op]
+    warning_refs = [pool.add(w) for w in cg.warnings]
+    blob = pool.getvalue()
+    parts = [
+        _GRAPH_HEADER.pack(n, m, len(cg.warnings)),
+        bytes(cg.is_domain), bytes(cg.is_net),
+        bytes(cg.netlike), bytes(cg.private),
+        struct.pack(f"<{n + 1}I", *cg.off),
+        struct.pack(f"<{m}I", *cg.to),
+        struct.pack(f"<{m}q", *cg.cost),
+        bytes(cg.flags), bytes(cg.kind),
+        b"".join(_REF.pack(*ref) for ref in name_refs),
+        b"".join(_REF.pack(*ref) for ref in op_refs),
+        b"".join(_REF.pack(*ref) for ref in warning_refs),
+        struct.pack("<I", len(blob)),
+        blob,
+    ]
+    return b"".join(parts)
+
+
+def decode_graph_section(data: bytes) -> CompactGraph:
+    """Rebuild a (detached) :class:`CompactGraph` from its section."""
+    try:
+        n, m, wc = _GRAPH_HEADER.unpack_from(data, 0)
+        pos = _GRAPH_HEADER.size
+        cg = CompactGraph()
+        cg.n = n
+        for attr in ("is_domain", "is_net", "netlike", "private"):
+            setattr(cg, attr, list(data[pos:pos + n]))
+            pos += n
+        cg.off = list(struct.unpack_from(f"<{n + 1}I", data, pos))
+        pos += 4 * (n + 1)
+        cg.to = list(struct.unpack_from(f"<{m}I", data, pos))
+        pos += 4 * m
+        cg.cost = list(struct.unpack_from(f"<{m}q", data, pos))
+        pos += 8 * m
+        cg.flags = list(data[pos:pos + m])
+        pos += m
+        cg.kind = list(data[pos:pos + m])
+        pos += m
+        if len(cg.kind) != m or len(cg.private) != n:
+            raise SnapshotError("graph section arrays truncated")
+        refs = list(struct.iter_unpack(
+            "<II", data[pos:pos + _REF.size * (n + m + wc)]))
+        pos += _REF.size * (n + m + wc)
+        (blob_len,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        blob = data[pos:pos + blob_len]
+        if len(blob) != blob_len:
+            raise SnapshotError("graph section string blob truncated")
+
+        def text(ref: tuple[int, int]) -> str:
+            off, length = ref
+            return blob[off:off + length].decode("utf-8")
+
+        cg.names = [text(r) for r in refs[:n]]
+        cg.op = [text(r) for r in refs[n:n + m]]
+        cg.warnings = [text(r) for r in refs[n + m:]]
+        for cid, name in enumerate(cg.names):
+            if not cg.private[cid]:
+                cg.cid_by_name[name] = cid
+        return cg
+    except struct.error as exc:
+        raise SnapshotError(f"graph section malformed: {exc}") from None
+
+
+def encode_meta_section(cfg: HeuristicConfig) -> bytes:
+    return _META.pack(cfg.mixed_penalty, cfg.gateway_penalty,
+                      cfg.domain_relay_penalty,
+                      cfg.subdomain_up_penalty, cfg.back_link_factor,
+                      1 if cfg.infer_back_links else 0,
+                      1 if cfg.second_best else 0)
+
+
+def decode_meta_section(data: bytes) -> HeuristicConfig:
+    try:
+        (mixed, gateway, relay, subup, factor,
+         infer, second) = _META.unpack_from(data, 0)
+    except struct.error as exc:
+        raise SnapshotError(f"meta section malformed: {exc}") from None
+    return HeuristicConfig(
+        mixed_penalty=mixed, gateway_penalty=gateway,
+        domain_relay_penalty=relay, subdomain_up_penalty=subup,
+        back_link_factor=factor, infer_back_links=bool(infer),
+        second_best=bool(second))
+
+
+def encode_table_section(records, unreachable, tree_links) -> bytes:
+    """Encode one source's table.
+
+    ``records`` is ``(cost, name, route)`` tuples (any order — they are
+    re-sorted by encoded name for binary search), ``unreachable`` a
+    name list, ``tree_links`` ``(from, to)`` pairs.
+    """
+    pool = _StringPool()
+    by_name = sorted(records, key=lambda r: r[1].encode("utf-8"))
+    record_refs = [(cost, pool.add(name), pool.add(route))
+                   for cost, name, route in by_name]
+    unreachable_refs = [pool.add(name) for name in sorted(unreachable)]
+    pair_refs = [(pool.add(a), pool.add(b))
+                 for a, b in sorted(tree_links)]
+    blob = pool.getvalue()
+    parts = [
+        _TABLE_HEADER.pack(len(record_refs), len(unreachable_refs),
+                           len(pair_refs), len(blob)),
+        b"".join(_RECORD.pack(cost, nref[0], nref[1], rref[0], rref[1])
+                 for cost, nref, rref in record_refs),
+        b"".join(_REF.pack(*ref) for ref in unreachable_refs),
+        b"".join(_PAIR.pack(aref[0], aref[1], bref[0], bref[1])
+                 for aref, bref in pair_refs),
+        blob,
+    ]
+    return b"".join(parts)
+
+
+class SnapshotTable:
+    """One source's route table, answered straight off section bytes.
+
+    Destination lookup is a binary search over the fixed-width record
+    entries, comparing UTF-8 name bytes in the section's string blob —
+    the "format appropriate for rapid database retrieval" the paper
+    leaves as an exercise.
+    """
+
+    __slots__ = ("source", "_data", "_rc", "_uc", "_tc",
+                 "_records_off", "_unreach_off", "_pairs_off",
+                 "_blob_off")
+
+    def __init__(self, source: str, data: bytes):
+        self.source = source
+        self._data = data
+        try:
+            (self._rc, self._uc, self._tc,
+             blob_len) = _TABLE_HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise SnapshotError(
+                f"table section for {source!r} malformed: {exc}"
+            ) from None
+        self._records_off = _TABLE_HEADER.size
+        self._unreach_off = self._records_off + self._rc * _RECORD.size
+        self._pairs_off = self._unreach_off + self._uc * _REF.size
+        self._blob_off = self._pairs_off + self._tc * _PAIR.size
+        if self._blob_off + blob_len > len(data):
+            raise SnapshotError(
+                f"table section for {source!r} truncated")
+
+    def __len__(self) -> int:
+        return self._rc
+
+    def _text(self, off: int, length: int) -> str:
+        base = self._blob_off + off
+        return self._data[base:base + length].decode("utf-8")
+
+    def _record(self, i: int):
+        return _RECORD.unpack_from(self._data,
+                                   self._records_off + i * _RECORD.size)
+
+    def lookup(self, name: str) -> tuple[int, str] | None:
+        """``(cost, route)`` for an exact destination name, or None."""
+        key = name.encode("utf-8")
+        data = self._data
+        blob_off = self._blob_off
+        lo, hi = 0, self._rc
+        while lo < hi:
+            mid = (lo + hi) // 2
+            _, noff, nlen, _, _ = self._record(mid)
+            base = blob_off + noff
+            if data[base:base + nlen] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < self._rc:
+            cost, noff, nlen, roff, rlen = self._record(lo)
+            base = blob_off + noff
+            if data[base:base + nlen] == key:
+                return cost, self._text(roff, rlen)
+        return None
+
+    def route(self, name: str) -> str | None:
+        hit = self.lookup(name)
+        return None if hit is None else hit[1]
+
+    def cost(self, name: str) -> int | None:
+        hit = self.lookup(name)
+        return None if hit is None else hit[0]
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def records(self):
+        """Iterate ``(cost, name, route)`` in name order."""
+        for i in range(self._rc):
+            cost, noff, nlen, roff, rlen = self._record(i)
+            yield cost, self._text(noff, nlen), self._text(roff, rlen)
+
+    def unreachable(self) -> list[str]:
+        out = []
+        for i in range(self._uc):
+            off, length = _REF.unpack_from(
+                self._data, self._unreach_off + i * _REF.size)
+            out.append(self._text(off, length))
+        return out
+
+    def tree_links(self) -> set[tuple[str, str]]:
+        """The NORMAL links this source's mapping leaned on."""
+        out = set()
+        for i in range(self._tc):
+            aoff, alen, boff, blen = _PAIR.unpack_from(
+                self._data, self._pairs_off + i * _PAIR.size)
+            out.add((self._text(aoff, alen), self._text(boff, blen)))
+        return out
+
+    def resolve_with_cost(self, target: str, user: str = "%s"
+                          ) -> tuple[int, Resolution]:
+        """The paper's domain-suffix search, on the binary index.
+
+        Exact host match: the format argument is the user.  Domain
+        match: the argument is ``target!user`` — "a route relative to
+        its gateway".  Returns the matched record's cost alongside so
+        hot paths (the daemon) need no second search.
+        """
+        for key in domain_suffixes(target):
+            hit = self.lookup(key)
+            if hit is None:
+                continue
+            cost, route = hit
+            argument = user if key == target else f"{target}!{user}"
+            return cost, Resolution(
+                target=target, matched=key, route=route,
+                address=route.replace("%s", argument, 1))
+        raise RouteError(f"no route to {target!r}")
+
+    def resolve(self, target: str, user: str = "%s") -> Resolution:
+        return self.resolve_with_cost(target, user)[1]
+
+    def database(self):
+        """Lift into an in-memory :class:`RouteDatabase` (for callers
+        that want the dict-backed interface)."""
+        from repro.mailer.routedb import RouteDatabase
+
+        return RouteDatabase({name: route
+                              for _, name, route in self.records()})
+
+
+@dataclass
+class SnapshotInfo:
+    """What :func:`build_snapshot` / an update wrote."""
+
+    path: Path
+    sources: list[str]
+    size: int
+    engine: str
+
+
+class SnapshotReader:
+    """An open snapshot: header + source index in memory, tables
+    decoded lazily and cached.
+
+    The whole file is read at open time, so a reader is immutable and
+    self-contained — the daemon hot-swaps readers by plain attribute
+    assignment while in-flight lookups keep using the old one.
+    """
+
+    def __init__(self, path: str | Path, data: bytes):
+        self.path = Path(path)
+        self._data = data
+        if len(data) < _HEADER.size:
+            raise SnapshotError(
+                f"{self.path}: truncated snapshot "
+                f"({len(data)} bytes; header is {_HEADER.size})")
+        (magic, version, self.flags, self.source_count, crc,
+         self._graph_off, self._graph_len,
+         self._meta_off, self._meta_len,
+         self._index_off, self._index_len,
+         self._tables_off, self._tables_len) = _HEADER.unpack_from(
+             data, 0)
+        if magic != MAGIC:
+            raise SnapshotError(
+                f"{self.path}: not a route snapshot (bad magic)")
+        if version != VERSION:
+            raise SnapshotError(
+                f"{self.path}: unsupported snapshot version {version}")
+        for off, length in ((self._graph_off, self._graph_len),
+                            (self._meta_off, self._meta_len),
+                            (self._index_off, self._index_len),
+                            (self._tables_off, self._tables_len)):
+            if off < _HEADER.size or off + length > len(data):
+                raise SnapshotError(
+                    f"{self.path}: truncated snapshot (section "
+                    f"[{off}, {off + length}) outside the "
+                    f"{len(data)}-byte file)")
+        if zlib.crc32(data[_HEADER.size:]) & 0xFFFFFFFF != crc:
+            raise SnapshotError(
+                f"{self.path}: corrupt snapshot (payload CRC mismatch)")
+        self._sources: list[str] = []
+        self._entries: list[tuple[int, int]] = []
+        self._parse_index()
+        self._tables: dict[str, SnapshotTable] = {}
+        self._graph: CompactGraph | None = None
+
+    @classmethod
+    def open(cls, path: str | Path) -> "SnapshotReader":
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            raise SnapshotError(f"cannot open snapshot: {exc}") from None
+        return cls(path, data)
+
+    def _parse_index(self) -> None:
+        data = self._data
+        entries_len = self.source_count * _INDEX_ENTRY.size
+        if entries_len > self._index_len:
+            raise SnapshotError(
+                f"{self.path}: corrupt snapshot (index shorter than "
+                f"its {self.source_count} entries)")
+        blob_off = self._index_off + entries_len
+        blob_len = self._index_len - entries_len
+        for i in range(self.source_count):
+            noff, nlen, toff, tlen = _INDEX_ENTRY.unpack_from(
+                data, self._index_off + i * _INDEX_ENTRY.size)
+            if noff + nlen > blob_len:
+                raise SnapshotError(
+                    f"{self.path}: corrupt snapshot (index name "
+                    f"outside its blob)")
+            if (toff < self._tables_off
+                    or toff + tlen > self._tables_off + self._tables_len):
+                raise SnapshotError(
+                    f"{self.path}: corrupt snapshot (table section "
+                    f"outside the tables region)")
+            name = data[blob_off + noff:blob_off + noff + nlen].decode(
+                "utf-8")
+            self._sources.append(name)
+            self._entries.append((toff, tlen))
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def second_best(self) -> bool:
+        return bool(self.flags & FLAG_SECOND_BEST)
+
+    @property
+    def case_fold(self) -> bool:
+        """Host names were folded to lower case at build time (the
+        ``-i`` option); updates must parse revisions the same way."""
+        return bool(self.flags & FLAG_CASE_FOLD)
+
+    def sources(self) -> list[str]:
+        """Source names, in index (sorted) order."""
+        return list(self._sources)
+
+    def has_source(self, source: str) -> bool:
+        return self._find(source) is not None
+
+    def _find(self, source: str) -> int | None:
+        """Binary search the sorted source index."""
+        key = source.encode("utf-8")
+        sources = self._sources
+        lo, hi = 0, len(sources)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sources[mid].encode("utf-8") < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(sources) and sources[lo] == source:
+            return lo
+        return None
+
+    def table_bytes(self, source: str) -> bytes:
+        """The raw encoded table section (incremental updates splice
+        these into new snapshots verbatim)."""
+        i = self._find(source)
+        if i is None:
+            raise SnapshotError(
+                f"{self.path}: no table for source {source!r}")
+        off, length = self._entries[i]
+        return self._data[off:off + length]
+
+    def table(self, source: str) -> SnapshotTable:
+        cached = self._tables.get(source)
+        if cached is None:
+            cached = SnapshotTable(source, self.table_bytes(source))
+            self._tables[source] = cached
+        return cached
+
+    def resolve(self, source: str, target: str,
+                user: str = "%s") -> Resolution:
+        """Domain-suffix lookup from ``source``'s table."""
+        return self.table(source).resolve(target, user)
+
+    def heuristics(self) -> HeuristicConfig:
+        return decode_meta_section(
+            self._data[self._meta_off:self._meta_off + self._meta_len])
+
+    def graph_section(self) -> bytes:
+        return self._data[self._graph_off:
+                          self._graph_off + self._graph_len]
+
+    def decode_graph(self) -> CompactGraph:
+        """The stored compact graph (detached: arrays only)."""
+        if self._graph is None:
+            self._graph = decode_graph_section(self.graph_section())
+        return self._graph
+
+    def __repr__(self) -> str:
+        return (f"SnapshotReader({str(self.path)!r}, "
+                f"{self.source_count} sources, {self.size} bytes)")
+
+
+# -- building -----------------------------------------------------------------
+
+
+def eligible_sources(cg: CompactGraph) -> list[str]:
+    """Sorted mail origins: hosts that are neither nets, domains, nor
+    private (mirrors ``BatchMapper.sources``, in index order)."""
+    return sorted(cg.names[cid] for cid in range(cg.n)
+                  if not cg.netlike[cid] and not cg.private[cid])
+
+
+def snapshot_payload(mapper, source: str):
+    """Per-source worker payload: plain-tuple records, unreachable
+    names, and the tree-link pairs (all picklable)."""
+    result = mapper.run(source)
+    _, records, unreachable, _ = build_portable_table(result)
+    return ([(cost, name, route) for cost, name, route, _ in records],
+            unreachable, tree_link_pairs(result))
+
+
+def write_snapshot(path: str | Path, graph_section: bytes,
+                   meta_section: bytes,
+                   table_sections: list[tuple[str, bytes]],
+                   flags: int = 0) -> int:
+    """Assemble and atomically write a snapshot file.
+
+    ``table_sections`` must be sorted by source name; the file appears
+    at ``path`` via write-to-temp + rename so a daemon never observes a
+    half-written snapshot.  Returns the byte size.
+    """
+    pool = _StringPool()
+    header_size = _HEADER.size
+    graph_off = header_size
+    meta_off = graph_off + len(graph_section)
+    tables_off = meta_off + len(meta_section)
+    entries = []
+    offset = tables_off
+    for source, section in table_sections:
+        entries.append((pool.add(source), offset, len(section)))
+        offset += len(section)
+    tables_len = offset - tables_off
+    index_off = offset
+    index_blob = pool.getvalue()
+    index = b"".join(
+        _INDEX_ENTRY.pack(nref[0], nref[1], toff, tlen)
+        for nref, toff, tlen in entries) + index_blob
+    payload = b"".join([graph_section, meta_section,
+                        *(section for _, section in table_sections),
+                        index])
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    header = _HEADER.pack(
+        MAGIC, VERSION, flags, len(table_sections), crc,
+        graph_off, len(graph_section), meta_off, len(meta_section),
+        index_off, len(index), tables_off, tables_len)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(header + payload)
+    os.replace(tmp, path)
+    return header_size + len(payload)
+
+
+def build_snapshot(graph: Graph | CompactGraph, path: str | Path,
+                   heuristics: HeuristicConfig | None = None,
+                   jobs: int | None = None,
+                   case_fold: bool = False) -> SnapshotInfo:
+    """Map every eligible source and write the snapshot to ``path``.
+
+    With ``jobs > 1`` the per-source mapping fans out over the batch
+    pool (:func:`repro.core.batch.map_sources`); output bytes are
+    identical at any worker count.  ``case_fold`` records (in the
+    header flags) that the map was parsed with host names folded, so
+    an update can parse the revision identically.
+    """
+    cg = graph if isinstance(graph, CompactGraph) \
+        else CompactGraph.compile(graph)
+    cfg = heuristics if heuristics is not None else DEFAULT_HEURISTICS
+    sources = eligible_sources(cg)
+    payloads, engine = map_sources(cg, sources, snapshot_payload,
+                                   heuristics, jobs)
+    table_sections = [
+        (source, encode_table_section(records, unreachable, pairs))
+        for source, (records, unreachable, pairs)
+        in zip(sources, payloads)]
+    flags = (FLAG_SECOND_BEST if cfg.second_best else 0) \
+        | (FLAG_CASE_FOLD if case_fold else 0)
+    size = write_snapshot(
+        path, encode_graph_section(cg), encode_meta_section(cfg),
+        table_sections, flags=flags)
+    return SnapshotInfo(path=Path(path), sources=sources, size=size,
+                        engine=engine)

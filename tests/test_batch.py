@@ -1,7 +1,5 @@
 """Batch-precomputation tests."""
 
-import pytest
-
 from repro.config import HeuristicConfig
 from repro.core.batch import (
     BatchMapper,

@@ -178,3 +178,128 @@ class TestBatchMode:
         path.write_text("= broken =")
         assert main(["--batch", str(tmp_path / "out"), str(path)]) == 1
         assert "pathalias:" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_snapshot_and_lookup(self, map_file, tmp_path, capsys):
+        snap = tmp_path / "routes.snap"
+        assert main(["snapshot", "-o", str(snap), map_file]) == 0
+        err = capsys.readouterr().err
+        assert "snapshot:" in err and "sources" in err
+        assert snap.exists()
+        assert main(["lookup", str(snap), "phs", "honey",
+                     "-l", "unc"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "800\tphs\tduke!phs!honey"
+
+    def test_lookup_without_user_keeps_template(self, map_file,
+                                                tmp_path, capsys):
+        snap = tmp_path / "routes.snap"
+        assert main(["snapshot", "-o", str(snap), map_file]) == 0
+        capsys.readouterr()
+        assert main(["lookup", str(snap), "phs", "-l", "unc"]) == 0
+        assert "duke!phs!%s" in capsys.readouterr().out
+
+    def test_lookup_miss_fails(self, map_file, tmp_path, capsys):
+        snap = tmp_path / "routes.snap"
+        assert main(["snapshot", "-o", str(snap), map_file]) == 0
+        capsys.readouterr()
+        assert main(["lookup", str(snap), "nowhere"]) == 1
+        assert "no route" in capsys.readouterr().err
+
+    def test_update_incremental(self, tmp_path, capsys):
+        old_map = tmp_path / "v1.map"
+        old_map.write_text("a b(10), c(100)\nb a(10), c(10)\n"
+                           "c b(10), a(100), d(10)\nd c(10)\n")
+        new_map = tmp_path / "v2.map"
+        new_map.write_text("a b(10), c(100)\nb a(10), c(500)\n"
+                           "c b(10), a(100), d(10)\nd c(10)\n")
+        old = tmp_path / "v1.snap"
+        new = tmp_path / "v2.snap"
+        assert main(["snapshot", "-o", str(old), str(old_map)]) == 0
+        assert main(["update", str(old), "-o", str(new),
+                     str(new_map)]) == 0
+        err = capsys.readouterr().err
+        assert "incremental update" in err
+        fresh = tmp_path / "fresh.snap"
+        assert main(["snapshot", "-o", str(fresh), str(new_map)]) == 0
+        assert new.read_bytes() == fresh.read_bytes()
+
+    def test_update_missing_snapshot(self, map_file, tmp_path, capsys):
+        assert main(["update", str(tmp_path / "no.snap"),
+                     "-o", str(tmp_path / "out.snap"), map_file]) == 1
+        assert "cannot open snapshot" in capsys.readouterr().err
+
+    def test_snapshot_bad_map(self, tmp_path, capsys):
+        bad = tmp_path / "d.map"
+        bad.write_text("= broken =")
+        assert main(["snapshot", "-o", str(tmp_path / "x.snap"),
+                     str(bad)]) == 1
+        assert "pathalias:" in capsys.readouterr().err
+
+    def test_serve_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        assert "lookup daemon" in capsys.readouterr().out
+
+    def test_flat_cli_untouched_by_subcommands(self, map_file, capsys):
+        # a file named like a subcommand must still route to the flat
+        # parser when preceded by options
+        assert main(["-l", "unc", map_file]) == 0
+        assert "duke" in capsys.readouterr().out
+
+    def test_update_honours_case_fold_flag(self, tmp_path, capsys):
+        """A snapshot built with -i records case folding; a later
+        update without -i must parse the revision the same way."""
+        v1 = tmp_path / "v1.map"
+        v1.write_text("A B(10), C(100)\nB A(10), C(10)\n"
+                      "C B(10), A(100), D(10)\nD C(10)\n")
+        v2 = tmp_path / "v2.map"
+        v2.write_text("A B(10), C(100)\nB A(10), C(500)\n"
+                      "C B(10), A(100), D(10)\nD C(10)\n")
+        old = tmp_path / "v1.snap"
+        new = tmp_path / "v2.snap"
+        assert main(["snapshot", "-i", "-o", str(old), str(v1)]) == 0
+        assert main(["update", str(old), "-o", str(new),
+                     str(v2)]) == 0
+        err = capsys.readouterr().err
+        assert "incremental update" in err
+        fresh = tmp_path / "fresh.snap"
+        assert main(["snapshot", "-i", "-o", str(fresh),
+                     str(v2)]) == 0
+        assert new.read_bytes() == fresh.read_bytes()
+
+    def test_update_i_flag_upgrades_snapshot_header(self, tmp_path,
+                                                    capsys):
+        """-i on update of an unfolded snapshot must record folding
+        in the new header (byte-identical to snapshot -i) so later
+        unflagged updates keep parsing folded."""
+        v1 = tmp_path / "v1.map"
+        v1.write_text("a b(10)\nb a(10)\n")
+        v2 = tmp_path / "v2.map"
+        v2.write_text("A B(20)\nB A(20)\n")
+        old = tmp_path / "v1.snap"
+        new = tmp_path / "v2.snap"
+        assert main(["snapshot", "-o", str(old), str(v1)]) == 0
+        assert main(["update", "-i", str(old), "-o", str(new),
+                     str(v2)]) == 0
+        fresh = tmp_path / "fresh.snap"
+        assert main(["snapshot", "-i", "-o", str(fresh),
+                     str(v2)]) == 0
+        assert new.read_bytes() == fresh.read_bytes()
+        from repro.service.store import SnapshotReader
+
+        assert SnapshotReader.open(new).case_fold
+
+    def test_lookup_empty_snapshot_clean_error(self, tmp_path,
+                                               capsys):
+        """A snapshot with zero eligible sources fails cleanly, not
+        with an IndexError traceback."""
+        nets = tmp_path / "nets.map"
+        nets.write_text(".edu = {.rutgers}\n")
+        snap = tmp_path / "empty.snap"
+        assert main(["snapshot", "-o", str(snap), str(nets)]) == 0
+        capsys.readouterr()
+        assert main(["lookup", str(snap), "a"]) == 1
+        assert "no source tables" in capsys.readouterr().err

@@ -1,0 +1,286 @@
+"""The lookup daemon: protocol, hot-swap under load, sync client."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.pathalias import Pathalias
+from repro.errors import RouteError
+from repro.mailer.router import MailRouter
+from repro.service.daemon import (
+    DaemonRouteDatabase,
+    RouteService,
+    serve,
+)
+from repro.service.store import SnapshotError, build_snapshot
+
+MAP_V1 = """\
+a\tb(10), c(100)
+b\ta(10), c(10)
+c\tb(10), a(100), d(10)
+d\tc(10)
+"""
+
+#: same topology, pricier bridge: a's route to c and d changes.
+MAP_V2 = MAP_V1.replace("b\ta(10), c(10)", "b\ta(10), c(500)")
+
+
+def make_snapshot(text, path):
+    build_snapshot(Pathalias().build([("d.map", text)]), path)
+    return str(path)
+
+
+@pytest.fixture()
+def snapshots(tmp_path):
+    return (make_snapshot(MAP_V1, tmp_path / "v1.snap"),
+            make_snapshot(MAP_V2, tmp_path / "v2.snap"))
+
+
+async def request(reader, writer, line: str) -> str:
+    writer.write(line.encode() + b"\n")
+    await writer.drain()
+    return (await reader.readline()).decode().rstrip("\n")
+
+
+class TestProtocol:
+    def test_commands(self, snapshots):
+        snap1, _ = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert await request(r, w, "ROUTE d user") == \
+                "OK 30 d b!c!d!%s b!c!d!user"
+            assert await request(r, w, "ROUTE d") == \
+                "OK 30 d b!c!d!%s b!c!d!%s"
+            assert await request(r, w, "EXACT b") == "OK 10 b b!%s"
+            assert (await request(r, w, "ROUTE nowhere")) == \
+                "ERR noroute nowhere"
+            assert (await request(r, w, "EXACT nowhere")) == \
+                "ERR noroute nowhere"
+            assert await request(r, w, "SOURCE d") == "OK source d"
+            assert await request(r, w, "ROUTE a who") == \
+                "OK 30 a c!b!a!%s c!b!a!who"
+            assert (await request(r, w, "SOURCE ghost")).startswith(
+                "ERR unknown-source")
+            assert (await request(r, w, "BOGUS")).startswith(
+                "ERR unknown-command")
+            assert (await request(r, w, "ROUTE")).startswith(
+                "ERR usage")
+            stats = await request(r, w, "STATS")
+            assert stats.startswith("OK lookups=")
+            assert "sources=4" in stats
+            assert await request(r, w, "QUIT") == "OK bye"
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_reload_swaps_routes(self, snapshots):
+        snap1, snap2 = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 30 d b!c!d!%s b!c!d!u"
+            reply = await request(r, w, f"RELOAD {snap2}")
+            assert reply.startswith("OK reloaded 4 ")
+            # v2's bridge costs 500: a now reaches d via the direct
+            # a->c link.
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 110 d c!d!%s c!d!u"
+            bad = await request(r, w, "RELOAD /no/such/file.snap")
+            assert bad.startswith("ERR reload")
+            # the failed reload left the current snapshot serving
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 110 d c!d!%s c!d!u"
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_unknown_source_at_start_rejected(self, snapshots):
+        snap1, _ = snapshots
+        with pytest.raises(SnapshotError, match="no table"):
+            RouteService(snap1, default_source="ghost")
+
+    def test_stale_source_after_reload_survives(self, snapshots,
+                                                tmp_path):
+        """A RELOAD can replace the snapshot with one that lacks a
+        connection's chosen source; the next lookup must answer ERR
+        and leave the connection (and daemon) alive."""
+        snap1, _ = snapshots
+        other = make_snapshot("x\ty(10)\ny\tx(10)\n",
+                              tmp_path / "other.snap")
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert await request(r, w, "SOURCE d") == "OK source d"
+            reply = await request(r, w, f"RELOAD {other}")
+            assert reply.startswith("OK reloaded 2 ")
+            assert await request(r, w, "ROUTE a u") == \
+                "ERR unknown-source d"
+            assert await request(r, w, "EXACT a") == \
+                "ERR unknown-source d"
+            # the connection is still serviceable
+            assert await request(r, w, "SOURCE x") == "OK source x"
+            assert await request(r, w, "ROUTE y u") == \
+                "OK 10 y y!%s y!u"
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestHotSwapUnderLoad:
+    def test_no_request_dropped_during_reload(self, snapshots):
+        """The acceptance bar: clients hammer ROUTE while another
+        connection hot-swaps snapshots back and forth; every single
+        request gets a well-formed OK answer."""
+        snap1, snap2 = snapshots
+        requests_per_client = 40
+        clients = 6
+        reloads = 10
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+
+            async def client(i):
+                r, w = await asyncio.open_connection("127.0.0.1", port)
+                answered = 0
+                for k in range(requests_per_client):
+                    reply = await request(r, w, f"ROUTE d u{i}.{k}")
+                    # Both snapshots route a->d; whichever snapshot
+                    # serves the request, the answer is complete and
+                    # well-formed.
+                    assert reply in (
+                        f"OK 30 d b!c!d!%s b!c!d!u{i}.{k}",
+                        f"OK 110 d c!d!%s c!d!u{i}.{k}")
+                    answered += 1
+                    await asyncio.sleep(0)
+                w.close()
+                return answered
+
+            async def reloader():
+                r, w = await asyncio.open_connection("127.0.0.1", port)
+                for k in range(reloads):
+                    target = snap2 if k % 2 == 0 else snap1
+                    reply = await request(r, w, f"RELOAD {target}")
+                    assert reply.startswith("OK reloaded")
+                    await asyncio.sleep(0)
+                w.close()
+                return reloads
+
+            results = await asyncio.gather(
+                *(client(i) for i in range(clients)), reloader())
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [requests_per_client] * clients + [reloads]
+
+
+class _ThreadedDaemon:
+    """Run the asyncio server in a thread so synchronous clients
+    (DaemonRouteDatabase, MailRouter) can talk to it from the test."""
+
+    def __init__(self, snapshot_path: str, source: str | None = None):
+        self.snapshot_path = snapshot_path
+        self.source = source
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def amain():
+            service = RouteService(self.snapshot_path,
+                                   default_source=self.source)
+            server = await serve(service)
+            self.port = server.sockets[0].getsockname()[1]
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(amain())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "daemon failed to start"
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+
+class TestSyncClient:
+    def test_route_database_interface(self, snapshots):
+        snap1, snap2 = snapshots
+        with _ThreadedDaemon(snap1, source="a") as daemon:
+            with DaemonRouteDatabase(("127.0.0.1", daemon.port)) as db:
+                assert db.route("d") == "b!c!d!%s"
+                assert db.route("ghost") is None
+                assert "d" in db
+                assert "ghost" not in db
+                res = db.resolve("d", "user")
+                assert res.address == "b!c!d!user"
+                assert res.matched == "d"
+                assert db.resolve_bang("d!user").address == "b!c!d!user"
+                with pytest.raises(RouteError):
+                    db.resolve("ghost", "user")
+                stats = db.stats()
+                assert stats["sources"] == "4"
+                assert db.reload(snap2) == 4
+                assert db.route("d") == "c!d!%s"
+
+    def test_source_binding(self, snapshots):
+        snap1, _ = snapshots
+        with _ThreadedDaemon(snap1) as daemon:
+            with DaemonRouteDatabase(("127.0.0.1", daemon.port),
+                                     source="d") as db:
+                assert db.route("a") == "c!b!a!%s"
+
+    def test_rejects_spaces_in_tokens(self, snapshots):
+        snap1, _ = snapshots
+        with _ThreadedDaemon(snap1) as daemon:
+            with DaemonRouteDatabase(("127.0.0.1", daemon.port)) as db:
+                with pytest.raises(RouteError, match="protocol"):
+                    db.resolve("d", "two words")
+
+    def test_mail_router_through_daemon(self, snapshots):
+        """MailRouter end to end against a live daemon instead of an
+        in-memory table."""
+        snap1, _ = snapshots
+        with _ThreadedDaemon(snap1) as daemon:
+            router = MailRouter.connected(
+                "a", ("127.0.0.1", daemon.port))
+            envelope = router.route("user@d", sender="postmaster")
+            assert envelope.transport_address == "b!c!d!user"
+            assert router.resolve("d", "user").address == "b!c!d!user"
+            # explicitly routed mail goes through the optimizer, whose
+            # database queries also hit the daemon
+            envelope = router.route("c!d!user")
+            assert envelope.transport_address == "b!c!d!user"
+            router.db.close()

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Pathalias
 from repro.core.mapper import Mapper
 from repro.core.printer import print_routes
 from repro.graph.build import build_graph

@@ -1,0 +1,238 @@
+"""Diff-driven snapshot updates: affected-set precision and the
+byte-identity guarantee."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import HeuristicConfig
+from repro.core.pathalias import Pathalias
+from repro.service.incremental import (
+    affected_sources,
+    compact_link_costs,
+    diff_compact_graphs,
+    update_snapshot,
+)
+from repro.service.store import SnapshotReader, build_snapshot
+
+#: a: close to b, far from c.  b: bridges a and c.  d: pendant on c.
+#: Every source's tree crosses the cheap b<->c bridge; the expensive
+#: direct a->c link is relaxed but never used.
+DIAMOND = """\
+a\tb(10), c(100)
+b\ta(10), c(10)
+c\tb(10), a(100), d(10)
+d\tc(10)
+"""
+
+DATA = Path(__file__).parent / "data"
+
+
+def build(text, name="d.map"):
+    return Pathalias().build([(name, text)])
+
+
+def snap(graph, path, **kwargs):
+    return build_snapshot(graph, path, **kwargs)
+
+
+def assert_identical_to_full_rebuild(out: Path, new_graph, cfg=None):
+    reference = out.parent / (out.name + ".reference")
+    build_snapshot(new_graph, reference, heuristics=cfg)
+    assert out.read_bytes() == reference.read_bytes()
+
+
+class TestAffectedSet:
+    def test_cost_increase_remaps_only_tree_users(self, tmp_path):
+        """Raising b->c can only matter to sources whose shortest-path
+        tree crosses b->c: a and b.  c and d route the other way and
+        must be spliced from the old snapshot untouched."""
+        old = tmp_path / "old.snap"
+        snap(build(DIAMOND), old)
+        revised = build(DIAMOND.replace("b\ta(10), c(10)",
+                                        "b\ta(10), c(500)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "incremental"
+        assert report.remapped == ["a", "b"]
+        assert report.reused == 2
+        assert report.total_sources == 4
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_cost_decrease_uses_triangle_test(self, tmp_path):
+        """Cheapening the unused a->c link to 15 only helps a
+        (0 + 15 < 20); for b, c, d the triangle test proves the old
+        routes still win."""
+        old = tmp_path / "old.snap"
+        snap(build(DIAMOND), old)
+        revised = build(DIAMOND.replace("a\tb(10), c(100)",
+                                        "a\tb(10), c(15)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "incremental"
+        assert report.remapped == ["a"]
+        assert report.reused == 3
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_untouched_cost_change_remaps_nobody(self, tmp_path):
+        """An increase on a link no tree uses reuses every section."""
+        old = tmp_path / "old.snap"
+        snap(build(DIAMOND), old)
+        revised = build(DIAMOND.replace("c\tb(10), a(100), d(10)",
+                                        "c\tb(10), a(150), d(10)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "incremental"
+        assert report.remapped == []
+        assert report.reused == 4
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_cost_decrease_tie_counts_as_affected(self, tmp_path):
+        """An exact-cost tie through the cheapened link can steal the
+        label by relaxation order and change the route *text* at the
+        same cost, so the triangle test must treat ties as affected.
+
+        Here s reaches v for 10 via a; dropping u->v from 7 to 6 makes
+        u's path also cost 10, and u pops first, so a fresh rebuild
+        routes s's mail via u."""
+        tie_map = ("s\ta(5), u(4)\n"
+                   "a\ts(5), v(5)\n"
+                   "u\ts(4), v(7)\n"
+                   "v\ta(5), u(7)\n")
+        old = tmp_path / "old.snap"
+        snap(build(tie_map), old)
+        assert SnapshotReader.open(old).table("s").route("v") == \
+            "a!v!%s"
+        revised = build(tie_map.replace("u\ts(4), v(7)",
+                                        "u\ts(4), v(6)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out,
+                                 full_threshold=1.0)
+        assert "s" in report.remapped
+        assert SnapshotReader.open(out).table("s").route("v") == \
+            "u!v!%s"
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_affected_sources_directly(self, tmp_path):
+        old = tmp_path / "old.snap"
+        snap(build(DIAMOND), old)
+        reader = SnapshotReader.open(old)
+        from repro.graph.compact import CompactGraph
+
+        new_cg = CompactGraph.compile(
+            build(DIAMOND.replace("b\ta(10), c(10)",
+                                  "b\ta(10), c(500)")))
+        changed = [j for j in range(new_cg.link_count)
+                   if new_cg.cost[j] != reader.decode_graph().cost[j]]
+        assert len(changed) == 1
+        assert affected_sources(reader, new_cg, changed) == ["a", "b"]
+
+
+class TestFullFallbacks:
+    def make_old(self, tmp_path, text=DIAMOND, **kwargs):
+        old = tmp_path / "old.snap"
+        snap(build(text), old, **kwargs)
+        return old
+
+    def test_host_added_forces_full(self, tmp_path):
+        old = self.make_old(tmp_path)
+        revised = build(DIAMOND + "e\td(10)\n")
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "full"
+        assert report.reason == "topology changed"
+        assert "e" in report.diff.hosts_added
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_link_removed_forces_full(self, tmp_path):
+        old = self.make_old(tmp_path)
+        revised = build(DIAMOND.replace("c\tb(10), a(100), d(10)",
+                                        "c\tb(10), d(10)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "full"
+        assert ("c", "a") in report.diff.links_removed
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_threshold_zero_forces_full(self, tmp_path):
+        old = self.make_old(tmp_path)
+        revised = build(DIAMOND.replace("b\ta(10), c(10)",
+                                        "b\ta(10), c(500)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out,
+                                 full_threshold=0.0)
+        assert report.mode == "full"
+        assert "threshold" in report.reason
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_second_best_snapshot_forces_full(self, tmp_path):
+        cfg = HeuristicConfig(second_best=True)
+        old = self.make_old(tmp_path, heuristics=cfg)
+        revised = build(DIAMOND.replace("b\ta(10), c(10)",
+                                        "b\ta(10), c(500)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "full"
+        assert "second-best" in report.reason
+        assert_identical_to_full_rebuild(out, revised, cfg=cfg)
+
+    def test_update_preserves_stored_heuristics(self, tmp_path):
+        cfg = HeuristicConfig(back_link_factor=2)
+        old = self.make_old(tmp_path, heuristics=cfg)
+        revised = build(DIAMOND.replace("b\ta(10), c(10)",
+                                        "b\ta(10), c(500)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.heuristics == cfg
+        assert SnapshotReader.open(out).heuristics() == cfg
+        assert_identical_to_full_rebuild(out, revised, cfg=cfg)
+
+    def test_identical_map_reuses_everything(self, tmp_path):
+        old = self.make_old(tmp_path)
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, build(DIAMOND), out)
+        assert report.mode == "incremental"
+        assert report.remapped == []
+        assert report.diff.is_empty
+        assert out.read_bytes() == old.read_bytes()
+
+
+class TestRealMaps:
+    @pytest.mark.parametrize("path", sorted(DATA.glob("d.*")),
+                             ids=lambda p: p.name)
+    def test_no_change_round_trip(self, tmp_path, path):
+        graph = Pathalias().build([(path.name, path.read_text())])
+        old = tmp_path / "old.snap"
+        snap(graph, old)
+        again = Pathalias().build([(path.name, path.read_text())])
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, again, out)
+        assert report.mode == "incremental"
+        assert report.remapped == []
+        assert out.read_bytes() == old.read_bytes()
+
+
+class TestCompactDiffHelpers:
+    def test_compact_link_costs_match_mapdiff(self):
+        from repro.graph.compact import CompactGraph
+        from repro.netsim.mapdiff import _link_costs
+
+        graph = build(DIAMOND)
+        cg = CompactGraph.compile(graph)
+        assert compact_link_costs(cg) == _link_costs(graph)
+
+    def test_diff_compact_graphs_matches_diff_graphs(self):
+        from repro.graph.compact import CompactGraph
+        from repro.netsim.mapdiff import diff_graphs
+
+        old = build(DIAMOND)
+        new = build(DIAMOND.replace("b\ta(10), c(10)",
+                                    "b\ta(10), c(500)") + "e\td(5)\n")
+        got = diff_compact_graphs(CompactGraph.compile(old),
+                                  CompactGraph.compile(new))
+        want = diff_graphs(old, new)
+        assert got.hosts_added == want.hosts_added
+        assert got.links_added == want.links_added
+        assert got.cost_changes == want.cost_changes

@@ -1,0 +1,217 @@
+"""Snapshot store: round-trips, binary search, and damage handling."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import HeuristicConfig
+from repro.core.batch import BatchMapper
+from repro.core.pathalias import Pathalias
+from repro.errors import RouteError
+from repro.mailer.routedb import RouteDatabase
+from repro.service.store import (
+    SnapshotError,
+    SnapshotReader,
+    build_snapshot,
+    decode_graph_section,
+)
+
+from tests.conftest import DOMAIN_TREE_MAP, PAPER_1981_MAP
+
+DATA = Path(__file__).parent / "data"
+DATA_MAPS = sorted(DATA.glob("d.*"))
+
+
+def build(named):
+    return Pathalias().build(named)
+
+
+def named_file(path: Path):
+    return [(path.name, path.read_text())]
+
+
+@pytest.fixture(scope="module", params=[p.name for p in DATA_MAPS])
+def snapped(request, tmp_path_factory):
+    """(graph, reader) for one tests/data map, snapshot on disk."""
+    path = DATA / request.param
+    graph = build(named_file(path))
+    out = tmp_path_factory.mktemp("snap") / f"{path.name}.snap"
+    build_snapshot(graph, out)
+    return graph, SnapshotReader.open(out)
+
+
+class TestRoundTrip:
+    def test_every_destination_matches_print_routes(self, snapped):
+        """For every source, every looked-up route is byte-identical
+        to what print_routes produces — and nothing extra exists."""
+        graph, reader = snapped
+        sources = reader.sources()
+        assert sources == sorted(BatchMapper(graph).sources())
+        batch = BatchMapper(graph, engine="reference").run(sources)
+        for source in sources:
+            table = reader.table(source)
+            reference = batch[source]
+            assert len(table) == len(reference.records)
+            for record in reference:
+                assert table.lookup(record.name) == (record.cost,
+                                                     record.route)
+                assert table.route(record.name) == record.route
+                assert record.name in table
+            assert table.unreachable() == reference.unreachable
+
+    def test_misses_return_none(self, snapped):
+        _, reader = snapped
+        table = reader.table(reader.sources()[0])
+        assert table.lookup("no-such-host-anywhere") is None
+        assert table.route("") is None
+        assert "no-such-host-anywhere" not in table
+
+    def test_records_iterate_in_name_order(self, snapped):
+        _, reader = snapped
+        table = reader.table(reader.sources()[0])
+        names = [name for _, name, _ in table.records()]
+        assert names == sorted(names)
+
+    def test_graph_section_round_trips(self, snapped):
+        graph, reader = snapped
+        from repro.graph.compact import CompactGraph
+
+        original = CompactGraph.compile(graph)
+        decoded = reader.decode_graph()
+        assert decoded.names == original.names
+        assert decoded.off == original.off
+        assert decoded.to == original.to
+        assert decoded.cost == original.cost
+        assert decoded.flags == original.flags
+        assert decoded.kind == original.kind
+        assert decoded.op == original.op
+        assert decoded.cid_by_name == original.cid_by_name
+        assert decoded.warnings == original.warnings
+
+
+class TestDeterminism:
+    def test_rebuild_is_byte_identical(self, tmp_path):
+        graph = build(named_file(DATA_MAPS[0]))
+        a, b = tmp_path / "a.snap", tmp_path / "b.snap"
+        build_snapshot(graph, a)
+        build_snapshot(build(named_file(DATA_MAPS[0])), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_worker_count_does_not_change_bytes(self, tmp_path):
+        graph = build(named_file(DATA_MAPS[0]))
+        serial, pooled = tmp_path / "s.snap", tmp_path / "p.snap"
+        build_snapshot(graph, serial, jobs=1)
+        build_snapshot(graph, pooled, jobs=2)
+        assert serial.read_bytes() == pooled.read_bytes()
+
+
+class TestSuffixSearch:
+    def test_matches_route_database(self, tmp_path):
+        graph = build([("d.domains", DOMAIN_TREE_MAP)])
+        out = tmp_path / "d.snap"
+        build_snapshot(graph, out)
+        reader = SnapshotReader.open(out)
+        table = reader.table("local")
+        reference = RouteDatabase(
+            {name: route for _, name, route in table.records()})
+        for target in ("caip.rutgers.edu", "x.rutgers.edu", "blue",
+                       "seismo"):
+            got = table.resolve(target, "pleasant")
+            want = reference.resolve(target, "pleasant")
+            assert got == want
+
+    def test_miss_raises_route_error(self, tmp_path):
+        graph = build([("d.map", PAPER_1981_MAP)])
+        out = tmp_path / "p.snap"
+        build_snapshot(graph, out)
+        table = SnapshotReader.open(out).table("unc")
+        with pytest.raises(RouteError):
+            table.resolve("nowhere.example", "user")
+
+    def test_reader_resolve_shortcut(self, tmp_path):
+        graph = build([("d.map", PAPER_1981_MAP)])
+        out = tmp_path / "p.snap"
+        build_snapshot(graph, out)
+        reader = SnapshotReader.open(out)
+        res = reader.resolve("unc", "phs", "honey")
+        assert res.address == "duke!phs!honey"
+
+
+class TestHeuristicsMeta:
+    def test_config_round_trips(self, tmp_path):
+        cfg = HeuristicConfig(mixed_penalty=123, gateway_penalty=456,
+                              back_link_factor=3,
+                              infer_back_links=False)
+        graph = build([("d.map", PAPER_1981_MAP)])
+        out = tmp_path / "h.snap"
+        build_snapshot(graph, out, heuristics=cfg)
+        assert SnapshotReader.open(out).heuristics() == cfg
+
+    def test_second_best_flag(self, tmp_path):
+        graph = build([("d.map", PAPER_1981_MAP)])
+        out = tmp_path / "sb.snap"
+        build_snapshot(graph, out,
+                       heuristics=HeuristicConfig(second_best=True))
+        reader = SnapshotReader.open(out)
+        assert reader.second_best
+        assert reader.heuristics().second_best
+
+
+class TestDamage:
+    @pytest.fixture()
+    def snap_bytes(self, tmp_path):
+        graph = build(named_file(DATA_MAPS[0]))
+        out = tmp_path / "ok.snap"
+        build_snapshot(graph, out)
+        return out.read_bytes()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot open"):
+            SnapshotReader.open(tmp_path / "nope.snap")
+
+    def test_bad_magic(self, tmp_path, snap_bytes):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"NOTASNAP" + snap_bytes[8:])
+        with pytest.raises(SnapshotError, match="bad magic"):
+            SnapshotReader.open(bad)
+
+    def test_unsupported_version(self, tmp_path, snap_bytes):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(snap_bytes[:8] + b"\x63\x00\x00\x00"
+                        + snap_bytes[12:])
+        with pytest.raises(SnapshotError, match="version 99"):
+            SnapshotReader.open(bad)
+
+    @pytest.mark.parametrize("keep", [0, 4, 40, 87, 200])
+    def test_truncation_detected_at_any_length(self, tmp_path,
+                                               snap_bytes, keep):
+        bad = tmp_path / "cut.snap"
+        bad.write_bytes(snap_bytes[:keep])
+        with pytest.raises(SnapshotError):
+            SnapshotReader.open(bad)
+
+    def test_truncation_one_byte_short(self, tmp_path, snap_bytes):
+        bad = tmp_path / "cut.snap"
+        bad.write_bytes(snap_bytes[:-1])
+        with pytest.raises(SnapshotError):
+            SnapshotReader.open(bad)
+
+    def test_payload_corruption_fails_crc(self, tmp_path, snap_bytes):
+        flipped = bytearray(snap_bytes)
+        flipped[len(flipped) // 2] ^= 0xFF
+        bad = tmp_path / "flip.snap"
+        bad.write_bytes(bytes(flipped))
+        with pytest.raises(SnapshotError, match="CRC"):
+            SnapshotReader.open(bad)
+
+    def test_garbage_file(self, tmp_path):
+        bad = tmp_path / "garbage.snap"
+        bad.write_bytes(b"\x00" * 300)
+        with pytest.raises(SnapshotError):
+            SnapshotReader.open(bad)
+
+    def test_malformed_graph_section(self):
+        with pytest.raises(SnapshotError):
+            decode_graph_section(b"\x01\x00")

@@ -1,6 +1,6 @@
 """Traffic/load-analysis tests."""
 
-from repro import HeuristicConfig, Pathalias
+from repro import Pathalias
 from repro.netsim.traffic import analyze_routes, compare_cost_tables
 
 from tests.conftest import PAPER_1981_MAP

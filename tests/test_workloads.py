@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Pathalias
-from repro.graph.build import build_graph
 from repro.mailer.address import MailerStyle
 from repro.netsim.mapgen import MapParams, generate_map
 from repro.netsim.workloads import (
@@ -12,7 +11,6 @@ from repro.netsim.workloads import (
     generate_workload,
     run_day,
 )
-from repro.parser.grammar import parse_text
 
 
 @pytest.fixture(scope="module")
