@@ -1,24 +1,29 @@
 #!/usr/bin/env python
 """Measure the serving tier and record it in BENCH_routing.json.
 
-Three numbers the ROADMAP cares about:
+Four numbers the ROADMAP cares about:
 
 * snapshot build time (the offline cost of the store);
 * incremental update vs full rebuild after a single link-cost change
   (the paper's monthly-revision scenario) — with the byte-identity
   guarantee asserted while we are at it;
 * daemon lookup throughput over real sockets, with hot-swap reloads
-  happening mid-traffic.
+  happening mid-traffic;
+* federated throughput over sharded regional maps — cross-shard
+  stitched lookups under load — plus the cost of refreshing ONE
+  region (incremental update + single-shard RELOAD) against
+  rebuilding every region from scratch.
 
-The map is a deterministic ring-with-chords (explicit numeric costs,
+The maps are deterministic rings-with-chords (explicit numeric costs,
 no symbol table) so a one-link revision is easy to synthesize and its
-affected-source set is a stable fraction of the whole.
+affected-source set is a stable fraction of the whole; the federated
+regions are rings chained through shared gateway hosts.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py
     PYTHONPATH=src python benchmarks/bench_service.py \
-        --hosts 200 --clients 8 --requests 500
+        --hosts 200 --clients 8 --requests 500 --regions 4
 """
 
 from __future__ import annotations
@@ -154,6 +159,143 @@ def bench_daemon(tmp: Path, clients: int, requests: int,
     return asyncio.run(scenario())
 
 
+def regional_map(region: int, hosts: int,
+                 changed_cost: int | None = None) -> str:
+    """Ring region ``r<region>``, chained to its neighbors through
+    shared gateway hosts ``gw<region-1>`` / ``gw<region>``."""
+    def host(i: int) -> str:
+        return f"r{region}h{i:03d}"
+
+    lines = []
+    for i in range(hosts):
+        cost = 100
+        if changed_cost is not None and i == 3:
+            cost = changed_cost
+        lines.append(f"{host(i)}\t{host((i + 1) % hosts)}({cost}), "
+                     f"{host((i - 1) % hosts)}(100), "
+                     f"{host((i + 7) % hosts)}(300)")
+    # The inbound gateway (shared with region-1) hangs off host 0,
+    # the outbound gateway (shared with region+1) off the last host;
+    # both hosts appear in this map AND the neighbor's, which is what
+    # makes them federation gateways.
+    lines.append(f"gw{region - 1}\t{host(0)}(50)")
+    lines.append(f"{host(0)}\tgw{region - 1}(50)")
+    lines.append(f"gw{region}\t{host(hosts - 1)}(50)")
+    lines.append(f"{host(hosts - 1)}\tgw{region}(50)")
+    return "\n".join(lines) + "\n"
+
+
+def bench_federation(tmp: Path, regions: int, hosts: int,
+                     clients: int, requests: int,
+                     reloads: int) -> dict:
+    """Federated throughput + the single-shard-reload advantage."""
+    from repro.service.federation import FederationService
+    from repro.service.incremental import update_snapshot
+    from repro.service.shard import FederationView, Shard
+
+    paths = {}
+    graphs = {}
+    t0 = time.perf_counter()
+    for r in range(regions):
+        name = f"region{r}"
+        graphs[name] = build(regional_map(r, hosts))
+        paths[name] = str(tmp / f"{name}.snap")
+        build_snapshot(graphs[name], paths[name])
+    all_build_s = time.perf_counter() - t0
+
+    view = FederationView(
+        [Shard.open(name, path) for name, path in paths.items()])
+    gateway_pairs = sum(
+        1 for i, a in enumerate(view.shard_names())
+        for b in view.shard_names()[i + 1:] if view.gateways(a, b))
+
+    # One region's monthly revision: incremental update + the bytes a
+    # RELOAD would swap, vs rebuilding every region.
+    revised = build(regional_map(1, hosts, changed_cost=140))
+    t0 = time.perf_counter()
+    report = update_snapshot(paths["region1"], revised,
+                             tmp / "region1.rev.snap")
+    single_shard_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for r in range(regions):
+        name = f"region{r}"
+        graph = revised if r == 1 else graphs[name]
+        build_snapshot(graph, tmp / f"{name}.rebuild.snap",
+                       heuristics=report.heuristics)
+    all_rebuild_s = time.perf_counter() - t0
+
+    # Cross-region traffic: sources in region 0, destinations spread
+    # over every region (the far ones stitch through every shard).
+    far_dests = [f"r{r}h{(7 * k) % hosts:03d}"
+                 for k in range(requests)
+                 for r in (k % regions,)]
+
+    async def scenario() -> dict:
+        service = FederationService(paths,
+                                    default_source="r0h000")
+        server = await serve(service)
+        port = server.sockets[0].getsockname()[1]
+
+        async def client(i: int) -> int:
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            count = 0
+            for k in range(requests):
+                dest = far_dests[(i + k) % len(far_dests)]
+                w.write(f"ROUTE {dest} u{k}\n".encode())
+                await w.drain()
+                reply = await r.readline()
+                assert reply.startswith(b"OK "), reply
+                count += 1
+            w.write(b"QUIT\n")
+            await w.drain()
+            w.close()
+            return count
+
+        async def reloader() -> None:
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            alt = str(tmp / "region1.rev.snap")
+            for k in range(reloads):
+                target = alt if k % 2 == 0 else paths["region1"]
+                w.write(f"RELOAD region1 {target}\n".encode())
+                await w.drain()
+                reply = await r.readline()
+                assert reply.startswith(b"OK reloaded"), reply
+                await asyncio.sleep(0.01)
+            w.close()
+
+        t0 = time.perf_counter()
+        answered = await asyncio.gather(
+            *(client(i) for i in range(clients)), reloader())
+        elapsed = time.perf_counter() - t0
+        stats = service.stats_line()
+        server.close()
+        await server.wait_closed()
+        total = sum(a for a in answered if a is not None)
+        federated = int(stats.split("federated=")[1].split()[0])
+        return {
+            "regions": regions,
+            "hosts_per_region": hosts,
+            "gateway_pairs": gateway_pairs,
+            "clients": clients,
+            "requests": total,
+            "federated_answers": federated,
+            "shard_reloads_mid_traffic": reloads,
+            "seconds": round(elapsed, 3),
+            "lookups_per_sec": round(total / elapsed, 1),
+            "build_all_shards_sec": round(all_build_s, 3),
+            "single_shard_refresh": {
+                "update_sec": round(single_shard_s, 3),
+                "all_shards_rebuild_sec": round(all_rebuild_s, 3),
+                "speedup_vs_rebuild_all": round(
+                    all_rebuild_s / single_shard_s, 2)
+                if single_shard_s > 0 else None,
+                "update_mode": report.mode,
+            },
+        }
+
+    return asyncio.run(scenario())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="benchmark the route service tier")
@@ -162,6 +304,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=400,
                         help="lookups per client")
     parser.add_argument("--reloads", type=int, default=20)
+    parser.add_argument("--regions", type=int, default=3,
+                        help="federation shards (chained rings)")
+    parser.add_argument("--region-hosts", type=int, default=40,
+                        help="hosts per federated region")
     parser.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
     args = parser.parse_args(argv)
@@ -177,8 +323,14 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         daemon = bench_daemon(tmp, args.clients, args.requests,
                               args.reloads)
+        print("benchmarking federated throughput + single-shard "
+              "reload...", file=sys.stderr)
+        federation = bench_federation(
+            tmp, args.regions, args.region_hosts, args.clients,
+            args.requests, args.reloads)
 
-    section = {"store": store, "daemon": daemon}
+    section = {"store": store, "daemon": daemon,
+               "federation": federation}
     out = Path(args.out)
     document = json.loads(out.read_text()) if out.exists() else {
         "benchmark": "BENCH_routing"}

@@ -16,12 +16,15 @@ the default when the first argument is not one of them)::
     pathalias update old.snap -o new.snap [map ...] diff-driven update
     pathalias lookup routes.snap dest [user]        one-shot query
     pathalias serve routes.snap [--port N]          the lookup daemon
+    pathalias federate NAME=MAP ... -o DIR          per-region snapshots
+    pathalias serve --shard NAME=SNAP ...           the federation daemon
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.config import HeuristicConfig
 from repro.core.pathalias import Pathalias
@@ -117,7 +120,7 @@ def _run_batch(tool: Pathalias, named: list[tuple[str, str]],
 
 #: First arguments that route into the service sub-CLI instead of the
 #: historical flat option set.
-SERVICE_COMMANDS = ("snapshot", "update", "lookup", "serve")
+SERVICE_COMMANDS = ("snapshot", "update", "lookup", "serve", "federate")
 
 
 def build_service_parser(command: str) -> argparse.ArgumentParser:
@@ -187,10 +190,43 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                                "snapshot's first source)")
         return look
 
+    if command == "federate":
+        fed = argparse.ArgumentParser(
+            prog="pathalias federate",
+            description="build one snapshot per regional map and "
+                        "report the gateway picture between them")
+        fed.add_argument("regions", nargs="+", metavar="NAME=MAPFILE",
+                         help="a shard name and its regional map file")
+        fed.add_argument("-o", "--out-dir", required=True,
+                         metavar="DIR",
+                         help="directory for the NAME.snap files")
+        fed.add_argument("-j", "--jobs", type=int, default=1,
+                         metavar="N",
+                         help="worker processes per snapshot (0 = "
+                              "all CPUs)")
+        fed.add_argument("-s", "--second-best", action="store_true",
+                         help="maintain second-best (domain-free) "
+                              "paths")
+        fed.add_argument("--no-back-links", action="store_true",
+                         help="do not invent links to unreachable "
+                              "hosts")
+        fed.add_argument("-i", "--ignore-case", action="store_true",
+                         help="fold host names to lower case")
+        return fed
+
     srv = argparse.ArgumentParser(
         prog="pathalias serve",
-        description="run the route lookup daemon on a snapshot")
-    srv.add_argument("snapshot")
+        description="run the route lookup daemon on a snapshot, or "
+                    "the federation daemon over named shards "
+                    "(--shard)")
+    srv.add_argument("snapshot", nargs="?",
+                     help="snapshot file (single-snapshot mode; omit "
+                          "when using --shard)")
+    srv.add_argument("--shard", action="append", default=[],
+                     metavar="NAME=SNAPSHOT",
+                     help="serve this snapshot as a named federation "
+                          "shard (repeatable; switches to the "
+                          "federation daemon)")
     srv.add_argument("--host", default="127.0.0.1",
                      help="bind address (default 127.0.0.1)")
     srv.add_argument("--port", type=int, default=4176,
@@ -199,6 +235,21 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                      help="default source table (default: the "
                           "snapshot's first source)")
     return srv
+
+
+def _parse_named_pairs(pairs: list[str], form: str) -> dict[str, str]:
+    """Split ``NAME=VALUE`` shard arguments, rejecting malformed or
+    duplicate names."""
+    out: dict[str, str] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name or not value:
+            raise PathaliasError(
+                f"{pair!r} is not of the form {form}")
+        if name in out:
+            raise PathaliasError(f"duplicate shard name {name!r}")
+        out[name] = value
+    return out
 
 
 def _read_named(files: list[str]) -> list[tuple[str, str]] | None:
@@ -305,7 +356,64 @@ def service_main(argv: list[str]) -> int:
                   f"{resolution.address}")
             return 0
 
+        if args.command == "federate":
+            from repro.service.shard import FederationView, Shard
+            from repro.service.store import build_snapshot
+
+            regions = _parse_named_pairs(args.regions, "NAME=MAPFILE")
+            heuristics = HeuristicConfig(
+                second_best=args.second_best,
+                infer_back_links=not args.no_back_links)
+            tool = Pathalias(heuristics=heuristics,
+                             case_fold=args.ignore_case)
+            out_dir = Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            shards = []
+            shard_args = []
+            for name, map_file in regions.items():
+                named = _read_named([map_file])
+                if named is None:
+                    return 2
+                out = out_dir / f"{name}.snap"
+                info = build_snapshot(
+                    tool.build(named), out, heuristics,
+                    jobs=_effective_jobs(args.jobs),
+                    case_fold=args.ignore_case)
+                print(f"pathalias: federate: {name}: "
+                      f"{len(info.sources)} sources -> {info.path} "
+                      f"({info.size} bytes)", file=sys.stderr)
+                shards.append(Shard.open(name, out))
+                shard_args.append(f"--shard {name}={out}")
+            view = FederationView(shards)
+            names = view.shard_names()
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    gates = view.gateways(a, b)
+                    print(f"pathalias: federate: gateways {a}<->{b}: "
+                          f"{', '.join(gates) if gates else '(none)'}",
+                          file=sys.stderr)
+            print(f"pathalias: federate: serve with: pathalias serve "
+                  f"{' '.join(shard_args)}", file=sys.stderr)
+            return 0
+
         if args.command == "serve":
+            if args.shard:
+                from repro.service.federation import (
+                    run_federation_daemon,
+                )
+
+                if args.snapshot is not None:
+                    raise PathaliasError(
+                        "give either a snapshot or --shard pairs, "
+                        "not both")
+                shards = _parse_named_pairs(args.shard,
+                                            "NAME=SNAPSHOT")
+                return run_federation_daemon(
+                    shards, host=args.host, port=args.port,
+                    source=args.source)
+            if args.snapshot is None:
+                raise PathaliasError(
+                    "serve needs a snapshot file or --shard pairs")
             from repro.service.daemon import run_daemon
 
             return run_daemon(args.snapshot, host=args.host,

@@ -116,6 +116,7 @@ class CompactMapResult:
                                           self.domain_seen[s]))
 
     def cost_of(self, name_or_cid: str | int) -> int | None:
+        """Cheapest mapped cost to a node, or None if unreachable."""
         cid = (self.cgraph.find(name_or_cid)
                if isinstance(name_or_cid, str) else name_or_cid)
         if cid is None:
@@ -124,6 +125,7 @@ class CompactMapResult:
         return None if state is None else self.cost[state]
 
     def unreachable_cids(self) -> list[int]:
+        """Compact ids of nodes the mapping never labeled."""
         return [cid for cid in range(self.cgraph.n)
                 if not self.states_of(cid)]
 

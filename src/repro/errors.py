@@ -57,5 +57,16 @@ class RouteError(PathaliasError):
     """Route construction or database lookup failed."""
 
 
+class FederationError(RouteError):
+    """A federated lookup failed at the shard-stitching layer.
+
+    The destination is owned by some shard, but no chain of gateway
+    hosts (hosts sharing a table in two shards) connects the querying
+    source's home shard to it.  Subclasses :class:`RouteError` so
+    callers that treat "no route" generically keep working, while the
+    daemon can report the distinct ``federation`` error code.
+    """
+
+
 class AddressError(PathaliasError):
     """An electronic-mail address could not be parsed."""

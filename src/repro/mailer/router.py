@@ -69,12 +69,34 @@ class MailRouter:
         """A router backed by a running route daemon.
 
         ``source`` names the snapshot table to query (default: this
-        host, which is what a delivery agent normally wants).
+        host, which is what a delivery agent normally wants).  The
+        reply lines of the single-snapshot daemon and the federation
+        daemon are byte-compatible, so this works against either; use
+        :meth:`federated` when the caller also wants the
+        shard-administration verbs on ``router.db``.
         """
         from repro.service.daemon import DaemonRouteDatabase
 
         db = DaemonRouteDatabase(daemon_address,
                                  source=source or host)
+        return cls(host, db, **kwargs)
+
+    @classmethod
+    def federated(cls, host: str, daemon_address: tuple[str, int],
+                  source: str | None = None,
+                  **kwargs) -> "MailRouter":
+        """A router backed by a running *federation* daemon.
+
+        Identical query surface to :meth:`connected` — cross-shard
+        routes arrive already stitched — but ``router.db`` is a
+        :class:`~repro.service.federation.FederatedRouteDatabase`, so
+        operational code can also list, attach, detach, and reload
+        shards over the same connection.
+        """
+        from repro.service.federation import FederatedRouteDatabase
+
+        db = FederatedRouteDatabase(daemon_address,
+                                    source=source or host)
         return cls(host, db, **kwargs)
 
     # -- outbound ------------------------------------------------------------

@@ -14,7 +14,15 @@ separate program, grown into a serving tier:
 * :mod:`repro.service.daemon` — a long-running asyncio lookup server
   (``ROUTE`` / ``RELOAD`` / ``STATS`` over a line protocol) with atomic
   hot-swap of snapshots mid-traffic, plus the synchronous client that
-  lets :class:`repro.mailer.router.MailRouter` route through it.
+  lets :class:`repro.mailer.router.MailRouter` route through it;
+* :mod:`repro.service.shard` / :mod:`repro.service.federation` — many
+  regional snapshots (backbone, universities, ARPA, ...) served as
+  independently reloadable *shards* behind one front end, with
+  cross-shard routes stitched through gateway hosts.
+
+See ``docs/architecture.md`` for the layer map, ``docs/protocol.md``
+for the normative line-protocol reference, and
+``docs/snapshot-format.md`` for the byte-level store layout.
 """
 
 from repro.service.store import (
@@ -27,8 +35,18 @@ from repro.service.store import (
 from repro.service.incremental import UpdateReport, update_snapshot
 from repro.service.daemon import (
     DaemonRouteDatabase,
+    LineService,
     RouteService,
     serve,
+)
+from repro.service.shard import (
+    FederatedResolution,
+    FederationView,
+    Shard,
+)
+from repro.service.federation import (
+    FederatedRouteDatabase,
+    FederationService,
 )
 
 __all__ = [
@@ -40,6 +58,12 @@ __all__ = [
     "UpdateReport",
     "update_snapshot",
     "DaemonRouteDatabase",
+    "LineService",
     "RouteService",
     "serve",
+    "Shard",
+    "FederationView",
+    "FederatedResolution",
+    "FederatedRouteDatabase",
+    "FederationService",
 ]

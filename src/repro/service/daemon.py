@@ -45,7 +45,61 @@ from repro.mailer.routedb import Resolution
 from repro.service.store import SnapshotError, SnapshotReader
 
 
-class RouteService:
+class LineService:
+    """The shared newline-delimited connection loop.
+
+    Subclasses implement :meth:`handle_line` (one request line in, one
+    reply line out) and :meth:`initial_state` (per-connection mutable
+    state, e.g. the chosen source table).  Both the single-snapshot
+    :class:`RouteService` and the federated
+    :class:`~repro.service.federation.FederationService` serve through
+    this loop, so :func:`serve` works for either.
+    """
+
+    def __init__(self) -> None:
+        self.connections = 0
+
+    def initial_state(self) -> dict:
+        """Fresh per-connection state for :meth:`handle_line`."""
+        return {}
+
+    async def handle_line(self, line: str, state: dict) -> str | None:
+        """One request in, one reply line out (None closes)."""
+        raise NotImplementedError
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """Serve one client connection until QUIT or disconnect."""
+        self.connections += 1
+        state = self.initial_state()
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                try:
+                    line = raw.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    writer.write(b"ERR encoding expected UTF-8\n")
+                    await writer.drain()
+                    continue
+                reply = await self.handle_line(line, state)
+                if reply is None:
+                    writer.write(b"OK bye\n")
+                    await writer.drain()
+                    break
+                writer.write(reply.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # close() alone: awaiting wait_closed() here would raise
+            # CancelledError noise when the loop tears down while a
+            # handler drains, and the transport closes regardless.
+            writer.close()
+
+
+class RouteService(LineService):
     """Daemon state: the current snapshot reader plus counters.
 
     Swapping snapshots is a single attribute assignment of an immutable
@@ -54,9 +108,15 @@ class RouteService:
     whole lifetime.
     """
 
+    #: The verbs this daemon's line protocol implements, in the order
+    #: ``docs/protocol.md`` documents them (the CI docs job checks the
+    #: page against this table).
+    VERBS = ("ROUTE", "EXACT", "SOURCE", "RELOAD", "STATS", "QUIT")
+
     def __init__(self, snapshot_path: str | None = None,
                  reader: SnapshotReader | None = None,
                  default_source: str | None = None):
+        super().__init__()
         if reader is None:
             if snapshot_path is None:
                 raise SnapshotError("RouteService needs a snapshot "
@@ -79,7 +139,6 @@ class RouteService:
         self.hits = 0
         self.misses = 0
         self.reloads = 0
-        self.connections = 0
         self._reload_lock = asyncio.Lock()
 
     # -- operations -----------------------------------------------------------
@@ -106,6 +165,7 @@ class RouteService:
         return cost, resolution
 
     def exact(self, source: str, target: str) -> tuple[int, str]:
+        """Exact-name lookup in ``source``'s table: ``(cost, route)``."""
         reader = self.reader
         self.lookups += 1
         try:
@@ -139,6 +199,7 @@ class RouteService:
             return reader
 
     def stats_line(self) -> str:
+        """The one-line ``key=value`` counters the STATS verb returns."""
         reader = self.reader
         uptime = time.monotonic() - self.started
         return (f"lookups={self.lookups} hits={self.hits} "
@@ -210,38 +271,12 @@ class RouteService:
             return None
         return f"ERR unknown-command {command}"
 
-    async def handle_connection(self, reader: asyncio.StreamReader,
-                                writer: asyncio.StreamWriter) -> None:
-        self.connections += 1
-        state = {"source": self.default_source}
-        try:
-            while True:
-                raw = await reader.readline()
-                if not raw:
-                    break
-                try:
-                    line = raw.decode("utf-8").strip()
-                except UnicodeDecodeError:
-                    writer.write(b"ERR encoding expected UTF-8\n")
-                    await writer.drain()
-                    continue
-                reply = await self.handle_line(line, state)
-                if reply is None:
-                    writer.write(b"OK bye\n")
-                    await writer.drain()
-                    break
-                writer.write(reply.encode("utf-8") + b"\n")
-                await writer.drain()
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
-        finally:
-            # close() alone: awaiting wait_closed() here would raise
-            # CancelledError noise when the loop tears down while a
-            # handler drains, and the transport closes regardless.
-            writer.close()
+    def initial_state(self) -> dict:
+        """Each connection starts on the default source table."""
+        return {"source": self.default_source}
 
 
-async def serve(service: RouteService, host: str = "127.0.0.1",
+async def serve(service: LineService, host: str = "127.0.0.1",
                 port: int = 0) -> asyncio.AbstractServer:
     """Start serving; ``port=0`` picks a free port (see
     ``server.sockets[0].getsockname()``)."""
@@ -325,6 +360,7 @@ class DaemonRouteDatabase:
             return self._send(line)
 
     def close(self) -> None:
+        """Close the daemon connection (reopened lazily on next use)."""
         if self._file is not None:
             try:
                 self._file.close()
@@ -366,20 +402,30 @@ class DaemonRouteDatabase:
     def __contains__(self, name: str) -> bool:
         return self.route(name) is not None
 
-    def resolve(self, target: str, user: str) -> Resolution:
-        """Resolve mail for ``user`` at ``target`` via the daemon's
-        domain-suffix search."""
+    def resolve_with_cost(self, target: str,
+                          user: str = "%s") -> tuple[int, Resolution]:
+        """Like :meth:`resolve`, also returning the daemon's mapped
+        cost for the route (the first OK field)."""
         reply = self._request(
             f"ROUTE {self._token(target, 'host')} "
             f"{self._token(user, 'user')}")
         if reply.startswith("ERR noroute"):
             raise RouteError(f"no route to {target!r}")
+        if reply.startswith("ERR federation"):
+            from repro.errors import FederationError
+
+            raise FederationError(reply[len("ERR federation "):])
         parts = reply.split()
         if len(parts) != 5 or parts[0] != "OK":
             raise RouteError(f"daemon protocol error: {reply!r}")
-        _, _, matched, route, address = parts
-        return Resolution(target=target, matched=matched, route=route,
-                          address=address)
+        _, cost, matched, route, address = parts
+        return int(cost), Resolution(target=target, matched=matched,
+                                     route=route, address=address)
+
+    def resolve(self, target: str, user: str) -> Resolution:
+        """Resolve mail for ``user`` at ``target`` via the daemon's
+        domain-suffix search."""
+        return self.resolve_with_cost(target, user)[1]
 
     def resolve_bang(self, bang_address: str) -> Resolution:
         """Resolve ``host!rest`` forms, like RouteDatabase."""
@@ -391,6 +437,7 @@ class DaemonRouteDatabase:
         return self.resolve(target, user)
 
     def stats(self) -> dict[str, str]:
+        """The daemon's STATS counters as a string-valued dict."""
         reply = self._request("STATS")
         if not reply.startswith("OK "):
             raise RouteError(f"daemon protocol error: {reply!r}")

@@ -1,0 +1,373 @@
+"""The federation daemon: N regional snapshot shards behind one port.
+
+The single-snapshot daemon (:mod:`repro.service.daemon`) serves one
+map; real deployments stitched many regional maps — backbone,
+universities, ARPA — into one routing picture.  This front end owns a
+:class:`~repro.service.shard.FederationView` over named
+:class:`~repro.service.shard.Shard` objects and speaks the same line
+protocol, extended with shard administration:
+
+========================  ===================================================
+``ROUTE <dest> [user]``   federated domain-suffix search from the
+                          connection's source; replies ``OK <cost>
+                          <matched> <route> <address>``, byte-compatible
+                          with the single-snapshot daemon — the route
+                          may be stitched across shards through
+                          gateway hosts.
+``EXACT <dest>``          exact-name federated lookup; ``OK <cost>
+                          <dest> <route>``.
+``SOURCE <host>``         switch this connection's source (the host's
+                          home shard is found automatically).
+``SHARDS``                list attached shards: ``OK <n>
+                          <name>=<sources>:<path>`` ...
+``ATTACH <name> <snap>``  add a shard (or replace one, by name).
+``DETACH <name>``         remove a shard.
+``RELOAD <name> <snap>``  hot-swap one shard's snapshot; the other
+                          shards keep serving, and in-flight federated
+                          lookups keep the view they started with.
+``STATS``                 one ``key=value`` line of counters.
+``QUIT``                  close the connection.
+========================  ===================================================
+
+Every mutation builds a *new* immutable view and swaps it in with one
+attribute assignment — the same no-dropped-requests discipline the
+single daemon's RELOAD has, now per shard.  A federated route failure
+(owner shard known but no gateway chain reaches it) reports the
+distinct ``federation`` error code so callers can tell a topology gap
+from a plain miss.
+
+:class:`FederatedRouteDatabase` extends the synchronous
+:class:`~repro.service.daemon.DaemonRouteDatabase` client with the
+shard-administration verbs; the query surface is unchanged, so a
+:class:`~repro.mailer.router.MailRouter` plugs into a federation
+daemon exactly as it plugs into a single-snapshot one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+from repro.errors import FederationError, RouteError
+from repro.mailer.routedb import Resolution
+from repro.service.daemon import DaemonRouteDatabase, LineService, serve
+from repro.service.shard import FederationView, Shard
+from repro.service.store import SnapshotError, SnapshotReader
+
+
+class FederationService(LineService):
+    """Daemon state: the current federation view plus counters.
+
+    The view is immutable; ATTACH/DETACH/RELOAD build a new one under
+    a lock and swap it in, so concurrent lookups pin a consistent
+    picture with a single attribute read.
+    """
+
+    #: The verbs this daemon's line protocol implements (the CI docs
+    #: job checks ``docs/protocol.md`` against this table).
+    VERBS = ("ROUTE", "EXACT", "SOURCE", "SHARDS", "ATTACH", "DETACH",
+             "RELOAD", "STATS", "QUIT")
+
+    def __init__(self, shards, default_source: str | None = None):
+        """``shards`` maps shard names to snapshot paths (or is an
+        iterable of :class:`Shard` objects, for in-process use)."""
+        super().__init__()
+        if isinstance(shards, dict):
+            shards = [Shard.open(name, path)
+                      for name, path in sorted(shards.items())]
+        else:
+            shards = list(shards)
+        if not shards:
+            raise SnapshotError(
+                "FederationService needs at least one shard")
+        self.view = FederationView(shards)
+        if default_source is None:
+            first = next(iter(self.view.shards.values()))
+            sources = first.sources()
+            if not sources:
+                raise SnapshotError(
+                    f"{first.path}: snapshot has no source tables")
+            default_source = sources[0]
+        elif self.view.home_shard(default_source) is None:
+            raise SnapshotError(
+                f"no shard holds a table for source "
+                f"{default_source!r}")
+        self.default_source = default_source
+        self.started = time.monotonic()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.federated = 0
+        self.reloads = 0
+        self.attaches = 0
+        self.detaches = 0
+        self._swap_lock = asyncio.Lock()
+
+    # -- operations -----------------------------------------------------------
+
+    def lookup(self, source: str, target: str,
+               user: str | None = None) -> tuple[int, Resolution]:
+        """Federated suffix-search from ``source``: ``(cost, resolution)``.
+
+        Raises :class:`FederationError` when the owner shard is
+        unreachable through gateways, :class:`RouteError` on a plain
+        miss, and :class:`SnapshotError` when no shard owns ``source``
+        (it may have vanished in a DETACH or RELOAD).
+        """
+        view = self.view  # pin one federation picture for this request
+        self.lookups += 1
+        if view.home_shard(source) is None:
+            self.misses += 1
+            raise SnapshotError(f"no shard owns source {source!r}")
+        try:
+            fed = view.resolve_with_cost(
+                source, target, "%s" if user is None else user)
+        except RouteError:  # includes FederationError
+            self.misses += 1
+            raise
+        self.hits += 1
+        if fed.federated:
+            self.federated += 1
+        return fed.cost, fed.resolution
+
+    def exact(self, source: str, target: str) -> tuple[int, str]:
+        """Exact-name federated lookup: ``(cost, route template)``."""
+        view = self.view
+        self.lookups += 1
+        if view.home_shard(source) is None:
+            self.misses += 1
+            raise SnapshotError(f"no shard owns source {source!r}")
+        try:
+            fed = view.exact(source, target)
+        except RouteError:
+            self.misses += 1
+            raise
+        self.hits += 1
+        if fed.federated:
+            self.federated += 1
+        return fed.cost, fed.resolution.route
+
+    async def attach(self, name: str, snapshot_path: str) -> Shard:
+        """Open a snapshot off-loop and attach (or replace) a shard."""
+        async with self._swap_lock:
+            reader = await asyncio.to_thread(SnapshotReader.open,
+                                             snapshot_path)
+            shard = Shard(name, reader)
+            self.view = self.view.with_shard(shard)
+            self.attaches += 1
+            return shard
+
+    async def detach(self, name: str) -> None:
+        """Remove a shard; the remaining shards keep serving."""
+        async with self._swap_lock:
+            self.view = self.view.without_shard(name)
+            self.detaches += 1
+
+    async def reload_shard(self, name: str,
+                           snapshot_path: str) -> Shard:
+        """Hot-swap one shard's snapshot, leaving the others serving.
+
+        The shard must already be attached (ATTACH adds new ones).  A
+        failed open leaves the current view intact; in-flight lookups
+        keep the view — and therefore every shard generation — they
+        started with.
+        """
+        async with self._swap_lock:
+            if name not in self.view.shards:
+                raise FederationError(f"no shard named {name!r}")
+            reader = await asyncio.to_thread(SnapshotReader.open,
+                                             snapshot_path)
+            shard = Shard(name, reader)
+            self.view = self.view.with_shard(shard)
+            self.reloads += 1
+            return shard
+
+    def stats_line(self) -> str:
+        """The one-line ``key=value`` counters the STATS verb returns."""
+        view = self.view
+        uptime = time.monotonic() - self.started
+        tables = sum(s.source_count for s in view.shards.values())
+        return (f"lookups={self.lookups} hits={self.hits} "
+                f"misses={self.misses} federated={self.federated} "
+                f"reloads={self.reloads} attaches={self.attaches} "
+                f"detaches={self.detaches} "
+                f"connections={self.connections} "
+                f"shards={len(view.shards)} tables={tables} "
+                f"uptime_sec={uptime:.1f} "
+                f"source={self.default_source} "
+                f"shard_names={','.join(view.shard_names())}")
+
+    def shards_line(self) -> str:
+        """The SHARDS reply: ``<n> <name>=<sources>:<path>`` sorted."""
+        view = self.view
+        parts = [f"{name}={shard.source_count}:{shard.path}"
+                 for name, shard in view.shards.items()]
+        return " ".join([str(len(parts))] + parts)
+
+    # -- protocol -------------------------------------------------------------
+
+    async def handle_line(self, line: str, state: dict) -> str | None:
+        """One request in, one reply line out (None closes)."""
+        parts = line.split(None, 1)
+        if not parts:
+            return "ERR empty-request send ROUTE/EXACT/SOURCE/SHARDS/" \
+                   "ATTACH/DETACH/RELOAD/STATS/QUIT"
+        command = parts[0].upper()
+        rest = parts[1] if len(parts) > 1 else ""
+        if command == "ROUTE":
+            args = rest.split()
+            if not args or len(args) > 2:
+                return "ERR usage ROUTE <dest> [user]"
+            try:
+                cost, res = self.lookup(
+                    state["source"], args[0],
+                    args[1] if len(args) == 2 else None)
+            except FederationError as exc:
+                return f"ERR federation {exc}"
+            except RouteError:
+                return f"ERR noroute {args[0]}"
+            except SnapshotError:
+                return f"ERR unknown-source {state['source']}"
+            return (f"OK {cost} {res.matched} {res.route} "
+                    f"{res.address}")
+        if command == "EXACT":
+            args = rest.split()
+            if len(args) != 1:
+                return "ERR usage EXACT <dest>"
+            try:
+                cost, route = self.exact(state["source"], args[0])
+            except FederationError as exc:
+                return f"ERR federation {exc}"
+            except RouteError:
+                return f"ERR noroute {args[0]}"
+            except SnapshotError:
+                return f"ERR unknown-source {state['source']}"
+            return f"OK {cost} {args[0]} {route}"
+        if command == "SOURCE":
+            args = rest.split()
+            if len(args) != 1:
+                return "ERR usage SOURCE <host>"
+            home = self.view.home_shard(args[0])
+            if home is None:
+                return f"ERR unknown-source {args[0]}"
+            state["source"] = args[0]
+            return f"OK source {args[0]} {home.name}"
+        if command == "SHARDS":
+            return f"OK {self.shards_line()}"
+        if command == "ATTACH":
+            args = rest.split()
+            if len(args) != 2:
+                return "ERR usage ATTACH <name> <snapshot>"
+            try:
+                shard = await self.attach(args[0], args[1])
+            except (SnapshotError, FederationError) as exc:
+                return f"ERR attach {exc}"
+            return (f"OK attached {shard.name} {shard.source_count} "
+                    f"{shard.path}")
+        if command == "DETACH":
+            args = rest.split()
+            if len(args) != 1:
+                return "ERR usage DETACH <name>"
+            try:
+                await self.detach(args[0])
+            except FederationError:
+                return f"ERR unknown-shard {args[0]}"
+            return f"OK detached {args[0]}"
+        if command == "RELOAD":
+            args = rest.split()
+            if len(args) != 2:
+                return "ERR usage RELOAD <shard> <snapshot>"
+            try:
+                shard = await self.reload_shard(args[0], args[1])
+            except FederationError:
+                return f"ERR unknown-shard {args[0]}"
+            except SnapshotError as exc:
+                return f"ERR reload {exc}"
+            return (f"OK reloaded {shard.name} {shard.source_count} "
+                    f"{shard.path}")
+        if command == "STATS":
+            return f"OK {self.stats_line()}"
+        if command == "QUIT":
+            return None
+        return f"ERR unknown-command {command}"
+
+    def initial_state(self) -> dict:
+        """Each connection starts on the default source."""
+        return {"source": self.default_source}
+
+
+def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
+                          port: int = 4176,
+                          source: str | None = None) -> int:
+    """Blocking entry point for ``pathalias serve --shard ...``."""
+
+    async def main() -> None:
+        service = FederationService(shards, default_source=source)
+        server = await serve(service, host, port)
+        bound = server.sockets[0].getsockname()
+        names = ",".join(service.view.shard_names())
+        print(f"pathalias: serve: federating {len(service.view.shards)}"
+              f" shard(s) [{names}]; listening on "
+              f"{bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("pathalias: serve: interrupted", file=sys.stderr)
+    return 0
+
+
+class FederatedRouteDatabase(DaemonRouteDatabase):
+    """A live federation daemon with the ``RouteDatabase`` surface.
+
+    Query methods (``route`` / ``resolve`` / ``resolve_bang`` /
+    ``stats``) are inherited unchanged — the federated daemon's reply
+    lines are byte-compatible — so a
+    :class:`~repro.mailer.router.MailRouter` needs no changes.  The
+    additions are the shard-administration verbs.
+    """
+
+    def shards(self) -> dict[str, tuple[int, str]]:
+        """Attached shards as ``{name: (source_count, snapshot_path)}``."""
+        reply = self._request("SHARDS")
+        parts = reply.split()
+        if len(parts) < 2 or parts[0] != "OK":
+            raise RouteError(f"daemon protocol error: {reply!r}")
+        out: dict[str, tuple[int, str]] = {}
+        for token in parts[2:]:
+            name, eq, rest = token.partition("=")
+            count, colon, path = rest.partition(":")
+            if not eq or not colon or not count.isdigit():
+                # e.g. a snapshot path containing whitespace cannot
+                # ride the space-delimited reply; fail the documented
+                # way rather than with a bare ValueError.
+                raise RouteError(f"daemon protocol error: {reply!r}")
+            out[name] = (int(count), path)
+        return out
+
+    def attach(self, name: str, snapshot_path: str) -> int:
+        """Attach (or replace) a shard; returns its source count."""
+        reply = self._request(
+            f"ATTACH {self._token(name, 'shard')} {snapshot_path}")
+        parts = reply.split()
+        if len(parts) < 4 or parts[:2] != ["OK", "attached"]:
+            raise RouteError(f"daemon refused attach: {reply}")
+        return int(parts[3])
+
+    def detach(self, name: str) -> None:
+        """Detach the named shard."""
+        reply = self._request(f"DETACH {self._token(name, 'shard')}")
+        if not reply.startswith("OK detached"):
+            raise RouteError(f"daemon refused detach: {reply}")
+
+    def reload_shard(self, name: str, snapshot_path: str) -> int:
+        """Hot-swap one shard's snapshot; returns its source count."""
+        reply = self._request(
+            f"RELOAD {self._token(name, 'shard')} {snapshot_path}")
+        parts = reply.split()
+        if len(parts) < 4 or parts[:2] != ["OK", "reloaded"]:
+            raise RouteError(f"daemon refused reload: {reply}")
+        return int(parts[3])

@@ -72,6 +72,7 @@ class UpdateReport:
     heuristics: HeuristicConfig | None = None
 
     def summary(self) -> str:
+        """One human-readable line: mode, reason, remap/reuse counts."""
         base = (f"{self.mode} update ({self.reason}): "
                 f"{len(self.remapped)}/{self.total_sources} sources "
                 f"remapped, {self.reused} reused")

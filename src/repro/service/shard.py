@@ -1,0 +1,365 @@
+"""Shards and the federation view: many regional maps, one route space.
+
+The paper computes one site's view of one network map, but real UUCP
+deployments stitched many regional maps — backbone, universities,
+ARPA — into a single routing picture.  A *shard* is one regional
+snapshot under a stable name; a :class:`FederationView` is an
+immutable picture over a set of shards that answers the federated
+query:
+
+1. **Ownership.**  Each shard contributes its sorted source/domain
+   index (:meth:`repro.service.store.SnapshotReader.routing_index`) to
+   a merged map from name to owning shards.  A query for
+   ``caip.rutgers.edu`` walks the paper's domain-suffix sequence
+   (exact name, then ``.rutgers.edu``, then ``.edu``) over the merged
+   index; the first — i.e. longest — matching key names the owner
+   shard(s).
+
+2. **Gateways.**  A *gateway* is a host that appears in two maps and
+   therefore has a route table in both shards (``allegra`` in the
+   backbone and the universities map, say).  Crossing from shard A
+   into shard B at gateway G costs A's route to G and re-roots the
+   rest of the address at B's view of G.
+
+3. **Stitching.**  Route templates are the paper's ``host!%s`` format
+   strings with exactly one ``%s``, so concatenation is substitution:
+   if A routes the source to G via ``allegra!%s`` and B routes G to
+   the destination via ``rutgers-ru!topaz!%s``, the stitched template
+   is ``allegra!rutgers-ru!topaz!%s`` — replace the ``%s`` of the
+   outer template with the inner template, repeatedly, leaving one
+   ``%s`` for the user.  Costs add.
+
+Shard-to-shard transit runs Dijkstra over ``(shard, entry host)``
+states, so a destination owned by a shard two gateway hops away is
+still stitched (universities -> backbone -> ARPA).  Ties break
+deterministically on (cost, gateway crossings, shard name, crossing
+path): a cheapest route is the same route on every run.  Cross-shard
+costs are the sum of the per-shard mapped costs; inter-shard penalty
+interactions (a domain seen in shard A raising relay costs in shard B)
+are deliberately not modeled — each shard prices its own region, which
+is exactly the independence that lets shards reload separately.
+
+Everything here is immutable after construction: swapping one shard
+builds a new :class:`FederationView` (cheap — readers are shared), so
+a daemon hot-swaps views by plain attribute assignment while in-flight
+lookups keep the view they started with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from pathlib import Path
+
+from repro.errors import FederationError, RouteError
+from repro.mailer.routedb import Resolution, domain_suffixes
+from repro.service.store import SnapshotReader
+
+
+class Shard:
+    """One regional snapshot under a stable name.
+
+    A thin, immutable wrapper over a
+    :class:`~repro.service.store.SnapshotReader`: reloading a shard
+    means building a new ``Shard`` around a new reader and swapping it
+    into a new :class:`FederationView` — never mutating this one.
+    """
+
+    def __init__(self, name: str, reader: SnapshotReader):
+        self.name = name
+        self.reader = reader
+        self._sources = reader.sources()
+        self._source_set = frozenset(self._sources)
+        self._domains = reader.domain_names()
+
+    @classmethod
+    def open(cls, name: str, path: str | Path) -> "Shard":
+        """Open the snapshot at ``path`` as the shard called ``name``."""
+        return cls(name, SnapshotReader.open(path))
+
+    def sources(self) -> list[str]:
+        """Hosts with route tables in this shard, in sorted order."""
+        return list(self._sources)
+
+    @property
+    def source_set(self) -> frozenset:
+        """The table-owning hosts as a set (gateway intersection)."""
+        return self._source_set
+
+    def domains(self) -> list[str]:
+        """Sorted public domain names this shard's map declares."""
+        return list(self._domains)
+
+    @property
+    def source_count(self) -> int:
+        """Number of route tables in this shard."""
+        return self.reader.source_count
+
+    @property
+    def path(self) -> Path:
+        """The snapshot file this shard serves."""
+        return self.reader.path
+
+    def has_source(self, source: str) -> bool:
+        """Whether this shard holds a table for ``source``."""
+        return source in self._source_set
+
+    def table(self, source: str):
+        """The decoded route table for ``source`` (see the reader)."""
+        return self.reader.table(source)
+
+    def __repr__(self) -> str:
+        return (f"Shard({self.name!r}, {self.source_count} sources, "
+                f"{str(self.path)!r})")
+
+
+@dataclass(frozen=True)
+class FederatedResolution:
+    """A federated lookup's answer plus how it was stitched.
+
+    ``via`` records the gateway crossings in order as ``(gateway host,
+    shard entered)`` pairs — empty for a purely local answer.
+    """
+
+    cost: int
+    resolution: Resolution
+    shard: str                           # shard that answered the final lookup
+    via: tuple = ()
+
+    @property
+    def federated(self) -> bool:
+        """Whether the route crossed at least one shard boundary."""
+        return bool(self.via)
+
+
+class FederationView:
+    """An immutable ownership/gateway picture over a set of shards.
+
+    Built once from the current shards; every query pins one view, so
+    attaching, detaching, or reloading a shard (which builds a *new*
+    view) can never mix two snapshot generations inside one request.
+    """
+
+    def __init__(self, shards):
+        ordered = sorted(shards, key=lambda s: s.name)
+        self.shards: dict[str, Shard] = {}
+        for shard in ordered:
+            if shard.name in self.shards:
+                raise FederationError(
+                    f"duplicate shard name {shard.name!r}")
+            self.shards[shard.name] = shard
+        owners: dict[str, set] = {}
+        for shard in ordered:
+            for name, _is_domain in shard.reader.routing_index():
+                owners.setdefault(name, set()).add(shard.name)
+        self._owners = {name: tuple(sorted(names))
+                        for name, names in owners.items()}
+        self._gateways: dict[tuple[str, str], tuple] = {}
+        names = list(self.shards)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                shared = tuple(sorted(
+                    self.shards[a].source_set
+                    & self.shards[b].source_set))
+                self._gateways[(a, b)] = shared
+                self._gateways[(b, a)] = shared
+
+    # -- structure ------------------------------------------------------------
+
+    def shard_names(self) -> list[str]:
+        """Attached shard names, sorted."""
+        return list(self.shards)
+
+    def gateways(self, a: str, b: str) -> tuple:
+        """Hosts with route tables in both shard ``a`` and shard ``b``."""
+        return self._gateways.get((a, b), ())
+
+    def owners_of(self, target: str) -> tuple[str, tuple]:
+        """``(matched key, owning shard names)`` for a destination.
+
+        Walks the domain-suffix sequence over the merged source/domain
+        index; the first (longest) key present wins.  Returns
+        ``("", ())`` when no suffix is known to any shard.
+        """
+        for key in domain_suffixes(target):
+            names = self._owners.get(key)
+            if names:
+                return key, names
+        return "", ()
+
+    def home_shard(self, source: str) -> Shard | None:
+        """The shard serving ``source``'s table.
+
+        A gateway host has a table in several shards; the
+        lexicographically first shard name wins, deterministically.
+        """
+        names = self._owners.get(source)
+        if not names:
+            return None
+        for name in names:
+            if self.shards[name].has_source(source):
+                return self.shards[name]
+        return None
+
+    def sources(self) -> list[str]:
+        """The union of every shard's table-owning hosts, sorted."""
+        out = set()
+        for shard in self.shards.values():
+            out.update(shard.source_set)
+        return sorted(out)
+
+    def with_shard(self, shard: Shard) -> "FederationView":
+        """A new view with ``shard`` added (or replaced, by name)."""
+        kept = [s for name, s in self.shards.items()
+                if name != shard.name]
+        return FederationView(kept + [shard])
+
+    def without_shard(self, name: str) -> "FederationView":
+        """A new view with the shard called ``name`` removed."""
+        if name not in self.shards:
+            raise FederationError(f"no shard named {name!r}")
+        return FederationView(
+            [s for sname, s in self.shards.items() if sname != name])
+
+    # -- the federated query ---------------------------------------------------
+
+    def _stitch(self, source: str, target: str, owners, resolver):
+        """Dijkstra over ``(shard, entry host)`` states.
+
+        ``resolver(shard, entry)`` returns ``(cost, template, matched)``
+        for the final in-shard lookup, or None on a miss.  Returns the
+        winning ``(cost, template, matched, shard name, via)`` with
+        deterministic tie-breaks; raises :class:`FederationError` when
+        no gateway chain reaches any owner, :class:`RouteError` when
+        owners were reached but none resolved the target.
+        """
+        home = self.home_shard(source)
+        if home is None:
+            raise RouteError(f"source {source!r} is in no shard")
+        owner_set = set(owners)
+        candidates = []
+        best_cost = None
+        reached_owner = False
+        # heap entries: (cost, crossings, shard, entry, template, via)
+        heap = [(0, 0, home.name, source, "%s", ())]
+        done = set()
+        while heap:
+            cost, hops, sname, entry, template, via = heappop(heap)
+            if best_cost is not None and cost > best_cost:
+                # Costs are non-negative, so no state past this point
+                # can yield a candidate that beats — or ties — the
+                # best one found; equal-cost states (cost == best)
+                # still get explored, preserving the tie-breaks.
+                break
+            if (sname, entry) in done:
+                continue
+            done.add((sname, entry))
+            shard = self.shards[sname]
+            if sname in owner_set:
+                reached_owner = True
+                hit = resolver(shard, entry)
+                if hit is not None:
+                    in_cost, in_template, matched = hit
+                    candidates.append((
+                        cost + in_cost, hops, sname, via,
+                        template.replace("%s", in_template, 1),
+                        matched))
+                    if best_cost is None \
+                            or cost + in_cost < best_cost:
+                        best_cost = cost + in_cost
+            table = shard.table(entry)
+            for other in self.shards:
+                if other == sname:
+                    continue
+                for gate in self._gateways[(sname, other)]:
+                    if (other, gate) in done:
+                        continue
+                    gate_hit = table.lookup(gate)
+                    if gate_hit is None:
+                        continue  # gateway unreachable inside this shard
+                    gate_cost, gate_route = gate_hit
+                    heappush(heap, (
+                        cost + gate_cost, hops + 1, other, gate,
+                        template.replace("%s", gate_route, 1),
+                        via + ((gate, other),)))
+        if candidates:
+            return min(candidates)
+        if not reached_owner:
+            raise FederationError(
+                f"{target!r} is owned by shard(s) "
+                f"{'/'.join(owners)}, but no gateway chain connects "
+                f"them to {source!r}'s home shard {home.name!r}")
+        raise RouteError(f"no route to {target!r}")
+
+    def resolve_with_cost(self, source: str, target: str,
+                          user: str = "%s") -> FederatedResolution:
+        """The federated domain-suffix lookup.
+
+        Finds the owner shard(s) of ``target`` by longest
+        domain-suffix match over the merged index, stitches a route
+        from ``source``'s home shard through gateway hosts, and
+        instantiates it for ``user`` — ``%s`` keeps the relative
+        template.  The cheapest stitched route wins; ties break toward
+        fewer shard crossings, then shard and gateway names.
+        """
+        _, owners = self.owners_of(target)
+        if not owners:
+            raise RouteError(f"no route to {target!r}")
+
+        def resolver(shard, entry):
+            try:
+                cost, res = shard.table(entry).resolve_with_cost(
+                    target, "%s")
+            except RouteError:
+                return None
+            # res.address is the route relative to the entry host with
+            # the domain-gateway rewriting already applied and a single
+            # %s left for the user — exactly the template to stitch.
+            return cost, res.address, res.matched
+
+        cost, _, sname, via, template, matched = self._stitch(
+            source, target, owners, resolver)
+        return FederatedResolution(
+            cost=cost,
+            resolution=Resolution(
+                target=target, matched=matched, route=template,
+                address=template.replace("%s", user, 1)),
+            shard=sname, via=via)
+
+    def resolve(self, source: str, target: str,
+                user: str = "%s") -> Resolution:
+        """Federated lookup returning just the :class:`Resolution`."""
+        return self.resolve_with_cost(source, target, user).resolution
+
+    def exact(self, source: str, target: str) -> FederatedResolution:
+        """Exact-name federated lookup (no domain-suffix walk).
+
+        The merged index is consulted for ``target`` verbatim, and the
+        owner-shard lookup is the plain binary search — mirroring the
+        single-snapshot daemon's ``EXACT``.
+        """
+        owners = self._owners.get(target, ())
+        if not owners:
+            raise RouteError(f"no route to {target!r}")
+
+        def resolver(shard, entry):
+            hit = shard.table(entry).lookup(target)
+            if hit is None:
+                return None
+            cost, route = hit
+            return cost, route, target
+
+        cost, _, sname, via, template, matched = self._stitch(
+            source, target, owners, resolver)
+        return FederatedResolution(
+            cost=cost,
+            resolution=Resolution(
+                target=target, matched=matched, route=template,
+                address=template),
+            shard=sname, via=via)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{shard.source_count}"
+            for name, shard in self.shards.items())
+        return f"FederationView({parts})"

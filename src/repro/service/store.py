@@ -98,6 +98,7 @@ class _StringPool:
         self._seen: dict[str, tuple[int, int]] = {}
 
     def add(self, text: str) -> tuple[int, int]:
+        """Intern ``text``; returns its stable ``(offset, length)``."""
         ref = self._seen.get(text)
         if ref is None:
             raw = text.encode("utf-8")
@@ -107,6 +108,7 @@ class _StringPool:
         return ref
 
     def getvalue(self) -> bytes:
+        """The accumulated blob bytes."""
         return bytes(self._blob)
 
 
@@ -185,6 +187,7 @@ def decode_graph_section(data: bytes) -> CompactGraph:
 
 
 def encode_meta_section(cfg: HeuristicConfig) -> bytes:
+    """Pack the heuristic configuration the tables were mapped with."""
     return _META.pack(cfg.mixed_penalty, cfg.gateway_penalty,
                       cfg.domain_relay_penalty,
                       cfg.subdomain_up_penalty, cfg.back_link_factor,
@@ -193,6 +196,7 @@ def encode_meta_section(cfg: HeuristicConfig) -> bytes:
 
 
 def decode_meta_section(data: bytes) -> HeuristicConfig:
+    """Unpack a meta section back into a :class:`HeuristicConfig`."""
     try:
         (mixed, gateway, relay, subup, factor,
          infer, second) = _META.unpack_from(data, 0)
@@ -297,10 +301,12 @@ class SnapshotTable:
         return None
 
     def route(self, name: str) -> str | None:
+        """The route template for an exact name, or None."""
         hit = self.lookup(name)
         return None if hit is None else hit[1]
 
     def cost(self, name: str) -> int | None:
+        """The mapped cost for an exact name, or None."""
         hit = self.lookup(name)
         return None if hit is None else hit[0]
 
@@ -314,6 +320,7 @@ class SnapshotTable:
             yield cost, self._text(noff, nlen), self._text(roff, rlen)
 
     def unreachable(self) -> list[str]:
+        """Host names this source could not reach."""
         out = []
         for i in range(self._uc):
             off, length = _REF.unpack_from(
@@ -351,6 +358,8 @@ class SnapshotTable:
         raise RouteError(f"no route to {target!r}")
 
     def resolve(self, target: str, user: str = "%s") -> Resolution:
+        """Domain-suffix search without the cost (see
+        :meth:`resolve_with_cost`)."""
         return self.resolve_with_cost(target, user)[1]
 
     def database(self):
@@ -417,9 +426,11 @@ class SnapshotReader:
         self._parse_index()
         self._tables: dict[str, SnapshotTable] = {}
         self._graph: CompactGraph | None = None
+        self._domains: list[str] | None = None
 
     @classmethod
     def open(cls, path: str | Path) -> "SnapshotReader":
+        """Read and validate the snapshot file at ``path``."""
         try:
             data = Path(path).read_bytes()
         except OSError as exc:
@@ -456,10 +467,12 @@ class SnapshotReader:
 
     @property
     def size(self) -> int:
+        """Total snapshot size in bytes."""
         return len(self._data)
 
     @property
     def second_best(self) -> bool:
+        """Tables were mapped with second-best (domain-free) paths."""
         return bool(self.flags & FLAG_SECOND_BEST)
 
     @property
@@ -473,6 +486,7 @@ class SnapshotReader:
         return list(self._sources)
 
     def has_source(self, source: str) -> bool:
+        """Whether a table section exists for ``source``."""
         return self._find(source) is not None
 
     def _find(self, source: str) -> int | None:
@@ -501,6 +515,7 @@ class SnapshotReader:
         return self._data[off:off + length]
 
     def table(self, source: str) -> SnapshotTable:
+        """The (cached) decoded table for ``source``."""
         cached = self._tables.get(source)
         if cached is None:
             cached = SnapshotTable(source, self.table_bytes(source))
@@ -513,10 +528,12 @@ class SnapshotReader:
         return self.table(source).resolve(target, user)
 
     def heuristics(self) -> HeuristicConfig:
+        """The heuristic configuration the tables were mapped with."""
         return decode_meta_section(
             self._data[self._meta_off:self._meta_off + self._meta_len])
 
     def graph_section(self) -> bytes:
+        """The raw encoded graph section bytes."""
         return self._data[self._graph_off:
                           self._graph_off + self._graph_len]
 
@@ -525,6 +542,36 @@ class SnapshotReader:
         if self._graph is None:
             self._graph = decode_graph_section(self.graph_section())
         return self._graph
+
+    def domain_names(self) -> list[str]:
+        """Sorted public domain names (``.edu``, ...) in the stored map.
+
+        Domains never get their own table sections (they are not mail
+        origins), but a federation front end needs them to decide which
+        shard owns a ``caip.rutgers.edu``-style query, so the reader
+        derives them from the graph section on first use and caches
+        the list.
+        """
+        if self._domains is None:
+            cg = self.decode_graph()
+            self._domains = sorted(
+                cg.names[cid] for cid in range(cg.n)
+                if cg.is_domain[cid] and not cg.private[cid])
+        return list(self._domains)
+
+    def routing_index(self) -> list[tuple[str, bool]]:
+        """The sorted source/domain index: ``(name, is_domain)`` pairs.
+
+        Every name this snapshot can *own* in a federation — the hosts
+        it has table sections for plus the domains its map declares —
+        sorted by name.  :class:`repro.service.shard.FederationView`
+        merges these per-shard indexes into the ownership map that
+        routes each query to a shard by longest domain-suffix match.
+        """
+        merged = [(name, False) for name in self._sources]
+        merged += [(name, True) for name in self.domain_names()]
+        merged.sort()
+        return merged
 
     def __repr__(self) -> str:
         return (f"SnapshotReader({str(self.path)!r}, "

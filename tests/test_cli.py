@@ -303,3 +303,67 @@ class TestServiceCommands:
         capsys.readouterr()
         assert main(["lookup", str(snap), "a"]) == 1
         assert "no source tables" in capsys.readouterr().err
+
+
+class TestFederateCommand:
+    MAPS = {
+        "west": "a\tb(10), gate(100)\nb\ta(10)\n",
+        "east": "gate\tz(10)\nz\tgate(10), y(10)\ny\tz(10)\n",
+    }
+
+    def _write_maps(self, tmp_path):
+        paths = {}
+        for name, text in self.MAPS.items():
+            path = tmp_path / f"{name}.map"
+            path.write_text(text)
+            paths[name] = str(path)
+        return paths
+
+    def test_federate_builds_shards_and_reports_gateways(
+            self, tmp_path, capsys):
+        maps = self._write_maps(tmp_path)
+        out = tmp_path / "shards"
+        assert main(["federate",
+                     f"west={maps['west']}", f"east={maps['east']}",
+                     "-o", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "federate: west: 3 sources" in err
+        assert "gateways east<->west: gate" in err
+        assert "serve with: pathalias serve --shard" in err
+        from repro.service.store import SnapshotReader
+
+        assert SnapshotReader.open(out / "west.snap").source_count == 3
+        assert SnapshotReader.open(out / "east.snap").source_count == 3
+
+    def test_federate_rejects_malformed_region(self, tmp_path, capsys):
+        assert main(["federate", "westonly", "-o",
+                     str(tmp_path / "x")]) == 1
+        assert "NAME=MAPFILE" in capsys.readouterr().err
+
+    def test_federate_rejects_duplicate_names(self, tmp_path, capsys):
+        maps = self._write_maps(tmp_path)
+        assert main(["federate", f"west={maps['west']}",
+                     f"west={maps['east']}",
+                     "-o", str(tmp_path / "x")]) == 1
+        assert "duplicate shard name" in capsys.readouterr().err
+
+    def test_serve_requires_snapshot_or_shards(self, capsys):
+        assert main(["serve"]) == 1
+        assert "snapshot file or --shard" in capsys.readouterr().err
+
+    def test_serve_rejects_snapshot_plus_shards(self, tmp_path,
+                                                capsys):
+        assert main(["serve", "some.snap",
+                     "--shard", "a=b.snap"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_shard_help_documents_federation(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--shard" in out and "federation" in out
+
+    def test_federate_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["federate", "--help"])
+        assert "regional map" in capsys.readouterr().out

@@ -197,11 +197,79 @@ class TestHotSwapUnderLoad:
         assert results == [requests_per_client] * clients + [reloads]
 
 
+class TestFederatedHotSwapUnderLoad:
+    def test_shard_reload_drops_no_federated_requests(self, tmp_path):
+        """The federated acceptance bar: clients hammer cross-shard
+        ROUTEs while another connection hot-swaps ONE shard back and
+        forth; every request gets a well-formed OK, and the answers
+        only ever come from one shard generation or the other."""
+        from repro.service.federation import FederationService
+
+        left = make_snapshot(
+            "a\tb(10), gate(100)\nb\ta(10)\ngate\ta(100)\n",
+            tmp_path / "left.snap")
+        right_v1 = make_snapshot(
+            "gate\tz(10)\nz\tgate(10), y(10)\ny\tz(10)\n",
+            tmp_path / "right1.snap")
+        right_v2 = make_snapshot(
+            "gate\tz(500)\nz\tgate(500), y(10)\ny\tz(10)\n",
+            tmp_path / "right2.snap")
+        requests_per_client = 40
+        clients = 6
+        reloads = 10
+
+        async def scenario():
+            service = FederationService(
+                {"left": left, "right": right_v1},
+                default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+
+            async def client(i):
+                r, w = await asyncio.open_connection("127.0.0.1", port)
+                answered = 0
+                for k in range(requests_per_client):
+                    reply = await request(r, w, f"ROUTE y u{i}.{k}")
+                    # a -> gate (left shard) stitched with gate -> y
+                    # (right shard); both right generations route it.
+                    assert reply in (
+                        f"OK 120 y gate!z!y!%s gate!z!y!u{i}.{k}",
+                        f"OK 610 y gate!z!y!%s gate!z!y!u{i}.{k}")
+                    answered += 1
+                    await asyncio.sleep(0)
+                w.close()
+                return answered
+
+            async def reloader():
+                r, w = await asyncio.open_connection("127.0.0.1", port)
+                for k in range(reloads):
+                    target = right_v2 if k % 2 == 0 else right_v1
+                    reply = await request(r, w,
+                                          f"RELOAD right {target}")
+                    assert reply.startswith("OK reloaded right")
+                    await asyncio.sleep(0)
+                w.close()
+                return reloads
+
+            results = await asyncio.gather(
+                *(client(i) for i in range(clients)), reloader())
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [requests_per_client] * clients + [reloads]
+
+
 class _ThreadedDaemon:
     """Run the asyncio server in a thread so synchronous clients
-    (DaemonRouteDatabase, MailRouter) can talk to it from the test."""
+    (DaemonRouteDatabase, MailRouter) can talk to it from the test.
 
-    def __init__(self, snapshot_path: str, source: str | None = None):
+    Subclasses override ``_make_service`` to serve a different
+    LineService (the federation tests reuse this harness).
+    """
+
+    def __init__(self, snapshot_path, source: str | None = None):
         self.snapshot_path = snapshot_path
         self.source = source
         self.port: int | None = None
@@ -210,10 +278,13 @@ class _ThreadedDaemon:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread = threading.Thread(target=self._run, daemon=True)
 
+    def _make_service(self):
+        return RouteService(self.snapshot_path,
+                            default_source=self.source)
+
     def _run(self):
         async def amain():
-            service = RouteService(self.snapshot_path,
-                                   default_source=self.source)
+            service = self._make_service()
             server = await serve(service)
             self.port = server.sockets[0].getsockname()[1]
             self._loop = asyncio.get_running_loop()

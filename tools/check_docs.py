@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Keep the documentation suite honest.
+
+Three checks, each of which has actually drifted in this repo's past:
+
+1. **Protocol page vs. the daemons.**  ``docs/protocol.md`` carries
+   machine-readable markers (``<!-- verbs:daemon ... -->`` and
+   ``<!-- verbs:federation ... -->``).  Each marker must list exactly
+   the verbs the corresponding service class implements (its ``VERBS``
+   table), and every listed verb must also have a ``### VERB`` heading
+   in the page, so the marker cannot drift from the prose.
+
+2. **Links.**  Every relative markdown link in README.md and
+   ``docs/*.md`` must point at a file that exists.
+
+3. **Docstrings.**  Every public module/class/function/method under
+   ``src/repro/service/`` (plus ``core/fastmap.py``) carries a
+   docstring — the same D1 surface ruff enforces in CI, checked here
+   without needing ruff installed (and mirrored into the tier-1 suite
+   by ``tests/test_docs.py``).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exits non-zero with one line per finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: modules whose public API must be fully docstringed (ruff D1 scope
+#: plus the compiled engine the docs lean on).
+DOCSTRING_SCOPE = ("src/repro/service", "src/repro/core/fastmap.py")
+
+#: markdown files whose relative links must resolve.
+LINKED_PAGES = ("README.md", "docs/architecture.md",
+                "docs/protocol.md", "docs/snapshot-format.md")
+
+
+#: where each service's protocol dispatch lives, for the AST check.
+SERVICE_SOURCES = {
+    "daemon": ("src/repro/service/daemon.py", "RouteService"),
+    "federation": ("src/repro/service/federation.py",
+                   "FederationService"),
+}
+
+
+def _service_verbs() -> dict[str, tuple]:
+    """The live verb tables, imported from the daemons themselves."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.service.daemon import RouteService
+    from repro.service.federation import FederationService
+
+    return {"daemon": RouteService.VERBS,
+            "federation": FederationService.VERBS}
+
+
+def _dispatched_verbs(path: Path, class_name: str) -> set:
+    """The verbs ``class_name.handle_line`` actually compares
+    ``command`` against, read from the source AST — so the VERBS
+    tables cannot drift from the dispatch they describe."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef)
+                and node.name == class_name):
+            continue
+        for fn in node.body:
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and fn.name == "handle_line":
+                verbs = set()
+                for sub in ast.walk(fn):
+                    if isinstance(sub, ast.Compare) \
+                            and isinstance(sub.left, ast.Name) \
+                            and sub.left.id == "command":
+                        for comp in sub.comparators:
+                            if isinstance(comp, ast.Constant) \
+                                    and isinstance(comp.value, str):
+                                verbs.add(comp.value)
+                return verbs
+    return set()
+
+
+def check_dispatch(problems: list) -> None:
+    """Each VERBS table names exactly the verbs its handle_line
+    dispatches (the protocol page is checked against VERBS, so this
+    closes the loop: docs == VERBS == code)."""
+    verbs_tables = _service_verbs()
+    for service, (rel, class_name) in SERVICE_SOURCES.items():
+        dispatched = _dispatched_verbs(REPO / rel, class_name)
+        listed = set(verbs_tables[service])
+        for verb in sorted(dispatched - listed):
+            problems.append(
+                f"{rel}: {class_name}.handle_line dispatches {verb} "
+                f"but VERBS does not list it")
+        for verb in sorted(listed - dispatched):
+            problems.append(
+                f"{rel}: VERBS lists {verb} but "
+                f"{class_name}.handle_line never dispatches it")
+
+
+def check_protocol(problems: list) -> None:
+    """Marker sets and headings in docs/protocol.md match the code."""
+    page = REPO / "docs" / "protocol.md"
+    if not page.exists():
+        problems.append(f"{page}: missing")
+        return
+    text = page.read_text()
+    markers = dict(re.findall(r"<!--\s*verbs:(\w+)\s+([^>]*?)-->",
+                              text))
+    headings = set(re.findall(r"^### ([A-Z]+)\b", text, re.MULTILINE))
+    for service, verbs in _service_verbs().items():
+        if service not in markers:
+            problems.append(
+                f"docs/protocol.md: no <!-- verbs:{service} --> marker")
+            continue
+        documented = tuple(markers[service].split())
+        if documented != verbs:
+            problems.append(
+                f"docs/protocol.md: verbs:{service} marker lists "
+                f"{documented}, but the {service} implements {verbs}")
+        for verb in verbs:
+            if verb not in headings:
+                problems.append(
+                    f"docs/protocol.md: verb {verb} has no "
+                    f"'### {verb}' section")
+    for extra in sorted(markers.keys() - _service_verbs().keys()):
+        problems.append(
+            f"docs/protocol.md: marker verbs:{extra} matches no "
+            f"service")
+
+
+def check_links(problems: list) -> None:
+    """Relative markdown links in the doc pages resolve to files."""
+    for rel in LINKED_PAGES:
+        page = REPO / rel
+        if not page.exists():
+            problems.append(f"{rel}: missing")
+            continue
+        for match in re.finditer(r"\[[^\]]+\]\(([^)\s]+)\)",
+                                 page.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue  # same-page anchor
+            if not (page.parent / path).exists():
+                problems.append(f"{rel}: broken link -> {target}")
+
+
+def _missing_docstrings(path: Path) -> list:
+    """Public defs without docstrings (ruff D100-D103 surface: module,
+    classes, functions, methods; underscore names and function-nested
+    defs are exempt, as are members of private classes)."""
+    tree = ast.parse(path.read_text())
+    out = []
+    if not ast.get_docstring(tree):
+        out.append((path, 1, "module"))
+
+    def walk(node, private: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                is_private = private or child.name.startswith("_")
+                if not is_private and not ast.get_docstring(child):
+                    out.append((path, child.lineno, child.name))
+                walk(child, is_private)
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                if not private and not child.name.startswith("_") \
+                        and not ast.get_docstring(child):
+                    out.append((path, child.lineno, child.name))
+                # function-nested defs are never public: do not recurse
+
+    walk(tree, False)
+    return out
+
+
+def check_docstrings(problems: list) -> None:
+    """The D1 surface over the service tier is fully documented."""
+    for scope in DOCSTRING_SCOPE:
+        root = REPO / scope
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            for _, lineno, name in _missing_docstrings(path):
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: public "
+                    f"{name!r} has no docstring")
+
+
+def main() -> int:
+    """Run all checks; print findings; 0 only when clean."""
+    problems: list = []
+    check_protocol(problems)
+    check_dispatch(problems)
+    check_links(problems)
+    check_docstrings(problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)",
+              file=sys.stderr)
+        return 1
+    print("check_docs: protocol, links, and docstrings all clean",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
