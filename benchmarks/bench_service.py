@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Measure the serving tier and record it in BENCH_routing.json.
 
-Four numbers the ROADMAP cares about:
+Five numbers the ROADMAP cares about:
 
 * snapshot build time (the offline cost of the store);
 * incremental update vs full rebuild after a single link-cost change
@@ -12,7 +12,13 @@ Four numbers the ROADMAP cares about:
 * federated throughput over sharded regional maps — cross-shard
   stitched lookups under load — plus the cost of refreshing ONE
   region (incremental update + single-shard RELOAD) against
-  rebuilding every region from scratch.
+  rebuilding every region from scratch;
+* what snapshot format v2 costs and buys: the per-state-record byte
+  overhead vs v1, and incremental-update *coverage* on revisions
+  touching nets/domains/private nodes and on second-best snapshots
+  over the ``tests/data/d.*`` fixture suite — cases where a v1
+  snapshot always fell back to a full remap (target: zero fallbacks
+  on v2).
 
 The maps are deterministic rings-with-chords (explicit numeric costs,
 no symbol table) so a one-link revision is easy to synthesize and its
@@ -296,6 +302,76 @@ def bench_federation(tmp: Path, regions: int, hosts: int,
     return asyncio.run(scenario())
 
 
+def bench_format_v2(tmp: Path, hosts: int) -> dict:
+    """Format v2's costs (bytes) and wins (incremental coverage)."""
+    import pickle
+
+    from repro.config import HeuristicConfig
+    from repro.core.pathalias import Pathalias as PathaliasTool
+    from repro.graph.compact import CompactGraph, K_NORMAL
+    from repro.service.incremental import _link_owner
+
+    graph = build(ring_map(hosts))
+    v1, v2 = tmp / "fmt1.snap", tmp / "fmt2.snap"
+    v1_bytes = build_snapshot(graph, v1, fmt=1).size
+    v2_bytes = build_snapshot(graph, v2).size
+
+    def candidates(cg):
+        """NORMAL links touching nets/domains/private nodes — the
+        revisions v1 had to remap fully — else any NORMAL link."""
+        touching = [j for j in range(cg.link_count)
+                    if cg.kind[j] == K_NORMAL and cg.cost[j] > 8
+                    and (cg.netlike[_link_owner(cg, j)]
+                         or cg.private[_link_owner(cg, j)]
+                         or cg.netlike[cg.to[j]]
+                         or cg.private[cg.to[j]])]
+        if touching:
+            return touching[:3]
+        return [j for j in range(cg.link_count)
+                if cg.kind[j] == K_NORMAL and cg.cost[j] > 8][:3]
+
+    fixtures = sorted(
+        (Path(__file__).resolve().parent.parent / "tests" / "data"
+         ).glob("d.*"))
+    revisions = 0
+    fallbacks = {1: 0, 2: 0}
+    for path in fixtures:
+        for second in (False, True):
+            cfg = HeuristicConfig(second_best=second)
+            fixture_graph = PathaliasTool(heuristics=cfg).build(
+                [(path.name, path.read_text())])
+            cg = CompactGraph.compile(fixture_graph)
+            snaps = {}
+            for fmt in (1, 2):
+                snaps[fmt] = tmp / f"cover-{path.name}-{second}-{fmt}"
+                build_snapshot(cg, snaps[fmt], heuristics=cfg,
+                               fmt=fmt)
+            for j in candidates(cg):
+                for delta in (7, -7):
+                    revised = pickle.loads(pickle.dumps(cg))
+                    revised.cost[j] += delta
+                    revisions += 1
+                    for fmt in (1, 2):
+                        report = update_snapshot(
+                            snaps[fmt], revised, tmp / "cover-out",
+                            full_threshold=1.0)
+                        if report.mode == "full":
+                            fallbacks[fmt] += 1
+    return {
+        "hosts": hosts,
+        "snapshot_bytes_v1": v1_bytes,
+        "snapshot_bytes_v2": v2_bytes,
+        "state_record_overhead_pct": round(
+            100.0 * (v2_bytes - v1_bytes) / v1_bytes, 1),
+        "fixture_coverage": {
+            "fixtures": [p.name for p in fixtures],
+            "revisions": revisions,
+            "full_fallbacks_v1": fallbacks[1],
+            "full_fallbacks_v2": fallbacks[2],
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="benchmark the route service tier")
@@ -328,9 +404,12 @@ def main(argv: list[str] | None = None) -> int:
         federation = bench_federation(
             tmp, args.regions, args.region_hosts, args.clients,
             args.requests, args.reloads)
+        print("benchmarking format v2 overhead + incremental "
+              "coverage...", file=sys.stderr)
+        format_v2 = bench_format_v2(tmp, args.hosts)
 
     section = {"store": store, "daemon": daemon,
-               "federation": federation}
+               "federation": federation, "format_v2": format_v2}
     out = Path(args.out)
     document = json.loads(out.read_text()) if out.exists() else {
         "benchmark": "BENCH_routing"}

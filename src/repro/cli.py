@@ -13,6 +13,7 @@ The serving tier lives behind subcommands (the flat form above stays
 the default when the first argument is not one of them)::
 
     pathalias snapshot -o routes.snap [map ...]     build a snapshot
+    pathalias snapshot --upgrade OLD NEW            rewrite v1 as v2
     pathalias update old.snap -o new.snap [map ...] diff-driven update
     pathalias lookup routes.snap dest [user]        one-shot query
     pathalias serve routes.snap [--port N]          the lookup daemon
@@ -134,12 +135,24 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
         snap = argparse.ArgumentParser(
             prog="pathalias snapshot",
             description="precompute every source's routes into a "
-                        "binary snapshot")
+                        "binary snapshot, or rewrite an existing "
+                        "snapshot as format v2 (--upgrade)")
         snap.add_argument("files", nargs="*",
                           help="map files (default: standard input)")
-        snap.add_argument("-o", "--out", required=True, metavar="FILE",
+        snap.add_argument("-o", "--out", metavar="FILE",
                           help="snapshot file to write "
                                "(atomic replace)")
+        snap.add_argument("--upgrade", nargs=2,
+                          metavar=("OLD", "NEW"),
+                          help="instead of mapping: rewrite snapshot "
+                               "OLD as format v2 at NEW, backfilling "
+                               "per-state costs by remapping the "
+                               "stored graph (no map files needed)")
+        snap.add_argument("--format", type=int, choices=(1, 2),
+                          default=2, dest="fmt",
+                          help="snapshot format to write (default 2; "
+                               "1 = the legacy layout without "
+                               "per-state costs)")
         snap.add_argument("-j", "--jobs", type=int, default=1,
                           metavar="N",
                           help="worker processes (0 = all CPUs)")
@@ -173,6 +186,13 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                          help="affected-source fraction beyond which "
                               "a full rebuild is cheaper (default "
                               "0.5)")
+        upd.add_argument("--format", type=int, choices=(1, 2),
+                         default=None, dest="fmt",
+                         help="snapshot format to write (default: "
+                              "keep the old snapshot's format, so "
+                              "incremental splicing stays possible; "
+                              "asking for the other format migrates "
+                              "with one full rebuild)")
         upd.add_argument("-i", "--ignore-case", action="store_true",
                          help="fold host names to lower case")
         return upd
@@ -234,6 +254,10 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
     srv.add_argument("--source", metavar="HOST",
                      help="default source table (default: the "
                           "snapshot's first source)")
+    srv.add_argument("--format", type=int, choices=(1, 2),
+                     default=None, dest="fmt",
+                     help="require the served snapshot(s) to be this "
+                          "format version (default: serve either)")
     return srv
 
 
@@ -287,8 +311,40 @@ def service_main(argv: list[str]) -> int:
 
     try:
         if args.command == "snapshot":
-            from repro.service.store import build_snapshot
+            from repro.service.store import (
+                build_snapshot,
+                upgrade_snapshot,
+            )
 
+            if args.upgrade:
+                if args.files or args.out:
+                    raise PathaliasError(
+                        "--upgrade rewrites an existing snapshot; it "
+                        "takes no map files and no -o")
+                if args.fmt != 2:
+                    raise PathaliasError(
+                        "--upgrade always writes format v2 (to write "
+                        "v1, rebuild from the map with --format 1)")
+                if args.ignore_case or args.second_best \
+                        or args.no_back_links:
+                    raise PathaliasError(
+                        "--upgrade takes no build options (-i/-s/"
+                        "--no-back-links): the old snapshot's header "
+                        "already records how its tables were mapped")
+                old_path, new_path = args.upgrade
+                t0 = time.perf_counter()
+                info = upgrade_snapshot(
+                    old_path, new_path,
+                    jobs=_effective_jobs(args.jobs))
+                elapsed = time.perf_counter() - t0
+                print(f"pathalias: snapshot: upgraded {old_path} -> "
+                      f"{info.path} (format v{info.format}, "
+                      f"{len(info.sources)} sources, {info.size} "
+                      f"bytes) in {elapsed:.2f}s", file=sys.stderr)
+                return 0
+            if not args.out:
+                raise PathaliasError("snapshot needs -o FILE (or "
+                                     "--upgrade OLD NEW)")
             named = _read_named(args.files)
             if named is None:
                 return 2
@@ -301,12 +357,13 @@ def service_main(argv: list[str]) -> int:
             graph = tool.build(named)
             info = build_snapshot(graph, args.out, heuristics,
                                   jobs=_effective_jobs(args.jobs),
-                                  case_fold=args.ignore_case)
+                                  case_fold=args.ignore_case,
+                                  fmt=args.fmt)
             elapsed = time.perf_counter() - t0
             print(f"pathalias: snapshot: {len(info.sources)} sources "
-                  f"-> {info.path} ({info.size} bytes) in "
-                  f"{elapsed:.2f}s (engine={info.engine})",
-                  file=sys.stderr)
+                  f"-> {info.path} ({info.size} bytes, format "
+                  f"v{info.format}) in {elapsed:.2f}s "
+                  f"(engine={info.engine})", file=sys.stderr)
             return 0
 
         if args.command == "update":
@@ -328,7 +385,7 @@ def service_main(argv: list[str]) -> int:
                 reader, graph, args.out,
                 jobs=_effective_jobs(args.jobs),
                 full_threshold=args.full_threshold,
-                case_fold=case_fold)
+                case_fold=case_fold, fmt=args.fmt)
             print(f"pathalias: update: {report.summary()} -> "
                   f"{report.out_path} in {report.seconds:.2f}s",
                   file=sys.stderr)
@@ -410,14 +467,15 @@ def service_main(argv: list[str]) -> int:
                                             "NAME=SNAPSHOT")
                 return run_federation_daemon(
                     shards, host=args.host, port=args.port,
-                    source=args.source)
+                    source=args.source, require_format=args.fmt)
             if args.snapshot is None:
                 raise PathaliasError(
                     "serve needs a snapshot file or --shard pairs")
             from repro.service.daemon import run_daemon
 
             return run_daemon(args.snapshot, host=args.host,
-                              port=args.port, source=args.source)
+                              port=args.port, source=args.source,
+                              require_format=args.fmt)
     except PathaliasError as exc:
         print(f"pathalias: {args.command}: {exc}", file=sys.stderr)
         return 1

@@ -737,6 +737,59 @@ def tree_link_pairs(result: CompactMapResult) -> list[tuple[str, str]]:
     return sorted(pairs)
 
 
+#: Bit layout of the flags byte in a per-state record (and in the
+#: snapshot-v2 ``STAT`` entry that persists it).
+STATE_F_DOMAIN_CLASS = 1   # second-best domain class (state & 1)
+STATE_F_DOMAIN_SEEN = 2    # the label's path traversed a domain
+STATE_F_HAS_AT = 4         # ... contains an @-style (RIGHT) real hop
+STATE_F_HAS_BANG = 8       # ... contains a !-style (LEFT) real hop
+
+
+def state_costs(result: CompactMapResult
+                ) -> list[tuple[int, int, int, int, int]]:
+    """The mapper's full per-state record, one tuple per labeled state.
+
+    ``(cid, flags, kind, cost, parent_link)`` sorted by
+    ``(cid, domain class)``:
+
+    * ``flags`` packs the ``STATE_F_*`` bits — the second-best domain
+      class that identifies the state (always 0 in tree mode) plus the
+      label's ``domain_seen`` / ``has_at`` / ``has_bang`` attributes;
+    * ``kind`` is the node's ``SK_*`` code from
+      :meth:`~repro.graph.compact.CompactGraph.state_kinds`;
+    * ``cost`` is the final mapped cost;
+    * ``parent_link`` is the tree-parent link id — the CSR link the
+      label arrived over, ``-1`` for the root, or a run-local overlay
+      id (``>= link_count``) for an invented back link.
+
+    This is what the route table always knew and format v1 threw away:
+    exact costs to *every* node — nets, domains, and private shadows
+    included — which is what lets the incremental updater's triangle
+    test run on exact numbers (:mod:`repro.service.incremental`) and
+    federation read exact gateway costs.  Persisted by the snapshot
+    store's v2 ``STAT`` records alongside :func:`tree_link_pairs`.
+    """
+    shift = result.shift
+    kinds = result.cgraph.state_kinds()
+    cost = result.cost
+    parent_link = result.link
+    domseen = result.domain_seen
+    has_at = result.has_at
+    has_bang = result.has_bang
+    dmask = (1 << shift) - 1
+    records = []
+    for state in result.touched:
+        flags = ((state & dmask)
+                 | (STATE_F_DOMAIN_SEEN if domseen[state] else 0)
+                 | (STATE_F_HAS_AT if has_at[state] else 0)
+                 | (STATE_F_HAS_BANG if has_bang[state] else 0))
+        cid = state >> shift
+        records.append((cid, flags, kinds[cid], cost[state],
+                        parent_link[state]))
+    records.sort(key=lambda r: (r[0], r[1] & STATE_F_DOMAIN_CLASS))
+    return records
+
+
 def build_portable_table(result: CompactMapResult):
     """A picklable route table: plain tuples, no graph objects.
 

@@ -56,6 +56,18 @@ KIND_CODE = {
 
 KIND_OF_CODE = {code: kind for kind, code in KIND_CODE.items()}
 
+#: State-kind codes: what sort of node a mapping state stands on.
+#: Persisted per state by snapshot format v2 (``STAT`` records), so
+#: downstream consumers can tell a routable host's cost from a
+#: structural placeholder's without the graph section in hand.
+SK_HOST = 0            # an ordinary, globally visible mail host
+SK_NET = 1             # a network placeholder (is_net)
+SK_DOMAIN = 2          # a domain node (name starts with ".")
+SK_PRIVATE = 3         # a file-scoped private node (name shadowable)
+
+STATE_KIND_NAMES = {SK_HOST: "host", SK_NET: "net",
+                    SK_DOMAIN: "domain", SK_PRIVATE: "private-shadow"}
+
 
 class CompactGraph:
     """A finalized graph flattened into parallel integer arrays."""
@@ -151,6 +163,23 @@ class CompactGraph:
     def find(self, name: str) -> int | None:
         """Compact id of a globally visible node, or None."""
         return self.cid_by_name.get(name)
+
+    def state_kind(self, cid: int) -> int:
+        """The ``SK_*`` code for one node (private wins over shape:
+        a private net is still name-shadowable, which is the fact a
+        snapshot consumer needs first)."""
+        if self.private[cid]:
+            return SK_PRIVATE
+        if self.is_domain[cid]:
+            return SK_DOMAIN
+        if self.is_net[cid]:
+            return SK_NET
+        return SK_HOST
+
+    def state_kinds(self) -> list[int]:
+        """The per-node ``SK_*`` table (indexed by compact id) —
+        what the snapshot-v2 emitter stamps into ``STAT`` records."""
+        return [self.state_kind(cid) for cid in range(self.n)]
 
     def node_of(self, cid: int) -> Node:
         """The source :class:`Node` (compiling process only)."""

@@ -14,51 +14,52 @@ Two access paths are provided:
 * :class:`IndexedPathsFile` — the "separate program": a sorted paths
   file searched by bisection, standing in for the dbm conversion
   (experiment E12 measures lookups against a linear scan).
+
+The suffix-search algorithm itself (and the :class:`Resolution` record
+it produces) lives in :mod:`repro.service.resolver` — one shared
+implementation behind every lookup surface, re-exported here so
+historical imports keep working.  :class:`RouteDatabase` satisfies the
+:class:`~repro.service.resolver.Resolver` protocol, which is exactly
+the surface :class:`~repro.mailer.router.MailRouter` requires of its
+``db``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.printer import RouteTable
 from repro.errors import RouteError
+from repro.service.resolver import (  # noqa: F401  (re-exports)
+    Resolution,
+    SuffixResolver,
+    domain_suffixes,
+)
 
 
-@dataclass(frozen=True)
-class Resolution:
-    """A successful lookup: which key matched and the final address."""
+class RouteDatabase(SuffixResolver):
+    """Name -> route map with the paper's domain fallback.
 
-    target: str      # what the mail was addressed to
-    matched: str     # database key that matched (host or domain)
-    route: str       # the printf-style route of the match
-    address: str     # fully instantiated address
-
-
-def domain_suffixes(name: str) -> list[str]:
-    """The search sequence: exact name, then each domain suffix.
-
-    >>> domain_suffixes("caip.rutgers.edu")
-    ['caip.rutgers.edu', '.rutgers.edu', '.edu']
+    ``costs`` optionally carries the mapped cost per name (kept by
+    :meth:`from_table` and the snapshot reader's ``database()``), so
+    the database answers ``resolve_with_cost`` like every other
+    :class:`~repro.service.resolver.Resolver`; names without a
+    recorded cost report 0.
     """
-    out = [name]
-    start = 1 if name.startswith(".") else 0
-    rest = name[start:]
-    while "." in rest:
-        rest = rest.split(".", 1)[1]
-        out.append("." + rest)
-    return out
 
-
-class RouteDatabase:
-    """Name -> route map with the paper's domain fallback."""
-
-    def __init__(self, routes: dict[str, str]):
+    def __init__(self, routes: dict[str, str],
+                 costs: dict[str, int] | None = None,
+                 source: str | None = None):
         self._routes = dict(routes)
+        self._costs = dict(costs) if costs else {}
+        self._source = source
 
     @classmethod
     def from_table(cls, table: RouteTable) -> "RouteDatabase":
-        return cls({record.name: record.route for record in table})
+        """Lift a mapped :class:`RouteTable` (routes, costs, source)."""
+        return cls({record.name: record.route for record in table},
+                   costs={record.name: record.cost for record in table},
+                   source=table.source)
 
     def __len__(self) -> int:
         return len(self._routes)
@@ -67,35 +68,28 @@ class RouteDatabase:
         return name in self._routes
 
     def route(self, name: str) -> str | None:
+        """The stored route template for an exact name, or None."""
         return self._routes.get(name)
 
-    def resolve(self, target: str, user: str) -> Resolution:
-        """Resolve mail for ``user`` at ``target``.
+    def lookup(self, name: str) -> tuple[int, str] | None:
+        """``(cost, route)`` for an exact name (cost 0 if unrecorded)."""
+        route = self._routes.get(name)
+        if route is None:
+            return None
+        return self._costs.get(name, 0), route
 
-        Exact host match: the argument is the user.  Domain match: the
-        argument is ``target!user`` — "a route relative to its gateway".
-        """
-        for key in domain_suffixes(target):
-            route = self._routes.get(key)
-            if route is None:
-                continue
-            if key == target:
-                argument = user
-            else:
-                argument = f"{target}!{user}"
-            return Resolution(target=target, matched=key, route=route,
-                              address=route.replace("%s", argument, 1))
-        raise RouteError(f"no route to {target!r}")
+    # -- the Resolver protocol surface ----------------------------------------
+    # resolve / resolve_with_cost / resolve_bang come from SuffixResolver.
 
-    def resolve_bang(self, bang_address: str) -> Resolution:
-        """Resolve ``host!rest`` or plain ``host`` forms."""
-        if "!" in bang_address:
-            target, user = bang_address.split("!", 1)
-        else:
-            raise RouteError(
-                f"address {bang_address!r} names no user (expected "
-                f"target!user)")
-        return self.resolve(target, user)
+    def source_table(self) -> str | None:
+        """The source host these routes were mapped from (if known)."""
+        return self._source
+
+    def stats(self) -> dict:
+        """Backend counters: entry and recorded-cost counts."""
+        return {"entries": str(len(self._routes)),
+                "costs": str(len(self._costs)),
+                "source": self._source or ""}
 
 
 class IndexedPathsFile:

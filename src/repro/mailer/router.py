@@ -42,9 +42,11 @@ class Envelope:
 class MailRouter:
     """A delivery agent's routing brain for one host.
 
-    ``db`` is anything with the :class:`RouteDatabase` query surface
-    (``resolve``, ``route``, ``in``): the in-memory table, an indexed
-    paths file lifted into one, or — via :meth:`connected` — a live
+    ``db`` is anything satisfying the
+    :class:`~repro.service.resolver.Resolver` protocol (``resolve`` /
+    ``resolve_with_cost``): the in-memory :class:`RouteDatabase`, an
+    indexed paths file lifted into one, the in-process snapshot
+    surface, or — via :meth:`connected` / :meth:`federated` — a live
     route daemon, so the delivery agent shares one precomputed
     snapshot with every other agent on the machine instead of loading
     its own copy.
@@ -129,6 +131,13 @@ class MailRouter:
     def resolve(self, target: str, user: str) -> Resolution:
         """Direct database query (the 'manual querying' mode)."""
         return self.db.resolve(target, user)
+
+    def resolve_with_cost(self, target: str,
+                          user: str = "%s") -> tuple[int, Resolution]:
+        """Direct database query with the mapped cost alongside —
+        available because every backing ``db`` satisfies the
+        :class:`~repro.service.resolver.Resolver` protocol."""
+        return self.db.resolve_with_cost(target, user)
 
     # -- inbound -------------------------------------------------------------
 

@@ -5,6 +5,10 @@ If desired, a separate program may be used to convert this file into a
 format appropriate for rapid database retrieval."  This package is that
 separate program, grown into a serving tier:
 
+* :mod:`repro.service.resolver` — the one :class:`Resolver` contract
+  every lookup surface satisfies (in-process snapshot, daemon client,
+  federation, in-memory mailer table) and the shared implementation
+  of the paper's domain-suffix search;
 * :mod:`repro.service.store` — a binary on-disk *route snapshot*: a
   compiled graph plus every source's route table in flat,
   offset-indexed sections, opened and searched by bisection without
@@ -25,12 +29,20 @@ for the normative line-protocol reference, and
 ``docs/snapshot-format.md`` for the byte-level store layout.
 """
 
+from repro.service.resolver import (
+    Resolution,
+    Resolver,
+    SuffixResolver,
+    domain_suffixes,
+)
 from repro.service.store import (
     SnapshotError,
     SnapshotInfo,
     SnapshotReader,
+    SnapshotResolver,
     SnapshotTable,
     build_snapshot,
+    upgrade_snapshot,
 )
 from repro.service.incremental import UpdateReport, update_snapshot
 from repro.service.daemon import (
@@ -41,6 +53,7 @@ from repro.service.daemon import (
 )
 from repro.service.shard import (
     FederatedResolution,
+    FederationResolver,
     FederationView,
     Shard,
 )
@@ -50,11 +63,17 @@ from repro.service.federation import (
 )
 
 __all__ = [
+    "Resolution",
+    "Resolver",
+    "SuffixResolver",
+    "domain_suffixes",
     "SnapshotError",
     "SnapshotInfo",
     "SnapshotReader",
+    "SnapshotResolver",
     "SnapshotTable",
     "build_snapshot",
+    "upgrade_snapshot",
     "UpdateReport",
     "update_snapshot",
     "DaemonRouteDatabase",
@@ -62,6 +81,7 @@ __all__ = [
     "RouteService",
     "serve",
     "Shard",
+    "FederationResolver",
     "FederationView",
     "FederatedResolution",
     "FederatedRouteDatabase",

@@ -41,7 +41,7 @@ import sys
 import time
 
 from repro.errors import RouteError
-from repro.mailer.routedb import Resolution
+from repro.service.resolver import Resolution
 from repro.service.store import SnapshotError, SnapshotReader
 
 
@@ -54,14 +54,44 @@ class LineService:
     :class:`RouteService` and the federated
     :class:`~repro.service.federation.FederationService` serve through
     this loop, so :func:`serve` works for either.
+
+    The loop also owns the **per-verb counters**: every request line
+    whose verb appears in the subclass's ``VERBS`` table bumps
+    ``verb_counts[verb]`` before dispatch.  The counters live on the
+    service — not on any snapshot or view — so a ``RELOAD`` (which
+    swaps those) can never reset them; ``STATS`` reports them as
+    ``n_<verb>`` keys and the reload-under-load tests assert they
+    stay consistent across swaps.
     """
 
-    def __init__(self) -> None:
+    #: Protocol verbs (subclasses override; used to seed verb_counts).
+    VERBS: tuple = ()
+
+    def __init__(self, require_format: int | None = None) -> None:
         self.connections = 0
+        self.verb_counts = {verb: 0 for verb in self.VERBS}
+        #: Pinned snapshot format version (``--format``): services
+        #: check it against every snapshot they open — at startup and
+        #: on every later RELOAD/ATTACH — via :meth:`_check_format`.
+        self.require_format = require_format
+
+    def _check_format(self, reader) -> None:
+        """Refuse a snapshot whose format differs from the pin."""
+        if self.require_format is not None \
+                and reader.version != self.require_format:
+            raise SnapshotError(
+                f"{reader.path}: snapshot format v{reader.version}, "
+                f"but --format {self.require_format} was required")
 
     def initial_state(self) -> dict:
         """Fresh per-connection state for :meth:`handle_line`."""
         return {}
+
+    def verb_stats(self) -> str:
+        """The ``n_<verb>=count`` tokens for :meth:`stats_line` — one
+        formatter so the two daemons' wire keys cannot drift."""
+        return " ".join(f"n_{verb.lower()}={count}"
+                        for verb, count in self.verb_counts.items())
 
     async def handle_line(self, line: str, state: dict) -> str | None:
         """One request in, one reply line out (None closes)."""
@@ -83,6 +113,9 @@ class LineService:
                     writer.write(b"ERR encoding expected UTF-8\n")
                     await writer.drain()
                     continue
+                verb = line.split(None, 1)[0].upper() if line else ""
+                if verb in self.verb_counts:
+                    self.verb_counts[verb] += 1
                 reply = await self.handle_line(line, state)
                 if reply is None:
                     writer.write(b"OK bye\n")
@@ -115,13 +148,19 @@ class RouteService(LineService):
 
     def __init__(self, snapshot_path: str | None = None,
                  reader: SnapshotReader | None = None,
-                 default_source: str | None = None):
-        super().__init__()
+                 default_source: str | None = None,
+                 require_format: int | None = None):
+        """``require_format`` pins the snapshot format version: the
+        initial snapshot *and every later RELOAD* must match, so an
+        operator who depends on v2-only data (per-state costs) cannot
+        be silently downgraded mid-flight."""
+        super().__init__(require_format=require_format)
         if reader is None:
             if snapshot_path is None:
                 raise SnapshotError("RouteService needs a snapshot "
                                     "path or an open reader")
             reader = SnapshotReader.open(snapshot_path)
+        self._check_format(reader)
         self.reader = reader
         if default_source is None:
             sources = reader.sources()
@@ -153,8 +192,10 @@ class RouteService(LineService):
         reader = self.reader  # pin one snapshot for this request
         self.lookups += 1
         try:
-            table = reader.table(source)
-            cost, resolution = table.resolve_with_cost(
+            # The cached SnapshotTable *is* the in-process Resolver
+            # surface (SuffixResolver); no per-request wrapper on the
+            # hot path.
+            cost, resolution = reader.table(source).resolve_with_cost(
                 target, "%s" if user is None else user)
         except (RouteError, SnapshotError):
             # RouteError: no such destination.  SnapshotError: the
@@ -188,6 +229,7 @@ class RouteService(LineService):
         async with self._reload_lock:
             reader = await asyncio.to_thread(SnapshotReader.open,
                                              snapshot_path)
+            self._check_format(reader)
             if not reader.has_source(self.default_source):
                 sources = reader.sources()
                 if not sources:
@@ -199,14 +241,23 @@ class RouteService(LineService):
             return reader
 
     def stats_line(self) -> str:
-        """The one-line ``key=value`` counters the STATS verb returns."""
+        """The one-line ``key=value`` counters the STATS verb returns.
+
+        ``format`` is the *current* snapshot's format version (it can
+        flip when a RELOAD swaps in a file of the other format); the
+        ``n_<verb>`` counters live on the service and survive every
+        reload.
+        """
         reader = self.reader
         uptime = time.monotonic() - self.started
+        verbs = self.verb_stats()
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} reloads={self.reloads} "
                 f"connections={self.connections} "
                 f"sources={reader.source_count} "
                 f"snapshot_bytes={reader.size} "
+                f"format={reader.version} "
+                f"{verbs} "
                 f"uptime_sec={uptime:.1f} "
                 f"source={self.default_source} "
                 f"snapshot={reader.path}")
@@ -285,11 +336,13 @@ async def serve(service: LineService, host: str = "127.0.0.1",
 
 
 def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
-               port: int = 4176, source: str | None = None) -> int:
+               port: int = 4176, source: str | None = None,
+               require_format: int | None = None) -> int:
     """Blocking daemon entry point for ``pathalias serve``."""
 
     async def main() -> None:
-        service = RouteService(snapshot_path, default_source=source)
+        service = RouteService(snapshot_path, default_source=source,
+                               require_format=require_format)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         print(f"pathalias: serve: {service.reader.source_count} "
@@ -306,13 +359,17 @@ def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
 
 
 class DaemonRouteDatabase:
-    """A live daemon quacking like
-    :class:`~repro.mailer.routedb.RouteDatabase`.
+    """A live daemon behind the
+    :class:`~repro.service.resolver.Resolver` protocol.
 
     One blocking TCP connection, reconnected transparently if the
     daemon restarted between requests.  Host and user tokens travel on
     a whitespace-delimited wire, so addresses containing spaces are
-    rejected rather than silently corrupted.
+    rejected rather than silently corrupted.  The query surface is the
+    same contract the in-process snapshot and the federation view
+    satisfy, so a :class:`~repro.mailer.router.MailRouter` plugs in a
+    daemon exactly where it would plug in an in-memory
+    :class:`~repro.mailer.routedb.RouteDatabase`.
     """
 
     def __init__(self, address: tuple[str, int],
@@ -380,7 +437,7 @@ class DaemonRouteDatabase:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # -- RouteDatabase interface ----------------------------------------------
+    # -- the Resolver protocol surface ----------------------------------------
 
     @staticmethod
     def _token(value: str, what: str) -> str:
@@ -422,10 +479,15 @@ class DaemonRouteDatabase:
         return int(cost), Resolution(target=target, matched=matched,
                                      route=route, address=address)
 
-    def resolve(self, target: str, user: str) -> Resolution:
+    def resolve(self, target: str, user: str = "%s") -> Resolution:
         """Resolve mail for ``user`` at ``target`` via the daemon's
         domain-suffix search."""
         return self.resolve_with_cost(target, user)[1]
+
+    def source_table(self) -> str | None:
+        """The source this connection is bound to (None: the daemon's
+        default source answers)."""
+        return self.source
 
     def resolve_bang(self, bang_address: str) -> Resolution:
         """Resolve ``host!rest`` forms, like RouteDatabase."""

@@ -50,8 +50,8 @@ import sys
 import time
 
 from repro.errors import FederationError, RouteError
-from repro.mailer.routedb import Resolution
 from repro.service.daemon import DaemonRouteDatabase, LineService, serve
+from repro.service.resolver import Resolution
 from repro.service.shard import FederationView, Shard
 from repro.service.store import SnapshotError, SnapshotReader
 
@@ -69,10 +69,13 @@ class FederationService(LineService):
     VERBS = ("ROUTE", "EXACT", "SOURCE", "SHARDS", "ATTACH", "DETACH",
              "RELOAD", "STATS", "QUIT")
 
-    def __init__(self, shards, default_source: str | None = None):
+    def __init__(self, shards, default_source: str | None = None,
+                 require_format: int | None = None):
         """``shards`` maps shard names to snapshot paths (or is an
-        iterable of :class:`Shard` objects, for in-process use)."""
-        super().__init__()
+        iterable of :class:`Shard` objects, for in-process use).
+        ``require_format`` pins every shard's snapshot format — at
+        startup and on every later ATTACH/RELOAD."""
+        super().__init__(require_format=require_format)
         if isinstance(shards, dict):
             shards = [Shard.open(name, path)
                       for name, path in sorted(shards.items())]
@@ -81,6 +84,8 @@ class FederationService(LineService):
         if not shards:
             raise SnapshotError(
                 "FederationService needs at least one shard")
+        for shard in shards:
+            self._check_format(shard.reader)
         self.view = FederationView(shards)
         if default_source is None:
             first = next(iter(self.view.shards.values()))
@@ -131,6 +136,13 @@ class FederationService(LineService):
             self.federated += 1
         return fed.cost, fed.resolution
 
+    def resolver(self, source: str):
+        """The bound :class:`~repro.service.resolver.Resolver` surface
+        over the *current* view (see
+        :class:`~repro.service.shard.FederationResolver`); pins one
+        federation picture, like every request handler does."""
+        return self.view.resolver(source)
+
     def exact(self, source: str, target: str) -> tuple[int, str]:
         """Exact-name federated lookup: ``(cost, route template)``."""
         view = self.view
@@ -153,6 +165,7 @@ class FederationService(LineService):
         async with self._swap_lock:
             reader = await asyncio.to_thread(SnapshotReader.open,
                                              snapshot_path)
+            self._check_format(reader)
             shard = Shard(name, reader)
             self.view = self.view.with_shard(shard)
             self.attaches += 1
@@ -178,22 +191,33 @@ class FederationService(LineService):
                 raise FederationError(f"no shard named {name!r}")
             reader = await asyncio.to_thread(SnapshotReader.open,
                                              snapshot_path)
+            self._check_format(reader)
             shard = Shard(name, reader)
             self.view = self.view.with_shard(shard)
             self.reloads += 1
             return shard
 
     def stats_line(self) -> str:
-        """The one-line ``key=value`` counters the STATS verb returns."""
+        """The one-line ``key=value`` counters the STATS verb returns.
+
+        ``formats`` lists the attached shards' snapshot format
+        versions in shard-name order (a per-shard RELOAD can flip
+        one); the ``n_<verb>`` counters live on the service and
+        survive every view swap.
+        """
         view = self.view
         uptime = time.monotonic() - self.started
         tables = sum(s.source_count for s in view.shards.values())
+        formats = view.shard_formats()
+        verbs = self.verb_stats()
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} federated={self.federated} "
                 f"reloads={self.reloads} attaches={self.attaches} "
                 f"detaches={self.detaches} "
                 f"connections={self.connections} "
                 f"shards={len(view.shards)} tables={tables} "
+                f"formats={formats} "
+                f"{verbs} "
                 f"uptime_sec={uptime:.1f} "
                 f"source={self.default_source} "
                 f"shard_names={','.join(view.shard_names())}")
@@ -299,11 +323,13 @@ class FederationService(LineService):
 
 def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
                           port: int = 4176,
-                          source: str | None = None) -> int:
+                          source: str | None = None,
+                          require_format: int | None = None) -> int:
     """Blocking entry point for ``pathalias serve --shard ...``."""
 
     async def main() -> None:
-        service = FederationService(shards, default_source=source)
+        service = FederationService(shards, default_source=source,
+                                    require_format=require_format)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         names = ",".join(service.view.shard_names())

@@ -12,19 +12,25 @@ the previous snapshot and the new map, this module
    whose recorded shortest-path tree leaned on a changed link, plus
    (for cost decreases) sources where the cheaper link could open a
    better-or-equal path, judged by the triangle test
-   ``cost(s, from) + new_cost <= cost(s, to)`` over the stored tables
-   (ties count: an equal-cost path can win the label by relaxation
-   order and change the route text);
+   ``cost(s, from) + new_cost <= cost(s, to)`` (ties count: an
+   equal-cost path can win the label by relaxation order and change
+   the route text);
 3. remaps only those sources (fanning out over the batch pool) and
    splices every other source's table section out of the old snapshot
    **verbatim** — the output is byte-identical to a from-scratch
    rebuild;
 4. falls back to a full rebuild whenever the incremental path cannot
-   be proven equivalent: topology changes (hosts or links added or
-   removed, kind or flag or operator changes), second-best snapshots
-   (their two-label states break the triangle test), negative link
-   costs, changed links touching nets, domains, or private nodes, or
-   an affected set above ``full_threshold``.
+   be proven equivalent.
+
+With a **format-v2** snapshot the triangle test runs on the stored
+per-state costs (the ``STAT`` block): exact final costs for every
+state of every node — nets, domains, private shadows, and both
+second-best domain classes included — so the only remaining full
+fallbacks are topology changes, negative link costs, a requested
+format change, and the ``full_threshold`` economy cut-off.  A v1
+snapshot has no per-state costs, so the historical conservative
+fallbacks remain for it: second-best snapshots and changed links
+touching nets, domains, or private nodes remap fully.
 
 The conservative direction is always "remap more": a source wrongly
 counted as affected costs one redundant (identical) remap; a source
@@ -51,7 +57,7 @@ from repro.service.store import (
     encode_graph_section,
     encode_meta_section,
     encode_table_section,
-    snapshot_payload,
+    payload_for_format,
     write_snapshot,
 )
 
@@ -70,12 +76,13 @@ class UpdateReport:
     seconds: float = 0.0
     out_path: Path | None = None
     heuristics: HeuristicConfig | None = None
+    format: int = 2           # snapshot format version written
 
     def summary(self) -> str:
         """One human-readable line: mode, reason, remap/reuse counts."""
         base = (f"{self.mode} update ({self.reason}): "
                 f"{len(self.remapped)}/{self.total_sources} sources "
-                f"remapped, {self.reused} reused")
+                f"remapped, {self.reused} reused (format v{self.format})")
         if self.diff is not None:
             base += f"; map diff: {self.diff.summary()}"
         return base
@@ -154,14 +161,11 @@ def _link_owner(cg: CompactGraph, j: int) -> int:
     return lo
 
 
-def affected_sources(reader: SnapshotReader, new_cg: CompactGraph,
-                     changed: list[int]) -> list[str] | None:
-    """Sources whose tables could differ after the cost changes.
-
-    Returns None when the triangle test cannot be trusted for some
-    changed link (an endpoint that is a net, domain, or private node,
-    or a negative cost on either side) — callers rebuild fully.
-    """
+def _changed_link_facts(reader: SnapshotReader, new_cg: CompactGraph,
+                        changed: list[int]):
+    """Per-changed-link tuples for the affected-source scans, or None
+    when a negative cost (either side) makes any triangle test
+    unsound."""
     old_cg = reader.decode_graph()
     links = []
     for j in changed:
@@ -170,20 +174,39 @@ def affected_sources(reader: SnapshotReader, new_cg: CompactGraph,
         c_old, c_new = old_cg.cost[j], new_cg.cost[j]
         if c_old < 0 or c_new < 0:
             return None
+        links.append((u, v, new_cg.names[u], new_cg.names[v],
+                      c_old, c_new))
+    return links
+
+
+def affected_sources(reader: SnapshotReader, new_cg: CompactGraph,
+                     changed: list[int]) -> list[str] | None:
+    """Sources whose tables could differ after the cost changes — the
+    **v1** analysis over route records only.
+
+    Returns None when the triangle test cannot be trusted for some
+    changed link (an endpoint that is a net, domain, or private node,
+    or a negative cost on either side) — callers rebuild fully.  A v2
+    snapshot stores the per-state costs those cases need; see
+    :func:`affected_sources_exact`.
+    """
+    links = _changed_link_facts(reader, new_cg, changed)
+    if links is None:
+        return None
+    for u, v, _, _, c_old, c_new in links:
         if c_new < c_old and (
                 new_cg.netlike[u] or new_cg.private[u]
                 or new_cg.netlike[v] or new_cg.private[v]):
             # A cheaper link into or out of a placeholder or private
-            # node: its costs are not in the stored tables, so the
-            # triangle test has nothing to stand on.
+            # node: its costs are not in the stored route records, so
+            # the triangle test has nothing to stand on.
             return None
-        links.append((new_cg.names[u], new_cg.names[v], c_old, c_new))
 
     affected = []
     for source in reader.sources():
         table = reader.table(source)
         pairs = table.tree_links()
-        for u_name, v_name, c_old, c_new in links:
+        for _, _, u_name, v_name, c_old, c_new in links:
             if (u_name, v_name) in pairs:
                 affected.append(source)
                 break
@@ -204,12 +227,82 @@ def affected_sources(reader: SnapshotReader, new_cg: CompactGraph,
     return affected
 
 
+def affected_sources_exact(reader: SnapshotReader,
+                           new_cg: CompactGraph,
+                           changed: list[int]) -> list[str] | None:
+    """The **v2** affected-source analysis over stored per-state costs.
+
+    Two screens per (source, changed link), both exact:
+
+    * **tree usage** — the stored tree-link pairs say whether this
+      source's shortest-path tree (any state, either second-best
+      domain class, invented-back-link seeds included) leaned on the
+      link; if so, its table must be remapped;
+    * **triangle test** — for a cost *decrease* on ``u -> v``, the
+      stored state costs answer ``cost(s, u) + new_cost <=
+      cost(s, v)`` exactly, per state: the candidate path relaxes
+      ``u``'s state into the ``v`` state whose domain class is
+      ``class(u) | is_domain(v)``, mirroring the mapper's own
+      transition.  Dynamic penalties (mixed syntax, domain relay) only
+      ever *add* cost, so using the bare link cost is a lower bound —
+      a source counted affected by it at worst remaps to an identical
+      section.
+
+    Nets, domains, private shadows, and second-best snapshots all have
+    their states stored, so none of them force a full rebuild here.
+    Returns None only for negative link costs (Dijkstra's preconditions
+    are gone — rebuild fully).
+    """
+    links = _changed_link_facts(reader, new_cg, changed)
+    if links is None:
+        return None
+    second = reader.second_best
+    classes = (0, 1) if second else (0,)
+    is_domain = new_cg.is_domain
+
+    affected = []
+    for source in reader.sources():
+        table = reader.table(source)
+        pairs = table.tree_links()
+        states = None
+        hit = False
+        for u, v, u_name, v_name, c_old, c_new in links:
+            if (u_name, v_name) in pairs:
+                hit = True
+                break
+            if c_new >= c_old:
+                # An increase on a link no stored state's path used
+                # cannot move any label (costs are non-negative and
+                # ties already resolved against it).
+                continue
+            if states is None:
+                states = table.state_cost_map()
+            for dclass in classes:
+                cu = states.get((u, dclass))
+                if cu is None:
+                    # This state of u is unreachable from the source;
+                    # reachability is cost-independent, so the cheaper
+                    # link cannot open a path through it.
+                    continue
+                vclass = (dclass | is_domain[v]) if second else 0
+                cv = states.get((v, vclass))
+                if cv is None or cu + c_new <= cv:
+                    hit = True
+                    break
+            if hit:
+                break
+        if hit:
+            affected.append(source)
+    return affected
+
+
 def update_snapshot(old: str | Path | SnapshotReader,
                     new_graph: Graph | CompactGraph,
                     out_path: str | Path,
                     jobs: int | None = None,
                     full_threshold: float = 0.5,
-                    case_fold: bool | None = None) -> UpdateReport:
+                    case_fold: bool | None = None,
+                    fmt: int | None = None) -> UpdateReport:
     """Produce the snapshot for ``new_graph`` at ``out_path``, reusing
     the old snapshot's table sections wherever the revision provably
     cannot have changed them.
@@ -223,13 +316,18 @@ def update_snapshot(old: str | Path | SnapshotReader,
     when the caller parsed the revision differently (the CLI's ``-i``)
     so the output header stays truthful.  ``full_threshold`` is the
     affected fraction beyond which incremental splicing loses to a
-    plain rebuild.  Output bytes are identical to
-    ``build_snapshot(new_graph, out_path, heuristics=old.heuristics(),
-    case_fold=...)`` in every mode.
+    plain rebuild.  ``fmt`` selects the output format (default: the
+    old snapshot's own format; asking for a different one forces a
+    full rebuild, since sections cannot be spliced across layouts —
+    this is how ``pathalias update --format 2`` upgrades in passing).
+    Output bytes are identical to ``build_snapshot(new_graph,
+    out_path, heuristics=old.heuristics(), case_fold=..., fmt=...)``
+    in every mode.
     """
     t0 = time.perf_counter()
     reader = old if isinstance(old, SnapshotReader) \
         else SnapshotReader.open(old)
+    out_fmt = reader.version if fmt is None else fmt
     cfg = reader.heuristics()
     fold = reader.case_fold if case_fold is None else case_fold
     out_flags = (FLAG_SECOND_BEST if cfg.second_best else 0) \
@@ -240,23 +338,33 @@ def update_snapshot(old: str | Path | SnapshotReader,
 
     def full(reason: str) -> UpdateReport:
         info = build_snapshot(new_cg, out_path, heuristics=cfg,
-                              jobs=jobs, case_fold=fold)
+                              jobs=jobs, case_fold=fold, fmt=out_fmt)
         return UpdateReport(
             mode="full", reason=reason, diff=diff,
             total_sources=len(info.sources),
             remapped=list(info.sources), reused=0, engine=info.engine,
             seconds=time.perf_counter() - t0,
-            out_path=Path(out_path), heuristics=cfg)
+            out_path=Path(out_path), heuristics=cfg, format=out_fmt)
 
-    if reader.second_best or cfg.second_best:
-        return full("second-best snapshots always remap fully")
+    if out_fmt != reader.version:
+        return full(f"format change (v{reader.version} -> "
+                    f"v{out_fmt})")
     changed = _cost_only_changes(reader.decode_graph(), new_cg)
     if changed is None:
         return full("topology changed")
-    affected = affected_sources(reader, new_cg, changed)
-    if affected is None:
-        return full("changed link touches a net, domain, private "
-                    "node, or negative cost")
+    if reader.has_state_costs:
+        affected = affected_sources_exact(reader, new_cg, changed)
+        if affected is None:
+            return full("negative link cost")
+    else:
+        if reader.second_best or cfg.second_best:
+            return full("second-best v1 snapshots store no per-state "
+                        "costs; remapping fully (upgrade to v2)")
+        affected = affected_sources(reader, new_cg, changed)
+        if affected is None:
+            return full("changed link touches a net, domain, private "
+                        "node, or negative cost (v1 snapshot stores "
+                        "no per-state costs; upgrade to v2)")
     sources = eligible_sources(new_cg)
     if sources != reader.sources():
         # Cannot happen when the structural guard passed, but the
@@ -266,11 +374,13 @@ def update_snapshot(old: str | Path | SnapshotReader,
         return full(f"{len(affected)}/{len(sources)} sources affected "
                     f"(threshold {full_threshold:.0%})")
 
-    payloads, engine = map_sources(new_cg, affected, snapshot_payload,
+    payloads, engine = map_sources(new_cg, affected,
+                                   payload_for_format(out_fmt),
                                    cfg, jobs)
     fresh = {
-        source: encode_table_section(records, unreachable, pairs)
-        for source, (records, unreachable, pairs)
+        source: encode_table_section(records, unreachable, pairs,
+                                     states, fmt=out_fmt)
+        for source, (records, unreachable, pairs, states)
         in zip(affected, payloads)}
     table_sections = [
         (source, fresh[source] if source in fresh
@@ -279,7 +389,7 @@ def update_snapshot(old: str | Path | SnapshotReader,
     write_snapshot(
         out_path, encode_graph_section(new_cg),
         encode_meta_section(cfg), table_sections,
-        flags=out_flags)
+        flags=out_flags, fmt=out_fmt)
     reason = ("no route-relevant changes" if not changed
               else f"{len(changed)} link cost change(s)")
     return UpdateReport(
@@ -287,4 +397,4 @@ def update_snapshot(old: str | Path | SnapshotReader,
         total_sources=len(sources), remapped=list(affected),
         reused=len(sources) - len(affected), engine=engine,
         seconds=time.perf_counter() - t0, out_path=Path(out_path),
-        heuristics=cfg)
+        heuristics=cfg, format=out_fmt)

@@ -52,7 +52,7 @@ from heapq import heappop, heappush
 from pathlib import Path
 
 from repro.errors import FederationError, RouteError
-from repro.mailer.routedb import Resolution, domain_suffixes
+from repro.service.resolver import Resolution, domain_suffixes
 from repro.service.store import SnapshotReader
 
 
@@ -107,6 +107,38 @@ class Shard:
     def table(self, source: str):
         """The decoded route table for ``source`` (see the reader)."""
         return self.reader.table(source)
+
+    def cid_of(self, name: str) -> int | None:
+        """Compact id of ``name`` in this shard's stored graph.  The
+        graph section decodes once (cached on the reader) and its
+        name index is a plain dict, so this is O(1) after first use."""
+        return self.reader.decode_graph().find(name)
+
+    def state_cost(self, source: str, target: str) -> int | None:
+        """The mapper's exact final cost ``source -> target`` from the
+        stored per-state records (format v2), or None when the shard
+        is v1 or the target is unreached.
+
+        Keyed by compact id rather than route-record display name, and
+        covering nodes the printed records omit entirely (nets,
+        domains, private shadows).  The stitched Dijkstra prices
+        gateway legs with this number; note that *stitching through* a
+        gateway still needs its printed route template, so a gateway
+        only reachable under a domain-qualified display name can be
+        priced here but not crossed.
+
+        No shadowing ambiguity is possible between the two lookups:
+        route records never print private nodes and the graph's name
+        index never contains them, so a record named ``target`` and
+        this cid-keyed table always describe the same global node.
+        """
+        table = self.table(source)
+        if not table.has_state_costs:
+            return None
+        cid = self.cid_of(target)
+        if cid is None:
+            return None
+        return table.state_cost_of(cid)
 
     def __repr__(self) -> str:
         return (f"Shard({self.name!r}, {self.source_count} sources, "
@@ -208,6 +240,12 @@ class FederationView:
             out.update(shard.source_set)
         return sorted(out)
 
+    def shard_formats(self) -> str:
+        """Comma-joined per-shard snapshot format versions, in
+        shard-name order — the ``formats=`` STATS token."""
+        return ",".join(str(s.reader.version)
+                        for s in self.shards.values())
+
     def with_shard(self, shard: Shard) -> "FederationView":
         """A new view with ``shard`` added (or replaced, by name)."""
         kept = [s for name, s in self.shards.items()
@@ -232,6 +270,19 @@ class FederationView:
         deterministic tie-breaks; raises :class:`FederationError` when
         no gateway chain reaches any owner, :class:`RouteError` when
         owners were reached but none resolved the target.
+
+        Gateway legs are priced with the shard's exact per-state
+        mapper cost (:meth:`Shard.state_cost`, format v2) rather than
+        the printed route record; the numbers coincide where both
+        exist, and the state table stays authoritative because it is
+        keyed by node, not display name.  (Crossing a gateway still
+        requires its printed template — a gateway with no exact-name
+        record cannot be stitched through, priced or not.)  Equal-cost
+        stitchings tie-break deterministically on
+        (crossings, shard name, entry host) in the heap and
+        (crossings, owner shard, crossing path, template) among final
+        candidates: the same cheapest route wins on every run, on
+        every host.
         """
         home = self.home_shard(source)
         if home is None:
@@ -278,6 +329,9 @@ class FederationView:
                     if gate_hit is None:
                         continue  # gateway unreachable inside this shard
                     gate_cost, gate_route = gate_hit
+                    exact = shard.state_cost(entry, gate)
+                    if exact is not None:
+                        gate_cost = exact
                     heappush(heap, (
                         cost + gate_cost, hops + 1, other, gate,
                         template.replace("%s", gate_route, 1),
@@ -331,6 +385,11 @@ class FederationView:
         """Federated lookup returning just the :class:`Resolution`."""
         return self.resolve_with_cost(source, target, user).resolution
 
+    def resolver(self, source: str) -> "FederationResolver":
+        """The :class:`~repro.service.resolver.Resolver` surface bound
+        to ``source`` over this (immutable) view."""
+        return FederationResolver(self, source)
+
     def exact(self, source: str, target: str) -> FederatedResolution:
         """Exact-name federated lookup (no domain-suffix walk).
 
@@ -363,3 +422,41 @@ class FederationView:
             f"{name}:{shard.source_count}"
             for name, shard in self.shards.items())
         return f"FederationView({parts})"
+
+
+class FederationResolver:
+    """A federated lookup surface bound to one source.
+
+    The federation counterpart of
+    :class:`~repro.service.store.SnapshotResolver`: the same
+    :class:`~repro.service.resolver.Resolver` protocol, answered by
+    stitching across the view's shards.  Because the view is
+    immutable, a bound resolver pins one consistent federation picture
+    for its whole lifetime — exactly what a request handler wants.
+    """
+
+    def __init__(self, view: FederationView, source: str):
+        self.view = view
+        self.source = source
+
+    def resolve_with_cost(self, target: str, user: str = "%s"
+                          ) -> tuple[int, Resolution]:
+        """Stitched domain-suffix lookup: ``(cost, resolution)``."""
+        fed = self.view.resolve_with_cost(self.source, target, user)
+        return fed.cost, fed.resolution
+
+    def resolve(self, target: str, user: str = "%s") -> Resolution:
+        """Stitched domain-suffix lookup, resolution only."""
+        return self.resolve_with_cost(target, user)[1]
+
+    def source_table(self) -> str:
+        """The bound source host."""
+        return self.source
+
+    def stats(self) -> dict:
+        """View-level facts: shard count, tables, per-shard formats."""
+        shards = self.view.shards
+        return {"shards": str(len(shards)),
+                "tables": str(sum(s.source_count
+                                  for s in shards.values())),
+                "formats": self.view.shard_formats()}

@@ -19,14 +19,23 @@ no mapping, no per-line scan:
   deduplicated string pool (names, operators, warnings);
 * **meta** records the heuristic configuration the tables were mapped
   with, so an incremental update can reproduce them exactly;
-* each **table section** is self-contained: fixed-width record entries
-  sorted by destination name (binary-searchable against the section's
-  local string blob), the unreachable list, and the *tree links* — the
-  NORMAL links this source's shortest-path tree leaned on, which is
-  what lets :mod:`repro.service.incremental` bound the blast radius of
-  a map revision;
+* each **table section** is self-contained; in format **v2** (the
+  default) it is a directory of tagged blocks — route records
+  (``RECS``), unreachable hosts (``UNRC``), tree links (``TREE``),
+  the mapper's full per-state cost/kind records (``STAT``), and the
+  section-local string blob (``BLOB``).  The ``STAT`` block is what
+  v1 threw away: the exact final cost (and state kind, flags, and
+  tree-parent link id) for *every* labeled state — nets, domains, and
+  private shadows included — which is what lets
+  :mod:`repro.service.incremental` run its triangle test on exact
+  numbers and federation read exact gateway costs;
 * the **source index** maps source names (sorted, binary-searchable)
   to their table sections.
+
+Format **v1** files (no ``STAT`` block, fixed-layout table sections)
+are still read through a compatibility shim; :func:`upgrade_snapshot`
+rewrites one as v2 by remapping the *stored* graph in memory — no
+source map required.
 
 Every encoder here is deterministic — no timestamps, no hash-order
 dependence — so rebuilding a snapshot from the same map bytes yields
@@ -45,14 +54,29 @@ from pathlib import Path
 
 from repro.config import DEFAULT_HEURISTICS, HeuristicConfig
 from repro.core.batch import map_sources
-from repro.core.fastmap import build_portable_table, tree_link_pairs
-from repro.errors import PathaliasError, RouteError
+from repro.core.fastmap import (
+    STATE_F_DOMAIN_CLASS,
+    build_portable_table,
+    state_costs,
+    tree_link_pairs,
+)
+from repro.errors import PathaliasError
 from repro.graph.build import Graph
 from repro.graph.compact import CompactGraph
-from repro.mailer.routedb import Resolution, domain_suffixes
+from repro.service.resolver import Resolution, SuffixResolver
 
 MAGIC = b"PATHSNP1"
-VERSION = 1
+
+#: The format this store writes by default.
+VERSION = 2
+
+#: Formats the reader understands (v1 through the compat shim).
+SUPPORTED_VERSIONS = (1, 2)
+
+#: The tagged blocks a v2 table section is made of, in emission order.
+#: ``docs/snapshot-format.md`` must document exactly these tags —
+#: ``tools/check_docs.py`` enforces it.
+TABLE_SECTION_TAGS = ("RECS", "UNRC", "TREE", "STAT", "BLOB")
 
 #: header flag bits
 FLAG_SECOND_BEST = 1
@@ -71,11 +95,18 @@ _RECORD = struct.Struct("<qIIII")
 #: one tree-link pair: from ref, to ref.
 _PAIR = struct.Struct("<IIII")
 
+#: one v2 per-state record: cid, cost, tree-parent link id, flags
+#: (``STATE_F_*``), state kind (``SK_*``).
+_STATE = struct.Struct("<IqiBB")
+
+#: one v2 tag-directory entry: 4-byte ASCII tag, block length.
+_TAG = struct.Struct("<4sI")
+
 #: one source-index entry: name ref (index blob), absolute table
 #: offset, table length.
 _INDEX_ENTRY = struct.Struct("<IIQI")
 
-#: table section prefix: record count, unreachable count, tree-pair
+#: v1 table section prefix: record count, unreachable count, tree-pair
 #: count, blob length.
 _TABLE_HEADER = struct.Struct("<IIII")
 
@@ -88,6 +119,15 @@ _META = struct.Struct("<qqqqqBB")
 
 class SnapshotError(PathaliasError):
     """A snapshot file is missing, malformed, corrupt, or truncated."""
+
+
+def _check_format(fmt: int) -> int:
+    """Validate a requested write format; returns it."""
+    if fmt not in SUPPORTED_VERSIONS:
+        raise SnapshotError(
+            f"unknown snapshot format {fmt!r} (supported: "
+            f"{', '.join(map(str, SUPPORTED_VERSIONS))})")
+    return fmt
 
 
 class _StringPool:
@@ -209,13 +249,17 @@ def decode_meta_section(data: bytes) -> HeuristicConfig:
         second_best=bool(second))
 
 
-def encode_table_section(records, unreachable, tree_links) -> bytes:
-    """Encode one source's table.
+def encode_table_section(records, unreachable, tree_links,
+                         states=(), fmt: int = VERSION) -> bytes:
+    """Encode one source's table in the requested format.
 
     ``records`` is ``(cost, name, route)`` tuples (any order — they are
     re-sorted by encoded name for binary search), ``unreachable`` a
-    name list, ``tree_links`` ``(from, to)`` pairs.
+    name list, ``tree_links`` ``(from, to)`` pairs, and ``states`` the
+    per-state records from :func:`repro.core.fastmap.state_costs`
+    (ignored by the v1 layout, which has nowhere to put them).
     """
+    _check_format(fmt)
     pool = _StringPool()
     by_name = sorted(records, key=lambda r: r[1].encode("utf-8"))
     record_refs = [(cost, pool.add(name), pool.add(route))
@@ -223,50 +267,131 @@ def encode_table_section(records, unreachable, tree_links) -> bytes:
     unreachable_refs = [pool.add(name) for name in sorted(unreachable)]
     pair_refs = [(pool.add(a), pool.add(b))
                  for a, b in sorted(tree_links)]
+    recs = b"".join(
+        _RECORD.pack(cost, nref[0], nref[1], rref[0], rref[1])
+        for cost, nref, rref in record_refs)
+    unrc = b"".join(_REF.pack(*ref) for ref in unreachable_refs)
+    tree = b"".join(_PAIR.pack(aref[0], aref[1], bref[0], bref[1])
+                    for aref, bref in pair_refs)
     blob = pool.getvalue()
-    parts = [
-        _TABLE_HEADER.pack(len(record_refs), len(unreachable_refs),
-                           len(pair_refs), len(blob)),
-        b"".join(_RECORD.pack(cost, nref[0], nref[1], rref[0], rref[1])
-                 for cost, nref, rref in record_refs),
-        b"".join(_REF.pack(*ref) for ref in unreachable_refs),
-        b"".join(_PAIR.pack(aref[0], aref[1], bref[0], bref[1])
-                 for aref, bref in pair_refs),
-        blob,
-    ]
+    if fmt == 1:
+        return b"".join([
+            _TABLE_HEADER.pack(len(record_refs), len(unreachable_refs),
+                               len(pair_refs), len(blob)),
+            recs, unrc, tree, blob])
+    stat = b"".join(
+        _STATE.pack(cid, cost, parent, flags, kind)
+        for cid, flags, kind, cost, parent in states)
+    blocks = dict(RECS=recs, UNRC=unrc, TREE=tree, STAT=stat,
+                  BLOB=blob)
+    parts = [struct.pack("<I", len(TABLE_SECTION_TAGS))]
+    parts += [_TAG.pack(tag.encode("ascii"), len(blocks[tag]))
+              for tag in TABLE_SECTION_TAGS]
+    parts += [blocks[tag] for tag in TABLE_SECTION_TAGS]
     return b"".join(parts)
 
 
-class SnapshotTable:
+class SnapshotTable(SuffixResolver):
     """One source's route table, answered straight off section bytes.
 
     Destination lookup is a binary search over the fixed-width record
     entries, comparing UTF-8 name bytes in the section's string blob —
     the "format appropriate for rapid database retrieval" the paper
-    leaves as an exercise.
+    leaves as an exercise.  The suffix-search surface (``resolve`` /
+    ``resolve_with_cost`` / ``resolve_bang``) is inherited from
+    :class:`~repro.service.resolver.SuffixResolver` — the one shared
+    implementation behind every lookup surface.
+
+    For v2 sections the mapper's per-state records are exposed through
+    :meth:`state_records` / :meth:`state_cost_map` /
+    :meth:`state_cost_of`; a v1 section reports none
+    (:attr:`has_state_costs` is False).
     """
 
-    __slots__ = ("source", "_data", "_rc", "_uc", "_tc",
+    __slots__ = ("source", "version", "_data", "_state_map",
+                 "_rc", "_uc", "_tc", "_sc",
                  "_records_off", "_unreach_off", "_pairs_off",
-                 "_blob_off")
+                 "_states_off", "_blob_off")
 
-    def __init__(self, source: str, data: bytes):
+    def __init__(self, source: str, data: bytes,
+                 version: int = VERSION):
         self.source = source
+        self.version = version
         self._data = data
+        self._state_map: dict | None = None
+        if version == 1:
+            self._init_v1(data)
+        else:
+            self._init_v2(data)
+
+    def _init_v1(self, data: bytes) -> None:
+        """The fixed v1 layout: counted arrays, then the blob."""
         try:
             (self._rc, self._uc, self._tc,
              blob_len) = _TABLE_HEADER.unpack_from(data, 0)
         except struct.error as exc:
             raise SnapshotError(
-                f"table section for {source!r} malformed: {exc}"
+                f"table section for {self.source!r} malformed: {exc}"
             ) from None
+        self._sc = 0
         self._records_off = _TABLE_HEADER.size
         self._unreach_off = self._records_off + self._rc * _RECORD.size
         self._pairs_off = self._unreach_off + self._uc * _REF.size
-        self._blob_off = self._pairs_off + self._tc * _PAIR.size
+        self._states_off = self._blob_off = \
+            self._pairs_off + self._tc * _PAIR.size
         if self._blob_off + blob_len > len(data):
             raise SnapshotError(
-                f"table section for {source!r} truncated")
+                f"table section for {self.source!r} truncated")
+
+    def _init_v2(self, data: bytes) -> None:
+        """The tagged v2 layout: a block directory, then the blocks."""
+        source = self.source
+        try:
+            (tag_count,) = struct.unpack_from("<I", data, 0)
+            if tag_count > len(data):  # absurd count == corruption
+                raise SnapshotError(
+                    f"table section for {source!r} malformed: "
+                    f"{tag_count} tagged blocks")
+            pos = 4
+            directory = []
+            for _ in range(tag_count):
+                tag, length = _TAG.unpack_from(data, pos)
+                pos += _TAG.size
+                directory.append((tag, length))
+        except struct.error as exc:
+            raise SnapshotError(
+                f"table section for {source!r} malformed: {exc}"
+            ) from None
+        blocks = {}
+        for tag, length in directory:
+            blocks[tag] = (pos, length)
+            pos += length
+        if pos > len(data):
+            raise SnapshotError(
+                f"table section for {source!r} truncated "
+                f"(blocks end at {pos}, section is {len(data)} bytes)")
+        for tag, size in ((b"RECS", _RECORD.size), (b"UNRC", _REF.size),
+                          (b"TREE", _PAIR.size), (b"STAT", _STATE.size),
+                          (b"BLOB", 1)):
+            if tag not in blocks:
+                raise SnapshotError(
+                    f"table section for {source!r} lacks the "
+                    f"{tag.decode()} block")
+            off, length = blocks[tag]
+            if size > 1 and length % size:
+                raise SnapshotError(
+                    f"table section for {source!r}: {tag.decode()} "
+                    f"block length {length} is not a whole number of "
+                    f"records")
+        self._records_off, length = blocks[b"RECS"]
+        self._rc = length // _RECORD.size
+        self._unreach_off, length = blocks[b"UNRC"]
+        self._uc = length // _REF.size
+        self._pairs_off, length = blocks[b"TREE"]
+        self._tc = length // _PAIR.size
+        self._states_off, length = blocks[b"STAT"]
+        self._sc = length // _STATE.size
+        self._blob_off, _ = blocks[b"BLOB"]
 
     def __len__(self) -> int:
         return self._rc
@@ -337,38 +462,65 @@ class SnapshotTable:
             out.add((self._text(aoff, alen), self._text(boff, blen)))
         return out
 
-    def resolve_with_cost(self, target: str, user: str = "%s"
-                          ) -> tuple[int, Resolution]:
-        """The paper's domain-suffix search, on the binary index.
+    # -- per-state costs (format v2) ------------------------------------------
 
-        Exact host match: the format argument is the user.  Domain
-        match: the argument is ``target!user`` — "a route relative to
-        its gateway".  Returns the matched record's cost alongside so
-        hot paths (the daemon) need no second search.
-        """
-        for key in domain_suffixes(target):
-            hit = self.lookup(key)
-            if hit is None:
-                continue
-            cost, route = hit
-            argument = user if key == target else f"{target}!{user}"
-            return cost, Resolution(
-                target=target, matched=key, route=route,
-                address=route.replace("%s", argument, 1))
-        raise RouteError(f"no route to {target!r}")
+    @property
+    def has_state_costs(self) -> bool:
+        """Whether this section carries the mapper's ``STAT`` block."""
+        return self.version >= 2
 
-    def resolve(self, target: str, user: str = "%s") -> Resolution:
-        """Domain-suffix search without the cost (see
-        :meth:`resolve_with_cost`)."""
-        return self.resolve_with_cost(target, user)[1]
+    @property
+    def state_count(self) -> int:
+        """Number of stored per-state records (0 for v1 sections)."""
+        return self._sc
+
+    def state_records(self):
+        """Iterate the stored per-state records in ``(cid, domain
+        class)`` order: ``(cid, flags, kind, cost, parent_link)`` —
+        see :func:`repro.core.fastmap.state_costs` for the fields."""
+        for i in range(self._sc):
+            cid, cost, parent, flags, kind = _STATE.unpack_from(
+                self._data, self._states_off + i * _STATE.size)
+            yield cid, flags, kind, cost, parent
+
+    def state_cost_map(self) -> dict[tuple[int, int], int]:
+        """``{(cid, domain class): final cost}`` for every stored
+        state (cached).  The domain class is the second-best state
+        identity bit — always 0 in tree-mode snapshots — so the
+        incremental updater's triangle test can address states exactly
+        as the mapper's relaxation does."""
+        if self._state_map is None:
+            self._state_map = {
+                (cid, flags & STATE_F_DOMAIN_CLASS): cost
+                for cid, flags, _, cost, _ in self.state_records()}
+        return self._state_map
+
+    def state_cost_of(self, cid: int) -> int | None:
+        """The cheapest stored state cost for a node (compact id), or
+        None when the node is unreached or the section is v1.  Keyed
+        by cid, not display name, so a gateway that the route records
+        display under a domain-qualified name still answers exactly."""
+        states = self.state_cost_map()
+        best = states.get((cid, 0))
+        other = states.get((cid, 1))
+        if best is None:
+            return other
+        if other is not None and other < best:
+            return other
+        return best
 
     def database(self):
         """Lift into an in-memory :class:`RouteDatabase` (for callers
-        that want the dict-backed interface)."""
+        that want the dict-backed interface); costs and the source
+        name ride along."""
         from repro.mailer.routedb import RouteDatabase
 
-        return RouteDatabase({name: route
-                              for _, name, route in self.records()})
+        routes = {}
+        costs = {}
+        for cost, name, route in self.records():
+            routes[name] = route
+            costs[name] = cost
+        return RouteDatabase(routes, costs=costs, source=self.source)
 
 
 @dataclass
@@ -379,6 +531,7 @@ class SnapshotInfo:
     sources: list[str]
     size: int
     engine: str
+    format: int = VERSION
 
 
 class SnapshotReader:
@@ -388,6 +541,8 @@ class SnapshotReader:
     The whole file is read at open time, so a reader is immutable and
     self-contained — the daemon hot-swaps readers by plain attribute
     assignment while in-flight lookups keep using the old one.
+    ``version`` reports the stored format (1 or 2); both are served
+    through the same query surface, v1 simply without per-state costs.
     """
 
     def __init__(self, path: str | Path, data: bytes):
@@ -406,9 +561,12 @@ class SnapshotReader:
         if magic != MAGIC:
             raise SnapshotError(
                 f"{self.path}: not a route snapshot (bad magic)")
-        if version != VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise SnapshotError(
-                f"{self.path}: unsupported snapshot version {version}")
+                f"{self.path}: unsupported snapshot version {version} "
+                f"(this reader speaks "
+                f"{', '.join(map(str, SUPPORTED_VERSIONS))})")
+        self.version = version
         for off, length in ((self._graph_off, self._graph_len),
                             (self._meta_off, self._meta_len),
                             (self._index_off, self._index_len),
@@ -481,6 +639,11 @@ class SnapshotReader:
         ``-i`` option); updates must parse revisions the same way."""
         return bool(self.flags & FLAG_CASE_FOLD)
 
+    @property
+    def has_state_costs(self) -> bool:
+        """Whether table sections carry per-state ``STAT`` records."""
+        return self.version >= 2
+
     def sources(self) -> list[str]:
         """Source names, in index (sorted) order."""
         return list(self._sources)
@@ -518,9 +681,15 @@ class SnapshotReader:
         """The (cached) decoded table for ``source``."""
         cached = self._tables.get(source)
         if cached is None:
-            cached = SnapshotTable(source, self.table_bytes(source))
+            cached = SnapshotTable(source, self.table_bytes(source),
+                                   version=self.version)
             self._tables[source] = cached
         return cached
+
+    def resolver(self, source: str) -> "SnapshotResolver":
+        """The in-process :class:`~repro.service.resolver.Resolver`
+        surface bound to ``source``'s table."""
+        return SnapshotResolver(self, source)
 
     def resolve(self, source: str, target: str,
                 user: str = "%s") -> Resolution:
@@ -574,8 +743,40 @@ class SnapshotReader:
         return merged
 
     def __repr__(self) -> str:
-        return (f"SnapshotReader({str(self.path)!r}, "
+        return (f"SnapshotReader({str(self.path)!r}, v{self.version}, "
                 f"{self.source_count} sources, {self.size} bytes)")
+
+
+class SnapshotResolver(SuffixResolver):
+    """The in-process lookup surface: one source's snapshot table
+    behind the :class:`~repro.service.resolver.Resolver` protocol.
+
+    What the daemon binds per request, and what in-process callers
+    (benchmarks, tests, embedding applications) use directly — the
+    same contract the daemon client and the federation surface honour,
+    so callers can swap transports without code changes.
+    """
+
+    def __init__(self, reader: SnapshotReader, source: str):
+        self.reader = reader
+        self.source = source
+        self._table = reader.table(source)
+
+    def lookup(self, name: str) -> tuple[int, str] | None:
+        """Exact-name binary search in the bound table."""
+        return self._table.lookup(name)
+
+    def source_table(self) -> str:
+        """The bound source host."""
+        return self.source
+
+    def stats(self) -> dict:
+        """Snapshot-level facts: format, sources, size, path."""
+        reader = self.reader
+        return {"format": str(reader.version),
+                "sources": str(reader.source_count),
+                "snapshot_bytes": str(reader.size),
+                "snapshot": str(reader.path)}
 
 
 # -- building -----------------------------------------------------------------
@@ -590,23 +791,42 @@ def eligible_sources(cg: CompactGraph) -> list[str]:
 
 def snapshot_payload(mapper, source: str):
     """Per-source worker payload: plain-tuple records, unreachable
-    names, and the tree-link pairs (all picklable)."""
+    names, the tree-link pairs, and the per-state cost records (all
+    picklable)."""
     result = mapper.run(source)
     _, records, unreachable, _ = build_portable_table(result)
     return ([(cost, name, route) for cost, name, route, _ in records],
-            unreachable, tree_link_pairs(result))
+            unreachable, tree_link_pairs(result), state_costs(result))
+
+
+def snapshot_payload_v1(mapper, source: str):
+    """The format-v1 worker payload: same shape, empty state list —
+    the v1 layout has nowhere to put per-state records, so neither
+    computing them nor shipping them across the pool is paid for."""
+    result = mapper.run(source)
+    _, records, unreachable, _ = build_portable_table(result)
+    return ([(cost, name, route) for cost, name, route, _ in records],
+            unreachable, tree_link_pairs(result), ())
+
+
+def payload_for_format(fmt: int):
+    """The per-source worker payload callable for a write format."""
+    return snapshot_payload if fmt >= 2 else snapshot_payload_v1
 
 
 def write_snapshot(path: str | Path, graph_section: bytes,
                    meta_section: bytes,
                    table_sections: list[tuple[str, bytes]],
-                   flags: int = 0) -> int:
+                   flags: int = 0, fmt: int = VERSION) -> int:
     """Assemble and atomically write a snapshot file.
 
-    ``table_sections`` must be sorted by source name; the file appears
-    at ``path`` via write-to-temp + rename so a daemon never observes a
-    half-written snapshot.  Returns the byte size.
+    ``table_sections`` must be sorted by source name and already
+    encoded in format ``fmt`` (the header's version field is all this
+    function stamps); the file appears at ``path`` via write-to-temp +
+    rename so a daemon never observes a half-written snapshot.
+    Returns the byte size.
     """
+    _check_format(fmt)
     pool = _StringPool()
     header_size = _HEADER.size
     graph_off = header_size
@@ -628,7 +848,7 @@ def write_snapshot(path: str | Path, graph_section: bytes,
                         index])
     crc = zlib.crc32(payload) & 0xFFFFFFFF
     header = _HEADER.pack(
-        MAGIC, VERSION, flags, len(table_sections), crc,
+        MAGIC, fmt, flags, len(table_sections), crc,
         graph_off, len(graph_section), meta_off, len(meta_section),
         index_off, len(index), tables_off, tables_len)
     path = Path(path)
@@ -641,29 +861,55 @@ def write_snapshot(path: str | Path, graph_section: bytes,
 def build_snapshot(graph: Graph | CompactGraph, path: str | Path,
                    heuristics: HeuristicConfig | None = None,
                    jobs: int | None = None,
-                   case_fold: bool = False) -> SnapshotInfo:
+                   case_fold: bool = False,
+                   fmt: int = VERSION) -> SnapshotInfo:
     """Map every eligible source and write the snapshot to ``path``.
 
     With ``jobs > 1`` the per-source mapping fans out over the batch
     pool (:func:`repro.core.batch.map_sources`); output bytes are
     identical at any worker count.  ``case_fold`` records (in the
     header flags) that the map was parsed with host names folded, so
-    an update can parse the revision identically.
+    an update can parse the revision identically.  ``fmt`` selects the
+    written format — v2 (default, with per-state cost records) or the
+    legacy v1 layout.
     """
+    _check_format(fmt)
     cg = graph if isinstance(graph, CompactGraph) \
         else CompactGraph.compile(graph)
     cfg = heuristics if heuristics is not None else DEFAULT_HEURISTICS
     sources = eligible_sources(cg)
-    payloads, engine = map_sources(cg, sources, snapshot_payload,
+    payloads, engine = map_sources(cg, sources,
+                                   payload_for_format(fmt),
                                    heuristics, jobs)
     table_sections = [
-        (source, encode_table_section(records, unreachable, pairs))
-        for source, (records, unreachable, pairs)
+        (source,
+         encode_table_section(records, unreachable, pairs, states,
+                              fmt=fmt))
+        for source, (records, unreachable, pairs, states)
         in zip(sources, payloads)]
     flags = (FLAG_SECOND_BEST if cfg.second_best else 0) \
         | (FLAG_CASE_FOLD if case_fold else 0)
     size = write_snapshot(
         path, encode_graph_section(cg), encode_meta_section(cfg),
-        table_sections, flags=flags)
+        table_sections, flags=flags, fmt=fmt)
     return SnapshotInfo(path=Path(path), sources=sources, size=size,
-                        engine=engine)
+                        engine=engine, format=fmt)
+
+
+def upgrade_snapshot(old: str | Path | SnapshotReader,
+                     out_path: str | Path,
+                     jobs: int | None = None) -> SnapshotInfo:
+    """Rewrite a stored snapshot as format v2 without its source map.
+
+    The per-state costs a v1 file never recorded are backfilled by a
+    single in-memory remap of the *stored* graph section — the graph,
+    heuristic configuration, and case-folding flag all come from the
+    old file, so the output is byte-identical to a native v2 build
+    from the same map bytes.  (A v2 input is simply rewritten, which
+    makes the operation idempotent.)
+    """
+    reader = old if isinstance(old, SnapshotReader) \
+        else SnapshotReader.open(old)
+    return build_snapshot(reader.decode_graph(), out_path,
+                          heuristics=reader.heuristics(), jobs=jobs,
+                          case_fold=reader.case_fold, fmt=VERSION)

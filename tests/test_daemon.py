@@ -75,6 +75,7 @@ class TestProtocol:
             stats = await request(r, w, "STATS")
             assert stats.startswith("OK lookups=")
             assert "sources=4" in stats
+            assert "format=2" in stats
             assert await request(r, w, "QUIT") == "OK bye"
             w.close()
             server.close()
@@ -113,6 +114,82 @@ class TestProtocol:
         snap1, _ = snapshots
         with pytest.raises(SnapshotError, match="no table"):
             RouteService(snap1, default_source="ghost")
+
+    def test_stats_format_and_verb_counters(self, snapshots,
+                                            tmp_path):
+        """STATS reports the served snapshot's format version (which
+        flips when RELOAD swaps formats) and per-verb counters that a
+        RELOAD must never reset."""
+        snap1, _ = snapshots
+        v1 = tmp_path / "fmt1.snap"
+        build_snapshot(Pathalias().build([("d.map", MAP_V1)]), v1,
+                       fmt=1)
+
+        def parse(reply):
+            return dict(token.partition("=")[::2]
+                        for token in reply[3:].split())
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert (await request(r, w, "ROUTE d u")).startswith("OK")
+            assert (await request(r, w, "EXACT b")).startswith("OK")
+            stats = parse(await request(r, w, "STATS"))
+            assert stats["format"] == "2"
+            assert stats["n_route"] == "1"
+            assert stats["n_exact"] == "1"
+            assert stats["n_stats"] == "1"
+            assert stats["n_reload"] == "0"
+            reply = await request(r, w, f"RELOAD {v1}")
+            assert reply.startswith("OK reloaded")
+            stats = parse(await request(r, w, "STATS"))
+            # the reload swapped in a v1 file and reset NO counters
+            assert stats["format"] == "1"
+            assert stats["n_route"] == "1"
+            assert stats["n_exact"] == "1"
+            assert stats["n_reload"] == "1"
+            assert stats["n_stats"] == "2"
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_pinned_format_enforced_on_reload(self, snapshots,
+                                              tmp_path):
+        """A --format pin is a standing contract: the startup check
+        and every later RELOAD enforce it, so the daemon can never be
+        silently downgraded mid-flight."""
+        snap1, snap2 = snapshots
+        v1 = tmp_path / "fmt1.snap"
+        build_snapshot(Pathalias().build([("d.map", MAP_V1)]), v1,
+                       fmt=1)
+        with pytest.raises(SnapshotError, match="--format 2"):
+            RouteService(str(v1), default_source="a",
+                         require_format=2)
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a",
+                                   require_format=2)
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            reply = await request(r, w, f"RELOAD {v1}")
+            assert reply.startswith("ERR reload")
+            assert "--format 2" in reply
+            # the refused reload left the pinned snapshot serving
+            assert (await request(r, w, "ROUTE d u")).startswith(
+                "OK 30 d")
+            assert (await request(r, w,
+                                  f"RELOAD {snap2}")).startswith(
+                "OK reloaded")
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
 
     def test_stale_source_after_reload_survives(self, snapshots,
                                                 tmp_path):
@@ -189,6 +266,16 @@ class TestHotSwapUnderLoad:
 
             results = await asyncio.gather(
                 *(client(i) for i in range(clients)), reloader())
+            # The reload-under-load counter bar: every ROUTE and every
+            # RELOAD that was answered is still counted — a hot swap
+            # must never reset the service's counters mid-traffic.
+            assert service.verb_counts["ROUTE"] == \
+                clients * requests_per_client
+            assert service.verb_counts["RELOAD"] == reloads
+            assert service.lookups == clients * requests_per_client
+            stats = service.stats_line()
+            assert f"n_route={clients * requests_per_client}" in stats
+            assert f"n_reload={reloads}" in stats
             server.close()
             await server.wait_closed()
             return results

@@ -55,6 +55,29 @@ class TestDocsSuite:
         _tool().check_links(problems)
         assert problems == []
 
+    def test_snapshot_format_page_documents_writer_tags(self):
+        problems: list = []
+        _tool().check_snapshot_tags(problems)
+        assert problems == []
+
+    def test_tag_checker_notices_a_missing_tag(self, tmp_path,
+                                               monkeypatch):
+        """The tag check is a real check: drop a tag from the marker
+        and it must complain."""
+        tool = _tool()
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        page = (REPO / "docs" / "snapshot-format.md").read_text()
+        broken = page.replace(
+            "<!-- table-tags RECS UNRC TREE STAT BLOB -->",
+            "<!-- table-tags RECS UNRC TREE BLOB -->")
+        assert broken != page
+        (docs / "snapshot-format.md").write_text(broken)
+        monkeypatch.setattr(tool, "REPO", tmp_path)
+        problems: list = []
+        tool.check_snapshot_tags(problems)
+        assert any("table-tags marker" in p for p in problems)
+
     def test_service_public_api_is_docstringed(self):
         problems: list = []
         _tool().check_docstrings(problems)

@@ -173,6 +173,120 @@ class TestStitching:
             view.exact("ihnp4", "x.edu")
 
 
+class TestStitchedCostExactness:
+    """Stitched costs read exact per-state numbers from v2 shards —
+    and match the concatenated-map mapper *exactly*, source by
+    source, destination by destination.
+
+    Scope: every source outside the ``@``-style ARPA net.  For an
+    ARPA member the single-label concat mapper contaminates its own
+    labels with the mixed-syntax penalty (an ``!`` hop after the
+    ``@`` entry), a paper-known artifact of one label per node that
+    no per-shard decomposition can — or should — reproduce; each
+    shard prices its own region (see shard.py).
+    """
+
+    def pure_sources(self, view):
+        arpa = view.shards["arpa"]
+        return [s for s in view.sources() if not arpa.has_source(s)]
+
+    def test_every_pair_matches_concat_mapper(self, view,
+                                              concat_tool):
+        from repro.errors import RouteError
+        from repro.mailer.routedb import RouteDatabase
+
+        sources = self.pure_sources(view)
+        assert len(sources) >= 15  # the fixtures' non-ARPA world
+        # destinations: every table-owning host plus suffix-matched
+        # domain members (exercise the domain walk across shards)
+        destinations = view.sources() + ["caip.rutgers.edu",
+                                         "ernie.berkeley.edu",
+                                         "x.edu"]
+        checked = 0
+        for source in sources:
+            oracle = RouteDatabase.from_table(
+                concat_table(concat_tool, source))
+            for dest in destinations:
+                if dest == source:
+                    continue
+                try:
+                    want_cost, want = oracle.resolve_with_cost(
+                        dest, "user")
+                except RouteError:
+                    want_cost = want = None
+                try:
+                    fed = view.resolve_with_cost(source, dest,
+                                                 "user")
+                except RouteError:  # includes FederationError
+                    assert want is None, (
+                        f"{source}->{dest}: concat resolves "
+                        f"({want_cost}), federation does not")
+                    continue
+                assert want is not None, (
+                    f"{source}->{dest}: federation resolves "
+                    f"({fed.cost}), concat does not")
+                assert fed.cost == want_cost, (
+                    f"{source}->{dest}: stitched {fed.cost} != "
+                    f"concat {want_cost} (via {fed.via})")
+                # addresses (fully instantiated) compare uniformly:
+                # on a domain match the federation's template is
+                # already gateway-relative, the oracle's is not.
+                assert fed.resolution.address == want.address, (
+                    f"{source}->{dest}: stitched address "
+                    f"{fed.resolution.address!r} != concat "
+                    f"{want.address!r}")
+                checked += 1
+        assert checked > 400  # the suite really swept the matrix
+
+    def test_gateway_legs_priced_from_state_records(self, view):
+        """The stitch's gateway costs come from the v2 STAT block
+        (exact mapper state costs, keyed by node), and agree with the
+        printed record where both exist."""
+        backbone = view.shards["backbone"]
+        assert backbone.reader.has_state_costs
+        for gate in view.gateways("backbone", "universities"):
+            exact = backbone.state_cost("ihnp4", gate)
+            record = backbone.table("ihnp4").cost(gate)
+            assert exact is not None
+            assert exact == record
+
+    def test_state_cost_covers_unprinted_nodes(self, view):
+        """Per-state costs answer for nodes the route records cannot:
+        the ARPA net placeholder has no printed record, but its exact
+        mapped cost is stored."""
+        arpa = view.shards["arpa"]
+        cost = arpa.state_cost("seismo", "ARPA")
+        assert cost is not None
+        assert arpa.table("seismo").cost("ARPA") is None
+
+    def test_v1_shards_fall_back_to_record_costs(self, shard_paths,
+                                                 tmp_path):
+        """A v1 shard has no STAT block; state_cost answers None and
+        the stitch keeps using record costs — same routes, same
+        costs, on these fixtures."""
+        from repro.service.store import upgrade_snapshot
+
+        v1 = tmp_path / "backbone1.snap"
+        text = (DATA / "d.backbone").read_text()
+        build_snapshot(Pathalias().build([("d.backbone", text)]), v1,
+                       fmt=1)
+        mixed = FederationView(
+            [Shard.open("backbone", v1),
+             Shard.open("universities", shard_paths["universities"]),
+             Shard.open("arpa", shard_paths["arpa"])])
+        assert mixed.shards["backbone"].state_cost(
+            "ihnp4", "allegra") is None
+        fed = mixed.resolve_with_cost("ihnp4", "topaz", "user")
+        assert fed.cost == 650
+        assert fed.resolution.address == \
+            "allegra!princeton!rutgers-ru!topaz!user"
+        # ... and an upgraded v1 shard prices identically to native v2
+        up = tmp_path / "backbone2.snap"
+        upgrade_snapshot(v1, up)
+        assert Shard.open("backbone", up).state_cost(
+            "ihnp4", "allegra") == 300
+
+
 class TestEdgeCases:
     def test_dest_in_two_shards_cheapest_wins(self, view):
         """seismo has tables in backbone (cost 300 from ucbvax) and in
@@ -290,6 +404,44 @@ class TestFederationDaemon:
             assert reply.startswith("OK attached backbone 10 ")
             assert (await request(r, w, "ROUTE mit-ai bob")
                     ).startswith("OK 695 ")
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_pinned_format_enforced_on_attach_and_reload(
+            self, shard_paths, tmp_path):
+        """The federation's --format pin covers ATTACH and per-shard
+        RELOAD, not just startup."""
+        from repro.service.store import SnapshotError
+
+        v1 = tmp_path / "fmt1.snap"
+        build_snapshot(
+            Pathalias().build(
+                [("d.backbone",
+                  (DATA / "d.backbone").read_text())]),
+            v1, fmt=1)
+        with pytest.raises(SnapshotError, match="--format 2"):
+            FederationService({"backbone": str(v1)}, require_format=2)
+
+        async def scenario():
+            service = FederationService(shard_paths,
+                                        default_source="ihnp4",
+                                        require_format=2)
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            reply = await request(r, w, f"RELOAD backbone {v1}")
+            assert reply.startswith("ERR reload")
+            assert "--format 2" in reply
+            reply = await request(r, w, f"ATTACH extra {v1}")
+            assert reply.startswith("ERR attach")
+            # the pinned federation keeps serving v2 shards only
+            stats = await request(r, w, "STATS")
+            assert "formats=2,2,2" in stats
+            assert (await request(r, w, "ROUTE topaz u")).startswith(
+                "OK 650 ")
             w.close()
             server.close()
             await server.wait_closed()

@@ -3,14 +3,17 @@ byte-identity guarantee."""
 
 from __future__ import annotations
 
+import pickle
 from pathlib import Path
 
 import pytest
 
 from repro.config import HeuristicConfig
 from repro.core.pathalias import Pathalias
+from repro.graph.compact import CompactGraph, K_NORMAL
 from repro.service.incremental import (
     affected_sources,
+    affected_sources_exact,
     compact_link_costs,
     diff_compact_graphs,
     update_snapshot,
@@ -38,10 +41,19 @@ def snap(graph, path, **kwargs):
     return build_snapshot(graph, path, **kwargs)
 
 
-def assert_identical_to_full_rebuild(out: Path, new_graph, cfg=None):
+def assert_identical_to_full_rebuild(out: Path, new_graph, cfg=None,
+                                     fmt=2):
     reference = out.parent / (out.name + ".reference")
-    build_snapshot(new_graph, reference, heuristics=cfg)
+    build_snapshot(new_graph, reference, heuristics=cfg, fmt=fmt)
     assert out.read_bytes() == reference.read_bytes()
+
+
+def repriced(cg: CompactGraph, j: int, delta: int) -> CompactGraph:
+    """A detached clone of ``cg`` with one link cost changed — the
+    array-level way to synthesize a pure cost revision."""
+    clone = pickle.loads(pickle.dumps(cg))
+    clone.cost[j] += delta
+    return clone
 
 
 class TestAffectedSet:
@@ -167,16 +179,40 @@ class TestFullFallbacks:
         assert "threshold" in report.reason
         assert_identical_to_full_rebuild(out, revised)
 
-    def test_second_best_snapshot_forces_full(self, tmp_path):
+    def test_second_best_v1_snapshot_forces_full(self, tmp_path):
+        """A v1 snapshot stores no per-state costs, so the historical
+        conservative fallback remains for it."""
         cfg = HeuristicConfig(second_best=True)
-        old = self.make_old(tmp_path, heuristics=cfg)
+        old = self.make_old(tmp_path, heuristics=cfg, fmt=1)
         revised = build(DIAMOND.replace("b\ta(10), c(10)",
                                         "b\ta(10), c(500)"))
         out = tmp_path / "new.snap"
         report = update_snapshot(old, revised, out)
         assert report.mode == "full"
         assert "second-best" in report.reason
-        assert_identical_to_full_rebuild(out, revised, cfg=cfg)
+        assert_identical_to_full_rebuild(out, revised, cfg=cfg, fmt=1)
+
+    def test_net_touching_v1_snapshot_forces_full(self, tmp_path):
+        """Same v1 restriction for a cheaper link whose endpoint is a
+        structural placeholder."""
+        text = DIAMOND + "NET = {a, b}(50)\nn2\ta(40), NET(60)\n"
+        old = self.make_old(tmp_path, text=text, fmt=1)
+        revised = build(text.replace("NET(60)", "NET(30)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "full"
+        assert "net, domain, private" in report.reason
+        assert_identical_to_full_rebuild(out, revised, fmt=1)
+
+    def test_format_change_forces_full(self, tmp_path):
+        old = self.make_old(tmp_path, fmt=1)
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, build(DIAMOND), out, fmt=2)
+        assert report.mode == "full"
+        assert "format change" in report.reason
+        assert report.format == 2
+        assert SnapshotReader.open(out).version == 2
+        assert_identical_to_full_rebuild(out, build(DIAMOND), fmt=2)
 
     def test_update_preserves_stored_heuristics(self, tmp_path):
         cfg = HeuristicConfig(back_link_factor=2)
@@ -197,6 +233,183 @@ class TestFullFallbacks:
         assert report.remapped == []
         assert report.diff.is_empty
         assert out.read_bytes() == old.read_bytes()
+
+
+#: p is private (file-scoped); NET is a placeholder; .dom a domain.
+#: All three have NORMAL links whose costs can change — exactly the
+#: revisions a v1 snapshot had to remap fully.
+STRUCTURED = """\
+private {p}
+a\tb(10), p(20), NET(40), .dom(90)
+p\tc(30)
+b\ta(10), c(10)
+c\tb(10), d(10)
+d\tc(10)
+NET = {b, d}(50)
+.dom = {c}
+"""
+
+
+class TestExactAffectedV2:
+    """The tentpole: with stored per-state costs the triangle test
+    runs on exact numbers, so second-best snapshots and revisions
+    touching nets, domains, or private nodes update incrementally —
+    and stay byte-identical to a from-scratch v2 build."""
+
+    def updated(self, tmp_path, text, old_text=None, cfg=None,
+                **kwargs):
+        old = tmp_path / "old.snap"
+        snap(build(old_text or text), old, heuristics=cfg)
+        revised = build(text) if old_text else None
+        return old, revised
+
+    def test_private_touching_decrease_incremental(self, tmp_path):
+        old = tmp_path / "old.snap"
+        snap(build(STRUCTURED), old)
+        revised = build(STRUCTURED.replace("p\tc(30)", "p\tc(5)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out,
+                                 full_threshold=1.0)
+        assert report.mode == "incremental"
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_net_touching_decrease_incremental(self, tmp_path):
+        old = tmp_path / "old.snap"
+        snap(build(STRUCTURED), old)
+        revised = build(STRUCTURED.replace("NET(40)", "NET(15)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out,
+                                 full_threshold=1.0)
+        assert report.mode == "incremental"
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_domain_touching_decrease_incremental(self, tmp_path):
+        old = tmp_path / "old.snap"
+        snap(build(STRUCTURED), old)
+        revised = build(STRUCTURED.replace(".dom(90)", ".dom(35)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out,
+                                 full_threshold=1.0)
+        assert report.mode == "incremental"
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_second_best_update_incremental(self, tmp_path):
+        cfg = HeuristicConfig(second_best=True)
+        old = tmp_path / "old.snap"
+        snap(build(STRUCTURED), old, heuristics=cfg)
+        revised = build(STRUCTURED.replace("b\ta(10), c(10)",
+                                           "b\ta(10), c(500)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out,
+                                 full_threshold=1.0)
+        assert report.mode == "incremental"
+        assert_identical_to_full_rebuild(out, revised, cfg=cfg)
+
+    def test_unaffected_sources_splice_verbatim(self, tmp_path):
+        """A private-link increase only remaps the sources whose tree
+        used it; the rest splice from the old file."""
+        old = tmp_path / "old.snap"
+        snap(build(STRUCTURED), old)
+        revised = build(STRUCTURED.replace("p\tc(30)", "p\tc(90)"))
+        out = tmp_path / "new.snap"
+        report = update_snapshot(old, revised, out,
+                                 full_threshold=1.0)
+        assert report.mode == "incremental"
+        assert report.reused > 0
+        assert_identical_to_full_rebuild(out, revised)
+
+    def test_exact_analysis_tighter_than_v1(self, tmp_path):
+        """The same revision that forces a v1 full rebuild updates a
+        v2 snapshot incrementally — the open item this PR closes."""
+        v1, v2 = tmp_path / "v1.snap", tmp_path / "v2.snap"
+        snap(build(STRUCTURED), v1, fmt=1)
+        snap(build(STRUCTURED), v2)
+        revised = build(STRUCTURED.replace("NET(40)", "NET(15)"))
+        full = update_snapshot(v1, revised, tmp_path / "o1.snap",
+                               full_threshold=1.0)
+        incremental = update_snapshot(v2, revised,
+                                      tmp_path / "o2.snap",
+                                      full_threshold=1.0)
+        assert full.mode == "full"
+        assert incremental.mode == "incremental"
+
+    def test_affected_sources_exact_directly(self, tmp_path):
+        old = tmp_path / "old.snap"
+        snap(build(DIAMOND), old)
+        reader = SnapshotReader.open(old)
+        new_cg = CompactGraph.compile(
+            build(DIAMOND.replace("b\ta(10), c(10)",
+                                  "b\ta(10), c(500)")))
+        changed = [j for j in range(new_cg.link_count)
+                   if new_cg.cost[j] != reader.decode_graph().cost[j]]
+        assert affected_sources_exact(reader, new_cg, changed) == \
+            affected_sources(reader, new_cg, changed) == ["a", "b"]
+
+    def test_negative_cost_returns_none(self, tmp_path):
+        """Negative costs void Dijkstra's preconditions: the exact
+        analysis refuses (None) so update_snapshot rebuilds fully."""
+        old = tmp_path / "old.snap"
+        snap(build(DIAMOND), old)
+        reader = SnapshotReader.open(old)
+        cg = CompactGraph.compile(build(DIAMOND))
+        j = next(j for j in range(cg.link_count)
+                 if cg.kind[j] == K_NORMAL)
+        revised = repriced(cg, j, -(cg.cost[j] + 5))
+        assert affected_sources_exact(reader, revised, [j]) is None
+        assert affected_sources(reader, revised, [j]) is None
+
+
+def structural_candidates(cg: CompactGraph) -> list[int]:
+    """NORMAL link ids touching a net, domain, or private node —
+    preferred revision targets (they exercised the v1 fallback) —
+    falling back to any NORMAL link."""
+    touching = [j for j in range(cg.link_count)
+                if cg.kind[j] == K_NORMAL and cg.cost[j] > 8
+                and (cg.netlike[_owner(cg, j)] or
+                     cg.private[_owner(cg, j)] or
+                     cg.netlike[cg.to[j]] or cg.private[cg.to[j]])]
+    if touching:
+        return touching[:3]
+    return [j for j in range(cg.link_count)
+            if cg.kind[j] == K_NORMAL and cg.cost[j] > 8][:3]
+
+
+def _owner(cg: CompactGraph, j: int) -> int:
+    from repro.service.incremental import _link_owner
+
+    return _link_owner(cg, j)
+
+
+class TestFixtureSuiteV2:
+    """The acceptance bar on the real regional maps: every synthetic
+    cost revision — including ones touching nets, domains, and
+    private nodes, and including second-best snapshots — updates
+    incrementally and lands byte-identical to a from-scratch build."""
+
+    @pytest.mark.parametrize("path", sorted(DATA.glob("d.*")),
+                             ids=lambda p: p.name)
+    @pytest.mark.parametrize("second", [False, True],
+                             ids=["tree", "second-best"])
+    @pytest.mark.parametrize("delta", [7, -7],
+                             ids=["increase", "decrease"])
+    def test_no_fallback_and_byte_identical(self, tmp_path, path,
+                                            second, delta):
+        cfg = HeuristicConfig(second_best=second)
+        graph = Pathalias(heuristics=cfg).build(
+            [(path.name, path.read_text())])
+        cg = CompactGraph.compile(graph)
+        old = tmp_path / "old.snap"
+        snap(cg, old, heuristics=cfg)
+        reader = SnapshotReader.open(old)
+        for j in structural_candidates(cg):
+            revised = repriced(cg, j, delta)
+            out = tmp_path / "new.snap"
+            report = update_snapshot(reader, revised, out,
+                                     full_threshold=1.0)
+            assert report.mode == "incremental", report.reason
+            reference = tmp_path / "ref.snap"
+            build_snapshot(revised, reference, heuristics=cfg)
+            assert out.read_bytes() == reference.read_bytes()
 
 
 class TestRealMaps:

@@ -14,8 +14,10 @@ from repro.mailer.routedb import RouteDatabase
 from repro.service.store import (
     SnapshotError,
     SnapshotReader,
+    SnapshotTable,
     build_snapshot,
     decode_graph_section,
+    upgrade_snapshot,
 )
 
 from tests.conftest import DOMAIN_TREE_MAP, PAPER_1981_MAP
@@ -159,6 +161,141 @@ class TestHeuristicsMeta:
         assert reader.heuristics().second_best
 
 
+class TestFormatV2:
+    """The v2 layout: per-state cost records and the v1 compat shim."""
+
+    def test_default_build_is_v2(self, snapped):
+        _, reader = snapped
+        assert reader.version == 2
+        assert reader.has_state_costs
+        for source in reader.sources():
+            assert reader.table(source).has_state_costs
+
+    def test_state_records_match_a_fresh_mapping(self, snapped):
+        """The stored STAT block is exactly what the mapper computed:
+        same states, same costs, same flags/kinds/parents."""
+        from repro.core.fastmap import CompactMapper, state_costs
+        from repro.graph.compact import CompactGraph
+
+        graph, reader = snapped
+        cg = CompactGraph.compile(graph)
+        mapper = CompactMapper(cg)
+        for source in reader.sources():
+            stored = list(reader.table(source).state_records())
+            fresh = state_costs(mapper.run(source))
+            assert stored == fresh
+
+    def test_state_costs_cover_every_node_kind(self, tmp_path):
+        """Nets, domains, and private nodes — absent from the route
+        records — all have exact stored costs, which is what the
+        incremental triangle test stands on."""
+        from repro.graph.compact import (
+            SK_DOMAIN,
+            SK_HOST,
+            SK_NET,
+            SK_PRIVATE,
+        )
+
+        text = (DATA / "d.universities").read_text()
+        graph = build([("d.universities", text)])
+        out = tmp_path / "u.snap"
+        build_snapshot(graph, out)
+        reader = SnapshotReader.open(out)
+        cg = reader.decode_graph()
+        table = reader.table("princeton")
+        kinds = {kind for _, _, kind, _, _ in table.state_records()}
+        assert kinds == {SK_HOST, SK_NET, SK_PRIVATE}
+        # the NJ-net placeholder has a cost even though no route
+        # record ever mentions it
+        net_cid = cg.find("NJ-net")
+        assert cg.is_net[net_cid]
+        assert table.state_cost_of(net_cid) is not None
+        assert table.route("NJ-net") is None
+        # and the arpa shard adds domains to the mix
+        text = (DATA / "d.arpa").read_text()
+        build_snapshot(build([("d.arpa", text)]), out)
+        reader = SnapshotReader.open(out)
+        table = reader.table("seismo")
+        kinds = {kind for _, _, kind, _, _ in table.state_records()}
+        assert SK_DOMAIN in kinds and SK_NET in kinds
+        edu = reader.decode_graph().find(".edu")
+        assert table.state_cost_of(edu) == 95  # seismo .edu(DEDICATED)
+
+    def test_root_state_costs_zero_with_no_parent(self, snapped):
+        graph, reader = snapped
+        from repro.graph.compact import CompactGraph
+
+        cg = CompactGraph.compile(graph)
+        for source in reader.sources():
+            table = reader.table(source)
+            root = cg.find(source)
+            assert table.state_cost_of(root) == 0
+            parents = {cid: parent for cid, _, _, _, parent
+                       in table.state_records()}
+            assert parents[root] == -1
+
+    def test_v1_reads_through_compat_shim(self, tmp_path):
+        graph = build(named_file(DATA_MAPS[0]))
+        v1, v2 = tmp_path / "v1.snap", tmp_path / "v2.snap"
+        build_snapshot(graph, v1, fmt=1)
+        build_snapshot(graph, v2)
+        old = SnapshotReader.open(v1)
+        new = SnapshotReader.open(v2)
+        assert old.version == 1 and new.version == 2
+        assert not old.has_state_costs
+        assert old.sources() == new.sources()
+        for source in old.sources():
+            a, b = old.table(source), new.table(source)
+            assert list(a.records()) == list(b.records())
+            assert a.unreachable() == b.unreachable()
+            assert a.tree_links() == b.tree_links()
+            assert a.state_count == 0
+            assert a.state_cost_of(0) is None
+        # v1 is strictly smaller: no STAT block
+        assert old.size < new.size
+
+    def test_v1_rejects_unknown_format_request(self, tmp_path):
+        graph = build(named_file(DATA_MAPS[0]))
+        with pytest.raises(SnapshotError, match="unknown snapshot"):
+            build_snapshot(graph, tmp_path / "x.snap", fmt=3)
+
+    def test_upgrade_is_byte_identical_to_native_v2(self, tmp_path):
+        """The --upgrade satellite: a v1 snapshot rewritten from its
+        own stored graph equals a native v2 build from the map."""
+        graph = build(named_file(DATA_MAPS[0]))
+        v1 = tmp_path / "v1.snap"
+        v2 = tmp_path / "v2.snap"
+        up = tmp_path / "up.snap"
+        build_snapshot(graph, v1, fmt=1)
+        build_snapshot(graph, v2)
+        info = upgrade_snapshot(v1, up)
+        assert info.format == 2
+        assert up.read_bytes() == v2.read_bytes()
+
+    def test_upgrade_preserves_flags_and_heuristics(self, tmp_path):
+        cfg = HeuristicConfig(back_link_factor=2, second_best=True)
+        graph = build(named_file(DATA_MAPS[0]))
+        v1 = tmp_path / "v1.snap"
+        up = tmp_path / "up.snap"
+        build_snapshot(graph, v1, heuristics=cfg, case_fold=True,
+                       fmt=1)
+        upgrade_snapshot(v1, up)
+        reader = SnapshotReader.open(up)
+        assert reader.heuristics() == cfg
+        assert reader.second_best and reader.case_fold
+        ref = tmp_path / "ref.snap"
+        build_snapshot(graph, ref, heuristics=cfg, case_fold=True)
+        assert up.read_bytes() == ref.read_bytes()
+
+    def test_upgrade_is_idempotent_on_v2(self, tmp_path):
+        graph = build(named_file(DATA_MAPS[0]))
+        v2 = tmp_path / "v2.snap"
+        again = tmp_path / "again.snap"
+        build_snapshot(graph, v2)
+        upgrade_snapshot(v2, again)
+        assert again.read_bytes() == v2.read_bytes()
+
+
 class TestDamage:
     @pytest.fixture()
     def snap_bytes(self, tmp_path):
@@ -215,3 +352,39 @@ class TestDamage:
     def test_malformed_graph_section(self):
         with pytest.raises(SnapshotError):
             decode_graph_section(b"\x01\x00")
+
+    def test_v2_section_with_missing_block_rejected(self):
+        """A v2 tag directory lacking a required block is a clear
+        SnapshotError, not an index error at lookup time."""
+        import struct
+
+        from repro.service.store import _TAG
+
+        directory = struct.pack("<I", 1) + _TAG.pack(b"RECS", 0)
+        with pytest.raises(SnapshotError, match="BLOB|UNRC"):
+            SnapshotTable("x", directory, version=2)
+
+    def test_v2_section_with_truncated_blocks_rejected(self):
+        import struct
+
+        from repro.service.store import _TAG
+
+        directory = struct.pack("<I", 2) \
+            + _TAG.pack(b"RECS", 24) + _TAG.pack(b"BLOB", 1000)
+        with pytest.raises(SnapshotError, match="truncated"):
+            SnapshotTable("x", directory + b"\x00" * 24, version=2)
+
+    def test_v2_section_with_ragged_block_rejected(self):
+        import struct
+
+        from repro.service.store import _TAG
+
+        directory = struct.pack("<I", 5) + b"".join(
+            _TAG.pack(tag, 7 if tag == b"STAT" else 0)
+            for tag in (b"RECS", b"UNRC", b"TREE", b"STAT", b"BLOB"))
+        with pytest.raises(SnapshotError, match="whole number"):
+            SnapshotTable("x", directory + b"\x00" * 7, version=2)
+
+    def test_v2_truncated_tag_directory_rejected(self):
+        with pytest.raises(SnapshotError, match="malformed"):
+            SnapshotTable("x", b"\x05\x00\x00\x00RE", version=2)

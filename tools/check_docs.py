@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Keep the documentation suite honest.
 
-Three checks, each of which has actually drifted in this repo's past:
+Four checks, each of which has actually drifted in this repo's past:
 
 1. **Protocol page vs. the daemons.**  ``docs/protocol.md`` carries
    machine-readable markers (``<!-- verbs:daemon ... -->`` and
@@ -18,6 +18,12 @@ Three checks, each of which has actually drifted in this repo's past:
    docstring — the same D1 surface ruff enforces in CI, checked here
    without needing ruff installed (and mirrored into the tier-1 suite
    by ``tests/test_docs.py``).
+
+4. **Snapshot-format page vs. the writer.**  ``docs/snapshot-format.md``
+   carries a ``<!-- table-tags ... -->`` marker that must list exactly
+   the v2 table-section tags the snapshot writer emits
+   (``repro.service.store.TABLE_SECTION_TAGS``), and each tag must be
+   described (appear in backticks) in the page body.
 
 Usage::
 
@@ -136,6 +142,35 @@ def check_protocol(problems: list) -> None:
             f"service")
 
 
+def check_snapshot_tags(problems: list) -> None:
+    """docs/snapshot-format.md documents exactly the v2 table-section
+    tags the snapshot writer emits."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.service.store import TABLE_SECTION_TAGS
+
+    page = REPO / "docs" / "snapshot-format.md"
+    if not page.exists():
+        problems.append("docs/snapshot-format.md: missing")
+        return
+    text = page.read_text()
+    match = re.search(r"<!--\s*table-tags\s+([^>]*?)-->", text)
+    if match is None:
+        problems.append(
+            "docs/snapshot-format.md: no <!-- table-tags --> marker")
+        return
+    documented = tuple(match.group(1).split())
+    if documented != TABLE_SECTION_TAGS:
+        problems.append(
+            f"docs/snapshot-format.md: table-tags marker lists "
+            f"{documented}, but the writer emits "
+            f"{TABLE_SECTION_TAGS}")
+    for tag in TABLE_SECTION_TAGS:
+        if f"`{tag}`" not in text:
+            problems.append(
+                f"docs/snapshot-format.md: section tag {tag} is "
+                f"never described (no `{tag}` in the page body)")
+
+
 def check_links(problems: list) -> None:
     """Relative markdown links in the doc pages resolve to files."""
     for rel in LINKED_PAGES:
@@ -199,6 +234,7 @@ def main() -> int:
     problems: list = []
     check_protocol(problems)
     check_dispatch(problems)
+    check_snapshot_tags(problems)
     check_links(problems)
     check_docstrings(problems)
     for problem in problems:
@@ -207,8 +243,8 @@ def main() -> int:
         print(f"check_docs: {len(problems)} problem(s)",
               file=sys.stderr)
         return 1
-    print("check_docs: protocol, links, and docstrings all clean",
-          file=sys.stderr)
+    print("check_docs: protocol, format tags, links, and docstrings "
+          "all clean", file=sys.stderr)
     return 0
 
 
