@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Measure the serving tier and record it in BENCH_routing.json.
 
-Five numbers the ROADMAP cares about:
+Six numbers the ROADMAP cares about:
 
 * snapshot build time (the offline cost of the store);
 * incremental update vs full rebuild after a single link-cost change
@@ -18,7 +18,13 @@ Five numbers the ROADMAP cares about:
   touching nets/domains/private nodes and on second-best snapshots
   over the ``tests/data/d.*`` fixture suite — cases where a v1
   snapshot always fell back to a full remap (target: zero fallbacks
-  on v2).
+  on v2);
+* **fan-out throughput**: the same stitched-lookup workload answered
+  by the in-process federation front end vs the remote-backend front
+  end (one spawned shard-daemon *process* per region, whole lookups
+  pushed down over sockets).  On a single-core runner the socket hop
+  is pure overhead; the ratio is the price paid for sharding the CPU,
+  and on multicore hosts the per-shard daemons buy it back.
 
 The maps are deterministic rings-with-chords (explicit numeric costs,
 no symbol table) so a one-link revision is easy to synthesize and its
@@ -302,6 +308,131 @@ def bench_federation(tmp: Path, regions: int, hosts: int,
     return asyncio.run(scenario())
 
 
+def _spawn_shard_daemon(snapshot_path: str):
+    """One `pathalias serve` subprocess on an ephemeral port; returns
+    ``(proc, "host:port")`` parsed from its startup line."""
+    import os
+    import subprocess
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", snapshot_path,
+         "--port", "0"],
+        stderr=subprocess.PIPE, text=True, env=env)
+    # scan for the listening line (warnings may precede it); EOF
+    # means the child died and is the only startup failure
+    chatter = []
+    while True:
+        line = proc.stderr.readline()
+        if not line:
+            proc.terminate()
+            raise RuntimeError(
+                "shard daemon failed to start: "
+                + (" / ".join(c.strip() for c in chatter)
+                   or "no output"))
+        if "listening on" in line:
+            return proc, line.rsplit("listening on", 1)[1].strip()
+        chatter.append(line)
+
+
+def bench_fanout(tmp: Path, regions: int, hosts: int,
+                 clients: int, requests: int) -> dict:
+    """Stitched-lookup throughput: in-process front end vs socket
+    fan-out to per-shard daemon processes, same workload."""
+    import subprocess
+
+    from repro.service.federation import FederationService
+
+    paths = {}
+    for r in range(regions):
+        name = f"region{r}"
+        paths[name] = str(tmp / f"fan-{name}.snap")
+        build_snapshot(build(regional_map(r, hosts)), paths[name])
+
+    far_dests = [f"r{r}h{(7 * k) % hosts:03d}"
+                 for k in range(requests)
+                 for r in (k % regions,)]
+
+    async def hammer(service) -> tuple[int, float]:
+        """The shared workload: `clients` connections, `requests`
+        cross-region ROUTEs each, against an already-built service."""
+        server = await serve(service)
+        port = server.sockets[0].getsockname()[1]
+
+        async def client(i: int) -> int:
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            count = 0
+            for k in range(requests):
+                dest = far_dests[(i + k) % len(far_dests)]
+                w.write(f"ROUTE {dest} u{k}\n".encode())
+                await w.drain()
+                reply = await r.readline()
+                assert reply.startswith(b"OK "), reply
+                count += 1
+            w.write(b"QUIT\n")
+            await w.drain()
+            w.close()
+            return count
+
+        t0 = time.perf_counter()
+        answered = await asyncio.gather(
+            *(client(i) for i in range(clients)))
+        elapsed = time.perf_counter() - t0
+        server.close()
+        await server.wait_closed()
+        return sum(answered), elapsed
+
+    async def run_inprocess():
+        return await hammer(
+            FederationService(paths, default_source="r0h000"))
+
+    in_total, in_seconds = asyncio.run(run_inprocess())
+
+    procs = []
+    try:
+        backends = {}
+        for name, snap in paths.items():
+            proc, addr = _spawn_shard_daemon(snap)
+            procs.append(proc)
+            backends[name] = addr
+
+        async def run_fanout():
+            service = await FederationService.create(
+                backends=backends, default_source="r0h000")
+            total, elapsed = await hammer(service)
+            health = [shard.backend.health()
+                      for shard in service.view.shards.values()]
+            return total, elapsed, health
+
+        fan_total, fan_seconds, health = asyncio.run(run_fanout())
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    in_rate = in_total / in_seconds if in_seconds > 0 else 0.0
+    fan_rate = fan_total / fan_seconds if fan_seconds > 0 else 0.0
+    return {
+        "regions": regions,
+        "hosts_per_region": hosts,
+        "clients": clients,
+        "requests": in_total,
+        "backend_daemons": len(procs),
+        "inprocess_lookups_per_sec": round(in_rate, 1),
+        "fanout_lookups_per_sec": round(fan_rate, 1),
+        "fanout_vs_inprocess": round(fan_rate / in_rate, 3)
+        if in_rate > 0 else None,
+        "backend_health": health,
+        "all_answered": fan_total == in_total,
+    }
+
+
 def bench_format_v2(tmp: Path, hosts: int) -> dict:
     """Format v2's costs (bytes) and wins (incremental coverage)."""
     import pickle
@@ -404,12 +535,17 @@ def main(argv: list[str] | None = None) -> int:
         federation = bench_federation(
             tmp, args.regions, args.region_hosts, args.clients,
             args.requests, args.reloads)
+        print("benchmarking fan-out (per-shard daemon processes) vs "
+              "in-process front end...", file=sys.stderr)
+        fanout = bench_fanout(tmp, args.regions, args.region_hosts,
+                              args.clients, args.requests)
         print("benchmarking format v2 overhead + incremental "
               "coverage...", file=sys.stderr)
         format_v2 = bench_format_v2(tmp, args.hosts)
 
     section = {"store": store, "daemon": daemon,
-               "federation": federation, "format_v2": format_v2}
+               "federation": federation, "fanout": fanout,
+               "format_v2": format_v2}
     out = Path(args.out)
     document = json.loads(out.read_text()) if out.exists() else {
         "benchmark": "BENCH_routing"}

@@ -16,9 +16,13 @@ the default when the first argument is not one of them)::
     pathalias snapshot --upgrade OLD NEW            rewrite v1 as v2
     pathalias update old.snap -o new.snap [map ...] diff-driven update
     pathalias lookup routes.snap dest [user]        one-shot query
+    pathalias lookup --connect HOST:PORT dest       ... against a daemon
     pathalias serve routes.snap [--port N]          the lookup daemon
     pathalias federate NAME=MAP ... -o DIR          per-region snapshots
+    pathalias federate ... --spawn                  one-command cluster
     pathalias serve --shard NAME=SNAP ...           the federation daemon
+    pathalias serve --backend NAME=HOST:PORT ...    ... fanning out to
+                                                    per-shard daemons
 """
 
 from __future__ import annotations
@@ -200,14 +204,20 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
     if command == "lookup":
         look = argparse.ArgumentParser(
             prog="pathalias lookup",
-            description="one-shot route lookup against a snapshot")
-        look.add_argument("snapshot")
+            description="one-shot route lookup against a snapshot "
+                        "file, or (--connect) against a running "
+                        "daemon — same output either way")
+        look.add_argument("snapshot", nargs="?",
+                          help="snapshot file (omit with --connect)")
         look.add_argument("destination")
         look.add_argument("user", nargs="?",
                           help="instantiate the route for this user")
         look.add_argument("-l", "--localhost", metavar="HOST",
                           help="source table to search (default: the "
-                               "snapshot's first source)")
+                               "snapshot's/daemon's first source)")
+        look.add_argument("--connect", metavar="HOST:PORT",
+                          help="query a running route or federation "
+                               "daemon instead of opening a snapshot")
         return look
 
     if command == "federate":
@@ -232,6 +242,18 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                               "hosts")
         fed.add_argument("-i", "--ignore-case", action="store_true",
                          help="fold host names to lower case")
+        fed.add_argument("--spawn", action="store_true",
+                         help="after building the snapshots, spawn "
+                              "one route daemon per shard and run the "
+                              "fan-out front end over them — a "
+                              "one-command local cluster")
+        fed.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --spawn daemons "
+                              "(default 127.0.0.1)")
+        fed.add_argument("--port", type=int, default=4176,
+                         help="front-end TCP port for --spawn "
+                              "(default 4176; shard daemons always "
+                              "take ephemeral ports)")
         return fed
 
     srv = argparse.ArgumentParser(
@@ -247,6 +269,12 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                      help="serve this snapshot as a named federation "
                           "shard (repeatable; switches to the "
                           "federation daemon)")
+    srv.add_argument("--backend", action="append", default=[],
+                     metavar="NAME=HOST:PORT",
+                     help="federate this shard from a remote route "
+                          "daemon instead of a local snapshot — whole "
+                          "lookups fan out to it over sockets "
+                          "(repeatable; mixes with --shard)")
     srv.add_argument("--host", default="127.0.0.1",
                      help="bind address (default 127.0.0.1)")
     srv.add_argument("--port", type=int, default=4176,
@@ -295,6 +323,109 @@ def _effective_jobs(jobs: int) -> int:
     from repro.core.batch import default_jobs
 
     return default_jobs() if jobs == 0 else max(1, jobs)
+
+
+def _daemon_lookup(args) -> int:
+    """``pathalias lookup --connect HOST:PORT dest [user]`` — the
+    snapshot-file lookup's output, answered by a running daemon.
+
+    The snapshot positional is unused, so argparse may have parked the
+    destination in its slot; the non-empty positionals, in order, are
+    the destination and the optional user.
+    """
+    from repro.service.backend import parse_backend_spec
+    from repro.service.daemon import DaemonRouteDatabase
+
+    addr = parse_backend_spec(args.connect)
+    if addr is None:
+        raise PathaliasError(
+            f"--connect {args.connect!r} is not of the form HOST:PORT")
+    positionals = [p for p in (args.snapshot, args.destination,
+                               args.user) if p is not None]
+    if not 1 <= len(positionals) <= 2:
+        raise PathaliasError(
+            "lookup --connect takes <destination> [user]")
+    destination = positionals[0]
+    user = positionals[1] if len(positionals) == 2 else "%s"
+    with DaemonRouteDatabase(addr, source=args.localhost) as db:
+        cost, resolution = db.resolve_with_cost(destination, user)
+    print(f"{cost}\t{resolution.matched}\t{resolution.address}")
+    return 0
+
+
+def _run_cluster(shard_snaps: dict, host: str, port: int,
+                 require_format: int | None = None) -> int:
+    """``pathalias federate --spawn``: one daemon process per shard
+    snapshot (ephemeral ports, parsed from their startup line), then
+    the fan-out front end over them, in the foreground.  Children are
+    terminated when the front end exits — SIGTERM is translated into
+    the same clean shutdown SIGINT gets, so a supervisor's terminate
+    never orphans the shard daemons.
+    """
+    import signal
+    import subprocess
+    import threading
+
+    from repro.service.federation import run_federation_daemon
+
+    def _terminated(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminated)
+
+    def _forward_stderr(name: str, stream) -> None:
+        # Keep draining the child's stderr pipe for its whole life —
+        # a full 64 KiB pipe would block the daemon's next stderr
+        # write inside its event loop and stall the shard — and
+        # forward the lines so operators see the daemons' diagnostics.
+        for line in stream:
+            sys.stderr.write(f"[{name}] {line}")
+            sys.stderr.flush()
+
+    procs = []
+    backends = {}
+    try:
+        for name, snap in shard_snaps.items():
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve", snap,
+                 "--host", host, "--port", "0"],
+                stderr=subprocess.PIPE, text=True)
+            procs.append(proc)
+            # scan stderr for the listening line — warnings or other
+            # chatter may precede it, and EOF (child died) is the
+            # only failure signal, so a healthy-but-chatty daemon is
+            # never misdiagnosed and a dead one never blocks us
+            chatter: list[str] = []
+            while True:
+                line = proc.stderr.readline()
+                if not line:
+                    detail = " / ".join(
+                        c.strip() for c in chatter) or "no output"
+                    raise PathaliasError(
+                        f"shard daemon {name} failed to start: "
+                        f"{detail}")
+                if "listening on" in line:
+                    break
+                chatter.append(line)
+                sys.stderr.write(f"[{name}] {line}")
+            backends[name] = line.rsplit("listening on", 1)[1].strip()
+            threading.Thread(target=_forward_stderr,
+                             args=(name, proc.stderr),
+                             daemon=True).start()
+            print(f"pathalias: federate: spawned shard daemon {name} "
+                  f"(pid {proc.pid}) on {backends[name]}",
+                  file=sys.stderr, flush=True)
+        return run_federation_daemon(
+            {}, host=host, port=port, backends=backends,
+            require_format=require_format)
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
 
 
 def service_main(argv: list[str]) -> int:
@@ -392,11 +523,17 @@ def service_main(argv: list[str]) -> int:
             return 0
 
         if args.command == "lookup":
+            if args.connect:
+                return _daemon_lookup(args)
             from repro.service.store import (
                 SnapshotError,
                 SnapshotReader,
             )
 
+            if args.snapshot is None:
+                raise PathaliasError(
+                    "lookup needs a snapshot file (or --connect "
+                    "HOST:PORT)")
             reader = SnapshotReader.open(args.snapshot)
             source = args.localhost
             if source is None:
@@ -451,26 +588,39 @@ def service_main(argv: list[str]) -> int:
                           file=sys.stderr)
             print(f"pathalias: federate: serve with: pathalias serve "
                   f"{' '.join(shard_args)}", file=sys.stderr)
+            if args.spawn:
+                return _run_cluster(
+                    {shard.name: str(shard.path) for shard in shards},
+                    host=args.host, port=args.port)
             return 0
 
         if args.command == "serve":
-            if args.shard:
+            if args.shard or args.backend:
                 from repro.service.federation import (
                     run_federation_daemon,
                 )
 
                 if args.snapshot is not None:
                     raise PathaliasError(
-                        "give either a snapshot or --shard pairs, "
-                        "not both")
+                        "give either a snapshot or --shard/--backend "
+                        "pairs, not both")
                 shards = _parse_named_pairs(args.shard,
                                             "NAME=SNAPSHOT")
+                backends = _parse_named_pairs(args.backend,
+                                              "NAME=HOST:PORT")
+                both = sorted(set(shards) & set(backends))
+                if both:
+                    raise PathaliasError(
+                        f"shard name(s) {', '.join(both)} given as "
+                        f"both --shard and --backend")
                 return run_federation_daemon(
                     shards, host=args.host, port=args.port,
-                    source=args.source, require_format=args.fmt)
+                    source=args.source, require_format=args.fmt,
+                    backends=backends)
             if args.snapshot is None:
                 raise PathaliasError(
-                    "serve needs a snapshot file or --shard pairs")
+                    "serve needs a snapshot file or --shard/--backend "
+                    "pairs")
             from repro.service.daemon import run_daemon
 
             return run_daemon(args.snapshot, host=args.host,

@@ -68,5 +68,15 @@ class FederationError(RouteError):
     """
 
 
+class UnknownShardError(FederationError):
+    """A shard-administration verb named a shard that is not attached.
+
+    Distinct from the broader :class:`FederationError` so the
+    federation daemon can answer ``ERR unknown-shard`` for a bad name
+    while a backend daemon's refusal (a failed forwarded reload, an
+    unreachable backend) keeps its own error code.
+    """
+
+
 class AddressError(PathaliasError):
     """An electronic-mail address could not be parsed."""

@@ -22,7 +22,11 @@ separate program, grown into a serving tier:
 * :mod:`repro.service.shard` / :mod:`repro.service.federation` — many
   regional snapshots (backbone, universities, ARPA, ...) served as
   independently reloadable *shards* behind one front end, with
-  cross-shard routes stitched through gateway hosts.
+  cross-shard routes stitched through gateway hosts;
+* :mod:`repro.service.backend` — the scale-out tier: a shard served
+  by a separate per-shard daemon *process*, fanned out to over a
+  pooled socket client, so the front end shards CPU and not just
+  snapshots.
 
 See ``docs/architecture.md`` for the layer map, ``docs/protocol.md``
 for the normative line-protocol reference, and
@@ -57,6 +61,11 @@ from repro.service.shard import (
     FederationView,
     Shard,
 )
+from repro.service.backend import (
+    BackendShard,
+    ShardBackend,
+    parse_backend_spec,
+)
 from repro.service.federation import (
     FederatedRouteDatabase,
     FederationService,
@@ -86,4 +95,7 @@ __all__ = [
     "FederatedResolution",
     "FederatedRouteDatabase",
     "FederationService",
+    "BackendShard",
+    "ShardBackend",
+    "parse_backend_spec",
 ]

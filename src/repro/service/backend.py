@@ -1,0 +1,601 @@
+"""Remote federation backends: per-shard daemons behind a client pool.
+
+The federation front end (:mod:`repro.service.federation`) historically
+answered every lookup itself from in-process
+:class:`~repro.service.store.SnapshotReader` objects — sharded
+snapshots, one CPU.  This module is the scale-out tier: each shard can
+instead be a separate :class:`~repro.service.daemon.RouteService`
+*process*, and the front end becomes a fan-out router that pushes the
+whole per-shard lookup — the suffix walk, the binary searches, the
+table decode — down to the shard daemon over the existing line
+protocol.
+
+Two classes:
+
+* :class:`ShardBackend` — the asyncio client pool for one shard
+  daemon: a bounded set of persistent connections, concurrent
+  in-flight requests (one per pooled connection), transparent
+  single-retry on a stale pooled socket, reconnect-with-backoff while
+  the daemon restarts, and health state (``connected`` / ``down`` /
+  counters) surfaced through the federation's ``STATS`` line.
+
+* :class:`BackendShard` — a federation shard whose answers come from a
+  backend daemon.  It quacks exactly like an in-process
+  :class:`~repro.service.shard.Shard`: the ownership index and source
+  set are fetched once at attach time with the daemon's bulk ``TABLE``
+  verb, gateway legs are fetched batched (one ``TABLE``/``COSTS``
+  round trip per Dijkstra expansion, cached per entry) and the final
+  in-shard lookup is one ``ROUTE``/``EXACT`` dispatched to the daemon.
+  A :class:`~repro.service.shard.FederationView` mixes local and
+  backend shards freely, and stitched answers are byte-identical to
+  the in-process federation over the same snapshots.
+
+Because the remote daemon owns its snapshot, a backend shard's cached
+view data describes the snapshot as of attach time; the federation's
+``RELOAD <shard> <snapshot>`` verb forwards the reload to the backend
+daemon and re-synchronizes the cached index in one step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+
+from repro.errors import FederationError
+from repro.service.daemon import (
+    RECONNECT_DELAY,
+    RECONNECT_DELAY_MAX,
+    wire_token,
+)
+
+#: ``host:port`` — how a remote backend is named on the CLI
+#: (``--backend NAME=HOST:PORT``) and in the ``ATTACH`` verb (which
+#: tells a backend spec from a snapshot path by this shape).
+_BACKEND_SPEC = re.compile(r"^(?P<host>[^\s/:]+):(?P<port>\d{1,5})$")
+
+
+def parse_backend_spec(spec: str) -> tuple[str, int] | None:
+    """``(host, port)`` for a ``host:port`` backend spec, else None."""
+    match = _BACKEND_SPEC.match(spec)
+    if match is None:
+        return None
+    port = int(match.group("port"))
+    if not 0 < port < 65536:
+        return None
+    return match.group("host"), port
+
+
+class _BackendConnection:
+    """One persistent daemon connection plus its protocol registers.
+
+    ``bound_source`` mirrors the daemon's per-connection source
+    register so repeated queries from the same entry host skip the
+    redundant ``SOURCE`` round trip.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.bound_source: str | None = None
+
+    async def request(self, line: str) -> str:
+        """One request line out, the first reply line back."""
+        self.writer.write(line.encode("utf-8") + b"\n")
+        await self.writer.drain()
+        raw = await self.reader.readline()
+        if not raw:
+            raise ConnectionError("backend closed the connection")
+        return raw.decode("utf-8").rstrip("\r\n")
+
+    async def request_bulk(self, line: str) -> tuple[str, list[str]]:
+        """A bulk request: the ``OK <kind> <n>`` head line plus its
+        ``n`` continuation lines (none for an ``ERR`` head)."""
+        head = await self.request(line)
+        if not head.startswith("OK"):
+            return head, []
+        try:
+            count = int(head.split()[-1])
+        except ValueError:
+            raise FederationError(
+                f"backend protocol error: {head!r}") from None
+        lines = []
+        for _ in range(count):
+            raw = await self.reader.readline()
+            if not raw:
+                raise ConnectionError("backend closed mid-reply")
+            lines.append(raw.decode("utf-8").rstrip("\r\n"))
+        return head, lines
+
+    def close(self) -> None:
+        """Close the transport (errors at teardown are moot)."""
+        try:
+            self.writer.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+class ShardBackend:
+    """An asyncio client pool for one per-shard route daemon.
+
+    At most ``pool_size`` persistent connections; concurrent requests
+    each hold one connection for their round trip, so up to
+    ``pool_size`` requests are in flight at once and the rest queue on
+    the pool semaphore.  A request that finds its pooled socket stale
+    (the daemon restarted since the last call) transparently opens a
+    fresh connection — waiting out a restart window up to
+    ``reconnect_patience`` seconds with exponential backoff — and
+    retries exactly once.  Health is observable: :attr:`state` plus
+    the request/error/connect counters, which the federation daemon
+    reports per backend in its ``STATS`` line.
+    """
+
+    def __init__(self, name: str, host: str, port: int,
+                 pool_size: int = 2, timeout: float = 5.0,
+                 reconnect_patience: float = 2.0):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.pool_size = max(1, pool_size)
+        self.timeout = timeout
+        self.reconnect_patience = reconnect_patience
+        self._idle: list[_BackendConnection] = []
+        self._slots = asyncio.Semaphore(self.pool_size)
+        self.requests = 0
+        self.errors = 0
+        self.connects = 0
+        self._inflight = 0
+        self._ever_connected = False
+        self._last_failure: str | None = None
+        self._draining = False
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The backend daemon's ``host:port``."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def state(self) -> str:
+        """One-word health: ``new`` (never connected), ``connected``,
+        ``down`` (last connect attempt failed), or ``closed``."""
+        if self._draining:
+            return "closed"
+        if self._last_failure is not None:
+            return "down"
+        return "connected" if self._ever_connected else "new"
+
+    def health(self) -> str:
+        """The ``STATS`` token value:
+        ``<state>:<requests>:<errors>:<connects>``."""
+        return (f"{self.state}:{self.requests}:{self.errors}:"
+                f"{self.connects}")
+
+    # -- pool mechanics -------------------------------------------------------
+
+    async def _open(self) -> _BackendConnection:
+        """Dial the daemon, waiting out a restart with backoff."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + (self.reconnect_patience
+                                  if self._ever_connected else 0.0)
+        delay = RECONNECT_DELAY
+        while True:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    self.timeout)
+                break
+            except (OSError, asyncio.TimeoutError) as exc:
+                if loop.time() + delay > deadline:
+                    self._last_failure = str(exc) or type(exc).__name__
+                    raise FederationError(
+                        f"backend {self.name} ({self.address}) "
+                        f"unreachable: {self._last_failure}") from None
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, RECONNECT_DELAY_MAX)
+        self._ever_connected = True
+        self._last_failure = None
+        self.connects += 1
+        return _BackendConnection(reader, writer)
+
+    async def _roundtrip(self, fn):
+        """Run ``fn(conn)`` on a pooled connection.
+
+        One transparent retry on a connection-class failure: the
+        pooled socket may be stale after a daemon restart, and a fresh
+        connect (patient, see :meth:`_open`) plus one resend is
+        indistinguishable from a healthy first attempt.  Protocol
+        errors (``ERR`` replies) are not retried — they reached the
+        daemon and back.
+        """
+        if self._draining:
+            raise FederationError(
+                f"backend {self.name} ({self.address}) is closed")
+        await self._slots.acquire()
+        self._inflight += 1
+        self.requests += 1
+        conn = None
+        try:
+            conn = self._idle.pop() if self._idle else await self._open()
+            try:
+                result = await asyncio.wait_for(fn(conn), self.timeout)
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                conn.close()
+                conn = None
+                conn = await self._open()
+                result = await asyncio.wait_for(fn(conn), self.timeout)
+        except Exception:
+            self.errors += 1
+            if conn is not None:
+                conn.close()
+                conn = None
+            raise
+        finally:
+            if conn is not None:
+                if self._draining:
+                    conn.close()
+                else:
+                    self._idle.append(conn)
+            self._inflight -= 1
+            self._slots.release()
+        return result
+
+    async def aclose(self, grace: float = 2.0) -> None:
+        """Close the pool after a grace window.
+
+        A lookup pinned to a just-detached view may still need
+        *future* round trips on this backend (it is between awaits,
+        holding no connection yet), so the pool keeps serving for the
+        whole ``grace`` window before it starts refusing — then idle
+        connections close immediately and stragglers get a short
+        drain.  Callers that hold the swap lock should not await
+        this; the federation retires pools on a background task.
+        """
+        loop = asyncio.get_running_loop()
+        if grace > 0:
+            await asyncio.sleep(grace)
+        self._draining = True
+        for conn in self._idle:
+            conn.close()
+        self._idle.clear()
+        deadline = loop.time() + max(grace, 0.1)
+        while self._inflight and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+
+    # -- the daemon conversation ----------------------------------------------
+
+    #: the one shared wire-token validator (see
+    #: :func:`repro.service.daemon.wire_token`)
+    _token = staticmethod(wire_token)
+
+    async def _bound(self, conn: _BackendConnection,
+                     entry: str) -> None:
+        """Bind the connection's source register to ``entry``."""
+        if conn.bound_source == entry:
+            return
+        reply = await conn.request(f"SOURCE {entry}")
+        if not reply.startswith("OK"):
+            conn.bound_source = None
+            raise FederationError(
+                f"backend {self.name}: {reply}")
+        conn.bound_source = entry
+
+    async def stats(self) -> dict[str, str]:
+        """The backend daemon's ``STATS`` counters as a dict."""
+        async def fn(conn):
+            reply = await conn.request("STATS")
+            if not reply.startswith("OK "):
+                raise FederationError(
+                    f"backend {self.name} protocol error: {reply!r}")
+            out = {}
+            for token in reply[3:].split():
+                key, _, value = token.partition("=")
+                out[key] = value
+            return out
+
+        return await self._roundtrip(fn)
+
+    async def routing_index(self) -> list[tuple[str, bool]]:
+        """The daemon's source/domain ownership index (bulk
+        ``TABLE``): sorted ``(name, is_domain)`` pairs."""
+        async def fn(conn):
+            head, lines = await conn.request_bulk("TABLE")
+            if not head.startswith("OK index"):
+                raise FederationError(
+                    f"backend {self.name} protocol error: {head!r}")
+            out = []
+            for line in lines:
+                kind, _, name = line.partition(" ")
+                if kind not in ("S", "D") or not name:
+                    raise FederationError(
+                        f"backend {self.name} protocol error: {line!r}")
+                out.append((name, kind == "D"))
+            return out
+
+        return await self._roundtrip(fn)
+
+    async def table_rows(self, source: str, dests=None
+                         ) -> dict[str, tuple[int, str]]:
+        """Route records from ``source``'s table, in one round trip.
+
+        With ``dests``, a batched exact lookup (misses absent from the
+        answer); without, the whole table.
+        """
+        request = f"TABLE {self._token(source, 'source')}"
+        if dests:
+            request += "".join(f" {self._token(d, 'destination')}"
+                               for d in dests)
+
+        async def fn(conn):
+            head, lines = await conn.request_bulk(request)
+            if not head.startswith("OK table"):
+                raise FederationError(
+                    f"backend {self.name}: {head}")
+            out = {}
+            for line in lines:
+                parts = line.split()
+                if len(parts) != 3:
+                    raise FederationError(
+                        f"backend {self.name} protocol error: {line!r}")
+                cost, name, route = parts
+                if cost == "-":
+                    continue  # batched miss
+                out[name] = (int(cost), route)
+            return out
+
+        return await self._roundtrip(fn)
+
+    async def state_costs(self, source: str, names=None
+                          ) -> dict[str, int] | None:
+        """Exact per-state costs by name (bulk ``COSTS``), or None
+        when the backend serves a v1 snapshot (``ERR no-state-costs``)
+        — callers fall back to printed record costs, exactly like an
+        in-process v1 shard."""
+        request = f"COSTS {self._token(source, 'source')}"
+        if names:
+            request += "".join(f" {self._token(n, 'name')}"
+                               for n in names)
+
+        async def fn(conn):
+            head, lines = await conn.request_bulk(request)
+            if head.startswith("ERR no-state-costs"):
+                return None
+            if not head.startswith("OK costs"):
+                raise FederationError(
+                    f"backend {self.name}: {head}")
+            out = {}
+            for line in lines:
+                cost, _, name = line.partition(" ")
+                if cost == "-":
+                    continue
+                out[name] = int(cost)
+            return out
+
+        return await self._roundtrip(fn)
+
+    async def route(self, entry: str, target: str):
+        """The whole in-shard lookup, dispatched to the daemon:
+        ``SOURCE entry`` + ``ROUTE target`` on one pooled connection.
+
+        Returns ``(cost, relative template, matched key)`` — the
+        daemon's suffix walk did the work — or None on ``ERR
+        noroute``.
+        """
+        entry = self._token(entry, "entry host")
+        target = self._token(target, "destination")
+
+        async def fn(conn):
+            await self._bound(conn, entry)
+            reply = await conn.request(f"ROUTE {target}")
+            if reply.startswith("ERR noroute"):
+                return None
+            parts = reply.split()
+            if len(parts) != 5 or parts[0] != "OK":
+                raise FederationError(
+                    f"backend {self.name}: {reply}")
+            _, cost, matched, _route, address = parts
+            # without a user the address IS the relative template
+            return int(cost), address, matched
+
+        return await self._roundtrip(fn)
+
+    async def exact(self, entry: str, target: str):
+        """Exact-name lookup dispatched to the daemon:
+        ``(cost, route)`` or None on a miss."""
+        entry = self._token(entry, "entry host")
+        target = self._token(target, "destination")
+
+        async def fn(conn):
+            await self._bound(conn, entry)
+            reply = await conn.request(f"EXACT {target}")
+            if reply.startswith("ERR noroute"):
+                return None
+            parts = reply.split()
+            if len(parts) != 4 or parts[0] != "OK":
+                raise FederationError(
+                    f"backend {self.name}: {reply}")
+            return int(parts[1]), parts[3]
+
+        return await self._roundtrip(fn)
+
+    async def reload(self, snapshot_path: str) -> str:
+        """Forward a snapshot reload to the backend daemon; returns
+        the daemon's ``OK reloaded ...`` reply (raises
+        :class:`FederationError` on refusal)."""
+        async def fn(conn):
+            reply = await conn.request(f"RELOAD {snapshot_path}")
+            if not reply.startswith("OK reloaded"):
+                raise FederationError(
+                    f"backend {self.name} refused reload: {reply}")
+            return reply
+
+        return await self._roundtrip(fn)
+
+    def __repr__(self) -> str:
+        return (f"ShardBackend({self.name!r}, {self.address!r}, "
+                f"{self.state})")
+
+
+class BackendShard:
+    """A federation shard answered by a remote daemon process.
+
+    Quacks like an in-process :class:`~repro.service.shard.Shard` —
+    the same ownership, gateway, and async entry-query surface the
+    :class:`~repro.service.shard.FederationView` stitches over — but
+    every answer comes from the backend daemon: the index was fetched
+    at attach time (bulk ``TABLE``), gateway legs are fetched batched
+    and cached per entry (``TABLE``/``COSTS``), and the final in-shard
+    lookup is a ``ROUTE``/``EXACT`` executed *by the daemon*, which is
+    what actually shards the CPU.
+
+    Immutable after :meth:`connect`, like every shard: the cached
+    index describes the backend's snapshot as of attach time, and the
+    federation's per-shard RELOAD re-connects a fresh instance.
+    """
+
+    def __init__(self, name: str, backend: ShardBackend,
+                 index: list[tuple[str, bool]], version: int,
+                 snapshot: str):
+        self.name = name
+        self.backend = backend
+        self._index = list(index)
+        self._sources = [n for n, is_domain in index if not is_domain]
+        self._source_set = frozenset(self._sources)
+        self._domains = [n for n, is_domain in index if is_domain]
+        self._version = version
+        self._snapshot = snapshot
+        #: per-(entry, gate) leg cache: the leg tuple, or None for a
+        #: confirmed miss.  Keyed per gate (not per requested subset)
+        #: so it is bounded by entries x gateways and every repeat
+        #: expansion hits, whatever subset the Dijkstra asks for.
+        self._legs: dict[tuple[str, str], tuple[int, str] | None] = {}
+
+    @classmethod
+    async def connect(cls, name: str,
+                      backend: ShardBackend) -> "BackendShard":
+        """Assemble the shard from backend answers: one ``STATS`` for
+        the format/snapshot identity, one bulk ``TABLE`` for the
+        ownership index."""
+        stats, index = await asyncio.gather(backend.stats(),
+                                            backend.routing_index())
+        try:
+            version = int(stats.get("format", ""))
+        except ValueError:
+            raise FederationError(
+                f"backend {name} ({backend.address}) reported no "
+                f"snapshot format in STATS") from None
+        return cls(name, backend, index, version,
+                   stats.get("snapshot", ""))
+
+    # -- the Shard surface ----------------------------------------------------
+
+    def sources(self) -> list[str]:
+        """Hosts with route tables in the backend, sorted."""
+        return list(self._sources)
+
+    @property
+    def source_set(self) -> frozenset:
+        """The table-owning hosts as a set (gateway intersection)."""
+        return self._source_set
+
+    def domains(self) -> list[str]:
+        """Sorted public domain names the backend's map declares."""
+        return list(self._domains)
+
+    @property
+    def source_count(self) -> int:
+        """Number of route tables behind the backend."""
+        return len(self._sources)
+
+    @property
+    def path(self) -> str:
+        """Where the shard's answers come from: the backend address
+        (the remote snapshot path is in :attr:`snapshot`)."""
+        return f"tcp://{self.backend.address}"
+
+    @property
+    def snapshot(self) -> str:
+        """The backend daemon's snapshot path, as it reported it."""
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        """The backend's snapshot format version (from STATS)."""
+        return self._version
+
+    def routing_index(self) -> list[tuple[str, bool]]:
+        """The prefetched source/domain ownership index."""
+        return list(self._index)
+
+    def has_source(self, source: str) -> bool:
+        """Whether the backend holds a table for ``source``."""
+        return source in self._source_set
+
+    def drop_cached_legs(self) -> None:
+        """Forget every cached gateway leg.
+
+        Called by the federation's forwarded-RELOAD path: the remote
+        daemon swaps snapshots the moment it accepts the reload, so a
+        lookup pinned to the outgoing view can cache legs from the
+        *new* (or, after a rollback, the briefly-served) snapshot on
+        this outgoing shard — clearing the cache keeps any such
+        mixture from outliving the swap window.
+        """
+        self._legs.clear()
+
+    # -- the async entry-query surface ----------------------------------------
+
+    async def route_legs(self, entry: str,
+                         gates: list[str]) -> dict[str, tuple[int, str]]:
+        """Gateway legs out of ``entry``, one batched round trip.
+
+        ``TABLE entry g1 g2 ...`` for the printed templates and (on a
+        v2 backend, concurrently) ``COSTS entry g1 g2 ...`` for the
+        exact per-state prices — the same cost selection an in-process
+        shard makes.  Cached per ``(entry, gate)`` — misses included —
+        and only the uncached gates ride the wire: the backend's
+        snapshot is pinned for this shard's lifetime, so repeat
+        expansions cost nothing whatever subset the stitch asks for.
+        """
+        cache = self._legs
+        missing = [g for g in gates if (entry, g) not in cache]
+        if missing:
+            if self._version >= 2:
+                rows, costs = await asyncio.gather(
+                    self.backend.table_rows(entry, missing),
+                    self.backend.state_costs(entry, missing))
+            else:
+                rows = await self.backend.table_rows(entry, missing)
+                costs = None
+            if costs is None:
+                costs = {}
+            for gate in missing:
+                hit = rows.get(gate)
+                cache[(entry, gate)] = None if hit is None else \
+                    (costs.get(gate, hit[0]), hit[1])
+        out = {}
+        for gate in gates:
+            leg = cache[(entry, gate)]
+            if leg is not None:
+                out[gate] = leg
+        return out
+
+    async def entry_resolve(self, entry: str, target: str):
+        """The whole domain-suffix lookup, executed by the daemon:
+        ``(cost, relative template, matched)`` or None on a miss."""
+        return await self.backend.route(entry, target)
+
+    async def entry_exact(self, entry: str, target: str):
+        """Exact-name lookup executed by the daemon:
+        ``(cost, route, target)`` or None on a miss."""
+        hit = await self.backend.exact(entry, target)
+        if hit is None:
+            return None
+        cost, route = hit
+        return cost, route, target
+
+    def __repr__(self) -> str:
+        return (f"BackendShard({self.name!r}, {self.source_count} "
+                f"sources, {self.path!r})")

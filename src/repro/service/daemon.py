@@ -14,6 +14,13 @@ per request:
 ``EXACT <dest>``          exact-name lookup only; ``OK <cost> <dest>
                           <route>``.
 ``SOURCE <host>``         switch this connection's source table.
+``TABLE [src] [dest...]`` bulk export: the routing index, a whole
+                          source table, or batched exact lookups —
+                          multi-line replies a federation front end
+                          assembles its remote view from.
+``COSTS <src> [name...]`` bulk per-state costs (format v2) by node
+                          name — exact gateway-leg pricing over the
+                          wire.
 ``RELOAD <snapshot>``     open a new snapshot off-loop and hot-swap it;
                           in-flight lookups keep the old reader (it is
                           immutable, wholly in memory) so no request is
@@ -44,6 +51,25 @@ from repro.errors import RouteError
 from repro.service.resolver import Resolution
 from repro.service.store import SnapshotError, SnapshotReader
 
+#: Reconnect backoff shared by every client of the line protocol
+#: (the sync :class:`DaemonRouteDatabase` and the async
+#: :class:`repro.service.backend.ShardBackend`): first retry delay,
+#: doubling per attempt up to the cap.
+RECONNECT_DELAY = 0.02
+RECONNECT_DELAY_MAX = 0.25
+
+
+def wire_token(value: str, what: str) -> str:
+    """Reject names that cannot ride the space-delimited wire.
+
+    The one validator every client uses (sync and async), so the
+    token rules cannot drift between them.
+    """
+    if not value or any(ch.isspace() for ch in value):
+        raise RouteError(f"{what} {value!r} does not fit the "
+                         f"daemon's whitespace-delimited protocol")
+    return value
+
 
 class LineService:
     """The shared newline-delimited connection loop.
@@ -70,13 +96,25 @@ class LineService:
     def __init__(self, require_format: int | None = None) -> None:
         self.connections = 0
         self.verb_counts = {verb: 0 for verb in self.VERBS}
+        #: Requests answered with an ``ERR`` reply (malformed lines,
+        #: bad encodings, misses, refused reloads, ...).  Service-owned
+        #: like the verb counters: reported as ``n_errors`` by STATS
+        #: and never reset by a RELOAD/ATTACH/DETACH.
+        self.errors = 0
         #: Pinned snapshot format version (``--format``): services
         #: check it against every snapshot they open — at startup and
         #: on every later RELOAD/ATTACH — via :meth:`_check_format`.
         self.require_format = require_format
 
     def _check_format(self, reader) -> None:
-        """Refuse a snapshot whose format differs from the pin."""
+        """Refuse a snapshot whose format differs from the pin.
+
+        Duck-typed on ``version``/``path``: callers hand it a
+        :class:`~repro.service.store.SnapshotReader`, a local
+        :class:`~repro.service.shard.Shard`, or a remote
+        :class:`~repro.service.backend.BackendShard` — the pin applies
+        identically to all three.
+        """
         if self.require_format is not None \
                 and reader.version != self.require_format:
             raise SnapshotError(
@@ -89,27 +127,75 @@ class LineService:
 
     def verb_stats(self) -> str:
         """The ``n_<verb>=count`` tokens for :meth:`stats_line` — one
-        formatter so the two daemons' wire keys cannot drift."""
-        return " ".join(f"n_{verb.lower()}={count}"
-                        for verb, count in self.verb_counts.items())
+        formatter so the two daemons' wire keys cannot drift — plus
+        the service-owned ``n_errors`` counter."""
+        tokens = [f"n_{verb.lower()}={count}"
+                  for verb, count in self.verb_counts.items()]
+        tokens.append(f"n_errors={self.errors}")
+        return " ".join(tokens)
 
     async def handle_line(self, line: str, state: dict) -> str | None:
         """One request in, one reply line out (None closes)."""
         raise NotImplementedError
 
+    @staticmethod
+    async def _read_request_line(reader: asyncio.StreamReader
+                                 ) -> tuple[bytes, bool]:
+        """One request line, with deterministic oversized-line
+        handling: ``(line bytes, overflowed)``.
+
+        A line that outgrows the stream's frame limit is discarded
+        *through its terminating newline* — however many buffer
+        refills that takes — and reported as a single overflow, so a
+        request/reply-lockstep client sees exactly one ``ERR`` for it
+        and the connection's framing stays aligned.  (Plain
+        ``readline`` would clear only the buffered prefix and then
+        serve the line's tail as phantom extra requests.)
+        """
+        try:
+            return await reader.readuntil(b"\n"), False
+        except asyncio.IncompleteReadError as exc:
+            return exc.partial, False  # EOF (maybe a final bare line)
+        except asyncio.LimitOverrunError as exc:
+            consumed = exc.consumed
+            while True:
+                if consumed:
+                    await reader.readexactly(consumed)
+                try:
+                    await reader.readuntil(b"\n")
+                    return b"", True
+                except asyncio.IncompleteReadError:
+                    return b"", True  # EOF amid the junk
+                except asyncio.LimitOverrunError as again:
+                    consumed = again.consumed
+
     async def handle_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
-        """Serve one client connection until QUIT or disconnect."""
+        """Serve one client connection until QUIT or disconnect.
+
+        A malformed request — non-UTF-8 bytes, or a line so long the
+        stream's frame limit cuts it off — errors *that one request*
+        with a single protocol ``ERR`` reply, counted in ``n_errors``;
+        the connection, its framing, and every service-owned counter
+        survive it untouched.
+        """
         self.connections += 1
         state = self.initial_state()
         try:
             while True:
-                raw = await reader.readline()
+                raw, overflowed = await self._read_request_line(reader)
+                if overflowed:
+                    self.errors += 1
+                    writer.write(b"ERR overflow request line exceeds "
+                                 b"the frame limit\n")
+                    await writer.drain()
+                    continue
                 if not raw:
                     break
                 try:
                     line = raw.decode("utf-8").strip()
                 except UnicodeDecodeError:
+                    self.errors += 1
                     writer.write(b"ERR encoding expected UTF-8\n")
                     await writer.drain()
                     continue
@@ -121,9 +207,16 @@ class LineService:
                     writer.write(b"OK bye\n")
                     await writer.drain()
                     break
+                if reply.startswith("ERR"):
+                    self.errors += 1
                 writer.write(reply.encode("utf-8") + b"\n")
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server teardown while this handler awaited a read; the
+            # connection is finished either way — end quietly instead
+            # of logging cancellation noise through the task callback.
             pass
         finally:
             # close() alone: awaiting wait_closed() here would raise
@@ -143,8 +236,10 @@ class RouteService(LineService):
 
     #: The verbs this daemon's line protocol implements, in the order
     #: ``docs/protocol.md`` documents them (the CI docs job checks the
-    #: page against this table).
-    VERBS = ("ROUTE", "EXACT", "SOURCE", "RELOAD", "STATS", "QUIT")
+    #: page against this table).  TABLE and COSTS are the *bulk*
+    #: verbs a federation front end assembles its remote view from.
+    VERBS = ("ROUTE", "EXACT", "SOURCE", "TABLE", "COSTS", "RELOAD",
+             "STATS", "QUIT")
 
     def __init__(self, snapshot_path: str | None = None,
                  reader: SnapshotReader | None = None,
@@ -220,6 +315,80 @@ class RouteService(LineService):
         self.hits += 1
         return hit
 
+    def table_reply(self, args: list[str]) -> str:
+        """The TABLE bulk verb: a multi-line data export.
+
+        Three forms, all answered from one pinned snapshot:
+
+        * ``TABLE`` — the routing index (``OK index <n>`` then one
+          ``S <name>`` / ``D <name>`` line per source/domain);
+        * ``TABLE <source>`` — the whole route table (``OK table <n>``
+          then ``<cost> <name> <route>`` lines in name order);
+        * ``TABLE <source> <dest>...`` — batched exact lookups, one
+          line per requested destination (``- <dest> -`` on a miss).
+
+        This is what lets a federation front end build its ownership
+        index and fetch a whole gateway-leg set in one round trip
+        instead of one ``EXACT`` per destination.
+        """
+        reader = self.reader  # pin one snapshot for the whole reply
+        if not args:
+            lines = [f"{'D' if is_domain else 'S'} {name}"
+                     for name, is_domain in reader.routing_index()]
+            return "\n".join([f"OK index {len(lines)}"] + lines)
+        source, dests = args[0], args[1:]
+        if not reader.has_source(source):
+            return f"ERR unknown-source {source}"
+        table = reader.table(source)
+        if dests:
+            lines = []
+            for dest in dests:
+                hit = table.lookup(dest)
+                lines.append(f"- {dest} -" if hit is None
+                             else f"{hit[0]} {dest} {hit[1]}")
+        else:
+            lines = [f"{cost} {name} {route}"
+                     for cost, name, route in table.records()]
+        return "\n".join([f"OK table {len(lines)}"] + lines)
+
+    def costs_reply(self, args: list[str]) -> str:
+        """The COSTS bulk verb: exact per-state costs by node name.
+
+        ``COSTS <source> [name ...]`` answers ``OK costs <n>`` then
+        one ``<cost> <name>`` line per node (``- <name>`` for an
+        unreached or unknown name when names were given; without
+        names, every reachable public node).  Costs come from the
+        format-v2 ``STAT`` records — exact mapper state costs, keyed
+        by node, covering nets/domains and hosts the route records
+        display under domain-qualified names.  A v1 snapshot answers
+        ``ERR no-state-costs``, and clients fall back to the printed
+        record costs, exactly as an in-process v1 shard does.
+        """
+        reader = self.reader
+        if not args:
+            return "ERR usage COSTS <source> [name ...]"
+        source, names = args[0], args[1:]
+        if not reader.has_source(source):
+            return f"ERR unknown-source {source}"
+        if not reader.has_state_costs:
+            return (f"ERR no-state-costs format v{reader.version} "
+                    f"snapshots store no per-state records")
+        if names:
+            lines = []
+            for name in names:
+                cost = reader.state_cost(source, name)
+                lines.append(f"- {name}" if cost is None
+                             else f"{cost} {name}")
+        else:
+            table = reader.table(source)
+            by_name = reader.decode_graph().cid_by_name
+            lines = []
+            for name in sorted(by_name):
+                cost = table.state_cost_of(by_name[name])
+                if cost is not None:
+                    lines.append(f"{cost} {name}")
+        return "\n".join([f"OK costs {len(lines)}"] + lines)
+
     async def reload(self, snapshot_path: str) -> SnapshotReader:
         """Open a new snapshot off the event loop and swap it in.
 
@@ -268,8 +437,8 @@ class RouteService(LineService):
         """One request in, one reply line out (None closes)."""
         parts = line.split(None, 1)
         if not parts:
-            return "ERR empty-request send ROUTE/EXACT/SOURCE/RELOAD/" \
-                   "STATS/QUIT"
+            return "ERR empty-request send ROUTE/EXACT/SOURCE/TABLE/" \
+                   "COSTS/RELOAD/STATS/QUIT"
         command = parts[0].upper()
         rest = parts[1] if len(parts) > 1 else ""
         if command == "ROUTE":
@@ -307,6 +476,10 @@ class RouteService(LineService):
                 return f"ERR unknown-source {args[0]}"
             state["source"] = args[0]
             return f"OK source {args[0]}"
+        if command == "TABLE":
+            return self.table_reply(rest.split())
+        if command == "COSTS":
+            return self.costs_reply(rest.split())
         if command == "RELOAD":
             path = rest.strip()
             if not path:
@@ -373,21 +546,44 @@ class DaemonRouteDatabase:
     """
 
     def __init__(self, address: tuple[str, int],
-                 source: str | None = None, timeout: float = 5.0):
+                 source: str | None = None, timeout: float = 5.0,
+                 reconnect_patience: float = 2.0):
+        """``reconnect_patience`` bounds how long a *re*-connect keeps
+        retrying the TCP connect while the daemon restarts (the very
+        first connect still fails fast on a wrong address)."""
         self.address = address
         self.timeout = timeout
+        self.reconnect_patience = reconnect_patience
         self.source = source
         self._sock: socket.socket | None = None
         self._file = None
+        self._ever_connected = False
 
     # -- wire -----------------------------------------------------------------
 
     def _connect(self) -> None:
         self.close()
-        sock = socket.create_connection(self.address,
-                                        timeout=self.timeout)
+        # A daemon bounce closes the listener for a moment; once this
+        # client has talked to the address successfully, give the
+        # restart a short, bounded window instead of surfacing the
+        # first ECONNREFUSED.  A never-reached address keeps failing
+        # immediately — misconfiguration should not look like a bounce.
+        deadline = time.monotonic() + (
+            self.reconnect_patience if self._ever_connected else 0.0)
+        delay = RECONNECT_DELAY
+        while True:
+            try:
+                sock = socket.create_connection(self.address,
+                                                timeout=self.timeout)
+                break
+            except OSError:
+                if time.monotonic() + delay > deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, RECONNECT_DELAY_MAX)
         self._sock = sock
         self._file = sock.makefile("rwb")
+        self._ever_connected = True
         if self.source is not None:
             reply = self._send(f"SOURCE {self.source}")
             if not reply.startswith("OK"):
@@ -439,12 +635,7 @@ class DaemonRouteDatabase:
 
     # -- the Resolver protocol surface ----------------------------------------
 
-    @staticmethod
-    def _token(value: str, what: str) -> str:
-        if not value or any(ch.isspace() for ch in value):
-            raise RouteError(f"{what} {value!r} does not fit the "
-                             f"daemon's whitespace-delimited protocol")
-        return value
+    _token = staticmethod(wire_token)
 
     def route(self, name: str) -> str | None:
         """Exact-name route lookup (no suffix search)."""

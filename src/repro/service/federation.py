@@ -20,21 +20,36 @@ protocol, extended with shard administration:
                           home shard is found automatically).
 ``SHARDS``                list attached shards: ``OK <n>
                           <name>=<sources>:<path>`` ...
-``ATTACH <name> <snap>``  add a shard (or replace one, by name).
+``ATTACH <name> <spec>``  add a shard (or replace one, by name); the
+                          spec is a snapshot path, or ``host:port``
+                          for a remote backend daemon.
 ``DETACH <name>``         remove a shard.
 ``RELOAD <name> <snap>``  hot-swap one shard's snapshot; the other
                           shards keep serving, and in-flight federated
                           lookups keep the view they started with.
+                          For a backend shard the reload is forwarded
+                          to its daemon and the cached index re-synced.
 ``STATS``                 one ``key=value`` line of counters.
 ``QUIT``                  close the connection.
 ========================  ===================================================
 
+A shard is either a **local snapshot** (the front end reads the file
+in process) or a **remote backend** (a per-shard
+:class:`~repro.service.daemon.RouteService` daemon the front end fans
+out to through a :class:`~repro.service.backend.ShardBackend`
+connection pool — see :mod:`repro.service.backend`); the two mix
+freely in one view, and the reply bytes are identical either way.
+
 Every mutation builds a *new* immutable view and swaps it in with one
 attribute assignment — the same no-dropped-requests discipline the
-single daemon's RELOAD has, now per shard.  A federated route failure
-(owner shard known but no gateway chain reaches it) reports the
-distinct ``federation`` error code so callers can tell a topology gap
-from a plain miss.
+single daemon's RELOAD has, now per shard.  Request handlers pin
+``self.view`` exactly once and never re-read it mid-request — with
+remote backends a lookup awaits socket I/O, so ATTACH/DETACH/RELOAD
+can (and do) land *between* its await points; the pinned-view
+discipline is what keeps a half-swapped picture unobservable.  A
+federated route failure (owner shard known but no gateway chain
+reaches it) reports the distinct ``federation`` error code so callers
+can tell a topology gap from a plain miss.
 
 :class:`FederatedRouteDatabase` extends the synchronous
 :class:`~repro.service.daemon.DaemonRouteDatabase` client with the
@@ -49,7 +64,16 @@ import asyncio
 import sys
 import time
 
-from repro.errors import FederationError, RouteError
+from repro.errors import (
+    FederationError,
+    RouteError,
+    UnknownShardError,
+)
+from repro.service.backend import (
+    BackendShard,
+    ShardBackend,
+    parse_backend_spec,
+)
 from repro.service.daemon import DaemonRouteDatabase, LineService, serve
 from repro.service.resolver import Resolution
 from repro.service.shard import FederationView, Shard
@@ -72,7 +96,8 @@ class FederationService(LineService):
     def __init__(self, shards, default_source: str | None = None,
                  require_format: int | None = None):
         """``shards`` maps shard names to snapshot paths (or is an
-        iterable of :class:`Shard` objects, for in-process use).
+        iterable of :class:`Shard` / :class:`BackendShard` objects —
+        remote backends need the async :meth:`create` constructor).
         ``require_format`` pins every shard's snapshot format — at
         startup and on every later ATTACH/RELOAD."""
         super().__init__(require_format=require_format)
@@ -85,7 +110,9 @@ class FederationService(LineService):
             raise SnapshotError(
                 "FederationService needs at least one shard")
         for shard in shards:
-            self._check_format(shard.reader)
+            # shards duck-type the reader's version/path attributes,
+            # so the format pin applies to backends identically
+            self._check_format(shard)
         self.view = FederationView(shards)
         if default_source is None:
             first = next(iter(self.view.shards.values()))
@@ -107,12 +134,58 @@ class FederationService(LineService):
         self.reloads = 0
         self.attaches = 0
         self.detaches = 0
+        #: Connection-pool width for backend shards attached at
+        #: runtime (ATTACH host:port); :meth:`create` overrides it
+        #: with its ``pool_size`` so later attaches match startup.
+        self.backend_pool_size = 2
+        #: How long a replaced/detached backend pool keeps serving
+        #: lookups still pinned to the outgoing view before closing.
+        self.retire_grace = 2.0
         self._swap_lock = asyncio.Lock()
+        self._retiring: set = set()
+
+    @classmethod
+    async def create(cls, shards=None, backends=None,
+                     default_source: str | None = None,
+                     require_format: int | None = None,
+                     pool_size: int = 2) -> "FederationService":
+        """Build a service over local snapshots *and* remote backends.
+
+        ``shards`` maps shard names to snapshot paths (served in
+        process); ``backends`` maps shard names to ``host:port``
+        specs, each dialed now — the ownership index is fetched from
+        the daemon before the service answers its first request.
+        ``pool_size`` is the per-backend connection pool width.
+        """
+        objs: list = [Shard.open(name, path)
+                      for name, path in sorted((shards or {}).items())]
+        for name, spec in sorted((backends or {}).items()):
+            addr = parse_backend_spec(spec)
+            if addr is None:
+                raise FederationError(
+                    f"backend {name}={spec!r} is not of the form "
+                    f"HOST:PORT")
+            backend = ShardBackend(name, addr[0], addr[1],
+                                   pool_size=pool_size)
+            objs.append(await BackendShard.connect(name, backend))
+        service = cls(objs, default_source=default_source,
+                      require_format=require_format)
+        service.backend_pool_size = pool_size
+        return service
 
     # -- operations -----------------------------------------------------------
+    #
+    # The swap-path discipline, audited: every request handler reads
+    # ``self.view`` exactly once and works against that immutable
+    # object for its whole lifetime — across every await point.  The
+    # mutators below build a new view under ``_swap_lock`` and publish
+    # it with one attribute assignment, so a racing request sees the
+    # old picture or the new one, never a mixture; backend pools are
+    # closed only after the swap, with a grace window for requests
+    # still pinned to the outgoing view.
 
-    def lookup(self, source: str, target: str,
-               user: str | None = None) -> tuple[int, Resolution]:
+    async def lookup(self, source: str, target: str,
+                     user: str | None = None) -> tuple[int, Resolution]:
         """Federated suffix-search from ``source``: ``(cost, resolution)``.
 
         Raises :class:`FederationError` when the owner shard is
@@ -126,7 +199,7 @@ class FederationService(LineService):
             self.misses += 1
             raise SnapshotError(f"no shard owns source {source!r}")
         try:
-            fed = view.resolve_with_cost(
+            fed = await view.aresolve_with_cost(
                 source, target, "%s" if user is None else user)
         except RouteError:  # includes FederationError
             self.misses += 1
@@ -143,7 +216,7 @@ class FederationService(LineService):
         federation picture, like every request handler does."""
         return self.view.resolver(source)
 
-    def exact(self, source: str, target: str) -> tuple[int, str]:
+    async def exact(self, source: str, target: str) -> tuple[int, str]:
         """Exact-name federated lookup: ``(cost, route template)``."""
         view = self.view
         self.lookups += 1
@@ -151,7 +224,7 @@ class FederationService(LineService):
             self.misses += 1
             raise SnapshotError(f"no shard owns source {source!r}")
         try:
-            fed = view.exact(source, target)
+            fed = await view.aexact(source, target)
         except RouteError:
             self.misses += 1
             raise
@@ -160,39 +233,124 @@ class FederationService(LineService):
             self.federated += 1
         return fed.cost, fed.resolution.route
 
-    async def attach(self, name: str, snapshot_path: str) -> Shard:
-        """Open a snapshot off-loop and attach (or replace) a shard."""
+    def _retire(self, old) -> None:
+        """Schedule a replaced/removed backend shard's pool for
+        closing on a background task: the view has already swapped,
+        and the pool keeps serving lookups pinned to the outgoing
+        view for :attr:`retire_grace` seconds before it drains —
+        without holding up the ATTACH/DETACH reply."""
+        backend = getattr(old, "backend", None)
+        if backend is None:
+            return
+        task = asyncio.get_running_loop().create_task(
+            backend.aclose(self.retire_grace))
+        self._retiring.add(task)
+        task.add_done_callback(self._retiring.discard)
+
+    async def _open_shard(self, name: str, spec: str):
+        """Open an attachable shard from its spec: a ``host:port``
+        backend (dialed and index-synced now) or a snapshot path
+        (opened off-loop).  Format pin enforced either way; a backend
+        that fails the sync or the pin has its freshly-opened pool
+        closed rather than leaked."""
+        addr = parse_backend_spec(spec)
+        if addr is not None:
+            backend = ShardBackend(name, addr[0], addr[1],
+                                   pool_size=self.backend_pool_size)
+            try:
+                shard = await BackendShard.connect(name, backend)
+                self._check_format(shard)
+            except Exception:
+                await backend.aclose(grace=0.0)
+                raise
+            return shard
+        reader = await asyncio.to_thread(SnapshotReader.open, spec)
+        shard = Shard(name, reader)
+        self._check_format(shard)
+        return shard
+
+    async def attach(self, name: str, spec: str):
+        """Attach (or replace, by name) a shard: a snapshot path or a
+        ``host:port`` remote backend spec."""
         async with self._swap_lock:
-            reader = await asyncio.to_thread(SnapshotReader.open,
-                                             snapshot_path)
-            self._check_format(reader)
-            shard = Shard(name, reader)
+            shard = await self._open_shard(name, spec)
+            old = self.view.shards.get(name)
             self.view = self.view.with_shard(shard)
             self.attaches += 1
-            return shard
+        if old is not None:
+            self._retire(old)
+        return shard
 
     async def detach(self, name: str) -> None:
-        """Remove a shard; the remaining shards keep serving."""
+        """Remove a shard; the remaining shards keep serving.
+
+        A backend shard's connection pool is closed only after the
+        view swap, on a background task with a
+        :attr:`retire_grace` window: a lookup that pinned the old
+        view mid-flight finishes its round trips before the pool
+        drains.
+        """
         async with self._swap_lock:
+            old = self.view.shards.get(name)
             self.view = self.view.without_shard(name)
             self.detaches += 1
+        self._retire(old)
 
-    async def reload_shard(self, name: str,
-                           snapshot_path: str) -> Shard:
+    async def reload_shard(self, name: str, snapshot_path: str):
         """Hot-swap one shard's snapshot, leaving the others serving.
 
         The shard must already be attached (ATTACH adds new ones).  A
         failed open leaves the current view intact; in-flight lookups
         keep the view — and therefore every shard generation — they
-        started with.
+        started with.  For a **backend shard** the reload is forwarded
+        to its daemon (the path names a file on the backend's host)
+        and the cached ownership index re-synchronized in the same
+        swap.  One honest caveat there: the remote daemon swaps the
+        moment it accepts the forwarded reload, so a lookup pinned to
+        the outgoing view can reach the daemon during the short
+        re-sync window and see new-snapshot legs — the outgoing
+        shard's leg cache is cleared (below) so nothing from that
+        window outlives it, but remote shards cannot give the perfect
+        generation pinning local (in-memory) shards do.
         """
         async with self._swap_lock:
-            if name not in self.view.shards:
-                raise FederationError(f"no shard named {name!r}")
-            reader = await asyncio.to_thread(SnapshotReader.open,
-                                             snapshot_path)
-            self._check_format(reader)
-            shard = Shard(name, reader)
+            current = self.view.shards.get(name)
+            if current is None:
+                raise UnknownShardError(f"no shard named {name!r}")
+            backend = getattr(current, "backend", None)
+            if backend is not None:
+                await backend.reload(snapshot_path)
+                try:
+                    shard = await BackendShard.connect(name, backend)
+                    self._check_format(shard)
+                except (FederationError, SnapshotError):
+                    # The backend daemon already swapped; serving on
+                    # with the OLD cached index against its NEW
+                    # snapshot would split-brain the shard.  Best
+                    # effort: roll the daemon back to the snapshot
+                    # this view still describes, then report the
+                    # failure.
+                    old_snap = getattr(current, "snapshot", "")
+                    if old_snap:
+                        try:
+                            await backend.reload(old_snap)
+                        except FederationError:
+                            pass  # daemon gone mid-reload; the next
+                            # lookup will surface its health anyway
+                    # an in-flight lookup may have cached legs from
+                    # the pre-rollback snapshot on the shard we are
+                    # keeping — drop them so nothing poisoned persists
+                    current.drop_cached_legs()
+                    raise
+                # same window, success path: the outgoing shard stays
+                # pinned by in-flight lookups; stale-vs-new mixtures
+                # must not survive in its cache either
+                current.drop_cached_legs()
+            else:
+                reader = await asyncio.to_thread(SnapshotReader.open,
+                                                 snapshot_path)
+                shard = Shard(name, reader)
+                self._check_format(shard)
             self.view = self.view.with_shard(shard)
             self.reloads += 1
             return shard
@@ -203,13 +361,23 @@ class FederationService(LineService):
         ``formats`` lists the attached shards' snapshot format
         versions in shard-name order (a per-shard RELOAD can flip
         one); the ``n_<verb>`` counters live on the service and
-        survive every view swap.
+        survive every view swap.  Remote backends add ``backends=``
+        plus one health token per backend —
+        ``backend_<name>=<state>:<requests>:<errors>:<connects>`` —
+        so an operator sees a bouncing shard daemon from the front
+        end's STATS line alone.
         """
         view = self.view
         uptime = time.monotonic() - self.started
         tables = sum(s.source_count for s in view.shards.values())
         formats = view.shard_formats()
         verbs = self.verb_stats()
+        backends = [(name, shard.backend)
+                    for name, shard in view.shards.items()
+                    if getattr(shard, "backend", None) is not None]
+        health = "".join(
+            f"backend_{name}={backend.health()} "
+            for name, backend in backends)
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} federated={self.federated} "
                 f"reloads={self.reloads} attaches={self.attaches} "
@@ -217,6 +385,7 @@ class FederationService(LineService):
                 f"connections={self.connections} "
                 f"shards={len(view.shards)} tables={tables} "
                 f"formats={formats} "
+                f"backends={len(backends)} {health}"
                 f"{verbs} "
                 f"uptime_sec={uptime:.1f} "
                 f"source={self.default_source} "
@@ -244,7 +413,7 @@ class FederationService(LineService):
             if not args or len(args) > 2:
                 return "ERR usage ROUTE <dest> [user]"
             try:
-                cost, res = self.lookup(
+                cost, res = await self.lookup(
                     state["source"], args[0],
                     args[1] if len(args) == 2 else None)
             except FederationError as exc:
@@ -260,7 +429,8 @@ class FederationService(LineService):
             if len(args) != 1:
                 return "ERR usage EXACT <dest>"
             try:
-                cost, route = self.exact(state["source"], args[0])
+                cost, route = await self.exact(state["source"],
+                                               args[0])
             except FederationError as exc:
                 return f"ERR federation {exc}"
             except RouteError:
@@ -282,7 +452,7 @@ class FederationService(LineService):
         if command == "ATTACH":
             args = rest.split()
             if len(args) != 2:
-                return "ERR usage ATTACH <name> <snapshot>"
+                return "ERR usage ATTACH <name> <snapshot|host:port>"
             try:
                 shard = await self.attach(args[0], args[1])
             except (SnapshotError, FederationError) as exc:
@@ -295,7 +465,7 @@ class FederationService(LineService):
                 return "ERR usage DETACH <name>"
             try:
                 await self.detach(args[0])
-            except FederationError:
+            except UnknownShardError:
                 return f"ERR unknown-shard {args[0]}"
             return f"OK detached {args[0]}"
         if command == "RELOAD":
@@ -304,9 +474,11 @@ class FederationService(LineService):
                 return "ERR usage RELOAD <shard> <snapshot>"
             try:
                 shard = await self.reload_shard(args[0], args[1])
-            except FederationError:
+            except UnknownShardError:
                 return f"ERR unknown-shard {args[0]}"
-            except SnapshotError as exc:
+            except (SnapshotError, FederationError) as exc:
+                # a refused local open, or a backend daemon refusing
+                # (or being unreachable for) the forwarded reload
                 return f"ERR reload {exc}"
             return (f"OK reloaded {shard.name} {shard.source_count} "
                     f"{shard.path}")
@@ -324,17 +496,26 @@ class FederationService(LineService):
 def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
                           port: int = 4176,
                           source: str | None = None,
-                          require_format: int | None = None) -> int:
-    """Blocking entry point for ``pathalias serve --shard ...``."""
+                          require_format: int | None = None,
+                          backends: dict | None = None) -> int:
+    """Blocking entry point for ``pathalias serve --shard/--backend``.
+
+    ``shards`` maps names to local snapshot paths, ``backends`` maps
+    names to ``host:port`` daemon addresses; the two mix freely.
+    """
 
     async def main() -> None:
-        service = FederationService(shards, default_source=source,
-                                    require_format=require_format)
+        service = await FederationService.create(
+            shards=shards, backends=backends, default_source=source,
+            require_format=require_format)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         names = ",".join(service.view.shard_names())
+        remote = len(backends or {})
+        local = len(service.view.shards) - remote
         print(f"pathalias: serve: federating {len(service.view.shards)}"
-              f" shard(s) [{names}]; listening on "
+              f" shard(s) [{names}] ({local} local, {remote} remote "
+              f"backend(s)); listening on "
               f"{bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
         async with server:
             await server.serve_forever()

@@ -43,6 +43,14 @@ Everything here is immutable after construction: swapping one shard
 builds a new :class:`FederationView` (cheap — readers are shared), so
 a daemon hot-swaps views by plain attribute assignment while in-flight
 lookups keep the view they started with.
+
+The query surface is **async-first**: the stitched Dijkstra awaits
+each shard's answers, so a shard backed by a remote daemon process
+(:class:`repro.service.backend.BackendShard`) plugs in exactly where
+an in-process snapshot does.  Local shards never actually suspend, so
+the synchronous wrappers (``resolve_with_cost`` / ``exact``) drive
+the coroutine to completion without an event loop — byte-identical
+answers, no asyncio required for in-process use.
 """
 
 from __future__ import annotations
@@ -51,9 +59,32 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from pathlib import Path
 
-from repro.errors import FederationError, RouteError
+from repro.errors import (
+    FederationError,
+    RouteError,
+    UnknownShardError,
+)
 from repro.service.resolver import Resolution, domain_suffixes
 from repro.service.store import SnapshotReader
+
+
+def drive_local(coro):
+    """Run a coroutine that never actually suspends, synchronously.
+
+    Local shards answer from in-memory snapshot bytes, so the async
+    query surface completes on the first ``send`` — no event loop
+    needed.  A view containing remote backend shards *does* suspend
+    (socket I/O); callers holding one must use the ``a``-prefixed
+    coroutine methods from a running event loop instead.
+    """
+    try:
+        coro.send(None)
+    except StopIteration as stop:
+        return stop.value
+    coro.close()
+    raise FederationError(
+        "view contains remote backend shards; use the async query "
+        "surface (aresolve_with_cost/aexact) from an event loop")
 
 
 class Shard:
@@ -100,6 +131,16 @@ class Shard:
         """The snapshot file this shard serves."""
         return self.reader.path
 
+    @property
+    def version(self) -> int:
+        """The snapshot format version this shard serves."""
+        return self.reader.version
+
+    def routing_index(self) -> list[tuple[str, bool]]:
+        """The shard's sorted source/domain ownership index (see
+        :meth:`repro.service.store.SnapshotReader.routing_index`)."""
+        return self.reader.routing_index()
+
     def has_source(self, source: str) -> bool:
         """Whether this shard holds a table for ``source``."""
         return source in self._source_set
@@ -132,13 +173,59 @@ class Shard:
         index never contains them, so a record named ``target`` and
         this cid-keyed table always describe the same global node.
         """
-        table = self.table(source)
-        if not table.has_state_costs:
+        return self.reader.state_cost(source, target)
+
+    # -- the async entry-query surface ----------------------------------------
+    #
+    # The three queries the stitched Dijkstra asks of a shard.  Local
+    # shards answer from in-memory bytes and never suspend; a remote
+    # BackendShard answers the same three questions over sockets.
+
+    async def route_legs(self, entry: str,
+                         gates: list[str]) -> dict[str, tuple[int, str]]:
+        """Gateway legs out of ``entry``: ``{gate: (cost, template)}``.
+
+        One batched question per Dijkstra expansion: for every
+        candidate gateway, the printed route template from ``entry``
+        and its cost — the exact per-state mapper cost where stored
+        (format v2), else the printed record's.  Gateways ``entry``
+        cannot reach are absent from the answer.
+        """
+        table = self.table(entry)
+        out: dict[str, tuple[int, str]] = {}
+        for gate in gates:
+            hit = table.lookup(gate)
+            if hit is None:
+                continue  # gateway unreachable inside this shard
+            gate_cost, gate_route = hit
+            exact = self.state_cost(entry, gate)
+            if exact is not None:
+                gate_cost = exact
+            out[gate] = (gate_cost, gate_route)
+        return out
+
+    async def entry_resolve(self, entry: str, target: str):
+        """Domain-suffix lookup of ``target`` in ``entry``'s table:
+        ``(cost, relative template, matched key)``, or None on a miss.
+
+        The template is the resolution's *address with the ``%s``
+        left in place* — domain-gateway rewriting already applied —
+        which is exactly the text the stitcher substitutes.
+        """
+        try:
+            cost, res = self.table(entry).resolve_with_cost(target, "%s")
+        except RouteError:
             return None
-        cid = self.cid_of(target)
-        if cid is None:
+        return cost, res.address, res.matched
+
+    async def entry_exact(self, entry: str, target: str):
+        """Exact-name lookup of ``target`` in ``entry``'s table:
+        ``(cost, route template, target)``, or None on a miss."""
+        hit = self.table(entry).lookup(target)
+        if hit is None:
             return None
-        return table.state_cost_of(cid)
+        cost, route = hit
+        return cost, route, target
 
     def __repr__(self) -> str:
         return (f"Shard({self.name!r}, {self.source_count} sources, "
@@ -182,7 +269,7 @@ class FederationView:
             self.shards[shard.name] = shard
         owners: dict[str, set] = {}
         for shard in ordered:
-            for name, _is_domain in shard.reader.routing_index():
+            for name, _is_domain in shard.routing_index():
                 owners.setdefault(name, set()).add(shard.name)
         self._owners = {name: tuple(sorted(names))
                         for name, names in owners.items()}
@@ -243,8 +330,7 @@ class FederationView:
     def shard_formats(self) -> str:
         """Comma-joined per-shard snapshot format versions, in
         shard-name order — the ``formats=`` STATS token."""
-        return ",".join(str(s.reader.version)
-                        for s in self.shards.values())
+        return ",".join(str(s.version) for s in self.shards.values())
 
     def with_shard(self, shard: Shard) -> "FederationView":
         """A new view with ``shard`` added (or replaced, by name)."""
@@ -255,21 +341,23 @@ class FederationView:
     def without_shard(self, name: str) -> "FederationView":
         """A new view with the shard called ``name`` removed."""
         if name not in self.shards:
-            raise FederationError(f"no shard named {name!r}")
+            raise UnknownShardError(f"no shard named {name!r}")
         return FederationView(
             [s for sname, s in self.shards.items() if sname != name])
 
     # -- the federated query ---------------------------------------------------
 
-    def _stitch(self, source: str, target: str, owners, resolver):
+    async def _stitch(self, source: str, target: str, owners, resolver):
         """Dijkstra over ``(shard, entry host)`` states.
 
-        ``resolver(shard, entry)`` returns ``(cost, template, matched)``
-        for the final in-shard lookup, or None on a miss.  Returns the
-        winning ``(cost, template, matched, shard name, via)`` with
-        deterministic tie-breaks; raises :class:`FederationError` when
-        no gateway chain reaches any owner, :class:`RouteError` when
-        owners were reached but none resolved the target.
+        ``resolver(shard, entry)`` is an awaitable returning ``(cost,
+        template, matched)`` for the final in-shard lookup, or None on
+        a miss — local shards answer in place, remote backend shards
+        over their socket pool.  Returns the winning ``(cost,
+        template, matched, shard name, via)`` with deterministic
+        tie-breaks; raises :class:`FederationError` when no gateway
+        chain reaches any owner, :class:`RouteError` when owners were
+        reached but none resolved the target.
 
         Gateway legs are priced with the shard's exact per-state
         mapper cost (:meth:`Shard.state_cost`, format v2) rather than
@@ -308,7 +396,7 @@ class FederationView:
             shard = self.shards[sname]
             if sname in owner_set:
                 reached_owner = True
-                hit = resolver(shard, entry)
+                hit = await resolver(shard, entry)
                 if hit is not None:
                     in_cost, in_template, matched = hit
                     candidates.append((
@@ -318,20 +406,25 @@ class FederationView:
                     if best_cost is None \
                             or cost + in_cost < best_cost:
                         best_cost = cost + in_cost
-            table = shard.table(entry)
+            # One batched gateway question per expansion: every gate
+            # this entry could cross, asked of the shard in a single
+            # round trip (for a remote shard, one socket exchange
+            # instead of one per gate).
+            wanted: dict[str, list[str]] = {}
             for other in self.shards:
                 if other == sname:
                     continue
                 for gate in self._gateways[(sname, other)]:
-                    if (other, gate) in done:
-                        continue
-                    gate_hit = table.lookup(gate)
-                    if gate_hit is None:
-                        continue  # gateway unreachable inside this shard
-                    gate_cost, gate_route = gate_hit
-                    exact = shard.state_cost(entry, gate)
-                    if exact is not None:
-                        gate_cost = exact
+                    if (other, gate) not in done:
+                        wanted.setdefault(gate, []).append(other)
+            legs = await shard.route_legs(entry, sorted(wanted)) \
+                if wanted else {}
+            for gate, others in wanted.items():
+                leg = legs.get(gate)
+                if leg is None:
+                    continue  # gateway unreachable inside this shard
+                gate_cost, gate_route = leg
+                for other in others:
                     heappush(heap, (
                         cost + gate_cost, hops + 1, other, gate,
                         template.replace("%s", gate_route, 1),
@@ -345,33 +438,28 @@ class FederationView:
                 f"them to {source!r}'s home shard {home.name!r}")
         raise RouteError(f"no route to {target!r}")
 
-    def resolve_with_cost(self, source: str, target: str,
-                          user: str = "%s") -> FederatedResolution:
-        """The federated domain-suffix lookup.
+    async def aresolve_with_cost(self, source: str, target: str,
+                                 user: str = "%s"
+                                 ) -> FederatedResolution:
+        """The federated domain-suffix lookup (async form).
 
         Finds the owner shard(s) of ``target`` by longest
         domain-suffix match over the merged index, stitches a route
         from ``source``'s home shard through gateway hosts, and
         instantiates it for ``user`` — ``%s`` keeps the relative
         template.  The cheapest stitched route wins; ties break toward
-        fewer shard crossings, then shard and gateway names.
+        fewer shard crossings, then shard and gateway names.  This is
+        the one implementation; the sync :meth:`resolve_with_cost`
+        drives it without a loop for local-only views.
         """
         _, owners = self.owners_of(target)
         if not owners:
             raise RouteError(f"no route to {target!r}")
 
-        def resolver(shard, entry):
-            try:
-                cost, res = shard.table(entry).resolve_with_cost(
-                    target, "%s")
-            except RouteError:
-                return None
-            # res.address is the route relative to the entry host with
-            # the domain-gateway rewriting already applied and a single
-            # %s left for the user — exactly the template to stitch.
-            return cost, res.address, res.matched
+        async def resolver(shard, entry):
+            return await shard.entry_resolve(entry, target)
 
-        cost, _, sname, via, template, matched = self._stitch(
+        cost, _, sname, via, template, matched = await self._stitch(
             source, target, owners, resolver)
         return FederatedResolution(
             cost=cost,
@@ -379,6 +467,15 @@ class FederationView:
                 target=target, matched=matched, route=template,
                 address=template.replace("%s", user, 1)),
             shard=sname, via=via)
+
+    def resolve_with_cost(self, source: str, target: str,
+                          user: str = "%s") -> FederatedResolution:
+        """The federated domain-suffix lookup (sync form; see
+        :meth:`aresolve_with_cost`).  Local-only views answer in
+        place; a view with remote backend shards raises
+        :class:`FederationError` — use the async form there."""
+        return drive_local(
+            self.aresolve_with_cost(source, target, user))
 
     def resolve(self, source: str, target: str,
                 user: str = "%s") -> Resolution:
@@ -390,7 +487,8 @@ class FederationView:
         to ``source`` over this (immutable) view."""
         return FederationResolver(self, source)
 
-    def exact(self, source: str, target: str) -> FederatedResolution:
+    async def aexact(self, source: str,
+                     target: str) -> FederatedResolution:
         """Exact-name federated lookup (no domain-suffix walk).
 
         The merged index is consulted for ``target`` verbatim, and the
@@ -401,14 +499,10 @@ class FederationView:
         if not owners:
             raise RouteError(f"no route to {target!r}")
 
-        def resolver(shard, entry):
-            hit = shard.table(entry).lookup(target)
-            if hit is None:
-                return None
-            cost, route = hit
-            return cost, route, target
+        async def resolver(shard, entry):
+            return await shard.entry_exact(entry, target)
 
-        cost, _, sname, via, template, matched = self._stitch(
+        cost, _, sname, via, template, matched = await self._stitch(
             source, target, owners, resolver)
         return FederatedResolution(
             cost=cost,
@@ -416,6 +510,11 @@ class FederationView:
                 target=target, matched=matched, route=template,
                 address=template),
             shard=sname, via=via)
+
+    def exact(self, source: str, target: str) -> FederatedResolution:
+        """Exact-name federated lookup (sync form; see
+        :meth:`aexact`)."""
+        return drive_local(self.aexact(source, target))
 
     def __repr__(self) -> str:
         parts = ", ".join(

@@ -46,8 +46,10 @@ to a from-scratch rebuild.
 
 from __future__ import annotations
 
+import copy
 import os
 import struct
+import sys
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -728,6 +730,26 @@ class SnapshotReader:
                 if cg.is_domain[cid] and not cg.private[cid])
         return list(self._domains)
 
+    def state_cost(self, source: str, target: str) -> int | None:
+        """The mapper's exact final cost ``source -> target`` from the
+        stored per-state records (format v2), or None when the
+        snapshot is v1 or the target is unreached.
+
+        Keyed through the stored graph's name index (compact id), so
+        nodes the printed route records omit — nets, domains, hosts
+        displayed under a domain-qualified name — still answer
+        exactly.  This is the primitive behind
+        :meth:`repro.service.shard.Shard.state_cost` and the daemon's
+        ``COSTS`` bulk verb.
+        """
+        table = self.table(source)
+        if not table.has_state_costs:
+            return None
+        cid = self.decode_graph().find(target)
+        if cid is None:
+            return None
+        return table.state_cost_of(cid)
+
     def routing_index(self) -> list[tuple[str, bool]]:
         """The sorted source/domain index: ``(name, is_domain)`` pairs.
 
@@ -876,6 +898,23 @@ def build_snapshot(graph: Graph | CompactGraph, path: str | Path,
     _check_format(fmt)
     cg = graph if isinstance(graph, CompactGraph) \
         else CompactGraph.compile(graph)
+    negatives = sum(1 for c in cg.cost if c < 0)
+    if negatives:
+        # The graph model requires non-negative weights — the map
+        # parser/builder clamps and warns (graph/build.py) — but an
+        # array-level revision (netsim, incremental benchmarks) can
+        # smuggle a negative past that gate, and Dijkstra's
+        # invariants do not survive it.  Enforce the same model rule
+        # here, as loudly as the builder does, so every snapshot
+        # build — fresh or the incremental updater's full-rebuild
+        # fallback — agrees byte-for-byte on the clamped graph.
+        print(f"pathalias: snapshot: {negatives} negative link "
+              f"cost(s) clamped to 0 (the graph model requires "
+              f"non-negative weights)", file=sys.stderr)
+        # a shallow copy suffices: only the cost-list binding changes,
+        # every other array stays shared and unmutated
+        cg = copy.copy(cg)
+        cg.cost = [c if c >= 0 else 0 for c in cg.cost]
     cfg = heuristics if heuristics is not None else DEFAULT_HEURISTICS
     sources = eligible_sources(cg)
     payloads, engine = map_sources(cg, sources,

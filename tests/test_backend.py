@@ -1,0 +1,651 @@
+"""The remote-backend federation tier: fan-out to per-shard daemons.
+
+The acceptance bars:
+
+* stitched answers from a federation of **remote backend** shards are
+  byte-identical to the in-process federation over the same snapshots,
+  across the whole ``d.*`` fixture matrix;
+* one backend daemon restart mid-traffic loses no lookups — the
+  client pool reconnects with backoff and retries transparently;
+* the daemon's bulk ``TABLE``/``COSTS`` verbs export exactly the data
+  the front end assembles its remote view from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.core.pathalias import Pathalias
+from repro.errors import FederationError, RouteError
+from repro.service.backend import (
+    BackendShard,
+    ShardBackend,
+    parse_backend_spec,
+)
+from repro.service.daemon import RouteService, serve
+from repro.service.federation import (
+    FederatedRouteDatabase,
+    FederationService,
+)
+from repro.service.shard import FederationView, Shard
+from repro.service.store import build_snapshot
+
+DATA = Path(__file__).parent / "data"
+REGIONS = ("backbone", "universities", "arpa")
+
+
+@pytest.fixture(scope="module")
+def shard_paths(tmp_path_factory):
+    """One snapshot per regional map, built once for the module."""
+    tmp = tmp_path_factory.mktemp("backend-shards")
+    paths = {}
+    for name in REGIONS:
+        text = (DATA / f"d.{name}").read_text()
+        path = tmp / f"{name}.snap"
+        build_snapshot(Pathalias().build([(f"d.{name}", text)]), path)
+        paths[name] = str(path)
+    return paths
+
+
+class _Cluster:
+    """Per-shard RouteService daemons on one event loop, plus their
+    ``host:port`` backend specs — the in-loop stand-in for separate
+    daemon processes."""
+
+    def __init__(self):
+        self.servers = {}
+        self.services = {}
+        self.specs = {}
+
+    async def start(self, name: str, snapshot_path: str) -> str:
+        """Serve ``snapshot_path`` as shard ``name``; returns the
+        backend spec."""
+        service = RouteService(snapshot_path)
+        server = await serve(service)
+        port = server.sockets[0].getsockname()[1]
+        self.servers[name] = server
+        self.services[name] = service
+        self.specs[name] = f"127.0.0.1:{port}"
+        return self.specs[name]
+
+    async def stop(self, name: str) -> int:
+        """Stop shard ``name``'s daemon; returns the port it held."""
+        server = self.servers.pop(name)
+        port = server.sockets[0].getsockname()[1]
+        server.close()
+        await server.wait_closed()
+        return port
+
+    async def restart(self, name: str, snapshot_path: str,
+                      port: int) -> None:
+        """Bind a fresh daemon for ``name`` on the same port."""
+        service = RouteService(snapshot_path)
+        server = await asyncio.start_server(
+            service.handle_connection, "127.0.0.1", port)
+        self.servers[name] = server
+        self.services[name] = service
+
+    async def close(self) -> None:
+        """Stop every daemon."""
+        for name in list(self.servers):
+            await self.stop(name)
+
+
+class TestBackendSpec:
+    def test_parse(self):
+        assert parse_backend_spec("127.0.0.1:4311") == \
+            ("127.0.0.1", 4311)
+        assert parse_backend_spec("shard-a.example:80") == \
+            ("shard-a.example", 80)
+        assert parse_backend_spec("/maps/backbone.snap") is None
+        assert parse_backend_spec("host:port") is None
+        assert parse_backend_spec("host:0") is None
+        assert parse_backend_spec("host:99999") is None
+        assert parse_backend_spec("h ost:80") is None
+
+
+class TestBulkVerbs:
+    """TABLE/COSTS on the single-snapshot daemon."""
+
+    async def request_lines(self, r, w, line):
+        w.write(line.encode() + b"\n")
+        await w.drain()
+        head = (await r.readline()).decode().rstrip("\n")
+        lines = []
+        if head.startswith("OK"):
+            for _ in range(int(head.split()[-1])):
+                lines.append((await r.readline()).decode().rstrip("\n"))
+        return head, lines
+
+    def test_table_and_costs(self, shard_paths):
+        async def scenario():
+            service = RouteService(shard_paths["arpa"])
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+
+            # TABLE bare: the routing index (sources + domains)
+            head, lines = await self.request_lines(r, w, "TABLE")
+            assert head == f"OK index {len(lines)}"
+            entries = [tuple(line.split()) for line in lines]
+            assert ("D", ".edu") in entries
+            assert ("S", "seismo") in entries
+            assert [name for _, name in entries] == \
+                sorted(name for _, name in entries)
+
+            # TABLE <source>: the whole table, name order
+            head, lines = await self.request_lines(r, w,
+                                                   "TABLE seismo")
+            assert head.startswith("OK table ")
+            names = [line.split()[1] for line in lines]
+            assert names == sorted(names)
+            assert "caip.rutgers.edu" in names
+
+            # TABLE <source> <dest>...: batched exact lookups
+            head, lines = await self.request_lines(
+                r, w, "TABLE seismo brl-bmd nowhere caip.rutgers.edu")
+            assert head == "OK table 3"
+            got = {line.split()[1]: line.split()[0] for line in lines}
+            assert got["nowhere"] == "-"
+            assert got["brl-bmd"].isdigit()
+            assert got["caip.rutgers.edu"].isdigit()
+
+            # COSTS <source> <name>...: exact per-state costs, which
+            # answer even for nodes the route records never print
+            head, lines = await self.request_lines(
+                r, w, "COSTS seismo ARPA mcvax nowhere")
+            assert head == "OK costs 3"
+            costs = dict(line.split()[::-1] for line in lines)
+            assert costs["ARPA"].isdigit()  # net placeholder: priced
+            assert costs["nowhere"] == "-"
+
+            # errors keep the connection alive
+            head, _ = await self.request_lines(r, w, "TABLE ghost")
+            assert head == "ERR unknown-source ghost"
+            head, _ = await self.request_lines(r, w, "COSTS")
+            assert head.startswith("ERR usage")
+            head, lines = await self.request_lines(r, w, "TABLE")
+            assert head.startswith("OK index")
+
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_costs_on_v1_snapshot(self, tmp_path):
+        """A v1 snapshot has no STAT block: COSTS answers the distinct
+        no-state-costs error and the connection survives."""
+        text = (DATA / "d.backbone").read_text()
+        v1 = tmp_path / "v1.snap"
+        build_snapshot(Pathalias().build([("d.backbone", text)]), v1,
+                       fmt=1)
+
+        async def scenario():
+            service = RouteService(str(v1))
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            head, _ = await self.request_lines(r, w, "COSTS ihnp4")
+            assert head.startswith("ERR no-state-costs")
+            head, _ = await self.request_lines(r, w, "TABLE ihnp4")
+            assert head.startswith("OK table")
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestBackendShard:
+    def test_connect_assembles_the_shard_surface(self, shard_paths):
+        async def scenario():
+            cluster = _Cluster()
+            spec = await cluster.start("arpa", shard_paths["arpa"])
+            host, port = parse_backend_spec(spec)
+            shard = await BackendShard.connect(
+                "arpa", ShardBackend("arpa", host, port))
+            local = Shard.open("arpa", shard_paths["arpa"])
+            assert shard.sources() == local.sources()
+            assert shard.source_set == local.source_set
+            assert shard.domains() == local.domains()
+            assert shard.routing_index() == local.routing_index()
+            assert shard.source_count == local.source_count
+            assert shard.version == local.version == 2
+            assert shard.path == f"tcp://{spec}"
+            assert shard.snapshot == shard_paths["arpa"]
+            # the async entry-query surface answers like the local one
+            assert await shard.entry_resolve("seismo", "mcvax") == \
+                await local.entry_resolve("seismo", "mcvax")
+            assert await shard.entry_exact("seismo", "mcvax") == \
+                await local.entry_exact("seismo", "mcvax")
+            gates = ["seismo", "ucbvax", "nowhere"]
+            assert await shard.route_legs("mit-ai", gates) == \
+                await local.route_legs("mit-ai", gates)
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_unreachable_backend_is_federation_error(self):
+        async def scenario():
+            backend = ShardBackend("ghost", "127.0.0.1", 1,
+                                   reconnect_patience=0.0)
+            with pytest.raises(FederationError, match="unreachable"):
+                await BackendShard.connect("ghost", backend)
+            assert backend.state == "down"
+
+        asyncio.run(scenario())
+
+
+class TestFanOutFederation:
+    """The tentpole bar: remote-backend federation == in-process."""
+
+    def test_full_matrix_byte_identical_to_in_process(self,
+                                                      shard_paths):
+        local_view = FederationView(
+            [Shard.open(name, path)
+             for name, path in shard_paths.items()])
+
+        async def scenario():
+            cluster = _Cluster()
+            backends = {}
+            for name, path in shard_paths.items():
+                backends[name] = await cluster.start(name, path)
+            service = await FederationService.create(
+                backends=backends, default_source="ihnp4")
+            remote_view = service.view
+
+            sources = local_view.sources()
+            destinations = sources + ["caip.rutgers.edu",
+                                      "ernie.berkeley.edu", "x.edu"]
+            checked = 0
+            for source in sources:
+                for dest in destinations:
+                    if dest == source:
+                        continue
+                    try:
+                        want = local_view.resolve_with_cost(
+                            source, dest, "user")
+                    except RouteError as exc:
+                        want = type(exc).__name__
+                    try:
+                        got = await remote_view.aresolve_with_cost(
+                            source, dest, "user")
+                    except RouteError as exc:
+                        got = type(exc).__name__
+                    assert type(want) is type(got), (source, dest)
+                    if isinstance(want, str):
+                        assert want == got, (source, dest)
+                    else:
+                        assert (got.cost, got.resolution, got.shard,
+                                got.via) == \
+                            (want.cost, want.resolution, want.shard,
+                             want.via), (source, dest)
+                    checked += 1
+            assert checked > 1000  # the suite really swept the matrix
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_mixed_local_and_backend_shards(self, shard_paths):
+        """--shard and --backend mix in one view; answers match the
+        all-local federation."""
+        local_view = FederationView(
+            [Shard.open(name, path)
+             for name, path in shard_paths.items()])
+
+        async def scenario():
+            cluster = _Cluster()
+            spec = await cluster.start("universities",
+                                       shard_paths["universities"])
+            service = await FederationService.create(
+                shards={"backbone": shard_paths["backbone"],
+                        "arpa": shard_paths["arpa"]},
+                backends={"universities": spec},
+                default_source="ihnp4")
+            for dest in ("topaz", "caip.rutgers.edu", "mit-ai"):
+                want = local_view.resolve_with_cost("ihnp4", dest,
+                                                    "user")
+                got = await service.view.aresolve_with_cost(
+                    "ihnp4", dest, "user")
+                assert (got.cost, got.resolution) == \
+                    (want.cost, want.resolution)
+            stats = service.stats_line()
+            assert "backends=1" in stats
+            assert "backend_universities=connected:" in stats
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_protocol_replies_byte_compatible(self, shard_paths):
+        """The fan-out front end's wire replies are indistinguishable
+        from the in-process federation daemon's."""
+
+        async def request(r, w, line):
+            w.write(line.encode() + b"\n")
+            await w.drain()
+            return (await r.readline()).decode().rstrip("\n")
+
+        async def scenario():
+            cluster = _Cluster()
+            backends = {}
+            for name, path in shard_paths.items():
+                backends[name] = await cluster.start(name, path)
+            service = await FederationService.create(
+                backends=backends, default_source="ihnp4")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert await request(r, w, "ROUTE topaz user") == \
+                ("OK 650 topaz allegra!princeton!rutgers-ru!topaz!%s "
+                 "allegra!princeton!rutgers-ru!topaz!user")
+            assert await request(r, w, "EXACT topaz") == \
+                "OK 650 topaz allegra!princeton!rutgers-ru!topaz!%s"
+            assert await request(r, w, "SOURCE princeton") == \
+                "OK source princeton backbone"
+            assert await request(r, w, "ROUTE mit-ai bob") == \
+                ("OK 695 mit-ai allegra!seismo!%s@mit-ai "
+                 "allegra!seismo!bob@mit-ai")
+            assert (await request(r, w, "ROUTE nowhere")) == \
+                "ERR noroute nowhere"
+            shards_reply = await request(r, w, "SHARDS")
+            assert "arpa=17:tcp://" in shards_reply
+            w.close()
+            server.close()
+            await server.wait_closed()
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_federated_client_unchanged(self, shard_paths):
+        """FederatedRouteDatabase drives a fan-out front end without a
+        single client-side change."""
+        import threading
+
+        ready = threading.Event()
+        box = {}
+
+        def run_front_end():
+            async def amain():
+                cluster = _Cluster()
+                backends = {}
+                for name, path in shard_paths.items():
+                    backends[name] = await cluster.start(name, path)
+                service = await FederationService.create(
+                    backends=backends, default_source="ihnp4")
+                server = await serve(service)
+                box["port"] = server.sockets[0].getsockname()[1]
+                box["stop"] = asyncio.Event()
+                box["loop"] = asyncio.get_running_loop()
+                ready.set()
+                await box["stop"].wait()
+                server.close()
+                await server.wait_closed()
+                await cluster.close()
+
+            asyncio.run(amain())
+
+        thread = threading.Thread(target=run_front_end, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        try:
+            with FederatedRouteDatabase(
+                    ("127.0.0.1", box["port"])) as db:
+                assert db.route("topaz") == \
+                    "allegra!princeton!rutgers-ru!topaz!%s"
+                res = db.resolve("caip.rutgers.edu", "honey")
+                assert res.address == "seismo!caip.rutgers.edu!honey"
+                shards = db.shards()
+                assert set(shards) == set(REGIONS)
+                stats = db.stats()
+                assert stats["backends"] == "3"
+        finally:
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(10)
+
+
+class TestBackendRestart:
+    """The resilience bar: one backend daemon restart mid-traffic,
+    zero failed lookups."""
+
+    def test_restart_between_lookups(self, shard_paths):
+        async def scenario():
+            cluster = _Cluster()
+            backends = {}
+            for name, path in shard_paths.items():
+                backends[name] = await cluster.start(name, path)
+            service = await FederationService.create(
+                backends=backends, default_source="ihnp4")
+            fed = await service.view.aresolve_with_cost(
+                "ihnp4", "topaz", "user")
+            assert fed.cost == 650
+            # bounce the universities daemon on the same port
+            port = await cluster.stop("universities")
+            await cluster.restart("universities",
+                                  shard_paths["universities"], port)
+            # the pooled sockets are stale; the next lookup must
+            # reconnect transparently and still answer identically
+            fed = await service.view.aresolve_with_cost(
+                "ihnp4", "topaz", "user")
+            assert fed.cost == 650
+            assert fed.resolution.address == \
+                "allegra!princeton!rutgers-ru!topaz!user"
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_restart_mid_traffic_no_failed_lookup(self, shard_paths):
+        """Clients hammer stitched lookups while one backend daemon
+        goes down and comes back; every request is answered OK."""
+        requests_per_client = 30
+        clients = 4
+
+        async def scenario():
+            cluster = _Cluster()
+            backends = {}
+            for name, path in shard_paths.items():
+                backends[name] = await cluster.start(name, path)
+            service = await FederationService.create(
+                backends=backends, default_source="ihnp4")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+
+            async def request(r, w, line):
+                w.write(line.encode() + b"\n")
+                await w.drain()
+                return (await r.readline()).decode().rstrip("\n")
+
+            async def client(i):
+                r, w = await asyncio.open_connection("127.0.0.1",
+                                                     port)
+                answered = 0
+                for k in range(requests_per_client):
+                    reply = await request(r, w, f"ROUTE topaz u{i}.{k}")
+                    assert reply == (
+                        f"OK 650 topaz "
+                        f"allegra!princeton!rutgers-ru!topaz!%s "
+                        f"allegra!princeton!rutgers-ru!topaz!u{i}.{k}"
+                    ), reply
+                    answered += 1
+                    await asyncio.sleep(0)
+                w.close()
+                return answered
+
+            async def bouncer():
+                # one restart of the universities backend mid-traffic;
+                # the brief down window is inside the pool's
+                # reconnect patience
+                await asyncio.sleep(0.05)
+                bounce_port = await cluster.stop("universities")
+                await asyncio.sleep(0.1)
+                await cluster.restart(
+                    "universities", shard_paths["universities"],
+                    bounce_port)
+                return 1
+
+            results = await asyncio.gather(
+                *(client(i) for i in range(clients)), bouncer())
+            assert results == [requests_per_client] * clients + [1]
+            health = service.stats_line()
+            assert "backend_universities=connected:" in health
+            server.close()
+            await server.wait_closed()
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+
+class TestBackendAdministration:
+    async def request(self, r, w, line):
+        w.write(line.encode() + b"\n")
+        await w.drain()
+        return (await r.readline()).decode().rstrip("\n")
+
+    def test_attach_detach_backend_spec(self, shard_paths):
+        """ATTACH accepts host:port specs; DETACH closes the pool
+        after the swap."""
+        async def scenario():
+            cluster = _Cluster()
+            spec_b = await cluster.start("backbone",
+                                         shard_paths["backbone"])
+            spec_u = await cluster.start("universities",
+                                         shard_paths["universities"])
+            service = await FederationService.create(
+                backends={"backbone": spec_b},
+                default_source="ihnp4")
+            service.retire_grace = 0.05  # fast pool retirement
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert (await self.request(r, w, "ROUTE topaz u")) == \
+                "ERR noroute topaz"
+            reply = await self.request(
+                r, w, f"ATTACH universities {spec_u}")
+            assert reply.startswith("OK attached universities 11 ")
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 650 ")
+            # the detached backend's pool retires in the background
+            # (after the grace window for pinned in-flight lookups)
+            backend = service.view.shards["universities"].backend
+            assert await self.request(r, w, "DETACH universities") \
+                == "OK detached universities"
+            for _ in range(100):
+                if backend.state == "closed":
+                    break
+                await asyncio.sleep(0.01)
+            assert backend.state == "closed"
+            # ... and the shard is gone from the picture
+            assert (await self.request(r, w, "ROUTE topaz u")) == \
+                "ERR noroute topaz"
+            # a bad spec/port is an attach error, connection survives
+            reply = await self.request(r, w,
+                                       "ATTACH ghost 127.0.0.1:1")
+            assert reply.startswith("ERR attach")
+            assert (await self.request(r, w, "SHARDS")).startswith(
+                "OK 1 backbone=10:tcp://")
+            w.close()
+            server.close()
+            await server.wait_closed()
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_reload_forwards_to_backend_and_resyncs(self, shard_paths,
+                                                    tmp_path):
+        """RELOAD <shard> <snap> on a backend shard reloads the remote
+        daemon and re-synchronizes the cached index in one swap."""
+        revised = (DATA / "d.universities").read_text().replace(
+            "princeton\tallegra(DEMAND), rutgers-ru(LOCAL), "
+            "winnie(HOURLY)",
+            "princeton\tallegra(DEMAND), rutgers-ru(DEMAND), "
+            "winnie(HOURLY)")
+        revised_snap = tmp_path / "universities2.snap"
+        build_snapshot(
+            Pathalias().build([("d.universities", revised)]),
+            revised_snap)
+
+        async def scenario():
+            cluster = _Cluster()
+            backends = {}
+            for name, path in shard_paths.items():
+                backends[name] = await cluster.start(name, path)
+            service = await FederationService.create(
+                backends=backends, default_source="ihnp4")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 650 ")
+            reply = await self.request(
+                r, w, f"RELOAD universities {revised_snap}")
+            assert reply.startswith("OK reloaded universities 11 ")
+            # the remote daemon itself was reloaded...
+            assert cluster.services["universities"].reader.path == \
+                revised_snap
+            # ... and stitched answers use the repriced link
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 925 ")
+            # untouched shards keep answering identically
+            assert (await self.request(r, w, "ROUTE mcvax piet")) == \
+                "OK 2100 mcvax seismo!mcvax!%s seismo!mcvax!piet"
+            # reload of a missing file: ERR reload, old picture serves
+            bad = await self.request(
+                r, w, "RELOAD universities /no/such.snap")
+            assert bad.startswith("ERR reload")
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 925 ")
+            w.close()
+            server.close()
+            await server.wait_closed()
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_pinned_format_reload_rolls_the_backend_back(
+            self, shard_paths, tmp_path):
+        """A forwarded reload that violates the front end's --format
+        pin must not split-brain the shard: the backend daemon is
+        rolled back to the snapshot the cached index still describes,
+        and answers stay consistent."""
+        v1 = tmp_path / "universities-v1.snap"
+        build_snapshot(
+            Pathalias().build(
+                [("d.universities",
+                  (DATA / "d.universities").read_text())]),
+            v1, fmt=1)
+
+        async def scenario():
+            cluster = _Cluster()
+            backends = {}
+            for name, path in shard_paths.items():
+                backends[name] = await cluster.start(name, path)
+            service = await FederationService.create(
+                backends=backends, default_source="ihnp4",
+                require_format=2)
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 650 ")
+            reply = await self.request(r, w,
+                                       f"RELOAD universities {v1}")
+            assert reply.startswith("ERR reload")
+            assert "--format 2" in reply
+            # the backend daemon was rolled back, so the front end's
+            # cached index and the remote snapshot still agree ...
+            assert cluster.services["universities"].reader.path == \
+                Path(shard_paths["universities"])
+            # ... and stitched answers are unchanged
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 650 ")
+            stats = await self.request(r, w, "STATS")
+            assert "formats=2,2,2" in stats
+            w.close()
+            server.close()
+            await server.wait_closed()
+            await cluster.close()
+
+        asyncio.run(scenario())

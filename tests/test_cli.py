@@ -471,3 +471,84 @@ class TestFederateCommand:
         with pytest.raises(SystemExit):
             main(["federate", "--help"])
         assert "regional map" in capsys.readouterr().out
+
+
+class TestClusterCommands:
+    """The fan-out surfaces: lookup --connect and serve --backend."""
+
+    def test_lookup_connect_matches_snapshot_lookup(self, map_file,
+                                                    tmp_path, capsys):
+        """`lookup --connect` prints the same line the snapshot-file
+        lookup prints — the CI cluster job diffs exactly this."""
+        from tests.test_daemon import _ThreadedDaemon
+
+        snap = tmp_path / "routes.snap"
+        assert main(["snapshot", "-o", str(snap), map_file]) == 0
+        assert main(["lookup", str(snap), "phs", "honey",
+                     "-l", "unc"]) == 0
+        offline = capsys.readouterr().out
+        with _ThreadedDaemon(str(snap)) as daemon:
+            assert main(["lookup", "--connect",
+                         f"127.0.0.1:{daemon.port}",
+                         "phs", "honey", "-l", "unc"]) == 0
+            online = capsys.readouterr().out
+        assert online == offline == "800\tphs\tduke!phs!honey\n"
+
+    def test_lookup_connect_without_user(self, map_file, tmp_path,
+                                         capsys):
+        from tests.test_daemon import _ThreadedDaemon
+
+        snap = tmp_path / "routes.snap"
+        assert main(["snapshot", "-o", str(snap), map_file]) == 0
+        capsys.readouterr()
+        with _ThreadedDaemon(str(snap), source="unc") as daemon:
+            assert main(["lookup", "--connect",
+                         f"127.0.0.1:{daemon.port}", "phs"]) == 0
+        assert "duke!phs!%s" in capsys.readouterr().out
+
+    def test_lookup_connect_bad_spec(self, capsys):
+        assert main(["lookup", "--connect", "nowhere", "phs"]) == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_lookup_needs_snapshot_or_connect(self, capsys):
+        assert main(["lookup", "phs"]) == 1
+        assert "snapshot file (or --connect" in \
+            capsys.readouterr().err
+
+    def test_serve_rejects_shard_backend_name_collision(self, capsys):
+        assert main(["serve", "--shard", "a=x.snap",
+                     "--backend", "a=127.0.0.1:4311"]) == 1
+        assert "both --shard and --backend" in capsys.readouterr().err
+
+    def test_serve_rejects_snapshot_plus_backend(self, capsys):
+        assert main(["serve", "some.snap",
+                     "--backend", "a=127.0.0.1:4311"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_help_documents_backends(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--backend" in out and "fan out" in out
+
+    def test_federate_help_documents_spawn(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["federate", "--help"])
+        assert "--spawn" in capsys.readouterr().out
+
+    def test_update_full_fallback_says_so_on_stderr(self, tmp_path,
+                                                    capsys):
+        """A revision the incremental path cannot prove safe reports
+        its full-rebuild fallback and the reason on stderr — never a
+        silent mode switch."""
+        old_map = tmp_path / "v1.map"
+        old_map.write_text("a b(10)\nb a(10)\n")
+        new_map = tmp_path / "v2.map"
+        new_map.write_text("a b(10), c(10)\nb a(10)\nc a(10)\n")
+        old = tmp_path / "v1.snap"
+        assert main(["snapshot", "-o", str(old), str(old_map)]) == 0
+        capsys.readouterr()
+        assert main(["update", str(old), "-o",
+                     str(tmp_path / "v2.snap"), str(new_map)]) == 0
+        err = capsys.readouterr().err
+        assert "full update (topology changed)" in err

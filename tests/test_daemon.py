@@ -223,6 +223,84 @@ class TestProtocol:
         asyncio.run(scenario())
 
 
+class TestMalformedLines:
+    def test_garbage_between_valid_requests(self, snapshots):
+        """Non-UTF-8 bytes and over-long junk interleaved with valid
+        requests: each bad line errors exactly one request (counted in
+        n_errors), the connection survives, and the verb counters are
+        not skewed."""
+        snap1, _ = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 30 d b!c!d!%s b!c!d!u"
+            # garbage bytes that are not valid UTF-8
+            w.write(b"\xff\xfe\x80 garbage \xff\n")
+            await w.drain()
+            assert (await r.readline()) == \
+                b"ERR encoding expected UTF-8\n"
+            # the same connection keeps answering
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 30 d b!c!d!%s b!c!d!u"
+            # a line longer than the 64 KiB stream frame limit used to
+            # tear the whole connection down (uncaught ValueError from
+            # readline); now the whole oversized line is discarded
+            # through its newline and answered with EXACTLY ONE ERR —
+            # a request/reply-lockstep client stays frame-aligned.
+            # The sentinel request after it proves the ordering.
+            for junk_len in (70000, 200000):
+                w.write(b"R" * junk_len + b"\n")
+                w.write(b"EXACT b\n")
+                await w.drain()
+                reply = await r.readline()
+                assert reply.startswith(b"ERR overflow"), reply
+                assert (await r.readline()) == b"OK 10 b b!%s\n"
+            # still serviceable, and the counters stayed truthful:
+            # exactly 3 ROUTE requests were ever dispatched, junk
+            # lines skewing nothing
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 30 d b!c!d!%s b!c!d!u"
+            assert service.verb_counts["ROUTE"] == 3
+            assert service.errors >= 2  # encoding + overflow junk
+            stats = service.stats_line()
+            assert f"n_errors={service.errors}" in stats
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_err_replies_counted(self, snapshots):
+        """Protocol-level ERRs (misses, bad verbs) count in n_errors
+        and survive RELOAD like every service-owned counter."""
+        snap1, snap2 = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert (await request(r, w, "ROUTE nowhere")).startswith(
+                "ERR noroute")
+            assert (await request(r, w, "BOGUS")).startswith(
+                "ERR unknown-command")
+            assert service.errors == 2
+            assert (await request(r, w,
+                                  f"RELOAD {snap2}")).startswith("OK")
+            stats = await request(r, w, "STATS")
+            assert "n_errors=2" in stats
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
 class TestHotSwapUnderLoad:
     def test_no_request_dropped_during_reload(self, snapshots):
         """The acceptance bar: clients hammer ROUTE while another
@@ -347,6 +425,84 @@ class TestFederatedHotSwapUnderLoad:
         results = asyncio.run(scenario())
         assert results == [requests_per_client] * clients + [reloads]
 
+    def test_attach_detach_churn_never_shows_half_swapped_view(
+            self, tmp_path):
+        """The swap-path audit bar: clients hammer ROUTEs whose
+        answers cross a *stable* pair of shards while a third shard is
+        attached and detached in a tight loop.  Every request must see
+        a complete picture — either with the churned shard or without
+        it, never a mixture — and the service counters must add up."""
+        from repro.service.federation import FederationService
+
+        left = make_snapshot(
+            "a\tb(10), gate(100)\nb\ta(10)\ngate\ta(100)\n",
+            tmp_path / "left.snap")
+        right = make_snapshot(
+            "gate\tz(10)\nz\tgate(10), y(10)\ny\tz(10)\n",
+            tmp_path / "right.snap")
+        # the churned shard owns host q, reachable only through it
+        extra = make_snapshot(
+            "z\tq(25)\nq\tz(25)\n", tmp_path / "extra.snap")
+        requests_per_client = 40
+        clients = 5
+        churns = 12
+
+        async def scenario():
+            service = FederationService(
+                {"left": left, "right": right},
+                default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+
+            async def client(i):
+                r, w = await asyncio.open_connection("127.0.0.1", port)
+                answered = 0
+                for k in range(requests_per_client):
+                    # a -> y stitches left -> right regardless of the
+                    # churned shard; its answer must never change
+                    reply = await request(r, w, f"ROUTE y u{i}.{k}")
+                    assert reply == (f"OK 120 y gate!z!y!%s "
+                                     f"gate!z!y!u{i}.{k}"), reply
+                    # a -> q exists exactly when the extra shard is
+                    # attached: OK through it, or a clean noroute —
+                    # anything else is a torn picture
+                    reply = await request(r, w, f"ROUTE q u{i}.{k}")
+                    assert reply in (
+                        f"OK 135 q gate!z!q!%s gate!z!q!u{i}.{k}",
+                        "ERR noroute q"), reply
+                    answered += 1
+                    await asyncio.sleep(0)
+                w.close()
+                return answered
+
+            async def churner():
+                r, w = await asyncio.open_connection("127.0.0.1", port)
+                for k in range(churns):
+                    reply = await request(r, w,
+                                          f"ATTACH extra {extra}")
+                    assert reply.startswith("OK attached extra"), reply
+                    await asyncio.sleep(0)
+                    reply = await request(r, w, "DETACH extra")
+                    assert reply == "OK detached extra", reply
+                    await asyncio.sleep(0)
+                w.close()
+                return churns
+
+            results = await asyncio.gather(
+                *(client(i) for i in range(clients)), churner())
+            assert service.attaches == churns
+            assert service.detaches == churns
+            assert service.verb_counts["ROUTE"] == \
+                2 * clients * requests_per_client
+            stats = service.stats_line()
+            assert "shards=2" in stats  # churn always ended detached
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [requests_per_client] * clients + [churns]
+
 
 class _ThreadedDaemon:
     """Run the asyncio server in a thread so synchronous clients
@@ -356,10 +512,12 @@ class _ThreadedDaemon:
     LineService (the federation tests reuse this harness).
     """
 
-    def __init__(self, snapshot_path, source: str | None = None):
+    def __init__(self, snapshot_path, source: str | None = None,
+                 port: int = 0):
         self.snapshot_path = snapshot_path
         self.source = source
         self.port: int | None = None
+        self._bind_port = port
         self._ready = threading.Event()
         self._stop: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -372,7 +530,7 @@ class _ThreadedDaemon:
     def _run(self):
         async def amain():
             service = self._make_service()
-            server = await serve(service)
+            server = await serve(service, port=self._bind_port)
             self.port = server.sockets[0].getsockname()[1]
             self._loop = asyncio.get_running_loop()
             self._stop = asyncio.Event()
@@ -391,6 +549,87 @@ class _ThreadedDaemon:
     def __exit__(self, *exc):
         self._loop.call_soon_threadsafe(self._stop.set)
         self._thread.join(10)
+
+
+class TestClientSurvivesDaemonBounce:
+    """The stale-pooled-socket bar: a daemon restart between two
+    calls must be invisible to the synchronous clients."""
+
+    def test_daemon_client_retries_stale_socket(self, snapshots):
+        snap1, _ = snapshots
+        with _ThreadedDaemon(snap1, source="a") as first:
+            port = first.port
+            db = DaemonRouteDatabase(("127.0.0.1", port), source="a")
+            assert db.route("d") == "b!c!d!%s"
+            # full daemon restart on the same port: the pooled socket
+            # is now stale
+        with _ThreadedDaemon(snap1, source="a", port=port):
+            assert db.route("d") == "b!c!d!%s"
+            res = db.resolve("d", "user")
+            assert res.address == "b!c!d!user"
+        db.close()
+
+    def test_client_waits_out_a_short_restart_window(self, snapshots):
+        """The reconnect is patient: a lookup issued while the daemon
+        is briefly down succeeds once it comes back (within the
+        client's reconnect patience)."""
+        snap1, _ = snapshots
+        with _ThreadedDaemon(snap1, source="a") as first:
+            port = first.port
+            db = DaemonRouteDatabase(("127.0.0.1", port), source="a")
+            assert db.route("d") == "b!c!d!%s"
+        # daemon is down now; restart it after a short delay while the
+        # client call below is already retrying
+        restarter = _ThreadedDaemon(snap1, source="a", port=port)
+
+        def come_back():
+            import time as _time
+
+            _time.sleep(0.3)
+            restarter.__enter__()
+
+        thread = threading.Thread(target=come_back)
+        thread.start()
+        try:
+            assert db.route("d") == "b!c!d!%s"
+        finally:
+            thread.join(10)
+            restarter.__exit__()
+            db.close()
+
+    def test_first_connect_to_dead_address_fails_fast(self):
+        """Patience is for *re*-connects only: a wrong address on the
+        very first call errors immediately, not after a retry window."""
+        import time as _time
+
+        db = DaemonRouteDatabase(("127.0.0.1", 1), timeout=5.0)
+        t0 = _time.monotonic()
+        with pytest.raises(OSError):
+            db.route("d")
+        assert _time.monotonic() - t0 < 1.0
+
+    def test_federated_client_retries_stale_socket(self, tmp_path):
+        """The federated client inherits the same transparent retry."""
+        from repro.service.federation import (
+            FederatedRouteDatabase,
+            FederationService,
+        )
+
+        snap = make_snapshot(MAP_V1, tmp_path / "one.snap")
+
+        class _FederatedDaemon(_ThreadedDaemon):
+            def _make_service(self):
+                return FederationService({"one": self.snapshot_path},
+                                         default_source=self.source)
+
+        with _FederatedDaemon(snap, source="a") as first:
+            port = first.port
+            db = FederatedRouteDatabase(("127.0.0.1", port))
+            assert db.route("d") == "b!c!d!%s"
+        with _FederatedDaemon(snap, source="a", port=port):
+            assert db.route("d") == "b!c!d!%s"
+            assert set(db.shards()) == {"one"}
+        db.close()
 
 
 class TestSyncClient:

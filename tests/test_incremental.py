@@ -359,6 +359,59 @@ class TestExactAffectedV2:
         assert affected_sources(reader, revised, [j]) is None
 
 
+class TestNegativeCostRevisionV2:
+    """Negative link costs on a v2 snapshot: the documented
+    full-rebuild path, taken loudly and byte-identically."""
+
+    def negative_revision(self):
+        cg = CompactGraph.compile(build(DIAMOND))
+        j = next(j for j in range(cg.link_count)
+                 if cg.kind[j] == K_NORMAL)
+        return cg, repriced(cg, j, -(cg.cost[j] + 5))
+
+    def test_update_takes_full_rebuild_path(self, tmp_path):
+        old = tmp_path / "old.snap"
+        cg, revised = self.negative_revision()
+        snap(cg, old)
+        out = tmp_path / "out.snap"
+        report = update_snapshot(old, revised, out)
+        assert report.mode == "full"
+        assert "negative link cost" in report.reason
+        assert report.format == 2
+        assert report.reused == 0
+        assert len(report.remapped) == report.total_sources
+
+    def test_output_byte_identical_to_scratch_build(self, tmp_path,
+                                                    capsys):
+        """The rebuild enforces the graph model's non-negative-weight
+        rule exactly like a scratch build does (same clamp, same
+        stderr warning), so the bytes still match."""
+        old = tmp_path / "old.snap"
+        cg, revised = self.negative_revision()
+        snap(cg, old)
+        out = tmp_path / "out.snap"
+        update_snapshot(old, revised, out)
+        err = capsys.readouterr().err
+        assert "negative link cost(s) clamped to 0" in err
+        assert_identical_to_full_rebuild(out, revised)
+        # the clamped graph is what the snapshot stores: reopening it
+        # keeps the non-negative invariant for future updates
+        assert min(SnapshotReader.open(out).decode_graph().cost) >= 0
+
+    def test_fallback_is_said_not_silent(self, tmp_path):
+        """The summary line `pathalias update` prints on stderr names
+        the fallback mode and its reason — no silent mode switch.
+        (The CLI's stderr plumbing itself is covered in
+        ``tests/test_cli.py``.)"""
+        old = tmp_path / "old.snap"
+        cg, revised = self.negative_revision()
+        snap(cg, old)
+        report = update_snapshot(old, revised, tmp_path / "out.snap")
+        summary = report.summary()
+        assert summary.startswith("full update (negative link cost)")
+        assert "0 reused" in summary
+
+
 def structural_candidates(cg: CompactGraph) -> list[int]:
     """NORMAL link ids touching a net, domain, or private node —
     preferred revision targets (they exercised the v1 fallback) —
