@@ -286,6 +286,11 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                      default=None, dest="fmt",
                      help="require the served snapshot(s) to be this "
                           "format version (default: serve either)")
+    srv.add_argument("--no-pipeline", action="store_false",
+                     dest="pipeline",
+                     help="talk lockstep to --backend daemons even "
+                          "when they support tagged pipelining "
+                          "(federation mode only)")
     return srv
 
 
@@ -616,7 +621,7 @@ def service_main(argv: list[str]) -> int:
                 return run_federation_daemon(
                     shards, host=args.host, port=args.port,
                     source=args.source, require_format=args.fmt,
-                    backends=backends)
+                    backends=backends, pipeline=args.pipeline)
             if args.snapshot is None:
                 raise PathaliasError(
                     "serve needs a snapshot file or --shard/--backend "

@@ -12,12 +12,21 @@ protocol.
 
 Two classes:
 
-* :class:`ShardBackend` — the asyncio client pool for one shard
-  daemon: a bounded set of persistent connections, concurrent
-  in-flight requests (one per pooled connection), transparent
-  single-retry on a stale pooled socket, reconnect-with-backoff while
-  the daemon restarts, and health state (``connected`` / ``down`` /
-  counters) surfaced through the federation's ``STATS`` line.
+* :class:`ShardBackend` — the asyncio client for one shard daemon.
+  Against a pipelining daemon (negotiated with one ``PIPELINE`` probe
+  per connection) it runs a single multiplexed connection: a writer
+  task serializes tagged request frames onto the wire and a reply
+  demultiplexer routes tagged reply frames — out of order, bulk
+  replies interleaved — back to their waiting futures, so many
+  requests share one connection's round trip instead of queueing for
+  pooled sockets.  Against an older daemon (``ERR unknown-command
+  PIPELINE``) it transparently falls back to the lockstep connection
+  pool, so mixed-version clusters interoperate unchanged.  Both modes
+  keep the transparent single-retry on a stale socket,
+  reconnect-with-backoff while the daemon restarts, and health state
+  (``connected`` / ``down`` / counters, including pipelined-request
+  and out-of-order-reply counts) surfaced through the federation's
+  ``STATS`` line.
 
 * :class:`BackendShard` — a federation shard whose answers come from a
   backend daemon.  It quacks exactly like an in-process
@@ -115,6 +124,218 @@ class _BackendConnection:
             pass
 
 
+#: Sentinel returned by the mux path when the PIPELINE probe found an
+#: old lockstep-only daemon: the caller reruns on the pooled path.
+_LOCKSTEP = object()
+
+
+class _Pending:
+    """One in-flight tagged request's reassembly state."""
+
+    __slots__ = ("fut", "bulk", "head", "lines", "want")
+
+    def __init__(self, fut: asyncio.Future, bulk: bool):
+        self.fut = fut
+        self.bulk = bulk
+        self.head: str | None = None
+        self.lines: list[str] = []
+        self.want = 0
+
+
+class _MuxConnection:
+    """One pipelined daemon connection shared by many requests.
+
+    A writer task drains a frame queue onto the socket (one writer,
+    so concurrent requests never interleave partial writes or race
+    the stream's drain), and a reader task demultiplexes tagged reply
+    frames into per-request futures.  Bulk replies reassemble by tag:
+    the head frame (``@<tag> OK table <n>``) announces how many
+    continuation frames belong to that tag, so two bulk replies can
+    interleave arbitrarily on the wire and still come apart cleanly.
+
+    ``SOURCE`` ordering: the daemon applies a tagged ``SOURCE``
+    inline in read order, so enqueueing ``@a SOURCE x`` immediately
+    before ``@b ROUTE y`` (one queue item, atomic on the wire)
+    guarantees the ROUTE runs against source ``x``.  The connection
+    tracks the last *enqueued* source; dependent requests keep a
+    reference to their SOURCE's future and fail if it failed —
+    correctness never depends on the speculative send being right.
+    """
+
+    def __init__(self, owner: "ShardBackend",
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.owner = owner
+        self.reader = reader
+        self.writer = writer
+        self.broken: Exception | None = None
+        self._pending: dict[str, _Pending] = {}
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._next_tag = 0
+        self._wire_source: str | None = None
+        self._source_fut: asyncio.Future | None = None
+        loop = asyncio.get_running_loop()
+        self._writer_task = loop.create_task(self._write_loop())
+        self._reader_task = loop.create_task(self._read_loop())
+
+    # -- submitting requests --------------------------------------------------
+
+    def _tag(self) -> str:
+        self._next_tag += 1
+        return str(self._next_tag)
+
+    def _register(self, bulk: bool) -> tuple[str, asyncio.Future]:
+        tag = self._tag()
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[tag] = _Pending(fut, bulk)
+        return tag, fut
+
+    def submit(self, line: str, *, bulk: bool = False,
+               source: str | None = None
+               ) -> tuple[asyncio.Future, asyncio.Future | None]:
+        """Enqueue one tagged request; returns ``(reply future,
+        source future or None)``.
+
+        With ``source``, a tagged ``SOURCE`` ride-along is enqueued
+        first when the wire register differs — atomically, in the
+        same queue item — and the returned source future must be
+        checked ``OK`` by the caller before trusting the reply.
+        """
+        if self.broken is not None:
+            raise ConnectionError(str(self.broken))
+        frames = []
+        src_fut = None
+        if source is not None:
+            if self._wire_source != source:
+                stag, sfut = self._register(False)
+                frames.append(f"@{stag} SOURCE {source}")
+                self._wire_source = source
+                self._source_fut = sfut
+            src_fut = self._source_fut
+        tag, fut = self._register(bulk)
+        frames.append(f"@{tag} {line}")
+        self.owner.pipelined += len(frames)
+        self._queue.put_nowait(
+            "".join(f + "\n" for f in frames).encode("utf-8"))
+        return fut, src_fut
+
+    def reset_source(self, source: str) -> None:
+        """Forget a speculative source binding that the daemon
+        refused, so the next request for it re-sends ``SOURCE``."""
+        if self._wire_source == source:
+            self._wire_source = None
+            self._source_fut = None
+
+    # -- the two connection tasks ---------------------------------------------
+
+    async def _write_loop(self) -> None:
+        """Serialize queued frames onto the socket, coalescing
+        whatever is queued into one write+drain."""
+        try:
+            while True:
+                data = await self._queue.get()
+                if data is None:
+                    return
+                while not self._queue.empty():
+                    more = self._queue.get_nowait()
+                    if more is None:
+                        self._queue.put_nowait(None)
+                        break
+                    data += more
+                self.writer.write(data)
+                await self.writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail(exc)
+
+    async def _read_loop(self) -> None:
+        """Demultiplex tagged reply frames into pending futures."""
+        try:
+            while True:
+                raw = await self.reader.readline()
+                if not raw:
+                    raise ConnectionError(
+                        "backend closed the connection")
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line.startswith("@"):
+                    # Untagged junk mid-pipeline (an ERR overflow /
+                    # encoding diagnostic we cannot correlate): the
+                    # framing can no longer be trusted.
+                    raise ConnectionError(
+                        f"untagged frame on pipelined connection: "
+                        f"{line!r}")
+                tagtok, _, frame = line.partition(" ")
+                tag = tagtok[1:]
+                pend = self._pending.get(tag)
+                if pend is None:
+                    raise ConnectionError(
+                        f"reply for unknown tag: {line!r}")
+                self._deliver(tag, pend, frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail(exc)
+
+    def _deliver(self, tag: str, pend: _Pending, frame: str) -> None:
+        """Feed one reply frame into its request's reassembly; resolve
+        the future when the reply is complete."""
+        if pend.bulk and pend.head is None and frame.startswith("OK"):
+            try:
+                pend.want = int(frame.split()[-1])
+            except ValueError:
+                raise ConnectionError(
+                    f"backend protocol error: {frame!r}") from None
+            pend.head = frame
+            if pend.want > 0:
+                return  # continuation frames follow
+            result: object = (frame, [])
+        elif pend.bulk and pend.head is None:
+            result = (frame, [])  # ERR head: no continuation
+        elif pend.bulk:
+            pend.lines.append(frame)
+            if len(pend.lines) < pend.want:
+                return
+            result = (pend.head, pend.lines)
+        else:
+            result = frame
+        oldest = next(iter(self._pending))
+        del self._pending[tag]
+        if oldest != tag:
+            self.owner.out_of_order += 1
+        if not pend.fut.done():
+            pend.fut.set_result(result)
+
+    # -- teardown -------------------------------------------------------------
+
+    def _fail(self, exc: Exception) -> None:
+        """Mark the connection dead and fail every pending request
+        with a retryable :class:`ConnectionError`."""
+        if self.broken is not None:
+            return
+        self.broken = exc
+        detail = str(exc) or type(exc).__name__
+        for pend in self._pending.values():
+            if not pend.fut.done():
+                pend.fut.set_exception(ConnectionError(detail))
+                # mark retrieved: a caller that already failed on its
+                # own future may never await this shared one
+                pend.fut.exception()
+        self._pending.clear()
+        self._queue.put_nowait(None)
+        try:
+            self.writer.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    def abort(self, exc: Exception | None = None) -> None:
+        """Tear the connection down (idempotent): fail pending
+        requests and stop both connection tasks."""
+        self._fail(exc or ConnectionError("connection closed"))
+        self._reader_task.cancel()
+        self._writer_task.cancel()
+
+
 class ShardBackend:
     """An asyncio client pool for one per-shard route daemon.
 
@@ -132,18 +353,32 @@ class ShardBackend:
 
     def __init__(self, name: str, host: str, port: int,
                  pool_size: int = 2, timeout: float = 5.0,
-                 reconnect_patience: float = 2.0):
+                 reconnect_patience: float = 2.0,
+                 pipeline: bool = True):
+        """``pipeline=False`` forces the lockstep pool even against a
+        daemon that would negotiate the tagged protocol."""
         self.name = name
         self.host = host
         self.port = port
         self.pool_size = max(1, pool_size)
         self.timeout = timeout
         self.reconnect_patience = reconnect_patience
+        self.pipeline = pipeline
         self._idle: list[_BackendConnection] = []
         self._slots = asyncio.Semaphore(self.pool_size)
         self.requests = 0
         self.errors = 0
         self.connects = 0
+        #: Tagged request frames sent on the pipelined path, and
+        #: replies that completed out of submission order — the two
+        #: extra fields of the :meth:`health` token.
+        self.pipelined = 0
+        self.out_of_order = 0
+        #: Whether the daemon answered the PIPELINE probe (None until
+        #: the first connection learns the answer).
+        self._pipeline_ok: bool | None = None
+        self._mux: _MuxConnection | None = None
+        self._mux_lock = asyncio.Lock()
         self._inflight = 0
         self._ever_connected = False
         self._last_failure: str | None = None
@@ -168,9 +403,13 @@ class ShardBackend:
 
     def health(self) -> str:
         """The ``STATS`` token value:
-        ``<state>:<requests>:<errors>:<connects>``."""
+        ``<state>:<requests>:<errors>:<connects>:<pipelined>:<ooo>``
+        — the last two are tagged request frames sent and replies
+        that returned out of submission order (0:0 for a lockstep
+        backend)."""
         return (f"{self.state}:{self.requests}:{self.errors}:"
-                f"{self.connects}")
+                f"{self.connects}:{self.pipelined}:"
+                f"{self.out_of_order}")
 
     # -- pool mechanics -------------------------------------------------------
 
@@ -232,6 +471,15 @@ class ShardBackend:
                 conn.close()
                 conn = None
             raise
+        except BaseException:
+            # cancelled mid-roundtrip (a speculative prefetch the
+            # stitch abandoned): the request may be on the wire with
+            # its reply unread, so the socket must not go back in the
+            # pool — the next request would read the stale reply
+            if conn is not None:
+                conn.close()
+                conn = None
+            raise
         finally:
             if conn is not None:
                 if self._draining:
@@ -241,6 +489,142 @@ class ShardBackend:
             self._inflight -= 1
             self._slots.release()
         return result
+
+    # -- the pipelined path ---------------------------------------------------
+
+    async def _mux_get(self) -> _MuxConnection | None:
+        """The shared pipelined connection, dialing and probing
+        ``PIPELINE`` if needed; None when the daemon is lockstep-only
+        (the probed connection is handed to the pool instead)."""
+        conn = self._mux
+        if conn is not None and conn.broken is None:
+            return conn
+        async with self._mux_lock:
+            conn = self._mux
+            if conn is not None and conn.broken is None:
+                return conn
+            if self._draining:
+                raise FederationError(
+                    f"backend {self.name} ({self.address}) is closed")
+            if self._pipeline_ok is False:
+                return None
+            raw = await self._open()
+            try:
+                probe = await asyncio.wait_for(
+                    raw.request("PIPELINE"), self.timeout)
+            except Exception:
+                raw.close()
+                raise
+            if not probe.startswith("OK pipeline"):
+                # An older daemon: remember, and donate the perfectly
+                # good probed connection to the lockstep pool.
+                self._pipeline_ok = False
+                self._idle.append(raw)
+                return None
+            self._pipeline_ok = True
+            self._mux = _MuxConnection(self, raw.reader, raw.writer)
+            return self._mux
+
+    def _drop_mux(self, conn: _MuxConnection, exc: Exception) -> None:
+        """Tear down a failed mux connection (the next request
+        re-dials, with the usual restart patience)."""
+        conn.abort(ConnectionError(str(exc) or type(exc).__name__))
+        if self._mux is conn:
+            self._mux = None
+
+    async def _mux_roundtrip(self, line: str, *, bulk: bool,
+                             source: str | None):
+        """One tagged request over the shared mux connection, with
+        the same transparent single-retry the pooled path has: a
+        connection-class failure tears the mux down, re-dials (with
+        restart patience) and resubmits exactly once.  Returns the
+        reply (or ``(head, lines)`` for bulk), or the
+        :data:`_LOCKSTEP` sentinel when the daemon cannot pipeline.
+        """
+        if self._draining:
+            raise FederationError(
+                f"backend {self.name} ({self.address}) is closed")
+        self._inflight += 1
+        self.requests += 1
+        try:
+            for attempt in (0, 1):
+                conn = None
+                try:
+                    conn = await self._mux_get()
+                    if conn is None:
+                        self.requests -= 1  # the pooled path recounts
+                        return _LOCKSTEP
+                    fut, src_fut = conn.submit(line, bulk=bulk,
+                                               source=source)
+                    result = await asyncio.wait_for(fut, self.timeout)
+                    if src_fut is not None:
+                        # resolved before our own reply (the daemon
+                        # answers SOURCE inline, in read order), so
+                        # this never actually waits — shielded
+                        # because the future is shared
+                        src = await asyncio.wait_for(
+                            asyncio.shield(src_fut), self.timeout)
+                        if not src.startswith("OK"):
+                            conn.reset_source(source)
+                            raise FederationError(
+                                f"backend {self.name}: {src}")
+                    return result
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        asyncio.IncompleteReadError) as exc:
+                    if conn is not None:
+                        self._drop_mux(conn, exc)
+                    if attempt:
+                        self.errors += 1
+                        raise
+                except Exception:
+                    self.errors += 1
+                    raise
+        finally:
+            self._inflight -= 1
+
+    # -- the one request surface ----------------------------------------------
+
+    def _use_pipeline(self) -> bool:
+        """Whether requests should try the tagged mux path."""
+        return self.pipeline and self._pipeline_ok is not False
+
+    async def _call(self, line: str, *,
+                    source: str | None = None) -> str:
+        """One single-line request, on whichever wire mode the daemon
+        negotiated; with ``source``, the connection's source register
+        is bound first (pipelined: a tagged ride-along; lockstep: a
+        ``SOURCE`` round trip skipped when already bound)."""
+        if self._use_pipeline():
+            result = await self._mux_roundtrip(line, bulk=False,
+                                               source=source)
+            if result is not _LOCKSTEP:
+                return result
+
+        async def fn(conn):
+            if source is not None:
+                await self._bound(conn, source)
+            return await conn.request(line)
+
+        return await self._roundtrip(fn)
+
+    async def _call_bulk(self, line: str, *,
+                         source: str | None = None
+                         ) -> tuple[str, list[str]]:
+        """One bulk request (``OK <kind> <n>`` head plus ``n``
+        continuation lines), on whichever wire mode the daemon
+        negotiated."""
+        if self._use_pipeline():
+            result = await self._mux_roundtrip(line, bulk=True,
+                                               source=source)
+            if result is not _LOCKSTEP:
+                return result
+
+        async def fn(conn):
+            if source is not None:
+                await self._bound(conn, source)
+            return await conn.request_bulk(line)
+
+        return await self._roundtrip(fn)
 
     async def aclose(self, grace: float = 2.0) -> None:
         """Close the pool after a grace window.
@@ -263,6 +647,12 @@ class ShardBackend:
         deadline = loop.time() + max(grace, 0.1)
         while self._inflight and loop.time() < deadline:
             await asyncio.sleep(0.01)
+        # stragglers have drained (or forfeited their window): the
+        # mux connection and its two tasks can go away now
+        if self._mux is not None:
+            self._mux.abort(ConnectionError(
+                f"backend {self.name} closed"))
+            self._mux = None
 
     # -- the daemon conversation ----------------------------------------------
 
@@ -284,37 +674,31 @@ class ShardBackend:
 
     async def stats(self) -> dict[str, str]:
         """The backend daemon's ``STATS`` counters as a dict."""
-        async def fn(conn):
-            reply = await conn.request("STATS")
-            if not reply.startswith("OK "):
-                raise FederationError(
-                    f"backend {self.name} protocol error: {reply!r}")
-            out = {}
-            for token in reply[3:].split():
-                key, _, value = token.partition("=")
-                out[key] = value
-            return out
-
-        return await self._roundtrip(fn)
+        reply = await self._call("STATS")
+        if not reply.startswith("OK "):
+            raise FederationError(
+                f"backend {self.name} protocol error: {reply!r}")
+        out = {}
+        for token in reply[3:].split():
+            key, _, value = token.partition("=")
+            out[key] = value
+        return out
 
     async def routing_index(self) -> list[tuple[str, bool]]:
         """The daemon's source/domain ownership index (bulk
         ``TABLE``): sorted ``(name, is_domain)`` pairs."""
-        async def fn(conn):
-            head, lines = await conn.request_bulk("TABLE")
-            if not head.startswith("OK index"):
+        head, lines = await self._call_bulk("TABLE")
+        if not head.startswith("OK index"):
+            raise FederationError(
+                f"backend {self.name} protocol error: {head!r}")
+        out = []
+        for line in lines:
+            kind, _, name = line.partition(" ")
+            if kind not in ("S", "D") or not name:
                 raise FederationError(
-                    f"backend {self.name} protocol error: {head!r}")
-            out = []
-            for line in lines:
-                kind, _, name = line.partition(" ")
-                if kind not in ("S", "D") or not name:
-                    raise FederationError(
-                        f"backend {self.name} protocol error: {line!r}")
-                out.append((name, kind == "D"))
-            return out
-
-        return await self._roundtrip(fn)
+                    f"backend {self.name} protocol error: {line!r}")
+            out.append((name, kind == "D"))
+        return out
 
     async def table_rows(self, source: str, dests=None
                          ) -> dict[str, tuple[int, str]]:
@@ -327,25 +711,21 @@ class ShardBackend:
         if dests:
             request += "".join(f" {self._token(d, 'destination')}"
                                for d in dests)
-
-        async def fn(conn):
-            head, lines = await conn.request_bulk(request)
-            if not head.startswith("OK table"):
+        head, lines = await self._call_bulk(request)
+        if not head.startswith("OK table"):
+            raise FederationError(
+                f"backend {self.name}: {head}")
+        out = {}
+        for line in lines:
+            parts = line.split()
+            if len(parts) != 3:
                 raise FederationError(
-                    f"backend {self.name}: {head}")
-            out = {}
-            for line in lines:
-                parts = line.split()
-                if len(parts) != 3:
-                    raise FederationError(
-                        f"backend {self.name} protocol error: {line!r}")
-                cost, name, route = parts
-                if cost == "-":
-                    continue  # batched miss
-                out[name] = (int(cost), route)
-            return out
-
-        return await self._roundtrip(fn)
+                    f"backend {self.name} protocol error: {line!r}")
+            cost, name, route = parts
+            if cost == "-":
+                continue  # batched miss
+            out[name] = (int(cost), route)
+        return out
 
     async def state_costs(self, source: str, names=None
                           ) -> dict[str, int] | None:
@@ -357,27 +737,23 @@ class ShardBackend:
         if names:
             request += "".join(f" {self._token(n, 'name')}"
                                for n in names)
-
-        async def fn(conn):
-            head, lines = await conn.request_bulk(request)
-            if head.startswith("ERR no-state-costs"):
-                return None
-            if not head.startswith("OK costs"):
-                raise FederationError(
-                    f"backend {self.name}: {head}")
-            out = {}
-            for line in lines:
-                cost, _, name = line.partition(" ")
-                if cost == "-":
-                    continue
-                out[name] = int(cost)
-            return out
-
-        return await self._roundtrip(fn)
+        head, lines = await self._call_bulk(request)
+        if head.startswith("ERR no-state-costs"):
+            return None
+        if not head.startswith("OK costs"):
+            raise FederationError(
+                f"backend {self.name}: {head}")
+        out = {}
+        for line in lines:
+            cost, _, name = line.partition(" ")
+            if cost == "-":
+                continue
+            out[name] = int(cost)
+        return out
 
     async def route(self, entry: str, target: str):
         """The whole in-shard lookup, dispatched to the daemon:
-        ``SOURCE entry`` + ``ROUTE target`` on one pooled connection.
+        ``SOURCE entry`` + ``ROUTE target`` on one connection.
 
         Returns ``(cost, relative template, matched key)`` — the
         daemon's suffix walk did the work — or None on ``ERR
@@ -385,53 +761,40 @@ class ShardBackend:
         """
         entry = self._token(entry, "entry host")
         target = self._token(target, "destination")
-
-        async def fn(conn):
-            await self._bound(conn, entry)
-            reply = await conn.request(f"ROUTE {target}")
-            if reply.startswith("ERR noroute"):
-                return None
-            parts = reply.split()
-            if len(parts) != 5 or parts[0] != "OK":
-                raise FederationError(
-                    f"backend {self.name}: {reply}")
-            _, cost, matched, _route, address = parts
-            # without a user the address IS the relative template
-            return int(cost), address, matched
-
-        return await self._roundtrip(fn)
+        reply = await self._call(f"ROUTE {target}", source=entry)
+        if reply.startswith("ERR noroute"):
+            return None
+        parts = reply.split()
+        if len(parts) != 5 or parts[0] != "OK":
+            raise FederationError(
+                f"backend {self.name}: {reply}")
+        _, cost, matched, _route, address = parts
+        # without a user the address IS the relative template
+        return int(cost), address, matched
 
     async def exact(self, entry: str, target: str):
         """Exact-name lookup dispatched to the daemon:
         ``(cost, route)`` or None on a miss."""
         entry = self._token(entry, "entry host")
         target = self._token(target, "destination")
-
-        async def fn(conn):
-            await self._bound(conn, entry)
-            reply = await conn.request(f"EXACT {target}")
-            if reply.startswith("ERR noroute"):
-                return None
-            parts = reply.split()
-            if len(parts) != 4 or parts[0] != "OK":
-                raise FederationError(
-                    f"backend {self.name}: {reply}")
-            return int(parts[1]), parts[3]
-
-        return await self._roundtrip(fn)
+        reply = await self._call(f"EXACT {target}", source=entry)
+        if reply.startswith("ERR noroute"):
+            return None
+        parts = reply.split()
+        if len(parts) != 4 or parts[0] != "OK":
+            raise FederationError(
+                f"backend {self.name}: {reply}")
+        return int(parts[1]), parts[3]
 
     async def reload(self, snapshot_path: str) -> str:
         """Forward a snapshot reload to the backend daemon; returns
         the daemon's ``OK reloaded ...`` reply (raises
         :class:`FederationError` on refusal)."""
-        async def fn(conn):
-            reply = await conn.request(f"RELOAD {snapshot_path}")
-            if not reply.startswith("OK reloaded"):
-                raise FederationError(
-                    f"backend {self.name} refused reload: {reply}")
-            return reply
-
-        return await self._roundtrip(fn)
+        reply = await self._call(f"RELOAD {snapshot_path}")
+        if not reply.startswith("OK reloaded"):
+            raise FederationError(
+                f"backend {self.name} refused reload: {reply}")
+        return reply
 
     def __repr__(self) -> str:
         return (f"ShardBackend({self.name!r}, {self.address!r}, "
@@ -455,6 +818,11 @@ class BackendShard:
     federation's per-shard RELOAD re-connects a fresh instance.
     """
 
+    #: Remote shards suspend on socket I/O: the stitched Dijkstra
+    #: prefetches their answers speculatively (local shards answer in
+    #: place and are never worth a task).
+    remote = True
+
     def __init__(self, name: str, backend: ShardBackend,
                  index: list[tuple[str, bool]], version: int,
                  snapshot: str):
@@ -471,6 +839,11 @@ class BackendShard:
         #: so it is bounded by entries x gateways and every repeat
         #: expansion hits, whatever subset the Dijkstra asks for.
         self._legs: dict[tuple[str, str], tuple[int, str] | None] = {}
+        #: single-flight registry: (entry, gate) keys a fetch already
+        #: has in flight, mapped to that fetch's completion future —
+        #: concurrent lookups await it instead of multiplying the
+        #: same TABLE/COSTS round trip.
+        self._leg_pending: dict[tuple[str, str], asyncio.Future] = {}
 
     @classmethod
     async def connect(cls, name: str,
@@ -547,6 +920,23 @@ class BackendShard:
 
     # -- the async entry-query surface ----------------------------------------
 
+    async def _fetch_legs(self, entry: str, fetch: list[str]) -> None:
+        """One batched TABLE (+COSTS on v2) round trip for ``fetch``,
+        filling the per-(entry, gate) cache — misses included."""
+        if self._version >= 2:
+            rows, costs = await asyncio.gather(
+                self.backend.table_rows(entry, fetch),
+                self.backend.state_costs(entry, fetch))
+        else:
+            rows = await self.backend.table_rows(entry, fetch)
+            costs = None
+        if costs is None:
+            costs = {}
+        for gate in fetch:
+            hit = rows.get(gate)
+            self._legs[(entry, gate)] = None if hit is None else \
+                (costs.get(gate, hit[0]), hit[1])
+
     async def route_legs(self, entry: str,
                          gates: list[str]) -> dict[str, tuple[int, str]]:
         """Gateway legs out of ``entry``, one batched round trip.
@@ -558,23 +948,35 @@ class BackendShard:
         and only the uncached gates ride the wire: the backend's
         snapshot is pinned for this shard's lifetime, so repeat
         expansions cost nothing whatever subset the stitch asks for.
+
+        **Single-flight:** concurrent lookups asking for overlapping
+        ``(entry, gate)`` keys share one in-flight fetch instead of
+        multiplying identical backend round trips — the speculative
+        stitch and every concurrent request coalesce here.
         """
         cache = self._legs
-        missing = [g for g in gates if (entry, g) not in cache]
-        if missing:
-            if self._version >= 2:
-                rows, costs = await asyncio.gather(
-                    self.backend.table_rows(entry, missing),
-                    self.backend.state_costs(entry, missing))
-            else:
-                rows = await self.backend.table_rows(entry, missing)
-                costs = None
-            if costs is None:
-                costs = {}
-            for gate in missing:
-                hit = rows.get(gate)
-                cache[(entry, gate)] = None if hit is None else \
-                    (costs.get(gate, hit[0]), hit[1])
+        pending = self._leg_pending
+        while True:
+            missing = [g for g in gates if (entry, g) not in cache]
+            if not missing:
+                break
+            waits = {pending[(entry, g)] for g in missing
+                     if (entry, g) in pending}
+            fetch = [g for g in missing if (entry, g) not in pending]
+            if fetch:
+                done = asyncio.get_running_loop().create_future()
+                for g in fetch:
+                    pending[(entry, g)] = done
+                try:
+                    await self._fetch_legs(entry, fetch)
+                finally:
+                    for g in fetch:
+                        pending.pop((entry, g), None)
+                    # waiters re-check the cache; on a failed fetch
+                    # they find the keys unclaimed and retry them
+                    done.set_result(None)
+            elif waits:
+                await asyncio.gather(*waits)
         out = {}
         for gate in gates:
             leg = cache[(entry, gate)]

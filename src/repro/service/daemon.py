@@ -25,6 +25,10 @@ per request:
                           in-flight lookups keep the old reader (it is
                           immutable, wholly in memory) so no request is
                           ever dropped or mixed mid-swap.
+``PIPELINE``              capability probe: ``OK pipeline 1`` means the
+                          daemon accepts *tagged* requests (below); an
+                          older daemon answers ``ERR unknown-command``
+                          and the client stays lockstep.
 ``STATS``                 one ``key=value`` line of counters.
 ``QUIT``                  close the connection.
 ========================  ===================================================
@@ -32,6 +36,15 @@ per request:
 Errors come back as ``ERR <code> <detail>``; the connection survives
 them.  All daemon state lives in :class:`RouteService`, which is also
 directly usable in-process (the benchmark drives it without sockets).
+
+**Pipelining.**  A request line may be prefixed with a tag —
+``@<tag> ROUTE topaz`` — in which case the client may have many
+requests in flight on one connection and replies may return out of
+order; *every* reply frame (including each continuation line of a
+bulk ``TABLE``/``COSTS`` reply) carries the same ``@<tag> `` prefix,
+so interleaved bulk replies reassemble by tag.  Untagged requests
+keep the exact lockstep one-in/one-out behavior, so old clients are
+unchanged byte-for-byte; see ``docs/protocol.md`` for the grammar.
 
 :class:`DaemonRouteDatabase` is the synchronous client side: it speaks
 the same protocol and quacks like
@@ -57,6 +70,12 @@ from repro.service.store import SnapshotError, SnapshotReader
 #: doubling per attempt up to the cap.
 RECONNECT_DELAY = 0.02
 RECONNECT_DELAY_MAX = 0.25
+
+#: Cap on concurrently *executing* tagged requests per connection: a
+#: client that floods one connection with tagged work queues here
+#: instead of spawning an unbounded task set.  Requests past the cap
+#: are still read and answered — just not all at once.
+MAX_INFLIGHT = 128
 
 
 def wire_token(value: str, what: str) -> str:
@@ -93,6 +112,15 @@ class LineService:
     #: Protocol verbs (subclasses override; used to seed verb_counts).
     VERBS: tuple = ()
 
+    #: Verbs handled *inline in read order* even when tagged, because
+    #: they mutate connection or service state (or close the
+    #: connection): a pipelined ``SOURCE`` deterministically governs
+    #: exactly the tagged requests read after it, and a tagged
+    #: ``RELOAD``/``ATTACH``/``DETACH`` swap is never reordered
+    #: against the requests around it on this connection.
+    INLINE_VERBS = frozenset({"SOURCE", "RELOAD", "ATTACH", "DETACH",
+                              "PIPELINE", "QUIT"})
+
     def __init__(self, require_format: int | None = None) -> None:
         self.connections = 0
         self.verb_counts = {verb: 0 for verb in self.VERBS}
@@ -101,6 +129,15 @@ class LineService:
         #: like the verb counters: reported as ``n_errors`` by STATS
         #: and never reset by a RELOAD/ATTACH/DETACH.
         self.errors = 0
+        #: Tagged (pipelined) requests received, across connections —
+        #: the ``n_pipelined`` STATS key, so an operator can see
+        #: whether clients actually negotiated pipelining.
+        self.pipelined = 0
+        #: Concurrently executing tagged requests right now, and the
+        #: high-water mark since start (the ``inflight_hwm`` STATS
+        #: key): the observable pipeline depth.
+        self.inflight = 0
+        self.inflight_hwm = 0
         #: Pinned snapshot format version (``--format``): services
         #: check it against every snapshot they open — at startup and
         #: on every later RELOAD/ATTACH — via :meth:`_check_format`.
@@ -132,6 +169,8 @@ class LineService:
         tokens = [f"n_{verb.lower()}={count}"
                   for verb, count in self.verb_counts.items()]
         tokens.append(f"n_errors={self.errors}")
+        tokens.append(f"n_pipelined={self.pipelined}")
+        tokens.append(f"inflight_hwm={self.inflight_hwm}")
         return " ".join(tokens)
 
     async def handle_line(self, line: str, state: dict) -> str | None:
@@ -169,6 +208,14 @@ class LineService:
                 except asyncio.LimitOverrunError as again:
                     consumed = again.consumed
 
+    @staticmethod
+    def _tagged_frames(tag: str, reply: str) -> bytes:
+        """Encode ``reply`` with every frame carrying ``@<tag> `` —
+        bulk replies are newline-joined strings, and each of their
+        lines is its own wire frame, so each gets the prefix."""
+        return "".join(f"@{tag} {frame}\n"
+                       for frame in reply.split("\n")).encode("utf-8")
+
     async def handle_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         """Serve one client connection until QUIT or disconnect.
@@ -178,17 +225,58 @@ class LineService:
         with a single protocol ``ERR`` reply, counted in ``n_errors``;
         the connection, its framing, and every service-owned counter
         survive it untouched.
+
+        **Tagged requests** (``@<tag> VERB ...``) run concurrently:
+        each spawns a per-request task over a *snapshot* of the
+        connection state, its reply frames written atomically under a
+        per-connection lock, so replies may interleave and return out
+        of order — the tag is the correlation.  Verbs that mutate
+        connection or service state (:attr:`INLINE_VERBS`) are applied
+        inline in read order even when tagged, which is what makes
+        ``@1 SOURCE a`` / ``@2 ROUTE x`` deterministic: the SOURCE is
+        in effect — and its reply on the wire — before the ROUTE is
+        even read.  Untagged requests keep the strict lockstep
+        behavior, including draining all in-flight tagged work first,
+        so the two styles serialize cleanly if a client mixes them.
         """
         self.connections += 1
         state = self.initial_state()
+        wlock = asyncio.Lock()
+        gate = asyncio.Semaphore(MAX_INFLIGHT)
+        tasks: set = set()
+
+        async def write_frames(data: bytes) -> None:
+            async with wlock:
+                writer.write(data)
+                await writer.drain()
+
+        async def answer_tagged(tag: str, line: str,
+                                snapshot: dict) -> None:
+            self.inflight += 1
+            self.inflight_hwm = max(self.inflight_hwm, self.inflight)
+            try:
+                reply = await self.handle_line(line, snapshot)
+            finally:
+                self.inflight -= 1
+                gate.release()
+            if reply is None:  # unreachable: QUIT is inline
+                reply = "OK bye"
+            if reply.startswith("ERR"):
+                self.errors += 1
+            await write_frames(self._tagged_frames(tag, reply))
+
+        async def drain_tagged() -> None:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
         try:
             while True:
                 raw, overflowed = await self._read_request_line(reader)
                 if overflowed:
                     self.errors += 1
-                    writer.write(b"ERR overflow request line exceeds "
-                                 b"the frame limit\n")
-                    await writer.drain()
+                    await write_frames(
+                        b"ERR overflow request line exceeds "
+                        b"the frame limit\n")
                     continue
                 if not raw:
                     break
@@ -196,21 +284,48 @@ class LineService:
                     line = raw.decode("utf-8").strip()
                 except UnicodeDecodeError:
                     self.errors += 1
-                    writer.write(b"ERR encoding expected UTF-8\n")
-                    await writer.drain()
+                    await write_frames(b"ERR encoding expected UTF-8\n")
                     continue
+                tag = None
+                if line.startswith("@"):
+                    first, _, body = line.partition(" ")
+                    tag, line = first[1:], body.strip()
+                    if not tag:
+                        self.errors += 1
+                        await write_frames(
+                            b"ERR usage tagged request needs a "
+                            b"non-empty tag: @<tag> VERB ...\n")
+                        continue
+                    self.pipelined += 1
                 verb = line.split(None, 1)[0].upper() if line else ""
                 if verb in self.verb_counts:
                     self.verb_counts[verb] += 1
+                if tag is not None and line \
+                        and verb not in self.INLINE_VERBS:
+                    await gate.acquire()
+                    task = asyncio.get_running_loop().create_task(
+                        answer_tagged(tag, line, dict(state)))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                    continue
+                if tag is None:
+                    # Untagged lockstep: one in, one out, in order —
+                    # after any in-flight tagged work has drained, so
+                    # a client that mixes styles still sees strictly
+                    # ordered lockstep replies.
+                    await drain_tagged()
                 reply = await self.handle_line(line, state)
                 if reply is None:
-                    writer.write(b"OK bye\n")
-                    await writer.drain()
+                    await drain_tagged()
+                    data = b"OK bye\n" if tag is None else \
+                        self._tagged_frames(tag, "OK bye")
+                    await write_frames(data)
                     break
                 if reply.startswith("ERR"):
                     self.errors += 1
-                writer.write(reply.encode("utf-8") + b"\n")
-                await writer.drain()
+                data = reply.encode("utf-8") + b"\n" if tag is None \
+                    else self._tagged_frames(tag, reply)
+                await write_frames(data)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -219,6 +334,10 @@ class LineService:
             # of logging cancellation noise through the task callback.
             pass
         finally:
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
             # close() alone: awaiting wait_closed() here would raise
             # CancelledError noise when the loop tears down while a
             # handler drains, and the transport closes regardless.
@@ -239,7 +358,7 @@ class RouteService(LineService):
     #: page against this table).  TABLE and COSTS are the *bulk*
     #: verbs a federation front end assembles its remote view from.
     VERBS = ("ROUTE", "EXACT", "SOURCE", "TABLE", "COSTS", "RELOAD",
-             "STATS", "QUIT")
+             "PIPELINE", "STATS", "QUIT")
 
     def __init__(self, snapshot_path: str | None = None,
                  reader: SnapshotReader | None = None,
@@ -438,7 +557,7 @@ class RouteService(LineService):
         parts = line.split(None, 1)
         if not parts:
             return "ERR empty-request send ROUTE/EXACT/SOURCE/TABLE/" \
-                   "COSTS/RELOAD/STATS/QUIT"
+                   "COSTS/RELOAD/PIPELINE/STATS/QUIT"
         command = parts[0].upper()
         rest = parts[1] if len(parts) > 1 else ""
         if command == "ROUTE":
@@ -489,6 +608,10 @@ class RouteService(LineService):
             except SnapshotError as exc:
                 return f"ERR reload {exc}"
             return f"OK reloaded {reader.source_count} {reader.path}"
+        if command == "PIPELINE":
+            if rest.strip():
+                return "ERR usage PIPELINE"
+            return "OK pipeline 1"
         if command == "STATS":
             return f"OK {self.stats_line()}"
         if command == "QUIT":

@@ -29,6 +29,10 @@ protocol, extended with shard administration:
                           lookups keep the view they started with.
                           For a backend shard the reload is forwarded
                           to its daemon and the cached index re-synced.
+``PIPELINE``              capability probe: ``OK pipeline 1`` — the
+                          front end accepts tagged (pipelined)
+                          requests, exactly like the single-snapshot
+                          daemon.
 ``STATS``                 one ``key=value`` line of counters.
 ``QUIT``                  close the connection.
 ========================  ===================================================
@@ -91,7 +95,7 @@ class FederationService(LineService):
     #: The verbs this daemon's line protocol implements (the CI docs
     #: job checks ``docs/protocol.md`` against this table).
     VERBS = ("ROUTE", "EXACT", "SOURCE", "SHARDS", "ATTACH", "DETACH",
-             "RELOAD", "STATS", "QUIT")
+             "RELOAD", "PIPELINE", "STATS", "QUIT")
 
     def __init__(self, shards, default_source: str | None = None,
                  require_format: int | None = None):
@@ -138,6 +142,11 @@ class FederationService(LineService):
         #: runtime (ATTACH host:port); :meth:`create` overrides it
         #: with its ``pool_size`` so later attaches match startup.
         self.backend_pool_size = 2
+        #: Whether backend shards attached at runtime may negotiate
+        #: the pipelined (tagged) wire protocol; :meth:`create`
+        #: overrides it with its ``pipeline`` flag so later attaches
+        #: match startup (``serve --no-pipeline`` forces lockstep).
+        self.backend_pipeline = True
         #: How long a replaced/detached backend pool keeps serving
         #: lookups still pinned to the outgoing view before closing.
         self.retire_grace = 2.0
@@ -148,14 +157,17 @@ class FederationService(LineService):
     async def create(cls, shards=None, backends=None,
                      default_source: str | None = None,
                      require_format: int | None = None,
-                     pool_size: int = 2) -> "FederationService":
+                     pool_size: int = 2,
+                     pipeline: bool = True) -> "FederationService":
         """Build a service over local snapshots *and* remote backends.
 
         ``shards`` maps shard names to snapshot paths (served in
         process); ``backends`` maps shard names to ``host:port``
         specs, each dialed now — the ownership index is fetched from
         the daemon before the service answers its first request.
-        ``pool_size`` is the per-backend connection pool width.
+        ``pool_size`` is the per-backend connection pool width;
+        ``pipeline=False`` forces the lockstep wire protocol even
+        against a backend daemon that would negotiate tagging.
         """
         objs: list = [Shard.open(name, path)
                       for name, path in sorted((shards or {}).items())]
@@ -166,11 +178,13 @@ class FederationService(LineService):
                     f"backend {name}={spec!r} is not of the form "
                     f"HOST:PORT")
             backend = ShardBackend(name, addr[0], addr[1],
-                                   pool_size=pool_size)
+                                   pool_size=pool_size,
+                                   pipeline=pipeline)
             objs.append(await BackendShard.connect(name, backend))
         service = cls(objs, default_source=default_source,
                       require_format=require_format)
         service.backend_pool_size = pool_size
+        service.backend_pipeline = pipeline
         return service
 
     # -- operations -----------------------------------------------------------
@@ -256,7 +270,8 @@ class FederationService(LineService):
         addr = parse_backend_spec(spec)
         if addr is not None:
             backend = ShardBackend(name, addr[0], addr[1],
-                                   pool_size=self.backend_pool_size)
+                                   pool_size=self.backend_pool_size,
+                                   pipeline=self.backend_pipeline)
             try:
                 shard = await BackendShard.connect(name, backend)
                 self._check_format(shard)
@@ -405,7 +420,7 @@ class FederationService(LineService):
         parts = line.split(None, 1)
         if not parts:
             return "ERR empty-request send ROUTE/EXACT/SOURCE/SHARDS/" \
-                   "ATTACH/DETACH/RELOAD/STATS/QUIT"
+                   "ATTACH/DETACH/RELOAD/PIPELINE/STATS/QUIT"
         command = parts[0].upper()
         rest = parts[1] if len(parts) > 1 else ""
         if command == "ROUTE":
@@ -482,6 +497,10 @@ class FederationService(LineService):
                 return f"ERR reload {exc}"
             return (f"OK reloaded {shard.name} {shard.source_count} "
                     f"{shard.path}")
+        if command == "PIPELINE":
+            if rest.strip():
+                return "ERR usage PIPELINE"
+            return "OK pipeline 1"
         if command == "STATS":
             return f"OK {self.stats_line()}"
         if command == "QUIT":
@@ -497,17 +516,20 @@ def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
                           port: int = 4176,
                           source: str | None = None,
                           require_format: int | None = None,
-                          backends: dict | None = None) -> int:
+                          backends: dict | None = None,
+                          pipeline: bool = True) -> int:
     """Blocking entry point for ``pathalias serve --shard/--backend``.
 
     ``shards`` maps names to local snapshot paths, ``backends`` maps
     names to ``host:port`` daemon addresses; the two mix freely.
+    ``pipeline=False`` (``--no-pipeline``) keeps the backend
+    connections on the lockstep wire protocol.
     """
 
     async def main() -> None:
         service = await FederationService.create(
             shards=shards, backends=backends, default_source=source,
-            require_format=require_format)
+            require_format=require_format, pipeline=pipeline)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         names = ",".join(service.view.shard_names())

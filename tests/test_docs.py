@@ -92,9 +92,9 @@ class TestDocsSuite:
         page = (REPO / "docs" / "protocol.md").read_text()
         broken = page.replace(
             "<!-- verbs:federation ROUTE EXACT SOURCE SHARDS ATTACH "
-            "DETACH RELOAD STATS QUIT -->",
+            "DETACH RELOAD PIPELINE STATS QUIT -->",
             "<!-- verbs:federation ROUTE EXACT SOURCE SHARDS ATTACH "
-            "DETACH RELOAD STATS -->")
+            "DETACH RELOAD PIPELINE STATS -->")
         assert broken != page
         (docs / "protocol.md").write_text(broken)
         monkeypatch.setattr(tool, "REPO", tmp_path)

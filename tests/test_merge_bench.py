@@ -1,0 +1,103 @@
+"""The CI-artifact import path for BENCH_routing.json.
+
+``tools/merge_bench.py`` is how multicore CI numbers (pool scaling,
+fan-out throughput) land in the repo's benchmark document without a
+multicore dev machine: a condensed trajectory entry per import, and
+``--adopt`` to let a CI run's section become the headline numbers
+while the replaced values are archived, never lost.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _tool():
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import merge_bench
+    finally:
+        sys.path.pop(0)
+    return merge_bench
+
+
+def _artifact(ratio: float) -> dict:
+    return {
+        "benchmark": "BENCH_routing",
+        "generated_at": "2026-08-08T00:00:00+00:00",
+        "environment": {"visible_cpus": 4},
+        "batch": {"runs": [
+            {"jobs": 1, "tables_per_sec": 17.0,
+             "speedup_vs_serial": 1.0, "seconds": 1.9},
+            {"jobs": 4, "tables_per_sec": 55.0,
+             "speedup_vs_serial": 3.2, "seconds": 0.6},
+        ]},
+        "service": {"fanout": {
+            "inprocess_lookups_per_sec": 14000.0,
+            "fanout_lookups_per_sec": ratio * 14000.0,
+            "fanout_vs_inprocess": ratio,
+            "pipelined": {"lookups_per_sec": ratio * 14000.0,
+                          "vs_inprocess": ratio,
+                          "roundtrips_per_lookup": 1.6,
+                          "backend_health": ["connected:9:0:1:9:2"]},
+            "lockstep": {"lookups_per_sec": 2600.0,
+                         "vs_inprocess": 0.19,
+                         "roundtrips_per_lookup": 1.6,
+                         "backend_health": ["connected:9:0:1:0:0"]},
+        }},
+    }
+
+
+class TestMergeBench:
+    def test_appends_condensed_trajectory_entry(self):
+        tool = _tool()
+        bench = {"benchmark": "BENCH_routing"}
+        log = tool.merge(bench, _artifact(1.3), "ci-multicore", [])
+        assert any("appended" in line for line in log)
+        (entry,) = bench["trajectory"]
+        assert entry["source"] == "ci-multicore"
+        assert entry["environment"]["visible_cpus"] == 4
+        assert entry["batch_runs"][1]["speedup_vs_serial"] == 3.2
+        assert "seconds" not in entry["batch_runs"][1]  # condensed
+        assert entry["fanout"]["fanout_vs_inprocess"] == 1.3
+        assert entry["fanout"]["pipelined"][
+            "roundtrips_per_lookup"] == 1.6
+        assert "backend_health" not in entry["fanout"]["pipelined"]
+
+    def test_adopt_replaces_and_archives(self):
+        tool = _tool()
+        bench = json.loads(json.dumps(_artifact(0.2)))  # old numbers
+        tool.merge(bench, _artifact(1.3), "ci-cluster",
+                   ["fanout", "batch"])
+        # the artifact's sections are now the headline...
+        assert bench["service"]["fanout"][
+            "fanout_vs_inprocess"] == 1.3
+        assert bench["batch"]["runs"][1]["speedup_vs_serial"] == 3.2
+        # ... and the replaced numbers live on in the trajectory
+        archived, imported = bench["trajectory"]
+        assert archived["source"].startswith("superseded by")
+        assert archived["fanout"]["fanout_vs_inprocess"] == 0.2
+        assert imported["source"] == "ci-cluster"
+
+    def test_cli_round_trip(self, tmp_path):
+        tool = _tool()
+        artifact = tmp_path / "artifact.json"
+        artifact.write_text(json.dumps(_artifact(1.1)))
+        bench = tmp_path / "BENCH.json"
+        assert tool.main([str(artifact), "--bench", str(bench),
+                          "--source", "ci"]) == 0
+        document = json.loads(bench.read_text())
+        assert document["trajectory"][0]["source"] == "ci"
+        # a second import stacks, never overwrites
+        assert tool.main([str(artifact), "--bench", str(bench),
+                          "--source", "ci-again"]) == 0
+        document = json.loads(bench.read_text())
+        assert [e["source"] for e in document["trajectory"]] == \
+            ["ci", "ci-again"]
+        # unknown --adopt sections are refused
+        assert tool.main([str(artifact), "--bench", str(bench),
+                          "--adopt", "nonsense"]) == 2

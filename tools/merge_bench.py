@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Merge a benchmark artifact into BENCH_routing.json's trajectory.
+
+The repo-root ``BENCH_routing.json`` records the numbers of whatever
+machine last regenerated it — usually the 1-CPU dev runner, which
+cannot produce meaningful pool-scaling (``batch.runs`` at jobs=2/4)
+or multicore fan-out numbers.  CI *can*: the ``bench`` job uploads
+its full ``BENCH_routing.json`` and the ``cluster`` job uploads a
+fan-out-only document, both produced on the multicore runner.  This
+tool imports such an artifact:
+
+* a condensed **trajectory entry** (environment, batch pool-scaling
+  runs, fan-out throughput + round trips per lookup) is appended to
+  the document's ``trajectory`` list, so the history of the numbers
+  — including superseded ones, like the pre-pipelining lockstep
+  fan-out ratio — survives every regeneration;
+* with ``--adopt``, the artifact's ``batch`` and/or
+  ``service.fanout`` sections *replace* the document's, archiving
+  the replaced values as their own trajectory entry first — this is
+  how a multicore CI run becomes the headline number.
+
+Usage::
+
+    python tools/merge_bench.py artifact.json --source ci-multicore
+    python tools/merge_bench.py fanout.json \
+        --source ci-cluster --adopt fanout
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ADOPTABLE = ("batch", "fanout")
+
+
+def condense(document: dict, source: str) -> dict:
+    """A compact trajectory entry for ``document``'s headline
+    numbers: who measured, on what, and what they saw."""
+    entry: dict = {"source": source}
+    if document.get("generated_at"):
+        entry["recorded"] = document["generated_at"]
+    if document.get("environment"):
+        entry["environment"] = document["environment"]
+    batch = document.get("batch", {})
+    if batch.get("runs"):
+        entry["batch_runs"] = [
+            {k: run.get(k) for k in ("jobs", "tables_per_sec",
+                                     "speedup_vs_serial")}
+            for run in batch["runs"]]
+    fanout = document.get("service", {}).get("fanout")
+    if fanout:
+        condensed = {k: fanout.get(k) for k in
+                     ("inprocess_lookups_per_sec",
+                      "fanout_lookups_per_sec",
+                      "fanout_vs_inprocess")}
+        for wire in ("lockstep", "pipelined"):
+            if wire in fanout:
+                condensed[wire] = {
+                    k: fanout[wire].get(k)
+                    for k in ("lookups_per_sec", "vs_inprocess",
+                              "roundtrips_per_lookup")}
+        entry["fanout"] = condensed
+    return entry
+
+
+def merge(bench: dict, artifact: dict, source: str,
+          adopt: list[str]) -> list[str]:
+    """Append ``artifact``'s trajectory entry to ``bench`` (and adopt
+    the requested sections); returns a log of what happened."""
+    log = []
+    trajectory = bench.setdefault("trajectory", [])
+    if adopt:
+        # archive what is being replaced before it disappears
+        previous = condense(bench, "superseded by "
+                            + (source or "imported artifact"))
+        if "batch_runs" in previous or "fanout" in previous:
+            trajectory.append(previous)
+            log.append("archived the replaced numbers")
+    entry = condense(artifact, source)
+    trajectory.append(entry)
+    log.append(f"appended trajectory entry from {source!r}")
+    for section in adopt:
+        if section == "batch" and artifact.get("batch"):
+            bench["batch"] = artifact["batch"]
+            log.append("adopted batch pool-scaling runs")
+        elif section == "fanout" and \
+                artifact.get("service", {}).get("fanout"):
+            bench.setdefault("service", {})["fanout"] = \
+                artifact["service"]["fanout"]
+            log.append("adopted service.fanout")
+        else:
+            log.append(f"artifact has no {section} section; skipped")
+    return log
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="import a CI benchmark artifact into "
+                    "BENCH_routing.json's trajectory")
+    parser.add_argument("artifact",
+                        help="the downloaded benchmark JSON")
+    parser.add_argument("--bench",
+                        default=str(REPO / "BENCH_routing.json"),
+                        help="the document to merge into (default: "
+                             "the repo root BENCH_routing.json)")
+    parser.add_argument("--source", default="ci",
+                        help="label recorded on the trajectory entry "
+                             "(e.g. ci-multicore, ci-cluster)")
+    parser.add_argument("--adopt", default="",
+                        help="comma-separated sections the artifact "
+                             "should *replace* in the document: "
+                             f"{', '.join(ADOPTABLE)}")
+    args = parser.parse_args(argv)
+
+    adopt = [s for s in args.adopt.split(",") if s]
+    unknown = [s for s in adopt if s not in ADOPTABLE]
+    if unknown:
+        print(f"merge_bench: unknown --adopt section(s): "
+              f"{', '.join(unknown)}", file=sys.stderr)
+        return 2
+    artifact = json.loads(Path(args.artifact).read_text())
+    bench_path = Path(args.bench)
+    bench = json.loads(bench_path.read_text()) if bench_path.exists() \
+        else {"benchmark": "BENCH_routing"}
+    for line in merge(bench, artifact, args.source, adopt):
+        print(f"merge_bench: {line}", file=sys.stderr)
+    bench_path.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"merge_bench: wrote {bench_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
