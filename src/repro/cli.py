@@ -18,6 +18,9 @@ the default when the first argument is not one of them)::
     pathalias lookup routes.snap dest [user]        one-shot query
     pathalias lookup --connect HOST:PORT dest       ... against a daemon
     pathalias serve routes.snap [--port N]          the lookup daemon
+    pathalias serve routes.snap --workers N         ... as N SO_REUSEPORT
+                                                    workers sharing one
+                                                    mmapped snapshot
     pathalias federate NAME=MAP ... -o DIR          per-region snapshots
     pathalias federate ... --spawn                  one-command cluster
     pathalias serve --shard NAME=SNAP ...           the federation daemon
@@ -254,6 +257,11 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                          help="front-end TCP port for --spawn "
                               "(default 4176; shard daemons always "
                               "take ephemeral ports)")
+        fed.add_argument("--workers", type=int, default=1,
+                         metavar="N",
+                         help="run each --spawn shard daemon as N "
+                              "SO_REUSEPORT workers sharing one "
+                              "mmapped snapshot (default 1)")
         return fed
 
     srv = argparse.ArgumentParser(
@@ -282,6 +290,10 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
     srv.add_argument("--source", metavar="HOST",
                      help="default source table (default: the "
                           "snapshot's first source)")
+    srv.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="serve from N SO_REUSEPORT worker processes "
+                          "sharing one mmapped snapshot copy (default "
+                          "1; single-snapshot mode only)")
     srv.add_argument("--format", type=int, choices=(1, 2),
                      default=None, dest="fmt",
                      help="require the served snapshot(s) to be this "
@@ -359,13 +371,17 @@ def _daemon_lookup(args) -> int:
 
 
 def _run_cluster(shard_snaps: dict, host: str, port: int,
-                 require_format: int | None = None) -> int:
+                 require_format: int | None = None,
+                 workers: int = 1) -> int:
     """``pathalias federate --spawn``: one daemon process per shard
     snapshot (ephemeral ports, parsed from their startup line), then
     the fan-out front end over them, in the foreground.  Children are
     terminated when the front end exits — SIGTERM is translated into
     the same clean shutdown SIGINT gets, so a supervisor's terminate
-    never orphans the shard daemons.
+    never orphans the shard daemons.  ``workers > 1`` spawns each
+    shard daemon as that many SO_REUSEPORT workers (they mmap one
+    shared snapshot copy), which the front end fans out to like any
+    other backend.
     """
     import signal
     import subprocess
@@ -391,10 +407,12 @@ def _run_cluster(shard_snaps: dict, host: str, port: int,
     backends = {}
     try:
         for name, snap in shard_snaps.items():
+            cmd = [sys.executable, "-m", "repro.cli", "serve", snap,
+                   "--host", host, "--port", "0"]
+            if workers > 1:
+                cmd += ["--workers", str(workers)]
             proc = subprocess.Popen(
-                [sys.executable, "-m", "repro.cli", "serve", snap,
-                 "--host", host, "--port", "0"],
-                stderr=subprocess.PIPE, text=True)
+                cmd, stderr=subprocess.PIPE, text=True)
             procs.append(proc)
             # scan stderr for the listening line — warnings or other
             # chatter may precede it, and EOF (child died) is the
@@ -596,7 +614,11 @@ def service_main(argv: list[str]) -> int:
             if args.spawn:
                 return _run_cluster(
                     {shard.name: str(shard.path) for shard in shards},
-                    host=args.host, port=args.port)
+                    host=args.host, port=args.port,
+                    workers=args.workers)
+            if args.workers != 1:
+                print("pathalias: federate: --workers only applies "
+                      "with --spawn; ignored", file=sys.stderr)
             return 0
 
         if args.command == "serve":
@@ -609,6 +631,11 @@ def service_main(argv: list[str]) -> int:
                     raise PathaliasError(
                         "give either a snapshot or --shard/--backend "
                         "pairs, not both")
+                if args.workers != 1:
+                    raise PathaliasError(
+                        "--workers applies to single-snapshot serving; "
+                        "scale a federation by giving each --backend "
+                        "daemon its own --workers instead")
                 shards = _parse_named_pairs(args.shard,
                                             "NAME=SNAPSHOT")
                 backends = _parse_named_pairs(args.backend,
@@ -630,7 +657,8 @@ def service_main(argv: list[str]) -> int:
 
             return run_daemon(args.snapshot, host=args.host,
                               port=args.port, source=args.source,
-                              require_format=args.fmt)
+                              require_format=args.fmt,
+                              workers=args.workers)
     except PathaliasError as exc:
         print(f"pathalias: {args.command}: {exc}", file=sys.stderr)
         return 1

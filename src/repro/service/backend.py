@@ -349,6 +349,12 @@ class ShardBackend:
     retries exactly once.  Health is observable: :attr:`state` plus
     the request/error/connect counters, which the federation daemon
     reports per backend in its ``STATS`` line.
+
+    A backend address served by ``serve --workers N`` needs no special
+    handling: the kernel lands each pooled connection on some worker,
+    and because every request round trip states its ``SOURCE``
+    per-connection and the workers serve one identical mmapped
+    snapshot, any worker answers any pooled request identically.
     """
 
     def __init__(self, name: str, host: str, port: int,
@@ -789,7 +795,10 @@ class ShardBackend:
     async def reload(self, snapshot_path: str) -> str:
         """Forward a snapshot reload to the backend daemon; returns
         the daemon's ``OK reloaded ...`` reply (raises
-        :class:`FederationError` on refusal)."""
+        :class:`FederationError` on refusal).  A multi-worker backend
+        (``serve --workers N``) acknowledges only after propagating
+        the swap to its whole worker pool, so one forwarded RELOAD
+        suffices no matter how many workers answer the address."""
         reply = await self._call(f"RELOAD {snapshot_path}")
         if not reply.startswith("OK reloaded"):
             raise FederationError(

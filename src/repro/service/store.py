@@ -54,6 +54,11 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+try:  # pragma: no cover - exercised by the fallback-path tests
+    import mmap as _mmap
+except ImportError:  # some minimal builds ship without mmap
+    _mmap = None  # type: ignore[assignment]
+
 from repro.config import DEFAULT_HEURISTICS, HeuristicConfig
 from repro.core.batch import map_sources
 from repro.core.fastmap import (
@@ -296,6 +301,16 @@ def encode_table_section(records, unreachable, tree_links,
 class SnapshotTable(SuffixResolver):
     """One source's route table, answered straight off section bytes.
 
+    ``data`` may be plain ``bytes`` *or* a :class:`memoryview` slicing
+    a mapped snapshot (:class:`SnapshotReader` hands out the latter):
+    every access below is ``unpack_from``/slice-based, so a mapped
+    table is searched **in place** — no section copy, no up-front
+    decode — and only the few bytes of an accessed record's name and
+    route are ever materialized.  A table holding a mapped view keeps
+    the underlying map alive on its own (the view carries a buffer
+    export), so it stays valid even after its reader is closed or
+    swap-replaced.
+
     Destination lookup is a binary search over the fixed-width record
     entries, comparing UTF-8 name bytes in the section's string blob —
     the "format appropriate for rapid database retrieval" the paper
@@ -313,28 +328,38 @@ class SnapshotTable(SuffixResolver):
     __slots__ = ("source", "version", "_data", "_state_map",
                  "_rc", "_uc", "_tc", "_sc",
                  "_records_off", "_unreach_off", "_pairs_off",
-                 "_states_off", "_blob_off")
+                 "_states_off", "_blob_off", "_file_off")
 
-    def __init__(self, source: str, data: bytes,
-                 version: int = VERSION):
+    def __init__(self, source: str, data, version: int = VERSION,
+                 file_offset: int | None = None):
+        """``file_offset`` (when known) is the section's absolute
+        offset in the snapshot file, so malformed-section errors can
+        name where in the file the damage sits."""
         self.source = source
         self.version = version
         self._data = data
+        self._file_off = file_offset
         self._state_map: dict | None = None
         if version == 1:
             self._init_v1(data)
         else:
             self._init_v2(data)
 
-    def _init_v1(self, data: bytes) -> None:
+    def _where(self) -> str:
+        """``" at file offset N"`` when the section offset is known."""
+        if self._file_off is None:
+            return ""
+        return f" at file offset {self._file_off}"
+
+    def _init_v1(self, data) -> None:
         """The fixed v1 layout: counted arrays, then the blob."""
         try:
             (self._rc, self._uc, self._tc,
              blob_len) = _TABLE_HEADER.unpack_from(data, 0)
         except struct.error as exc:
             raise SnapshotError(
-                f"table section for {self.source!r} malformed: {exc}"
-            ) from None
+                f"table section for {self.source!r}{self._where()} "
+                f"malformed: {exc}") from None
         self._sc = 0
         self._records_off = _TABLE_HEADER.size
         self._unreach_off = self._records_off + self._rc * _RECORD.size
@@ -343,35 +368,37 @@ class SnapshotTable(SuffixResolver):
             self._pairs_off + self._tc * _PAIR.size
         if self._blob_off + blob_len > len(data):
             raise SnapshotError(
-                f"table section for {self.source!r} truncated")
+                f"table section for {self.source!r}{self._where()} "
+                f"truncated")
 
-    def _init_v2(self, data: bytes) -> None:
+    def _init_v2(self, data) -> None:
         """The tagged v2 layout: a block directory, then the blocks."""
         source = self.source
         try:
             (tag_count,) = struct.unpack_from("<I", data, 0)
             if tag_count > len(data):  # absurd count == corruption
                 raise SnapshotError(
-                    f"table section for {source!r} malformed: "
-                    f"{tag_count} tagged blocks")
+                    f"table section for {source!r}{self._where()} "
+                    f"malformed: {tag_count} tagged blocks")
             pos = 4
             directory = []
             for _ in range(tag_count):
                 tag, length = _TAG.unpack_from(data, pos)
                 pos += _TAG.size
-                directory.append((tag, length))
+                directory.append((bytes(tag), length))
         except struct.error as exc:
             raise SnapshotError(
-                f"table section for {source!r} malformed: {exc}"
-            ) from None
+                f"table section for {source!r}{self._where()} "
+                f"malformed: {exc}") from None
         blocks = {}
         for tag, length in directory:
             blocks[tag] = (pos, length)
             pos += length
         if pos > len(data):
             raise SnapshotError(
-                f"table section for {source!r} truncated "
-                f"(blocks end at {pos}, section is {len(data)} bytes)")
+                f"table section for {source!r}{self._where()} "
+                f"truncated (blocks end at {pos}, section is "
+                f"{len(data)} bytes)")
         for tag, size in ((b"RECS", _RECORD.size), (b"UNRC", _REF.size),
                           (b"TREE", _PAIR.size), (b"STAT", _STATE.size),
                           (b"BLOB", 1)):
@@ -400,7 +427,8 @@ class SnapshotTable(SuffixResolver):
 
     def _text(self, off: int, length: int) -> str:
         base = self._blob_off + off
-        return self._data[base:base + length].decode("utf-8")
+        # str(buf, "utf-8") decodes bytes and memoryview alike
+        return str(self._data[base:base + length], "utf-8")
 
     def _record(self, i: int):
         return _RECORD.unpack_from(self._data,
@@ -416,7 +444,9 @@ class SnapshotTable(SuffixResolver):
             mid = (lo + hi) // 2
             _, noff, nlen, _, _ = self._record(mid)
             base = blob_off + noff
-            if data[base:base + nlen] < key:
+            # memoryview has no ordering compare; bytes() copies only
+            # the one name being compared, not the section
+            if bytes(data[base:base + nlen]) < key:
                 lo = mid + 1
             else:
                 hi = mid
@@ -537,29 +567,69 @@ class SnapshotInfo:
 
 
 class SnapshotReader:
-    """An open snapshot: header + source index in memory, tables
-    decoded lazily and cached.
+    """An open snapshot: header + source index parsed up front, tables
+    searched lazily **in place** and cached.
 
-    The whole file is read at open time, so a reader is immutable and
-    self-contained — the daemon hot-swaps readers by plain attribute
-    assignment while in-flight lookups keep using the old one.
-    ``version`` reports the stored format (1 or 2); both are served
-    through the same query surface, v1 simply without per-state costs.
+    By default :meth:`open` ``mmap``-s the file read-only and every
+    access below — header decode, source-index binary search, table
+    binary search, CRC validation — runs over :class:`memoryview`
+    slices of the map with zero copies; N reader processes of one file
+    share a single page-cache copy.  On platforms without :mod:`mmap`
+    (or for an empty/unmappable file, or with ``use_mmap=False``) the
+    reader falls back to plain ``read()`` bytes and serves them
+    through the exact same code paths.
+
+    A reader is immutable and self-contained — the daemon hot-swaps
+    readers by plain attribute assignment while in-flight lookups keep
+    using the old one.  :meth:`close` releases the reader's own buffer
+    references; tables handed out earlier each hold their own view of
+    the map, so the old mapping stays valid until the last such
+    reference drains (the swap is safe mid-request).  ``version``
+    reports the stored format (1 or 2); both are served through the
+    same query surface, v1 simply without per-state costs.  ``mapped``
+    tells whether this reader is mmap-backed.
     """
 
-    def __init__(self, path: str | Path, data: bytes):
+    def __init__(self, path: str | Path, data, mapping=None):
+        """Validate ``data`` (bytes or a memoryview over ``mapping``,
+        the open :class:`mmap.mmap` this reader owns and will close)."""
         self.path = Path(path)
+        self._mmap = mapping
+        self.mapped = mapping is not None
         self._data = data
+        self._size = len(data)
+        self._closed = False
+        try:
+            self._validate(data)
+            self._sources: list[str] = []
+            self._entries: list[tuple[int, int]] = []
+            self._parse_index()
+        except BaseException:
+            self._release()
+            raise
+        self._tables: dict[str, SnapshotTable] = {}
+        self._graph: CompactGraph | None = None
+        self._domains: list[str] | None = None
+
+    def _validate(self, data) -> None:
+        """Header, section-bounds, and payload-CRC checks — every
+        failure is a :class:`SnapshotError` naming the file and the
+        offending offset, never a bare ``struct.error``."""
         if len(data) < _HEADER.size:
             raise SnapshotError(
                 f"{self.path}: truncated snapshot "
                 f"({len(data)} bytes; header is {_HEADER.size})")
-        (magic, version, self.flags, self.source_count, crc,
-         self._graph_off, self._graph_len,
-         self._meta_off, self._meta_len,
-         self._index_off, self._index_len,
-         self._tables_off, self._tables_len) = _HEADER.unpack_from(
-             data, 0)
+        try:
+            (magic, version, self.flags, self.source_count, crc,
+             self._graph_off, self._graph_len,
+             self._meta_off, self._meta_len,
+             self._index_off, self._index_len,
+             self._tables_off, self._tables_len) = _HEADER.unpack_from(
+                 data, 0)
+        except struct.error as exc:  # pragma: no cover - len gate above
+            raise SnapshotError(
+                f"{self.path}: truncated snapshot header at offset 0: "
+                f"{exc}") from None
         if magic != MAGIC:
             raise SnapshotError(
                 f"{self.path}: not a route snapshot (bad magic)")
@@ -578,24 +648,38 @@ class SnapshotReader:
                     f"{self.path}: truncated snapshot (section "
                     f"[{off}, {off + length}) outside the "
                     f"{len(data)}-byte file)")
+        # a memoryview slice feeds crc32 straight off the map
         if zlib.crc32(data[_HEADER.size:]) & 0xFFFFFFFF != crc:
             raise SnapshotError(
                 f"{self.path}: corrupt snapshot (payload CRC mismatch)")
-        self._sources: list[str] = []
-        self._entries: list[tuple[int, int]] = []
-        self._parse_index()
-        self._tables: dict[str, SnapshotTable] = {}
-        self._graph: CompactGraph | None = None
-        self._domains: list[str] | None = None
 
     @classmethod
-    def open(cls, path: str | Path) -> "SnapshotReader":
-        """Read and validate the snapshot file at ``path``."""
+    def open(cls, path: str | Path,
+             use_mmap: bool = True) -> "SnapshotReader":
+        """Open and validate the snapshot file at ``path``.
+
+        By default the file is mapped read-only (zero-copy access;
+        shared page cache across processes).  ``use_mmap=False``, a
+        platform without :mod:`mmap`, or an empty/unmappable file
+        falls back to reading the bytes — same data, same code paths.
+        """
+        mapping = None
         try:
-            data = Path(path).read_bytes()
+            with open(path, "rb") as handle:
+                if use_mmap and _mmap is not None:
+                    try:
+                        mapping = _mmap.mmap(handle.fileno(), 0,
+                                             access=_mmap.ACCESS_READ)
+                    except (ValueError, OSError):
+                        mapping = None  # empty or unmappable file
+                if mapping is None:
+                    data = handle.read()
         except OSError as exc:
-            raise SnapshotError(f"cannot open snapshot: {exc}") from None
-        return cls(path, data)
+            raise SnapshotError(
+                f"cannot open snapshot: {exc}") from None
+        if mapping is None:
+            return cls(path, data)
+        return cls(path, memoryview(mapping), mapping=mapping)
 
     def _parse_index(self) -> None:
         data = self._data
@@ -607,8 +691,14 @@ class SnapshotReader:
         blob_off = self._index_off + entries_len
         blob_len = self._index_len - entries_len
         for i in range(self.source_count):
-            noff, nlen, toff, tlen = _INDEX_ENTRY.unpack_from(
-                data, self._index_off + i * _INDEX_ENTRY.size)
+            entry_off = self._index_off + i * _INDEX_ENTRY.size
+            try:
+                noff, nlen, toff, tlen = _INDEX_ENTRY.unpack_from(
+                    data, entry_off)
+            except struct.error as exc:  # pragma: no cover - len gate
+                raise SnapshotError(
+                    f"{self.path}: corrupt snapshot (index entry at "
+                    f"offset {entry_off}: {exc})") from None
             if noff + nlen > blob_len:
                 raise SnapshotError(
                     f"{self.path}: corrupt snapshot (index name "
@@ -618,17 +708,72 @@ class SnapshotReader:
                 raise SnapshotError(
                     f"{self.path}: corrupt snapshot (table section "
                     f"outside the tables region)")
-            name = data[blob_off + noff:blob_off + noff + nlen].decode(
-                "utf-8")
+            try:
+                name = str(
+                    data[blob_off + noff:blob_off + noff + nlen],
+                    "utf-8")
+            except UnicodeDecodeError as exc:
+                raise SnapshotError(
+                    f"{self.path}: corrupt snapshot (index name at "
+                    f"offset {blob_off + noff}: {exc})") from None
             self._sources.append(name)
             self._entries.append((toff, tlen))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def _live(self):
+        """The backing buffer, or a :class:`SnapshotError` if closed."""
+        if self._closed:
+            raise SnapshotError(
+                f"{self.path}: snapshot reader is closed")
+        return self._data
+
+    def _release(self) -> None:
+        """Drop this reader's buffer references and try to unmap."""
+        self._data = b""
+        mapping, self._mmap = self._mmap, None
+        if mapping is not None:
+            try:
+                mapping.close()
+            except BufferError:
+                # A handed-out table (or an in-flight request) still
+                # holds a view into the map; each view carries its own
+                # buffer export, so the mapping is torn down by the
+                # interpreter when the last of them drains.
+                pass
+
+    def close(self) -> None:
+        """Release the reader's buffers.  Idempotent.
+
+        Tables obtained earlier stay valid — each holds its own view
+        of the (mapped) data — so a daemon can close the old reader
+        right after a hot swap while in-flight lookups finish on it.
+        Accessors on the closed reader itself raise
+        :class:`SnapshotError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._tables = {}
+        self._release()
+
+    def __enter__(self) -> "SnapshotReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- queries --------------------------------------------------------------
 
     @property
     def size(self) -> int:
-        """Total snapshot size in bytes."""
-        return len(self._data)
+        """Total snapshot size in bytes (valid even after close)."""
+        return self._size
 
     @property
     def second_best(self) -> bool:
@@ -670,21 +815,36 @@ class SnapshotReader:
         return None
 
     def table_bytes(self, source: str) -> bytes:
-        """The raw encoded table section (incremental updates splice
-        these into new snapshots verbatim)."""
+        """The raw encoded table section as real ``bytes`` — this is
+        the one reader surface that *does* copy, because incremental
+        updates splice these sections into new snapshot files verbatim
+        and must not pin the old mapping."""
+        data = self._live()
         i = self._find(source)
         if i is None:
             raise SnapshotError(
                 f"{self.path}: no table for source {source!r}")
         off, length = self._entries[i]
-        return self._data[off:off + length]
+        return bytes(data[off:off + length])
 
     def table(self, source: str) -> SnapshotTable:
-        """The (cached) decoded table for ``source``."""
+        """The (cached) table for ``source``, searched in place.
+
+        A mapped reader hands the table a zero-copy view of its
+        section; the view keeps the mapping alive on its own, so the
+        table outlives :meth:`close` / a hot swap.
+        """
         cached = self._tables.get(source)
         if cached is None:
-            cached = SnapshotTable(source, self.table_bytes(source),
-                                   version=self.version)
+            data = self._live()
+            i = self._find(source)
+            if i is None:
+                raise SnapshotError(
+                    f"{self.path}: no table for source {source!r}")
+            off, length = self._entries[i]
+            cached = SnapshotTable(source, data[off:off + length],
+                                   version=self.version,
+                                   file_offset=off)
             self._tables[source] = cached
         return cached
 
@@ -700,13 +860,17 @@ class SnapshotReader:
 
     def heuristics(self) -> HeuristicConfig:
         """The heuristic configuration the tables were mapped with."""
+        data = self._live()
         return decode_meta_section(
-            self._data[self._meta_off:self._meta_off + self._meta_len])
+            data[self._meta_off:self._meta_off + self._meta_len])
 
     def graph_section(self) -> bytes:
-        """The raw encoded graph section bytes."""
-        return self._data[self._graph_off:
-                          self._graph_off + self._graph_len]
+        """The raw encoded graph section as real ``bytes`` (updates
+        splice it into new files verbatim; the copy also means the
+        decoded graph never pins a swapped-out mapping)."""
+        data = self._live()
+        return bytes(data[self._graph_off:
+                          self._graph_off + self._graph_len])
 
     def decode_graph(self) -> CompactGraph:
         """The stored compact graph (detached: arrays only)."""
