@@ -637,6 +637,86 @@ def bench_format_v2(tmp: Path, hosts: int) -> dict:
     }
 
 
+def bench_churn(tmp: Path, nodes: int, events: int) -> dict:
+    """Churn replay: revision events/s applied end to end, and lookup
+    latency measured *during* the replay.
+
+    The scenario is :class:`repro.netsim.churn.ChurnScenario` — the
+    soak harness's generator — replayed through the real pipeline:
+    apply → ``update_snapshot`` (``full_threshold=1.0``; a full
+    fallback is counted and would fail the soak) → per-shard RELOAD
+    into a live federation front end.  Between events, sampled
+    SOURCE+ROUTE/EXACT probes time the service's answer path, so the
+    p99 includes lookups that landed next to a snapshot swap.
+    """
+    import random as _random
+
+    from repro.netsim.churn import ChurnParams, ChurnScenario
+    from repro.service.federation import FederationService
+
+    scenario = ChurnScenario(ChurnParams(nodes=nodes, events=events,
+                                         seed=42))
+    graphs = scenario.build_graphs()
+    paths: dict[str, str] = {}
+    t0 = time.perf_counter()
+    for name in scenario.shard_names:
+        paths[name] = str(tmp / f"churn-{name}.g0.snap")
+        build_snapshot(graphs[name], paths[name])
+    build_s = time.perf_counter() - t0
+
+    async def replay():
+        service = FederationService(dict(paths))
+        rng = _random.Random(99)
+        latencies: list[float] = []
+        fallbacks = 0
+        reloads = 0
+        t0 = time.perf_counter()
+        for event in scenario.stream:
+            for name in scenario.apply(event):
+                new_path = str(
+                    tmp / f"churn-{name}.g{event.gen + 1}.snap")
+                report = update_snapshot(paths[name], graphs[name],
+                                         new_path,
+                                         full_threshold=1.0)
+                if report.mode != "incremental":
+                    fallbacks += 1
+                await service.reload_shard(name, new_path)
+                old = paths[name]
+                paths[name] = new_path
+                reloads += 1
+                if not old.endswith(".g0.snap"):
+                    Path(old).unlink()
+            state = service.initial_state()
+            for n, (src, dst) in enumerate(
+                    scenario.sample_pairs(rng, 4)):
+                verb = "ROUTE" if n % 2 else "EXACT"
+                t = time.perf_counter()
+                await service.handle_line(f"SOURCE {src}", state)
+                reply = await service.handle_line(f"{verb} {dst}",
+                                                  state)
+                latencies.append(time.perf_counter() - t)
+                assert reply.startswith("OK"), reply
+        return (time.perf_counter() - t0, latencies, fallbacks,
+                reloads)
+
+    elapsed, latencies, fallbacks, reloads = asyncio.run(replay())
+    latencies.sort()
+    return {
+        "nodes": nodes,
+        "shards": scenario.regions,
+        "events": events,
+        "reloads": reloads,
+        "full_fallbacks": fallbacks,
+        "build_gen0_sec": round(build_s, 3),
+        "replay_sec": round(elapsed, 3),
+        "events_per_sec": round(events / elapsed, 2),
+        "p50_lookup_ms": round(
+            latencies[len(latencies) // 2] * 1000, 3),
+        "p99_lookup_ms": round(
+            latencies[int(len(latencies) * 0.99)] * 1000, 3),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="benchmark the route service tier")
@@ -651,11 +731,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="hosts per federated region")
     parser.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
-    parser.add_argument("--only", choices=("fanout", "workers"),
+    parser.add_argument("--only", choices=("fanout", "workers",
+                                           "churn"),
                         default=None,
                         help="run a single section (the CI cluster "
                              "job measures just the fan-out tier; "
-                             "the multicore leg just the workers)")
+                             "the multicore leg just the workers; "
+                             "the soak job just the churn replay)")
+    parser.add_argument("--churn-nodes", type=int, default=20000,
+                        help="churn scenario size (nodes)")
+    parser.add_argument("--churn-events", type=int, default=100,
+                        help="churn revision events to replay")
     parser.add_argument("--min-fanout-ratio", type=float, default=None,
                         metavar="X",
                         help="exit nonzero unless pipelined fan-out "
@@ -697,6 +783,11 @@ def main(argv: list[str] | None = None) -> int:
             print("benchmarking format v2 overhead + incremental "
                   "coverage...", file=sys.stderr)
             section["format_v2"] = bench_format_v2(tmp, args.hosts)
+        if args.only in (None, "churn"):
+            print("benchmarking churn replay (revision stream -> "
+                  "incremental update -> RELOAD)...", file=sys.stderr)
+            section["churn"] = bench_churn(
+                tmp, args.churn_nodes, args.churn_events)
 
     out = Path(args.out)
     document = json.loads(out.read_text()) if out.exists() else {

@@ -10,6 +10,15 @@ and deterministic, emitting real map *text* so the whole pipeline
 (scanner included) is exercised.
 """
 
+from repro.netsim.churn import (
+    DEAD_COST,
+    ChurnEvent,
+    ChurnParams,
+    ChurnScenario,
+    LinkChange,
+    read_log,
+    write_log,
+)
 from repro.netsim.failures import (
     FailureInjection,
     SurvivalReport,
@@ -45,6 +54,8 @@ from repro.netsim.writer import render_declaration, render_file
 
 __all__ = ["LatencyModel", "LatencyResult", "link_period",
            "mean_latency", "simulate_route",
+           "DEAD_COST", "ChurnEvent", "ChurnParams", "ChurnScenario",
+           "LinkChange", "read_log", "write_log",
            "FailureInjection", "SurvivalReport", "kill_links",
            "survival", "MapDiff", "RouteImpact", "diff_graphs",
            "diff_map_texts", "route_impact", "route_impact_for_source",

@@ -1,0 +1,528 @@
+"""Internet-scale churn scenarios: a live revision stream over a map.
+
+"The care and feeding of relative addresses" is continuous: the
+monthly map postings the paper describes were *revisions*, and the
+serving stack's whole incremental/RELOAD/re-sync machinery exists to
+track them without dropping an answer.  This module generates the
+workload that exercises it at scale: a deterministic, seeded synthetic
+map of 100k..1M nodes split into per-region shard files, plus a typed
+**revision event stream** — cost change, link add/drop, host retire,
+domain move — that is replayable, resumable, and serialized as a
+compact text log (:func:`write_log` / :func:`read_log`).
+
+The design constraint is the incremental updater's own soundness rule:
+:func:`repro.service.incremental.update_snapshot` splices table
+sections only when a revision is *pure NORMAL-link cost changes on an
+otherwise identical topology*.  Every churn event is therefore
+expressed as a **repricing** over a structurally constant graph,
+pathalias's own treatment of dead links ("to keep out-of-service links
+in the database, their cost is given as the pseudo-cost DEAD, an
+astronomically high number"):
+
+* *link drop* and *host retire* reprice a live link to
+  :data:`DEAD_COST`;
+* *link add* reprices a pre-provisioned dormant (DEAD-cost) chord down
+  into the active band;
+* *domain move* flips which of a movable leaf domain's two attachment
+  links — one in each of two adjacent regions — is cheap and which is
+  dead, so ownership effectively migrates while both shards' maps stay
+  structurally fixed.
+
+Topology per region: a small **hub ring** (with chords, some dormant)
+carries the route tables; the population is **leaf domains** hanging
+off hubs by a single priced link.  Leaf domains are netlike, so they
+are routable destinations without being table-owning sources — which
+is what keeps a million-node scenario's Dijkstra count at
+``regions * (hubs + gateways)`` instead of a million.  Adjacent
+regions share a gateway host (declared in both region files), the
+same federation idiom ``benchmarks/bench_service.py`` uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.graph.build import build_graph
+from repro.graph.compact import CompactGraph, K_NORMAL
+from repro.parser.grammar import parse_text
+
+#: "Dead links cost a megabuck": the dormant/out-of-service cost band.
+#: Small enough that a path through several dead links stays far below
+#: 2**31, large enough that no active path ever prices near it.
+DEAD_COST = 500_000
+
+#: Costs the active band draws from (plain integers so event logs and
+#: map text round-trip without the symbolic-cost table).
+ACTIVE_COSTS = (50, 80, 100, 120, 150, 200, 250, 300, 400)
+
+#: The typed event classes, in stream-mix order.
+EVENT_KINDS = ("cost", "add", "drop", "retire", "move")
+
+_LOG_MAGIC = "#pathalias-churn-log v1"
+
+
+@dataclass(frozen=True)
+class LinkChange:
+    """One repriced link: ``shard``'s ``src -> dst`` becomes ``cost``."""
+
+    shard: str
+    src: str
+    dst: str
+    cost: int
+
+    def encode(self) -> str:
+        """The ``shard:src:dst:cost`` log token."""
+        return f"{self.shard}:{self.src}:{self.dst}:{self.cost}"
+
+    @classmethod
+    def decode(cls, token: str) -> "LinkChange":
+        """Parse one log token (raises ValueError on malformed input)."""
+        parts = token.split(":")
+        if len(parts) != 4 or not all(parts[:3]):
+            raise ValueError(f"malformed link-change token {token!r}")
+        return cls(parts[0], parts[1], parts[2], int(parts[3]))
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One revision: a typed, generation-stamped set of link changes.
+
+    ``gen`` numbers the stream from 0; applying events ``0..k`` always
+    yields the same graphs, which is what makes a log resumable.  A
+    ``move`` event carries two changes (one per adjacent region);
+    every other kind carries one.
+    """
+
+    gen: int
+    kind: str
+    changes: tuple[LinkChange, ...]
+
+    def encode(self) -> str:
+        """One log line: ``<gen> <kind> <change> [<change> ...]``."""
+        tokens = [str(self.gen), self.kind]
+        tokens.extend(change.encode() for change in self.changes)
+        return " ".join(tokens)
+
+    @classmethod
+    def decode(cls, line: str) -> "ChurnEvent":
+        """Parse one log line (raises ValueError on malformed input)."""
+        tokens = line.split()
+        if len(tokens) < 3:
+            raise ValueError(f"malformed event line {line!r}")
+        gen = int(tokens[0])
+        kind = tokens[1]
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        changes = tuple(LinkChange.decode(t) for t in tokens[2:])
+        if kind == "move" and len(changes) != 2:
+            raise ValueError(f"move event needs two changes: {line!r}")
+        if kind != "move" and len(changes) != 1:
+            raise ValueError(f"{kind} event needs one change: {line!r}")
+        return cls(gen, kind, changes)
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Shards this event touches, in change order, deduplicated."""
+        seen: list[str] = []
+        for change in self.changes:
+            if change.shard not in seen:
+                seen.append(change.shard)
+        return tuple(seen)
+
+
+@dataclass
+class ChurnParams:
+    """Scenario knobs; everything derives deterministically from these.
+
+    ``regions=None`` auto-scales the shard count so each region holds
+    roughly 2,500 nodes — small enough that one event's remap stays
+    cheap, large enough that a scenario is a real federation.  The
+    ``mix`` weights pick each event's kind (normalized; order follows
+    :data:`EVENT_KINDS`).
+    """
+
+    nodes: int = 2000
+    events: int = 200
+    seed: int = 42
+    regions: int | None = None
+    hubs_per_region: int = 8
+    mix: tuple[float, ...] = (0.50, 0.15, 0.15, 0.12, 0.08)
+
+    def region_count(self) -> int:
+        """The resolved region count (auto-scale when unset)."""
+        if self.regions is not None:
+            return self.regions
+        return max(2, min(64, self.nodes // 2500))
+
+
+class ChurnScenario:
+    """A generated map, its live graphs, and the revision stream.
+
+    Everything — topology, initial costs, and all ``params.events``
+    events — is generated up front from ``random.Random(params.seed)``,
+    so two scenarios with equal params are identical object for
+    object.  :meth:`build_graphs` parses the shard map files into
+    mutable :class:`CompactGraph` objects; :meth:`apply` replays one
+    event onto them (pure cost-array writes — no re-parse), and
+    :meth:`fast_forward` resumes a log from any generation.
+    """
+
+    def __init__(self, params: ChurnParams | None = None):
+        self.params = params or ChurnParams()
+        p = self.params
+        regions = p.region_count()
+        hubs = p.hubs_per_region
+        if hubs < 4:
+            raise ValueError(f"hubs_per_region {hubs}: need at least 4")
+        floor = regions * hubs + 2 * (regions - 1) + regions
+        if p.nodes < floor:
+            raise ValueError(
+                f"nodes {p.nodes}: {regions} regions of {hubs} hubs "
+                f"need at least {floor}")
+        self.regions = regions
+        self.shard_names = [f"region{r}" for r in range(regions)]
+        rng = random.Random(p.seed)
+
+        # -- topology ----------------------------------------------------
+        self._hubs = [[f"h{r}x{i}" for i in range(hubs)]
+                      for r in range(regions)]
+        self.gateways = [f"gw{r}" for r in range(regions - 1)]
+        self.movables = [f".m{r}" for r in range(regions - 1)]
+        leaf_budget = p.nodes - regions * hubs - 2 * (regions - 1)
+        per_region, extra = divmod(leaf_budget, regions)
+        self._leaves = [
+            [f".l{r}x{j}"
+             for j in range(per_region + (1 if r < extra else 0))]
+            for r in range(regions)]
+
+        #: (shard, src, dst) -> initial cost, in declaration order per
+        #: shard (dict order is insertion order — the map text and the
+        #: link-id index both follow it).
+        self._decls: dict[tuple[str, str, str], int] = {}
+        #: keys eligible for plain cost events, by category
+        self._ring_keys: list[tuple[str, str, str]] = []
+        self._leaf_keys: list[tuple[str, str, str]] = []
+        self._chord_keys: list[tuple[str, str, str]] = []
+        self._active_chords: list[tuple[str, str, str]] = []
+        self._dormant_chords: list[tuple[str, str, str]] = []
+        #: movable name -> ((shardA, hubA), (shardB, hubB))
+        self._movable_homes: dict[str, tuple] = {}
+        for r in range(regions):
+            self._gen_region(rng, r)
+
+        # -- the event stream --------------------------------------------
+        self.stream = self._gen_stream(rng)
+
+        #: live graphs, populated by :meth:`build_graphs`
+        self.graphs: dict[str, CompactGraph] = {}
+        self._link_ids: dict[str, dict[tuple[str, str], list[int]]] = {}
+
+    # -- generation -----------------------------------------------------------
+
+    def _gen_region(self, rng: random.Random, r: int) -> None:
+        """Emit region ``r``'s declarations into the registries."""
+        shard = self.shard_names[r]
+        hubs = self._hubs[r]
+        n = len(hubs)
+
+        def declare(src: str, dst: str, cost: int) -> None:
+            self._decls[(shard, src, dst)] = cost
+
+        # The hub ring (both directions, symmetric initial cost).
+        for i in range(n):
+            cost = rng.choice(ACTIVE_COSTS)
+            a, b = hubs[i], hubs[(i + 1) % n]
+            declare(a, b, cost)
+            declare(b, a, cost)
+            self._ring_keys.append((shard, a, b))
+            self._ring_keys.append((shard, b, a))
+        # Active chords (halfway across) and dormant spares (offset 2,
+        # provisioned at DEAD so a later "add" is a pure repricing).
+        for i in range(n // 2):
+            a, b = hubs[i], hubs[(i + n // 2) % n]
+            cost = rng.choice(ACTIVE_COSTS)
+            declare(a, b, cost)
+            key = (shard, a, b)
+            self._chord_keys.append(key)
+            self._active_chords.append(key)
+        for i in range(n):
+            a, b = hubs[i], hubs[(i + 2) % n]
+            key = (shard, a, b)
+            if key in self._decls:
+                # Small rings alias the offset-2 chord onto a ring or
+                # active-chord pair (n=4 makes offset 2 the halfway
+                # chord); a second declaration would silently reprice
+                # the live link to DEAD, so the pair is simply not
+                # available as a dormant spare.
+                continue
+            declare(a, b, DEAD_COST)
+            self._chord_keys.append(key)
+            self._dormant_chords.append(key)
+
+        # Gateways chain adjacent regions: gw{r-1} joins this region at
+        # hub 0, gw{r} leaves it at the last hub; each gateway host is
+        # declared in both neighboring shard files, which is what makes
+        # it a federation gateway.
+        if r > 0:
+            gw = self.gateways[r - 1]
+            declare(gw, hubs[0], 50)
+            declare(hubs[0], gw, 50)
+        if r < self.regions - 1:
+            gw = self.gateways[r]
+            declare(gw, hubs[-1], 50)
+            declare(hubs[-1], gw, 50)
+
+        # Leaf domains: one priced attachment link each, round-robin
+        # over hubs.  Netlike, so routable but never table-owning.
+        for j, leaf in enumerate(self._leaves[r]):
+            hub = hubs[j % n]
+            declare(hub, leaf, rng.choice(ACTIVE_COSTS))
+            self._leaf_keys.append((shard, hub, leaf))
+
+        # Movable leaf domains: .m{r} is attached in region r (cheap)
+        # and region r+1 (dead); a "move" event flips the two costs.
+        if r < self.regions - 1:
+            mov = self.movables[r]
+            declare(hubs[1], mov, rng.choice(ACTIVE_COSTS))
+            self._movable_homes.setdefault(
+                mov, ((shard, hubs[1]), None))
+        if r > 0:
+            mov = self.movables[r - 1]
+            declare(hubs[1], mov, DEAD_COST)
+            home_a, _ = self._movable_homes[mov]
+            self._movable_homes[mov] = (home_a, (shard, hubs[1]))
+
+    def _gen_stream(self, rng: random.Random) -> list[ChurnEvent]:
+        """Pre-generate the whole event stream against a simulated
+        cost state, so every event is consistent with the ones before
+        it (an "add" always finds a dormant chord, a "cost" never
+        reprices a retired leaf's link)."""
+        cost_now = dict(self._decls)
+        active = list(self._active_chords)
+        dormant = list(self._dormant_chords)
+        alive = list(self._leaf_keys)
+        retired: set = set()
+        movable_side = {name: 0 for name in self._movable_homes}
+        weights = self.params.mix
+        stream: list[ChurnEvent] = []
+
+        def reprice(key) -> LinkChange:
+            old = cost_now[key]
+            new = old
+            while new == old:
+                new = rng.choice(ACTIVE_COSTS)
+            cost_now[key] = new
+            return LinkChange(key[0], key[1], key[2], new)
+
+        def take(pool: list) -> tuple:
+            idx = rng.randrange(len(pool))
+            key = pool[idx]
+            pool[idx] = pool[-1]
+            pool.pop()
+            return key
+
+        for gen in range(self.params.events):
+            kind = rng.choices(EVENT_KINDS, weights=weights)[0]
+            if kind == "add" and not dormant:
+                kind = "drop"
+            if kind == "drop" and not active:
+                kind = "cost"
+            if kind == "retire" and len(retired) * 2 >= len(
+                    self._leaf_keys):
+                kind = "cost"  # keep half the population alive
+            if kind == "move" and not self._movable_homes:
+                kind = "cost"
+
+            if kind == "cost":
+                bucket = rng.random()
+                if bucket < 0.4 or not active:
+                    key = rng.choice(self._ring_keys)
+                elif bucket < 0.6:
+                    key = rng.choice(active)
+                else:
+                    key = None
+                    while key is None or key in retired:
+                        key = rng.choice(self._leaf_keys)
+                changes = (reprice(key),)
+            elif kind == "add":
+                key = take(dormant)
+                cost_now[key] = rng.choice(ACTIVE_COSTS)
+                active.append(key)
+                changes = (LinkChange(key[0], key[1], key[2],
+                                      cost_now[key]),)
+            elif kind == "drop":
+                key = take(active)
+                cost_now[key] = DEAD_COST
+                dormant.append(key)
+                changes = (LinkChange(key[0], key[1], key[2],
+                                      DEAD_COST),)
+            elif kind == "retire":
+                key = take(alive)
+                retired.add(key)
+                cost_now[key] = DEAD_COST
+                changes = (LinkChange(key[0], key[1], key[2],
+                                      DEAD_COST),)
+            else:  # move
+                name = rng.choice(self.movables)
+                homes = self._movable_homes[name]
+                side = movable_side[name]
+                old_shard, old_hub = homes[side]
+                new_shard, new_hub = homes[1 - side]
+                movable_side[name] = 1 - side
+                arrive = LinkChange(new_shard, new_hub, name,
+                                    rng.choice(ACTIVE_COSTS))
+                depart = LinkChange(old_shard, old_hub, name,
+                                    DEAD_COST)
+                cost_now[(depart.shard, depart.src, depart.dst)] = \
+                    DEAD_COST
+                cost_now[(arrive.shard, arrive.src, arrive.dst)] = \
+                    arrive.cost
+                changes = (depart, arrive)
+            stream.append(ChurnEvent(gen, kind, changes))
+        return stream
+
+    # -- map text -------------------------------------------------------------
+
+    def map_text(self, shard: str) -> str:
+        """The generation-0 map file for one shard, rendered from the
+        declaration registry (one line per link — the parser merges
+        multiple declarations of a host)."""
+        lines = [f"# churn shard {shard} "
+                 f"(seed {self.params.seed}, "
+                 f"{self.params.nodes} nodes total)"]
+        for (s, src, dst), cost in self._decls.items():
+            if s == shard:
+                lines.append(f"{src}\t{dst}({cost})")
+        return "\n".join(lines) + "\n"
+
+    def map_files(self) -> dict[str, str]:
+        """``{shard name: generation-0 map text}`` for every shard."""
+        return {name: self.map_text(name) for name in self.shard_names}
+
+    # -- live graphs ----------------------------------------------------------
+
+    def build_graphs(self) -> dict[str, CompactGraph]:
+        """Parse and compile every shard's generation-0 graph, and
+        index its NORMAL links by (src, dst) name pair for
+        :meth:`apply`.  Idempotent; returns the live graph dict."""
+        if self.graphs:
+            return self.graphs
+        for name in self.shard_names:
+            text = self.map_text(name)
+            graph = build_graph([(f"d.{name}", parse_text(text,
+                                                          name))])
+            cg = CompactGraph.compile(graph)
+            index: dict[tuple[str, str], list[int]] = {}
+            for cid in range(cg.n):
+                for j in range(cg.off[cid], cg.off[cid + 1]):
+                    if cg.kind[j] != K_NORMAL:
+                        continue
+                    key = (cg.names[cid], cg.names[cg.to[j]])
+                    index.setdefault(key, []).append(j)
+            self.graphs[name] = cg
+            self._link_ids[name] = index
+        return self.graphs
+
+    def apply(self, event: ChurnEvent) -> tuple[str, ...]:
+        """Replay one event onto the live graphs (cost writes only —
+        never a re-parse) and return the shards it touched."""
+        if not self.graphs:
+            self.build_graphs()
+        for change in event.changes:
+            ids = self._link_ids[change.shard].get(
+                (change.src, change.dst))
+            if not ids:
+                raise ValueError(
+                    f"event {event.gen}: no link "
+                    f"{change.src} -> {change.dst} in {change.shard}")
+            for j in ids:
+                self.graphs[change.shard].cost[j] = change.cost
+        return event.shards
+
+    def fast_forward(self, gen: int) -> None:
+        """Resume support: apply events ``0..gen-1`` so the live
+        graphs match a log replayed through generation ``gen``."""
+        for event in self.stream[:gen]:
+            self.apply(event)
+
+    # -- sampling -------------------------------------------------------------
+
+    @property
+    def sources(self) -> list[str]:
+        """Every table-owning host: hubs, then gateways."""
+        return [h for hubs in self._hubs for h in hubs] + \
+            list(self.gateways)
+
+    @property
+    def destinations(self) -> list[str]:
+        """Every routable destination name: hubs, gateways, leaf
+        domains, and movable domains."""
+        return self.sources + \
+            [leaf for leaves in self._leaves for leaf in leaves] + \
+            list(self.movables)
+
+    def sample_pairs(self, rng: random.Random,
+                     count: int) -> list[tuple[str, str]]:
+        """``count`` deterministic (source, dest) probe pairs."""
+        sources = self.sources
+        dests = self.destinations
+        return [(rng.choice(sources), rng.choice(dests))
+                for _ in range(count)]
+
+
+# -- the event log ------------------------------------------------------------
+
+
+def write_log(scenario: ChurnScenario, path: str | Path) -> int:
+    """Serialize the scenario's stream as a compact text log.
+
+    The header records the generating params, so :func:`read_log` can
+    both validate a log and rebuild the identical scenario around it.
+    Returns the number of events written.
+    """
+    p = scenario.params
+    lines = [f"{_LOG_MAGIC} seed={p.seed} nodes={p.nodes} "
+             f"regions={scenario.regions} "
+             f"hubs={p.hubs_per_region} events={len(scenario.stream)}"]
+    lines.extend(event.encode() for event in scenario.stream)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(scenario.stream)
+
+
+def read_log(path: str | Path) -> tuple[ChurnParams, list[ChurnEvent]]:
+    """Parse a churn log back into params plus the event stream.
+
+    Raises ValueError on a malformed header, an unknown event kind, a
+    malformed change token, or out-of-order generation numbers.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or not lines[0].startswith(_LOG_MAGIC):
+        raise ValueError(f"{path}: not a churn log")
+    header: dict[str, int] = {}
+    for token in lines[0][len(_LOG_MAGIC):].split():
+        key, _, value = token.partition("=")
+        header[key] = int(value)
+    for key in ("seed", "nodes", "regions", "hubs", "events"):
+        if key not in header:
+            raise ValueError(f"{path}: header misses {key}=")
+    params = ChurnParams(nodes=header["nodes"],
+                         events=header["events"],
+                         seed=header["seed"],
+                         regions=header["regions"],
+                         hubs_per_region=header["hubs"])
+    events = []
+    for expected, line in enumerate(lines[1:]):
+        event = ChurnEvent.decode(line)
+        if event.gen != expected:
+            raise ValueError(
+                f"{path}: generation {event.gen} where {expected} "
+                f"was expected — log is reordered or truncated")
+        events.append(event)
+    if len(events) != header["events"]:
+        raise ValueError(
+            f"{path}: header promises {header['events']} events, "
+            f"found {len(events)}")
+    return params, events

@@ -18,6 +18,7 @@ from repro.core.printer import RouteTable, print_routes
 from repro.config import HeuristicConfig
 from repro.graph.build import Graph, build_graph
 from repro.graph.node import LinkKind
+from repro.netsim.churn import DEAD_COST
 from repro.parser.grammar import parse_text
 
 
@@ -37,6 +38,49 @@ class MapDiff:
         return not (self.hosts_added or self.hosts_removed
                     or self.links_added or self.links_removed
                     or self.cost_changes)
+
+    @property
+    def cost_only(self) -> bool:
+        """True when the revision changes no host or link *set* —
+        pure repricing (an empty diff counts).
+
+        This is exactly the shape the incremental updater can splice:
+        ``update_snapshot`` falls back to a full rebuild on any
+        structural difference, so a revision stream that must stay
+        incremental (the churn soak harness) expresses drops, adds,
+        retirements, and moves as cost changes against a structurally
+        constant map — pathalias's own dead-link treatment, where an
+        out-of-service link stays declared at an astronomically high
+        cost rather than vanishing from the database.
+        """
+        return not (self.hosts_added or self.hosts_removed
+                    or self.links_added or self.links_removed)
+
+    def churn_kinds(self, dead_cost: int = DEAD_COST) -> dict[str, int]:
+        """Classify a cost-only revision's changes semantically.
+
+        Under the dead-cost representation a "topology" event is a
+        repricing that crosses the dead band: a change landing at or
+        above ``dead_cost`` is a **link-down** (drop/retire), one
+        leaving that band a **link-up** (add/arrival), and anything
+        inside the active band a plain **reprice**.  Structural
+        entries (host/link set changes) are counted under
+        ``structural`` so callers can see at a glance why a revision
+        would force the full-rebuild path.
+        """
+        out = {"reprice": 0, "link-up": 0, "link-down": 0,
+               "structural": (len(self.hosts_added)
+                              + len(self.hosts_removed)
+                              + len(self.links_added)
+                              + len(self.links_removed))}
+        for _, _, old, new in self.cost_changes:
+            if old >= dead_cost > new:
+                out["link-up"] += 1
+            elif new >= dead_cost > old:
+                out["link-down"] += 1
+            else:
+                out["reprice"] += 1
+        return out
 
     def summary(self) -> str:
         if self.is_empty:

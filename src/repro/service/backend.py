@@ -389,6 +389,12 @@ class ShardBackend:
         self._ever_connected = False
         self._last_failure: str | None = None
         self._draining = False
+        #: The NOTIFY push channel (see :meth:`subscribe_reloads`):
+        #: its dedicated connection, the listener task, and the count
+        #: of reload pushes received on it.
+        self._notify_conn: _BackendConnection | None = None
+        self._notify_task: asyncio.Task | None = None
+        self.notifies = 0
 
     # -- health ---------------------------------------------------------------
 
@@ -659,6 +665,12 @@ class ShardBackend:
             self._mux.abort(ConnectionError(
                 f"backend {self.name} closed"))
             self._mux = None
+        if self._notify_task is not None:
+            self._notify_task.cancel()
+            self._notify_task = None
+        if self._notify_conn is not None:
+            self._notify_conn.close()
+            self._notify_conn = None
 
     # -- the daemon conversation ----------------------------------------------
 
@@ -804,6 +816,86 @@ class ShardBackend:
             raise FederationError(
                 f"backend {self.name} refused reload: {reply}")
         return reply
+
+    # -- reload push (NOTIFY) -------------------------------------------------
+
+    async def subscribe_reloads(self, callback) -> bool:
+        """Subscribe to the daemon's reload push channel.
+
+        Opens a **dedicated** connection — never the pool and never
+        the mux, since push frames are untagged and the pipelined mux
+        treats any untagged frame as a framing violation — sends
+        ``NOTIFY``, and spawns a listener task that calls
+        ``callback(path)`` (a plain callable; exceptions are
+        swallowed) for every ``NOTIFY reloaded <sources> <path>``
+        frame the daemon pushes.  Returns True once subscribed, or
+        False against a daemon that predates the verb (``ERR
+        unknown-command``), leaving the caller on pull-only behavior.
+        The listener resubscribes with backoff if the daemon
+        restarts; :meth:`aclose` tears it down.
+        """
+        if self._notify_task is not None:
+            return True
+        conn = await self._open()
+        try:
+            reply = await asyncio.wait_for(conn.request("NOTIFY"),
+                                           self.timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            conn.close()
+            raise FederationError(
+                f"backend {self.name} ({self.address}) notify "
+                f"subscription failed: {exc}") from None
+        if not reply.startswith("OK"):
+            conn.close()
+            if reply.startswith("ERR unknown-command"):
+                return False
+            raise FederationError(
+                f"backend {self.name} refused notify: {reply}")
+        self._notify_conn = conn
+        self._notify_task = asyncio.get_running_loop().create_task(
+            self._notify_loop(callback))
+        return True
+
+    async def _notify_loop(self, callback) -> None:
+        """Listener body: deliver push frames, outlive restarts."""
+        while not self._draining:
+            conn = self._notify_conn
+            if conn is None:
+                return
+            try:
+                raw = await conn.reader.readline()
+            except (ConnectionError, OSError):
+                raw = b""
+            if raw:
+                parts = str(raw, "utf-8", "replace").strip() \
+                    .split(None, 3)
+                if len(parts) == 4 and parts[0] == "NOTIFY" \
+                        and parts[1] == "reloaded":
+                    self.notifies += 1
+                    try:
+                        callback(parts[3])
+                    except Exception:
+                        pass  # a broken callback never kills the loop
+                continue
+            # EOF or error: the daemon went away — resubscribe.
+            conn.close()
+            self._notify_conn = None
+            delay = RECONNECT_DELAY
+            while not self._draining:
+                try:
+                    conn = await self._open()
+                    reply = await asyncio.wait_for(
+                        conn.request("NOTIFY"), self.timeout)
+                except (FederationError, ConnectionError, OSError,
+                        asyncio.TimeoutError):
+                    await asyncio.sleep(delay)
+                    delay = min(delay * 2, RECONNECT_DELAY_MAX)
+                    continue
+                if reply.startswith("OK"):
+                    self._notify_conn = conn
+                    break
+                conn.close()
+                return  # verb refused after a restart: stop pushing
 
     def __repr__(self) -> str:
         return (f"ShardBackend({self.name!r}, {self.address!r}, "
@@ -983,9 +1075,16 @@ class BackendShard:
                         pending.pop((entry, g), None)
                     # waiters re-check the cache; on a failed fetch
                     # they find the keys unclaimed and retry them
-                    done.set_result(None)
+                    if not done.done():
+                        done.set_result(None)
             elif waits:
-                await asyncio.gather(*waits)
+                # wait(), not gather(): gather propagates a waiter's
+                # cancellation into the shared in-flight future, so a
+                # cancelled speculative stitch would poison the fetch
+                # for every request coalesced on it (and the owner's
+                # set_result above would then blow up on the
+                # already-cancelled future)
+                await asyncio.wait(waits)
         out = {}
         for gate in gates:
             leg = cache[(entry, gate)]

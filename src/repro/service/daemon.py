@@ -31,6 +31,12 @@ per request:
 ``WRELOAD <snapshot>``    worker-local reload: same swap, never
                           re-broadcast — it *is* the broadcast RELOAD
                           sends to sibling workers.
+``NOTIFY``                subscribe this connection to reload pushes:
+                          after ``OK notify 1``, every later snapshot
+                          swap writes an unsolicited ``NOTIFY reloaded
+                          <sources> <path>`` frame here.  Dedicate the
+                          connection — push frames are untagged and
+                          would poison pipelined framing.
 ``PIPELINE``              capability probe: ``OK pipeline 1`` means the
                           daemon accepts *tagged* requests (below); an
                           older daemon answers ``ERR unknown-command``
@@ -143,8 +149,8 @@ class LineService:
     #: exactly the tagged requests read after it, and a tagged
     #: ``RELOAD``/``ATTACH``/``DETACH`` swap is never reordered
     #: against the requests around it on this connection.
-    INLINE_VERBS = frozenset({"SOURCE", "RELOAD", "WRELOAD", "ATTACH",
-                              "DETACH", "PIPELINE", "QUIT"})
+    INLINE_VERBS = frozenset({"SOURCE", "RELOAD", "WRELOAD", "NOTIFY",
+                              "ATTACH", "DETACH", "PIPELINE", "QUIT"})
 
     def __init__(self, require_format: int | None = None) -> None:
         self.connections = 0
@@ -186,6 +192,15 @@ class LineService:
     def initial_state(self) -> dict:
         """Fresh per-connection state for :meth:`handle_line`."""
         return {}
+
+    def connection_closed(self, state: dict) -> None:
+        """Hook: the connection owning ``state`` is gone.
+
+        The base loop calls this exactly once per connection, from its
+        teardown path; subclasses use it to drop per-connection
+        registrations (a NOTIFY subscription, say) so a dead socket
+        never accumulates push targets.
+        """
 
     def verb_stats(self) -> str:
         """The ``n_<verb>=count`` tokens for :meth:`stats_line` — one
@@ -275,6 +290,11 @@ class LineService:
                 writer.write(data)
                 await writer.drain()
 
+        # NOTIFY subscriptions push unsolicited frames through this
+        # same locked writer, so a push can interleave *between*
+        # reply frames but never tear one mid-line.
+        state["#push"] = write_frames
+
         async def answer_tagged(tag: str, line: str,
                                 snapshot: dict) -> None:
             self.inflight += 1
@@ -359,6 +379,7 @@ class LineService:
             # of logging cancellation noise through the task callback.
             pass
         finally:
+            self.connection_closed(state)
             for task in tasks:
                 task.cancel()
             if tasks:
@@ -385,13 +406,14 @@ class RouteService(LineService):
     #: WRELOAD and WSTATS are the worker-coordination halves of RELOAD
     #: and STATS (present — and harmless — in single-worker mode too).
     VERBS = ("ROUTE", "EXACT", "SOURCE", "TABLE", "COSTS", "RELOAD",
-             "WRELOAD", "PIPELINE", "STATS", "WSTATS", "QUIT")
+             "WRELOAD", "NOTIFY", "PIPELINE", "STATS", "WSTATS",
+             "QUIT")
 
     #: STATS counters summed across workers in an aggregated reply
     #: (the ``n_<verb>``/``n_errors``/``n_pipelined`` keys are summed
     #: too, matched by their ``n_`` prefix).
     STATS_SUM_KEYS = frozenset({"lookups", "hits", "misses", "reloads",
-                                "connections"})
+                                "notify_pushes", "connections"})
 
     def __init__(self, snapshot_path: str | None = None,
                  reader: SnapshotReader | None = None,
@@ -426,6 +448,16 @@ class RouteService(LineService):
         self.misses = 0
         self.reloads = 0
         self._reload_lock = asyncio.Lock()
+        #: Per-connection push callables registered by the NOTIFY
+        #: verb: every snapshot swap writes an unsolicited ``NOTIFY
+        #: reloaded ...`` frame to each.  Entries are the connection's
+        #: locked frame writer, discarded by :meth:`connection_closed`
+        #: (or on the first failed push).
+        self.notify_subscribers: set = set()
+        #: Reload-push frames successfully written to subscribers —
+        #: the ``notify_pushes`` STATS key.
+        self.notify_pushes = 0
+        self._notify_tasks: set = set()
         #: This process's worker id (0 outside multi-worker mode) and
         #: the control-channel map ``{worker_id: loopback port}`` over
         #: *all* workers, itself included.  An empty map means
@@ -566,7 +598,42 @@ class RouteService(LineService):
                 self.default_source = sources[0]
             self.reader = reader
             self.reloads += 1
+            self._push_reloaded(reader)
             return reader
+
+    def _push_reloaded(self, reader: SnapshotReader) -> None:
+        """Fan a ``NOTIFY reloaded`` push frame out to subscribers.
+
+        Fire-and-forget per subscriber: pushes ride each target
+        connection's own locked writer as background tasks, so a slow
+        or dead subscriber never stalls the reload (or the other
+        subscribers).  Runs for WRELOAD too — in multi-worker mode
+        every worker notifies its own connections after its local
+        swap, which is exactly the pool-wide fan-out an operator
+        expects from one RELOAD.
+        """
+        if not self.notify_subscribers:
+            return
+        frame = (f"NOTIFY reloaded {reader.source_count} "
+                 f"{reader.path}\n").encode("utf-8")
+        loop = asyncio.get_running_loop()
+        for push in tuple(self.notify_subscribers):
+            task = loop.create_task(self._push_one(push, frame))
+            self._notify_tasks.add(task)
+            task.add_done_callback(self._notify_tasks.discard)
+
+    async def _push_one(self, push, frame: bytes) -> None:
+        """Write one push frame; a dead connection unsubscribes."""
+        try:
+            await push(frame)
+        except (ConnectionError, OSError):
+            self.notify_subscribers.discard(push)
+        else:
+            self.notify_pushes += 1
+
+    def connection_closed(self, state: dict) -> None:
+        """Drop this connection's reload-push subscription, if any."""
+        self.notify_subscribers.discard(state.get("#push"))
 
     # -- worker coordination --------------------------------------------------
 
@@ -697,6 +764,7 @@ class RouteService(LineService):
         verbs = self.verb_stats()
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} reloads={self.reloads} "
+                f"notify_pushes={self.notify_pushes} "
                 f"connections={self.connections} "
                 f"sources={reader.source_count} "
                 f"snapshot_bytes={reader.size} "
@@ -713,7 +781,8 @@ class RouteService(LineService):
         parts = line.split(None, 1)
         if not parts:
             return "ERR empty-request send ROUTE/EXACT/SOURCE/TABLE/" \
-                   "COSTS/RELOAD/WRELOAD/PIPELINE/STATS/WSTATS/QUIT"
+                   "COSTS/RELOAD/WRELOAD/NOTIFY/PIPELINE/STATS/" \
+                   "WSTATS/QUIT"
         command = parts[0].upper()
         rest = parts[1] if len(parts) > 1 else ""
         if command == "ROUTE":
@@ -777,6 +846,15 @@ class RouteService(LineService):
             except SnapshotError as exc:
                 return f"ERR reload {exc}"
             return f"OK reloaded {reader.source_count} {reader.path}"
+        if command == "NOTIFY":
+            if rest.strip():
+                return "ERR usage NOTIFY"
+            push = state.get("#push")
+            if push is None:
+                return ("ERR notify this transport cannot carry "
+                        "unsolicited push frames")
+            self.notify_subscribers.add(push)
+            return "OK notify 1"
         if command == "PIPELINE":
             if rest.strip():
                 return "ERR usage PIPELINE"

@@ -43,6 +43,11 @@ in process) or a **remote backend** (a per-shard
 out to through a :class:`~repro.service.backend.ShardBackend`
 connection pool — see :mod:`repro.service.backend`); the two mix
 freely in one view, and the reply bytes are identical either way.
+The front end also subscribes to each backend daemon's ``NOTIFY``
+reload push channel: when a backend reloads *itself* (an operator
+RELOADs the shard daemon directly), the push re-syncs this front
+end's cached ownership index and leg cache within one round trip —
+no front-end RELOAD required (the ``resyncs`` STATS counter).
 
 Every mutation builds a *new* immutable view and swaps it in with one
 attribute assignment — the same no-dropped-requests discipline the
@@ -138,6 +143,13 @@ class FederationService(LineService):
         self.reloads = 0
         self.attaches = 0
         self.detaches = 0
+        #: View swaps driven by a backend daemon's ``NOTIFY reloaded``
+        #: push (the backend reloaded *itself*; the front end re-synced
+        #: its cached ownership index without being asked) — the
+        #: ``resyncs`` STATS key.
+        self.resyncs = 0
+        self._resync_pending: set = set()
+        self._resync_tasks: set = set()
         #: Connection-pool width for backend shards attached at
         #: runtime (ATTACH host:port); :meth:`create` overrides it
         #: with its ``pool_size`` so later attaches match startup.
@@ -185,6 +197,10 @@ class FederationService(LineService):
                       require_format=require_format)
         service.backend_pool_size = pool_size
         service.backend_pipeline = pipeline
+        for name, shard in service.view.shards.items():
+            backend = getattr(shard, "backend", None)
+            if backend is not None:
+                await service._subscribe_backend(name, backend)
         return service
 
     # -- operations -----------------------------------------------------------
@@ -278,11 +294,73 @@ class FederationService(LineService):
             except Exception:
                 await backend.aclose(grace=0.0)
                 raise
+            await self._subscribe_backend(name, backend)
             return shard
         reader = await asyncio.to_thread(SnapshotReader.open, spec)
         shard = Shard(name, reader)
         self._check_format(shard)
         return shard
+
+    async def _subscribe_backend(self, name: str,
+                                 backend: ShardBackend) -> bool:
+        """Best-effort NOTIFY subscription on a backend daemon.
+
+        Once up, the backend's own reloads push ``NOTIFY reloaded``
+        frames and :meth:`_on_backend_reload` re-syncs this front
+        end's cached ownership index and leg cache — no front-end
+        RELOAD needed.  A daemon that predates the verb (or an
+        unreachable one) degrades to pull-only behavior; subscription
+        failure never fails the attach.
+        """
+        try:
+            return await backend.subscribe_reloads(
+                lambda path, _n=name: self._on_backend_reload(_n, path))
+        except FederationError:
+            return False
+
+    def _on_backend_reload(self, name: str, path: str) -> None:
+        """Push callback: schedule a re-sync of shard ``name``.
+
+        Runs on the backend's notify-listener task, so it only
+        *schedules* — the swap itself takes ``_swap_lock``.  Pushes
+        for a shard whose re-sync is already pending coalesce.
+        """
+        if name in self._resync_pending:
+            return
+        self._resync_pending.add(name)
+        task = asyncio.get_running_loop().create_task(
+            self._resync_backend(name, path))
+        self._resync_tasks.add(task)
+        task.add_done_callback(self._resync_tasks.discard)
+
+    async def _resync_backend(self, name: str, path: str) -> None:
+        """Re-fetch a backend shard's index after its daemon's own
+        reload and swap the refreshed picture into the view.
+
+        Skips when the view already describes ``path`` — that is the
+        forwarded-RELOAD case, where :meth:`reload_shard` re-synced
+        inside the same swap and the push would only repeat the work.
+        A failed re-fetch leaves the current view serving; the next
+        push (or a front-end RELOAD) tries again.
+        """
+        try:
+            async with self._swap_lock:
+                current = self.view.shards.get(name)
+                backend = getattr(current, "backend", None)
+                if backend is None:
+                    return
+                if getattr(current, "snapshot", "") == path:
+                    return
+                try:
+                    shard = await BackendShard.connect(name, backend)
+                    self._check_format(shard)
+                except (FederationError, SnapshotError):
+                    return
+                current.drop_cached_legs()
+                self.view = self.view.with_shard(shard)
+                self.resyncs += 1
+        finally:
+            self._resync_pending.discard(name)
 
     async def attach(self, name: str, spec: str):
         """Attach (or replace, by name) a shard: a snapshot path or a
@@ -395,7 +473,8 @@ class FederationService(LineService):
             for name, backend in backends)
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} federated={self.federated} "
-                f"reloads={self.reloads} attaches={self.attaches} "
+                f"reloads={self.reloads} resyncs={self.resyncs} "
+                f"attaches={self.attaches} "
                 f"detaches={self.detaches} "
                 f"connections={self.connections} "
                 f"shards={len(view.shards)} tables={tables} "

@@ -353,10 +353,61 @@ class FederationView:
         return ",".join(str(s.version) for s in self.shards.values())
 
     def with_shard(self, shard: Shard) -> "FederationView":
-        """A new view with ``shard`` added (or replaced, by name)."""
-        kept = [s for name, s in self.shards.items()
-                if name != shard.name]
-        return FederationView(kept + [shard])
+        """A new view with ``shard`` added (or replaced, by name).
+
+        Replacement — the per-shard RELOAD/re-sync path — patches the
+        merged structures incrementally instead of rebuilding them
+        from every shard: under heavy churn (one shard swapping per
+        revision event) the rebuild is the front end's dominant cost,
+        and it re-derives an index that changed in exactly one
+        shard's entries.  Addition still builds from scratch.
+        """
+        if shard.name not in self.shards:
+            return FederationView(
+                list(self.shards.values()) + [shard])
+        return self._with_replaced(shard)
+
+    def _with_replaced(self, shard: Shard) -> "FederationView":
+        """Clone this view with one same-named shard swapped, patching
+        ``_owners``/``_gateways``/``_all_gates`` for just that shard's
+        entries — byte-equivalent to a full rebuild, O(one shard's
+        names) instead of O(every shard's)."""
+        old = self.shards[shard.name]
+        view = object.__new__(FederationView)
+        view.shards = {name: (shard if name == shard.name else s)
+                       for name, s in self.shards.items()}
+        owners = dict(self._owners)
+        for name, _is_domain in old.routing_index():
+            names = owners.get(name)
+            if names is None:
+                continue
+            remaining = tuple(n for n in names if n != shard.name)
+            if remaining:
+                owners[name] = remaining
+            else:
+                del owners[name]
+        for name, _is_domain in shard.routing_index():
+            names = owners.get(name, ())
+            if shard.name not in names:
+                owners[name] = tuple(sorted(names + (shard.name,)))
+        view._owners = owners
+        gateways = dict(self._gateways)
+        for other, other_shard in view.shards.items():
+            if other == shard.name:
+                continue
+            shared = tuple(sorted(
+                shard.source_set & other_shard.source_set))
+            gateways[(shard.name, other)] = shared
+            gateways[(other, shard.name)] = shared
+        view._gateways = gateways
+        names = list(view.shards)
+        view._all_gates = {
+            name: sorted({g for other in names if other != name
+                          for g in gateways[(name, other)]})
+            for name in names}
+        view._has_remote = any(getattr(s, "remote", False)
+                               for s in view.shards.values())
+        return view
 
     def without_shard(self, name: str) -> "FederationView":
         """A new view with the shard called ``name`` removed."""

@@ -240,6 +240,80 @@ class TestBackendShard:
         asyncio.run(scenario())
 
 
+class TestLegSingleFlight:
+    """Coalesced leg fetches survive speculative-stitch reaping.
+
+    The stitched Dijkstra cancels speculative prefetch tasks it never
+    expanded; a cancelled task parked on another fetch's in-flight
+    future must neither poison that future for the owner (whose
+    completion-signal ``set_result`` would hit an already-cancelled
+    future) nor spuriously cancel unrelated coalesced lookups.
+    """
+
+    def test_cancelled_waiter_does_not_poison_the_fetch(self):
+        calls = []
+
+        class SlowBackend:
+            def __init__(self):
+                self.release = asyncio.Event()
+
+            async def table_rows(self, entry, gates):
+                calls.append((entry, tuple(gates)))
+                await self.release.wait()
+                return {g: (100, f"{entry}!{g}!%s") for g in gates}
+
+        async def scenario():
+            backend = SlowBackend()
+            shard = BackendShard("slow", backend,
+                                 [("a", False)], 1, "x.snap")
+            owner = asyncio.ensure_future(shard.route_legs("a", ["g"]))
+            await asyncio.sleep(0)  # owner claims the fetch
+            waiter = asyncio.ensure_future(shard.route_legs("a", ["g"]))
+            victim = asyncio.ensure_future(shard.route_legs("a", ["g"]))
+            await asyncio.sleep(0)  # both coalesce on the owner
+            await asyncio.sleep(0)
+            victim.cancel()  # the stitch reaps a speculative task
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            backend.release.set()
+            legs = await asyncio.wait_for(owner, 5)
+            assert legs == {"g": (100, "a!g!%s")}
+            assert await asyncio.wait_for(waiter, 5) == legs
+            assert calls == [("a", ("g",))]  # single flight held
+            assert shard._leg_pending == {}
+
+        asyncio.run(scenario())
+
+    def test_cancelled_owner_hands_off_to_a_waiter(self):
+        class Backend:
+            def __init__(self):
+                self.calls = 0
+
+            async def table_rows(self, entry, gates):
+                self.calls += 1
+                if self.calls == 1:  # first flight never lands
+                    await asyncio.Event().wait()
+                return {g: (7, f"{g}!%s") for g in gates}
+
+        async def scenario():
+            backend = Backend()
+            shard = BackendShard("slow", backend,
+                                 [("a", False)], 1, "x.snap")
+            owner = asyncio.ensure_future(shard.route_legs("a", ["g"]))
+            await asyncio.sleep(0)
+            waiter = asyncio.ensure_future(shard.route_legs("a", ["g"]))
+            await asyncio.sleep(0)
+            owner.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await owner
+            # the keys come back unclaimed; the waiter retries them
+            assert await asyncio.wait_for(waiter, 5) == {"g": (7, "g!%s")}
+            assert backend.calls == 2
+            assert shard._leg_pending == {}
+
+        asyncio.run(scenario())
+
+
 class TestFanOutFederation:
     """The tentpole bar: remote-backend federation == in-process."""
 

@@ -339,6 +339,23 @@ class TestEdgeCases:
         with pytest.raises(FederationError):
             smaller.without_shard("arpa")
 
+    def test_replacement_patch_equals_full_rebuild(self, view,
+                                                   shard_paths):
+        """``with_shard`` on an existing name patches the merged
+        structures in place of a rebuild; the result must be
+        indistinguishable from constructing the view from scratch."""
+        swapped = Shard.open("universities",
+                             shard_paths["universities"])
+        patched = view.with_shard(swapped)
+        rebuilt = FederationView(
+            [s for n, s in view.shards.items()
+             if n != "universities"] + [swapped])
+        assert list(patched.shards) == list(rebuilt.shards)
+        assert patched._owners == rebuilt._owners
+        assert patched._gateways == rebuilt._gateways
+        assert patched._all_gates == rebuilt._all_gates
+        assert patched._has_remote == rebuilt._has_remote
+
 
 async def request(reader, writer, line: str) -> str:
     writer.write(line.encode() + b"\n")

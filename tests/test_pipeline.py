@@ -466,3 +466,124 @@ class TestFederationObservability:
             await server.wait_closed()
 
         asyncio.run(scenario())
+
+
+class TestWireFuzz:
+    """Property fuzz: seeded random interleavings of tagged requests,
+    untagged requests, garbage verbs, empty tags, and raw non-UTF-8
+    bytes — sent in arbitrarily split chunks — must keep the wire
+    framing sound.  The invariants:
+
+    * every tagged request gets exactly one reply frame carrying its
+      tag, byte-equal to the in-process oracle's answer, in any order;
+    * untagged replies (including the daemon's inline protocol
+      errors) come back in exact submission order;
+    * an untagged request that reaches the dispatcher drains all
+      earlier tagged work first, so its reply appears on the wire
+      after every earlier tagged reply;
+    * one malformed line produces exactly one ``ERR`` frame — the
+      connection and its framing survive.
+    """
+
+    EMPTY_TAG_ERR = ("ERR usage tagged request needs a non-empty "
+                     "tag: @<tag> VERB ...")
+    ENCODING_ERR = "ERR encoding expected UTF-8"
+
+    def test_random_interleavings_keep_framing(self, shard_paths):
+        import random
+
+        from repro.service.store import SnapshotReader
+
+        path = shard_paths["backbone"]
+        dests = SnapshotReader.open(path).sources()
+
+        async def scenario():
+            service = RouteService(path)
+            oracle = RouteService(path)
+            ostate = oracle.initial_state()
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            for seed in range(3):
+                rng = random.Random(seed)
+                r, w = await asyncio.open_connection("127.0.0.1",
+                                                     port)
+                # (wire bytes, kind, tag, expected reply)
+                script: list[tuple] = []
+                for i in range(120):
+                    roll = rng.random()
+                    dest = rng.choice(dests)
+                    verb = rng.choice(("ROUTE", "EXACT", "FROB"))
+                    line = f"{verb} {dest}"
+                    if roll < 0.55:
+                        expected = await oracle.handle_line(line,
+                                                            ostate)
+                        script.append((f"@t{i} {line}\n".encode(),
+                                       "tagged", f"t{i}", expected))
+                    elif roll < 0.85:
+                        expected = await oracle.handle_line(line,
+                                                            ostate)
+                        script.append((f"{line}\n".encode(),
+                                       "untagged", None, expected))
+                    elif roll < 0.93:
+                        script.append((b"@ ROUTE x\n", "inline",
+                                       None, self.EMPTY_TAG_ERR))
+                    else:
+                        script.append((b"\xff\xfe junk\n", "inline",
+                                       None, self.ENCODING_ERR))
+                # Send the whole script in randomly split chunks, so
+                # lines arrive torn across reads.
+                data = b"".join(entry[0] for entry in script)
+                cut = 0
+                while cut < len(data):
+                    step = rng.randrange(1, 80)
+                    w.write(data[cut:cut + step])
+                    await w.drain()
+                    cut += step
+                replies = []
+                for _ in range(len(script)):
+                    raw = await asyncio.wait_for(r.readline(), 10)
+                    assert raw.endswith(b"\n")
+                    replies.append(raw.decode("utf-8").rstrip("\n"))
+
+                tagged_pos: dict[str, int] = {}
+                untagged: list[tuple[int, str]] = []
+                for pos, reply in enumerate(replies):
+                    if reply.startswith("@"):
+                        tag, _, rest = reply.partition(" ")
+                        assert tag[1:] not in tagged_pos, \
+                            f"tag {tag} answered twice"
+                        tagged_pos[tag[1:]] = pos
+                        continue
+                    untagged.append((pos, reply))
+                # Every tagged request: one reply, right bytes.
+                want_tags = {e[2]: e[3] for e in script
+                             if e[1] == "tagged"}
+                assert set(tagged_pos) == set(want_tags)
+                for pos, reply in enumerate(replies):
+                    if reply.startswith("@"):
+                        tag, _, rest = reply.partition(" ")
+                        assert rest == want_tags[tag[1:]]
+                # Untagged replies: exact submission order.
+                expected_untagged = [e[3] for e in script
+                                     if e[1] != "tagged"]
+                assert [text for _, text in untagged] == \
+                    expected_untagged
+                # Drain barrier: an untagged dispatcher request's
+                # reply appears after every earlier tagged reply.
+                untagged_iter = iter(untagged)
+                for idx, entry in enumerate(script):
+                    if entry[1] != "untagged":
+                        if entry[1] == "inline":
+                            next(untagged_iter)
+                        continue
+                    pos, _ = next(untagged_iter)
+                    earlier = [tagged_pos[e[2]]
+                               for e in script[:idx]
+                               if e[1] == "tagged"]
+                    assert all(p < pos for p in earlier), \
+                        f"untagged reply #{idx} overtook tagged work"
+                w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
