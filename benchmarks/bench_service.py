@@ -33,6 +33,12 @@ Seven numbers the ROADMAP cares about:
   worker, the kernel balancing connections), plus the cold-open cost
   of the mmap reader vs the read-everything reader — together the
   case for ``serve --workers N`` on a multicore host.
+* **compiled dispatch**: the suffix-automaton matcher vs the
+  per-suffix dict walk, at 10k/100k/1M synthetic domain entries —
+  raw suffix lookups and ``FederationView`` ownership dispatch,
+  plus what the automaton costs to build/serialize/load/inflate and
+  how its per-lookup cost scales with the entry count (the O(labels)
+  claim).
 
 The maps are deterministic rings-with-chords (explicit numeric costs,
 no symbol table) so a one-link revision is easy to synthesize and its
@@ -48,6 +54,8 @@ Usage::
         --only fanout --out fanout.json --min-fanout-ratio 0.9
     PYTHONPATH=src python benchmarks/bench_service.py \
         --only workers --out workers.json
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --only dispatch --min-dispatch-speedup 3.0
 """
 
 from __future__ import annotations
@@ -637,6 +645,189 @@ def bench_format_v2(tmp: Path, hosts: int) -> dict:
     }
 
 
+class _IndexShard:
+    """A synthetic federation shard: a name and an ownership index —
+    the only surface :class:`FederationView`'s owner dispatch consumes.
+    Lets the dispatch bench scale to 10^6 entries without building
+    10^6-record snapshots."""
+
+    remote = False
+
+    def __init__(self, name: str, index: list):
+        self.name = name
+        self._index = index
+        self.source_set = frozenset(
+            n for n, is_domain in index if not is_domain)
+
+    def routing_index(self) -> list:
+        return list(self._index)
+
+
+def _dispatch_keys(entries: int) -> list:
+    """A synthetic internet-scale name inventory: one leading-dot
+    domain key per ~50 hosts, hosts spread under them — sorted the way
+    every compile site sorts (UTF-8 bytes)."""
+    tlds = ("edu", "com", "org", "net")
+    doms = max(1, entries // 50)
+    keys = {f".dept{d}.univ{d % 97}.{tlds[d % 4]}"
+            for d in range(doms)}
+    i = 0
+    while len(keys) < entries:
+        d = i % doms
+        keys.add(f"host{i}.dept{d}.univ{d % 97}.{tlds[d % 4]}")
+        i += 1
+    return sorted(keys, key=lambda k: k.encode("utf-8"))
+
+
+def _dispatch_probes(keys: list, count: int) -> list:
+    """The churn-motivated probe mix: exact hosts, deep ephemeral
+    aliases under known domains (the walk must probe every suffix;
+    the automaton stops at the first unknown label), and misses.
+
+    Host draws are power-law skewed the way mail traffic actually
+    concentrates — a few popular domains take most of the lookups
+    while the long tail still gets probed — so per-lookup timings
+    reflect routing traffic, not a uniform sweep of the keyspace.
+    """
+    import random as _random
+
+    rng = _random.Random(7)
+    hosts = [k for k in keys if not k.startswith(".")]
+    nhosts = len(hosts)
+    out = []
+    for _ in range(count):
+        r = rng.random()
+        host = hosts[int(nhosts * rng.random() ** 3)]
+        if r < 0.2:
+            out.append(host)
+        elif r < 0.85:
+            depth = rng.randint(4, 16)
+            alias = ".".join(f"alias{rng.randrange(1000)}"
+                             for _ in range(depth))
+            out.append(alias + host[host.index("."):])
+        else:
+            out.append(".".join(
+                f"x{j}" for j in range(rng.randint(4, 16)))
+                + ".nowhere.xyz")
+    return out
+
+
+def bench_dispatch(sizes: list, probes: int) -> dict:
+    """Compiled suffix-automaton dispatch vs the per-suffix dict walk.
+
+    Two legs per entry count: the raw suffix-lookup primitive
+    (automaton ``match`` vs the :func:`domain_suffixes` probe walk
+    over a dict) and the real ownership surface
+    (``FederationView.owners_of`` in fsm vs dict mode, over synthetic
+    shards).  Also records what the automaton costs to build,
+    serialize, load, and inflate — the price paid once per
+    snapshot/update — and the per-lookup scaling across sizes (the
+    O(labels) claim: cost must not grow with the entry count).
+    """
+    from repro.service.fsm import compile_keys, load
+    from repro.service.resolver import domain_suffixes
+    from repro.service.shard import FederationView
+
+    def best_of(fn, rounds: int = 3) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    out: dict = {"probes": probes, "sizes": {}}
+    fsm_ns: dict = {}
+    for entries in sizes:
+        keys = _dispatch_keys(entries)
+        targets = _dispatch_probes(keys, probes)
+
+        t0 = time.perf_counter()
+        auto = compile_keys(keys)
+        build_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        blob = auto.to_bytes()
+        serialize_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        flat = load(blob)
+        load_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        flat.inflate()
+        inflate_s = time.perf_counter() - t0
+
+        table = {k: i for i, k in enumerate(keys)}
+
+        def walk_lookup(target, _get=table.get,
+                        _suffixes=domain_suffixes):
+            for key in _suffixes(target):
+                hit = _get(key)
+                if hit is not None:
+                    return hit
+            return -1
+
+        match = auto.matcher()
+        fsm_s = best_of(lambda: [match(t) for t in targets])
+        dict_s = best_of(lambda: [walk_lookup(t) for t in targets])
+
+        # the ownership surface: one view per mode over 3 synthetic
+        # shards splitting the same index
+        index = [(k, k.startswith(".")) for k in keys]
+
+        def shards_of() -> list:
+            return [_IndexShard(f"s{i}", index[i::3])
+                    for i in range(3)]
+
+        fsm_view = FederationView(shards_of())
+        dict_view = FederationView(shards_of(), dispatch="dict")
+        fsm_view.owners_of("warm.up")  # build the cached automaton
+        fsm_owner = fsm_view.owners_of
+        dict_owner = dict_view.owners_of
+        own_fsm_s = best_of(lambda: [fsm_owner(t) for t in targets])
+        own_dict_s = best_of(lambda: [dict_owner(t) for t in targets])
+
+        # the O(labels) scaling leg: a small probe set repeated until
+        # warm, so the number isolates the automaton's per-label walk
+        # from how much of a uniform 20k-probe sweep happens to fit in
+        # cache at each entry count (a DRAM-residency question, not an
+        # algorithmic one — the throughput legs above keep the full
+        # mixed workload)
+        warm = _dispatch_probes(keys, 512)
+        warm_s = best_of(lambda: [match(t) for t in warm], rounds=15)
+        fsm_ns[entries] = warm_s / len(warm) * 1e9
+        out["sizes"][str(entries)] = {
+            "entries": entries,
+            "automaton": {
+                "states": auto.state_count,
+                "edges": auto.edge_count,
+                "blob_bytes": len(blob),
+                "build_sec": round(build_s, 3),
+                "serialize_sec": round(serialize_s, 3),
+                "load_sec": round(load_s, 6),
+                "inflate_sec": round(inflate_s, 3),
+            },
+            "suffix_lookup": {
+                "fsm_per_sec": round(probes / fsm_s, 1),
+                "dict_per_sec": round(probes / dict_s, 1),
+                "speedup": round(dict_s / fsm_s, 2),
+            },
+            "ownership": {
+                "fsm_per_sec": round(probes / own_fsm_s, 1),
+                "dict_per_sec": round(probes / own_dict_s, 1),
+                "speedup": round(own_dict_s / own_fsm_s, 2),
+            },
+        }
+    lo, hi = min(fsm_ns), max(fsm_ns)
+    out["scaling"] = {
+        "fsm_ns_per_lookup": {str(n): round(v, 1)
+                              for n, v in fsm_ns.items()},
+        # the O(labels) claim: per-lookup cost at the largest entry
+        # count over the smallest (acceptance bar: <= 1.5)
+        "largest_vs_smallest": round(fsm_ns[hi] / fsm_ns[lo], 3)
+        if fsm_ns[lo] > 0 else None,
+    }
+    return out
+
+
 def bench_churn(tmp: Path, nodes: int, events: int) -> dict:
     """Churn replay: revision events/s applied end to end, and lookup
     latency measured *during* the replay.
@@ -732,12 +923,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
     parser.add_argument("--only", choices=("fanout", "workers",
-                                           "churn"),
+                                           "churn", "dispatch"),
                         default=None,
                         help="run a single section (the CI cluster "
                              "job measures just the fan-out tier; "
                              "the multicore leg just the workers; "
-                             "the soak job just the churn replay)")
+                             "the soak job just the churn replay; "
+                             "the dispatch leg just the compiled "
+                             "suffix automaton vs the dict walk)")
+    parser.add_argument("--dispatch-entries",
+                        default="10000,100000,1000000",
+                        metavar="N,N,...",
+                        help="entry counts for the dispatch section "
+                             "(default 10000,100000,1000000)")
+    parser.add_argument("--dispatch-probes", type=int, default=20000,
+                        help="lookups per dispatch measurement")
+    parser.add_argument("--min-dispatch-speedup", type=float,
+                        default=None, metavar="X",
+                        help="exit nonzero unless fsm ownership "
+                             "dispatch beats the dict walk by X at "
+                             "100000 entries (the CI dispatch gate)")
     parser.add_argument("--churn-nodes", type=int, default=20000,
                         help="churn scenario size (nodes)")
     parser.add_argument("--churn-events", type=int, default=100,
@@ -788,6 +993,13 @@ def main(argv: list[str] | None = None) -> int:
                   "incremental update -> RELOAD)...", file=sys.stderr)
             section["churn"] = bench_churn(
                 tmp, args.churn_nodes, args.churn_events)
+        if args.only in (None, "dispatch"):
+            print("benchmarking compiled suffix-automaton dispatch "
+                  "vs dict walk...", file=sys.stderr)
+            sizes = [int(s) for s in
+                     args.dispatch_entries.split(",") if s]
+            section["dispatch"] = bench_dispatch(
+                sizes, args.dispatch_probes)
 
     out = Path(args.out)
     document = json.loads(out.read_text()) if out.exists() else {
@@ -801,6 +1013,18 @@ def main(argv: list[str] | None = None) -> int:
         if ratio is None or ratio < args.min_fanout_ratio:
             print(f"FAIL: pipelined fan-out at {ratio}x in-process "
                   f"is below the {args.min_fanout_ratio}x floor",
+                  file=sys.stderr)
+            return 1
+    if args.min_dispatch_speedup is not None and \
+            "dispatch" in section:
+        sizes = section["dispatch"]["sizes"]
+        gate_at = "100000" if "100000" in sizes else max(
+            sizes, key=int)
+        speedup = sizes[gate_at]["ownership"]["speedup"]
+        if speedup < args.min_dispatch_speedup:
+            print(f"FAIL: fsm ownership dispatch at {speedup}x dict "
+                  f"({gate_at} entries) is below the "
+                  f"{args.min_dispatch_speedup}x floor",
                   file=sys.stderr)
             return 1
     return 0

@@ -128,7 +128,8 @@ def _run_batch(tool: Pathalias, named: list[tuple[str, str]],
 
 #: First arguments that route into the service sub-CLI instead of the
 #: historical flat option set.
-SERVICE_COMMANDS = ("snapshot", "update", "lookup", "serve", "federate")
+SERVICE_COMMANDS = ("snapshot", "update", "lookup", "serve",
+                    "federate", "inspect")
 
 
 def build_service_parser(command: str) -> argparse.ArgumentParser:
@@ -223,6 +224,18 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                                "daemon instead of opening a snapshot")
         return look
 
+    if command == "inspect":
+        ins = argparse.ArgumentParser(
+            prog="pathalias inspect",
+            description="print a snapshot's block map: per-source "
+                        "section tags, offsets, sizes, and the "
+                        "compiled dispatch automaton's shape")
+        ins.add_argument("snapshot", help="snapshot file to inspect")
+        ins.add_argument("-l", "--localhost", metavar="HOST",
+                         help="inspect only this source's table "
+                              "(default: every source)")
+        return ins
+
     if command == "federate":
         fed = argparse.ArgumentParser(
             prog="pathalias federate",
@@ -303,6 +316,12 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                      help="talk lockstep to --backend daemons even "
                           "when they support tagged pipelining "
                           "(federation mode only)")
+    srv.add_argument("--dispatch", choices=("fsm", "dict"),
+                     default="fsm",
+                     help="suffix-lookup dispatch: the compiled "
+                          "automaton (fsm, default) or the original "
+                          "per-suffix dict walk (dict — the "
+                          "differential oracle)")
     return srv
 
 
@@ -573,6 +592,33 @@ def service_main(argv: list[str]) -> int:
                   f"{resolution.address}")
             return 0
 
+        if args.command == "inspect":
+            from repro.service.store import SnapshotReader
+
+            reader = SnapshotReader.open(args.snapshot)
+            sources = ([args.localhost] if args.localhost
+                       else reader.sources())
+            print(f"{args.snapshot}: format v{reader.version}, "
+                  f"{len(reader.sources())} sources")
+            for source in sources:
+                table = reader.table(source)
+                blocks = table.block_map()
+                if not blocks:
+                    print(f"source {source}: v1 layout "
+                          f"({len(table)} records, no tagged blocks)")
+                    continue
+                print(f"source {source}: {len(table)} records, "
+                      f"{len(blocks)} blocks")
+                for tag, off, length in blocks:
+                    line = (f"  {tag}  off={off:<10d} "
+                            f"len={length:d}")
+                    if tag == "DFSM":
+                        auto = table.flat_automaton()
+                        line += (f"  states={auto.state_count} "
+                                 f"edges={auto.edge_count}")
+                    print(line)
+            return 0
+
         if args.command == "federate":
             from repro.service.shard import FederationView, Shard
             from repro.service.store import build_snapshot
@@ -648,7 +694,8 @@ def service_main(argv: list[str]) -> int:
                 return run_federation_daemon(
                     shards, host=args.host, port=args.port,
                     source=args.source, require_format=args.fmt,
-                    backends=backends, pipeline=args.pipeline)
+                    backends=backends, pipeline=args.pipeline,
+                    dispatch=args.dispatch)
             if args.snapshot is None:
                 raise PathaliasError(
                     "serve needs a snapshot file or --shard/--backend "
@@ -658,7 +705,8 @@ def service_main(argv: list[str]) -> int:
             return run_daemon(args.snapshot, host=args.host,
                               port=args.port, source=args.source,
                               require_format=args.fmt,
-                              workers=args.workers)
+                              workers=args.workers,
+                              dispatch=args.dispatch)
     except PathaliasError as exc:
         print(f"pathalias: {args.command}: {exc}", file=sys.stderr)
         return 1

@@ -30,6 +30,7 @@ from pathlib import Path
 
 from repro.core.printer import RouteTable
 from repro.errors import RouteError
+from repro.service.fsm import SuffixAutomaton, compile_keys
 from repro.service.resolver import (  # noqa: F401  (re-exports)
     Resolution,
     SuffixResolver,
@@ -53,6 +54,10 @@ class RouteDatabase(SuffixResolver):
         self._routes = dict(routes)
         self._costs = dict(costs) if costs else {}
         self._source = source
+        # compiled dispatch, built lazily on the first suffix resolve
+        # (the route map is immutable after construction)
+        self._auto: SuffixAutomaton | None = None
+        self._auto_keys: list[str] | None = None
 
     @classmethod
     def from_table(cls, table: RouteTable) -> "RouteDatabase":
@@ -79,7 +84,37 @@ class RouteDatabase(SuffixResolver):
         return self._costs.get(name, 0), route
 
     # -- the Resolver protocol surface ----------------------------------------
-    # resolve / resolve_with_cost / resolve_bang come from SuffixResolver.
+    # resolve / resolve_bang come from SuffixResolver; resolve_with_cost
+    # is overridden onto the compiled automaton (one O(labels) match
+    # instead of a dict probe per suffix), byte-identical to the walk.
+
+    def _automaton(self) -> SuffixAutomaton:
+        if self._auto is None:
+            self._auto_keys = sorted(self._routes,
+                                     key=lambda n: n.encode("utf-8"))
+            self._auto = compile_keys(self._auto_keys)
+        return self._auto
+
+    def resolve_with_cost(self, target: str, user: str = "%s"
+                          ) -> tuple[int, Resolution]:
+        """Compiled domain-suffix lookup (see
+        :meth:`~repro.service.resolver.SuffixResolver.resolve_with_cost`
+        for the contract this matches exactly)."""
+        idx = self._automaton().match(target)
+        if idx < 0:
+            raise RouteError(f"no route to {target!r}")
+        key = self._auto_keys[idx]
+        route = self._routes[key]
+        cost = self._costs.get(key, 0)
+        argument = user if key == target else f"{target}!{user}"
+        return cost, Resolution(
+            target=target, matched=key, route=route,
+            address=route.replace("%s", argument, 1))
+
+    #: The uncompiled per-suffix dict walk, kept reachable as the
+    #: differential oracle for the automaton path (aliased, not
+    #: wrapped: the method object *is* the shared implementation).
+    resolve_with_cost_dict = SuffixResolver.resolve_with_cost
 
     def source_table(self) -> str | None:
         """The source host these routes were mapped from (if known)."""

@@ -48,6 +48,8 @@ daemon and re-synchronizes the cached index in one step.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
 import re
 
 from repro.errors import FederationError
@@ -55,6 +57,12 @@ from repro.service.daemon import (
     RECONNECT_DELAY,
     RECONNECT_DELAY_MAX,
     wire_token,
+)
+from repro.service.fsm import (
+    NAME_F_DOMAIN,
+    AutomatonError,
+    FlatSuffixAutomaton,
+    SuffixAutomaton,
 )
 
 #: ``host:port`` — how a remote backend is named on the CLI
@@ -718,6 +726,26 @@ class ShardBackend:
             out.append((name, kind == "D"))
         return out
 
+    async def index_fsm(self) -> bytes | None:
+        """The daemon's ownership index as a compiled suffix-automaton
+        block (bulk ``TABLE --fsm``), or None against an older daemon
+        that does not serve the block (callers fall back to the text
+        :meth:`routing_index`)."""
+        head, lines = await self._call_bulk("TABLE --fsm")
+        if head.startswith("ERR unknown-source") or \
+                head.startswith("ERR unknown-command") or \
+                head.startswith("ERR usage"):
+            return None  # pre-FSM daemon: it parsed --fsm as a source
+        if not head.startswith("OK fsm"):
+            raise FederationError(
+                f"backend {self.name} protocol error: {head!r}")
+        try:
+            return base64.b64decode("".join(lines), validate=True)
+        except binascii.Error as exc:
+            raise FederationError(
+                f"backend {self.name} sent a corrupt index "
+                f"automaton: {exc}") from None
+
     async def table_rows(self, source: str, dests=None
                          ) -> dict[str, tuple[int, str]]:
         """Route records from ``source``'s table, in one round trip.
@@ -926,9 +954,14 @@ class BackendShard:
 
     def __init__(self, name: str, backend: ShardBackend,
                  index: list[tuple[str, bool]], version: int,
-                 snapshot: str):
+                 snapshot: str,
+                 index_auto: SuffixAutomaton | None = None):
         self.name = name
         self.backend = backend
+        #: the backend's ownership index as a ready-made suffix
+        #: automaton when the daemon shipped its compiled ``DFSM``
+        #: block (``TABLE --fsm``); None against pre-FSM daemons.
+        self.index_automaton = index_auto
         self._index = list(index)
         self._sources = [n for n, is_domain in index if not is_domain]
         self._source_set = frozenset(self._sources)
@@ -950,10 +983,27 @@ class BackendShard:
     async def connect(cls, name: str,
                       backend: ShardBackend) -> "BackendShard":
         """Assemble the shard from backend answers: one ``STATS`` for
-        the format/snapshot identity, one bulk ``TABLE`` for the
-        ownership index."""
-        stats, index = await asyncio.gather(backend.stats(),
-                                            backend.routing_index())
+        the format/snapshot identity, one bulk ``TABLE --fsm`` that
+        ships the daemon's compiled ownership automaton verbatim (the
+        index names and flags ride inside the block, so nothing is
+        re-derived from dicts).  Pre-FSM daemons answer with an error
+        for ``--fsm``; the shard falls back to the text ``TABLE``
+        index and leaves :attr:`index_automaton` unset."""
+        stats, blob = await asyncio.gather(backend.stats(),
+                                           backend.index_fsm())
+        auto = None
+        if blob is None:
+            index = await backend.routing_index()
+        else:
+            try:
+                flat = FlatSuffixAutomaton(blob)
+                index = [(n, bool(flags & NAME_F_DOMAIN))
+                         for n, flags in flat.names()]
+                auto = flat.inflate()
+            except AutomatonError as exc:
+                raise FederationError(
+                    f"backend {name} ({backend.address}) sent a "
+                    f"corrupt index automaton: {exc}") from None
         try:
             version = int(stats.get("format", ""))
         except ValueError:
@@ -961,7 +1011,7 @@ class BackendShard:
                 f"backend {name} ({backend.address}) reported no "
                 f"snapshot format in STATS") from None
         return cls(name, backend, index, version,
-                   stats.get("snapshot", ""))
+                   stats.get("snapshot", ""), index_auto=auto)
 
     # -- the Shard surface ----------------------------------------------------
 

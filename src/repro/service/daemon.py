@@ -85,6 +85,7 @@ through a daemon instead of an in-memory table.
 from __future__ import annotations
 
 import asyncio
+import base64
 import multiprocessing
 import signal
 import socket
@@ -418,12 +419,17 @@ class RouteService(LineService):
     def __init__(self, snapshot_path: str | None = None,
                  reader: SnapshotReader | None = None,
                  default_source: str | None = None,
-                 require_format: int | None = None):
+                 require_format: int | None = None,
+                 dispatch: str = "fsm"):
         """``require_format`` pins the snapshot format version: the
         initial snapshot *and every later RELOAD* must match, so an
         operator who depends on v2-only data (per-state costs) cannot
-        be silently downgraded mid-flight."""
+        be silently downgraded mid-flight.  ``dispatch`` selects the
+        suffix-search engine — ``fsm`` (the compiled automaton,
+        default) or ``dict`` (the original walk, kept as a live
+        differential oracle; ``serve --dispatch dict``)."""
         super().__init__(require_format=require_format)
+        self.dispatch = dispatch
         if reader is None:
             if snapshot_path is None:
                 raise SnapshotError("RouteService needs a snapshot "
@@ -446,6 +452,13 @@ class RouteService(LineService):
         self.lookups = 0
         self.hits = 0
         self.misses = 0
+        #: Automaton dispatches that matched / missed — service-owned
+        #: like every counter here, so RELOAD (which swaps readers and
+        #: their compiled automata) never resets them.  Both stay 0 in
+        #: ``dict`` mode, which is how an operator reads the active
+        #: engine off STATS (`dispatch=` says it explicitly too).
+        self.fsm_hits = 0
+        self.fsm_misses = 0
         self.reloads = 0
         self._reload_lock = asyncio.Lock()
         #: Per-connection push callables registered by the NOTIFY
@@ -477,18 +490,31 @@ class RouteService(LineService):
         """
         reader = self.reader  # pin one snapshot for this request
         self.lookups += 1
+        fsm = self.dispatch != "dict"
         try:
             # The cached SnapshotTable *is* the in-process Resolver
-            # surface (SuffixResolver); no per-request wrapper on the
-            # hot path.
-            cost, resolution = reader.table(source).resolve_with_cost(
-                target, "%s" if user is None else user)
-        except (RouteError, SnapshotError):
-            # RouteError: no such destination.  SnapshotError: the
-            # connection's source table vanished in a RELOAD.
+            # surface; no per-request wrapper on the hot path.  The
+            # suffix search runs through the table's compiled
+            # automaton, or the original dict walk in ``dict`` mode.
+            table = reader.table(source)
+            if fsm:
+                cost, resolution = table.resolve_with_cost(
+                    target, "%s" if user is None else user)
+            else:
+                cost, resolution = table.resolve_with_cost_dict(
+                    target, "%s" if user is None else user)
+        except RouteError:
+            self.misses += 1
+            if fsm:
+                self.fsm_misses += 1
+            raise
+        except SnapshotError:
+            # the connection's source table vanished in a RELOAD
             self.misses += 1
             raise
         self.hits += 1
+        if fsm:
+            self.fsm_hits += 1
         return cost, resolution
 
     def exact(self, source: str, target: str) -> tuple[int, str]:
@@ -509,10 +535,17 @@ class RouteService(LineService):
     def table_reply(self, args: list[str]) -> str:
         """The TABLE bulk verb: a multi-line data export.
 
-        Three forms, all answered from one pinned snapshot:
+        Four forms, all answered from one pinned snapshot:
 
         * ``TABLE`` — the routing index (``OK index <n>`` then one
           ``S <name>`` / ``D <name>`` line per source/domain);
+        * ``TABLE --fsm`` — the routing index as a precompiled
+          suffix-automaton block (``OK fsm <n>`` then n base64 lines
+          of the serialized ``DFSM`` bytes, names embedded): the
+          front end inflates it in one linear pass instead of
+          re-deriving dicts.  An older daemon answers this form ``ERR
+          unknown-source --fsm`` (it parses ``--fsm`` as a source
+          name), which clients treat as "fall back to ``TABLE``";
         * ``TABLE <source>`` — the whole route table (``OK table <n>``
           then ``<cost> <name> <route>`` lines in name order);
         * ``TABLE <source> <dest>...`` — batched exact lookups, one
@@ -527,6 +560,13 @@ class RouteService(LineService):
             lines = [f"{'D' if is_domain else 'S'} {name}"
                      for name, is_domain in reader.routing_index()]
             return "\n".join([f"OK index {len(lines)}"] + lines)
+        if args[0] == "--fsm":
+            if len(args) > 1:
+                return "ERR usage TABLE [--fsm | <source> [dest ...]]"
+            blob = base64.b64encode(
+                reader.index_fsm_bytes()).decode("ascii")
+            lines = [blob[i:i + 76] for i in range(0, len(blob), 76)]
+            return "\n".join([f"OK fsm {len(lines)}"] + lines)
         source, dests = args[0], args[1:]
         if not reader.has_source(source):
             return f"ERR unknown-source {source}"
@@ -769,6 +809,9 @@ class RouteService(LineService):
                 f"sources={reader.source_count} "
                 f"snapshot_bytes={reader.size} "
                 f"format={reader.version} "
+                f"dispatch={self.dispatch} "
+                f"n_fsm_hits={self.fsm_hits} "
+                f"n_fsm_misses={self.fsm_misses} "
                 f"{verbs} "
                 f"uptime_sec={uptime:.1f} "
                 f"source={self.default_source} "
@@ -883,7 +926,7 @@ async def serve(service: LineService, host: str = "127.0.0.1",
 def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
                port: int = 4176, source: str | None = None,
                require_format: int | None = None,
-               workers: int = 1) -> int:
+               workers: int = 1, dispatch: str = "fsm") -> int:
     """Blocking daemon entry point for ``pathalias serve``.
 
     ``workers > 1`` hands off to :func:`run_multi_daemon`: N
@@ -893,11 +936,12 @@ def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
         return run_multi_daemon(snapshot_path, host=host, port=port,
                                 source=source,
                                 require_format=require_format,
-                                workers=workers)
+                                workers=workers, dispatch=dispatch)
 
     async def main() -> None:
         service = RouteService(snapshot_path, default_source=source,
-                               require_format=require_format)
+                               require_format=require_format,
+                               dispatch=dispatch)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         print(f"pathalias: serve: {service.reader.source_count} "
@@ -915,11 +959,13 @@ def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
 
 async def _worker_serve(worker_id: int, snapshot_path: str, host: str,
                         port: int, source: str | None,
-                        require_format: int | None, conn) -> None:
+                        require_format: int | None, conn,
+                        dispatch: str = "fsm") -> None:
     """One worker's async body: the shared-port listener, the loopback
     control listener, and the control-port exchange with the parent."""
     service = RouteService(snapshot_path, default_source=source,
-                           require_format=require_format)
+                           require_format=require_format,
+                           dispatch=dispatch)
     service.worker_id = worker_id
     server = await asyncio.start_server(
         service.handle_connection, host, port, reuse_port=True)
@@ -936,12 +982,14 @@ async def _worker_serve(worker_id: int, snapshot_path: str, host: str,
 
 def _worker_main(worker_id: int, snapshot_path: str, host: str,
                  port: int, source: str | None,
-                 require_format: int | None, conn) -> None:
+                 require_format: int | None, conn,
+                 dispatch: str = "fsm") -> None:
     """Process entry point of one SO_REUSEPORT worker."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent coordinates
     try:
         asyncio.run(_worker_serve(worker_id, snapshot_path, host, port,
-                                  source, require_format, conn))
+                                  source, require_format, conn,
+                                  dispatch=dispatch))
     except SnapshotError as exc:
         print(f"pathalias: serve: worker {worker_id}: {exc}",
               file=sys.stderr, flush=True)
@@ -951,7 +999,7 @@ def _worker_main(worker_id: int, snapshot_path: str, host: str,
 def run_multi_daemon(snapshot_path: str, host: str = "127.0.0.1",
                      port: int = 4176, source: str | None = None,
                      require_format: int | None = None,
-                     workers: int = 2) -> int:
+                     workers: int = 2, dispatch: str = "fsm") -> int:
     """Serve one snapshot from N ``SO_REUSEPORT`` worker processes.
 
     Every worker listens on the *same* ``host:port`` — the kernel
@@ -979,7 +1027,8 @@ def run_multi_daemon(snapshot_path: str, host: str = "127.0.0.1",
     # Validate snapshot, source, and format pin once, up front — one
     # clear error beats N concurrent worker tracebacks.
     probe = RouteService(snapshot_path, default_source=source,
-                         require_format=require_format)
+                         require_format=require_format,
+                         dispatch=dispatch)
     source_count = probe.reader.source_count
     probe.reader.close()
     # Reserve the port (resolving port=0) without ever accepting:
@@ -1000,7 +1049,7 @@ def run_multi_daemon(snapshot_path: str, host: str = "127.0.0.1",
             proc = ctx.Process(
                 target=_worker_main,
                 args=(wid, snapshot_path, host, port, source,
-                      require_format, child_conn))
+                      require_format, child_conn, dispatch))
             proc.start()
             child_conn.close()
             procs.append(proc)

@@ -103,15 +103,21 @@ class FederationService(LineService):
              "RELOAD", "PIPELINE", "STATS", "QUIT")
 
     def __init__(self, shards, default_source: str | None = None,
-                 require_format: int | None = None):
+                 require_format: int | None = None,
+                 dispatch: str = "fsm"):
         """``shards`` maps shard names to snapshot paths (or is an
         iterable of :class:`Shard` / :class:`BackendShard` objects —
         remote backends need the async :meth:`create` constructor).
         ``require_format`` pins every shard's snapshot format — at
-        startup and on every later ATTACH/RELOAD."""
+        startup and on every later ATTACH/RELOAD.  ``dispatch``
+        selects the suffix-dispatch engine for the ownership index
+        and every locally-served shard table: ``fsm`` (the compiled
+        automaton, default) or ``dict`` (the original walk — the
+        differential oracle, ``serve --dispatch dict``)."""
         super().__init__(require_format=require_format)
+        self.dispatch = dispatch
         if isinstance(shards, dict):
-            shards = [Shard.open(name, path)
+            shards = [Shard.open(name, path, dispatch=dispatch)
                       for name, path in sorted(shards.items())]
         else:
             shards = list(shards)
@@ -122,7 +128,7 @@ class FederationService(LineService):
             # shards duck-type the reader's version/path attributes,
             # so the format pin applies to backends identically
             self._check_format(shard)
-        self.view = FederationView(shards)
+        self.view = FederationView(shards, dispatch=dispatch)
         if default_source is None:
             first = next(iter(self.view.shards.values()))
             sources = first.sources()
@@ -139,6 +145,12 @@ class FederationService(LineService):
         self.lookups = 0
         self.hits = 0
         self.misses = 0
+        #: Suffix dispatches answered through the compiled automaton
+        #: path that matched / missed — service-owned, so per-shard
+        #: RELOADs and view swaps never reset them; both stay 0 in
+        #: ``dict`` mode.
+        self.fsm_hits = 0
+        self.fsm_misses = 0
         self.federated = 0
         self.reloads = 0
         self.attaches = 0
@@ -170,7 +182,8 @@ class FederationService(LineService):
                      default_source: str | None = None,
                      require_format: int | None = None,
                      pool_size: int = 2,
-                     pipeline: bool = True) -> "FederationService":
+                     pipeline: bool = True,
+                     dispatch: str = "fsm") -> "FederationService":
         """Build a service over local snapshots *and* remote backends.
 
         ``shards`` maps shard names to snapshot paths (served in
@@ -180,8 +193,10 @@ class FederationService(LineService):
         ``pool_size`` is the per-backend connection pool width;
         ``pipeline=False`` forces the lockstep wire protocol even
         against a backend daemon that would negotiate tagging.
+        ``dispatch`` picks the suffix-dispatch engine (see
+        :class:`FederationService`).
         """
-        objs: list = [Shard.open(name, path)
+        objs: list = [Shard.open(name, path, dispatch=dispatch)
                       for name, path in sorted((shards or {}).items())]
         for name, spec in sorted((backends or {}).items()):
             addr = parse_backend_spec(spec)
@@ -194,7 +209,7 @@ class FederationService(LineService):
                                    pipeline=pipeline)
             objs.append(await BackendShard.connect(name, backend))
         service = cls(objs, default_source=default_source,
-                      require_format=require_format)
+                      require_format=require_format, dispatch=dispatch)
         service.backend_pool_size = pool_size
         service.backend_pipeline = pipeline
         for name, shard in service.view.shards.items():
@@ -225,6 +240,7 @@ class FederationService(LineService):
         """
         view = self.view  # pin one federation picture for this request
         self.lookups += 1
+        fsm = self.dispatch != "dict"
         if view.home_shard(source) is None:
             self.misses += 1
             raise SnapshotError(f"no shard owns source {source!r}")
@@ -233,8 +249,12 @@ class FederationService(LineService):
                 source, target, "%s" if user is None else user)
         except RouteError:  # includes FederationError
             self.misses += 1
+            if fsm:
+                self.fsm_misses += 1
             raise
         self.hits += 1
+        if fsm:
+            self.fsm_hits += 1
         if fed.federated:
             self.federated += 1
         return fed.cost, fed.resolution
@@ -297,7 +317,7 @@ class FederationService(LineService):
             await self._subscribe_backend(name, backend)
             return shard
         reader = await asyncio.to_thread(SnapshotReader.open, spec)
-        shard = Shard(name, reader)
+        shard = Shard(name, reader, dispatch=self.dispatch)
         self._check_format(shard)
         return shard
 
@@ -442,7 +462,7 @@ class FederationService(LineService):
             else:
                 reader = await asyncio.to_thread(SnapshotReader.open,
                                                  snapshot_path)
-                shard = Shard(name, reader)
+                shard = Shard(name, reader, dispatch=self.dispatch)
                 self._check_format(shard)
             self.view = self.view.with_shard(shard)
             self.reloads += 1
@@ -473,6 +493,9 @@ class FederationService(LineService):
             for name, backend in backends)
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} federated={self.federated} "
+                f"dispatch={self.dispatch} "
+                f"n_fsm_hits={self.fsm_hits} "
+                f"n_fsm_misses={self.fsm_misses} "
                 f"reloads={self.reloads} resyncs={self.resyncs} "
                 f"attaches={self.attaches} "
                 f"detaches={self.detaches} "
@@ -596,7 +619,8 @@ def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
                           source: str | None = None,
                           require_format: int | None = None,
                           backends: dict | None = None,
-                          pipeline: bool = True) -> int:
+                          pipeline: bool = True,
+                          dispatch: str = "fsm") -> int:
     """Blocking entry point for ``pathalias serve --shard/--backend``.
 
     ``shards`` maps names to local snapshot paths, ``backends`` maps
@@ -615,7 +639,8 @@ def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
     async def main() -> None:
         service = await FederationService.create(
             shards=shards, backends=backends, default_source=source,
-            require_format=require_format, pipeline=pipeline)
+            require_format=require_format, pipeline=pipeline,
+            dispatch=dispatch)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         names = ",".join(service.view.shard_names())

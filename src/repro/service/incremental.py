@@ -377,9 +377,29 @@ def update_snapshot(old: str | Path | SnapshotReader,
     payloads, engine = map_sources(new_cg, affected,
                                    payload_for_format(out_fmt),
                                    cfg, jobs)
+
+    def reusable_dfsm(source: str, records) -> bytes | None:
+        """The old section's compiled-dispatch block, when the record
+        name set is unchanged (always, for a cost-only revision:
+        reachability is cost-independent).  The block is a pure
+        function of the sorted names, so splicing it skips the
+        recompile while staying byte-identical to one."""
+        if out_fmt == 1:
+            return None
+        old_table = reader.table(source)
+        stored = old_table.dfsm_bytes()
+        if stored is None:
+            return None
+        names = sorted((name for _, name, _ in records),
+                       key=lambda n: n.encode("utf-8"))
+        if names != old_table.record_names():
+            return None
+        return stored
+
     fresh = {
         source: encode_table_section(records, unreachable, pairs,
-                                     states, fmt=out_fmt)
+                                     states, fmt=out_fmt,
+                                     dfsm=reusable_dfsm(source, records))
         for source, (records, unreachable, pairs, states)
         in zip(affected, payloads)}
     table_sections = [

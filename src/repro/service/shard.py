@@ -65,8 +65,14 @@ from repro.errors import (
     RouteError,
     UnknownShardError,
 )
+from repro.service.fsm import SuffixAutomaton, compile_keys
 from repro.service.resolver import Resolution, domain_suffixes
 from repro.service.store import SnapshotReader
+
+#: Dispatch modes a shard/view can resolve suffixes with: ``fsm`` (the
+#: compiled automaton, default) or ``dict`` (the original walk — kept
+#: as a live differential oracle, selectable via ``serve --dispatch``).
+DISPATCH_MODES = ("fsm", "dict")
 
 
 def drive_local(coro):
@@ -103,17 +109,20 @@ class Shard:
     #: get their answers prefetched speculatively.
     remote = False
 
-    def __init__(self, name: str, reader: SnapshotReader):
+    def __init__(self, name: str, reader: SnapshotReader,
+                 dispatch: str = "fsm"):
         self.name = name
         self.reader = reader
+        self.dispatch = dispatch
         self._sources = reader.sources()
         self._source_set = frozenset(self._sources)
         self._domains = reader.domain_names()
 
     @classmethod
-    def open(cls, name: str, path: str | Path) -> "Shard":
+    def open(cls, name: str, path: str | Path,
+             dispatch: str = "fsm") -> "Shard":
         """Open the snapshot at ``path`` as the shard called ``name``."""
-        return cls(name, SnapshotReader.open(path))
+        return cls(name, SnapshotReader.open(path), dispatch=dispatch)
 
     def sources(self) -> list[str]:
         """Hosts with route tables in this shard, in sorted order."""
@@ -218,9 +227,17 @@ class Shard:
         The template is the resolution's *address with the ``%s``
         left in place* — domain-gateway rewriting already applied —
         which is exactly the text the stitcher substitutes.
+
+        Dispatches through the table's compiled automaton, or the
+        original dict walk when the shard was opened with
+        ``dispatch="dict"`` (the differential-oracle mode).
         """
+        table = self.table(entry)
         try:
-            cost, res = self.table(entry).resolve_with_cost(target, "%s")
+            if self.dispatch == "dict":
+                cost, res = table.resolve_with_cost_dict(target, "%s")
+            else:
+                cost, res = table.resolve_with_cost(target, "%s")
         except RouteError:
             return None
         return cost, res.address, res.matched
@@ -266,7 +283,7 @@ class FederationView:
     view) can never mix two snapshot generations inside one request.
     """
 
-    def __init__(self, shards):
+    def __init__(self, shards, dispatch: str = "fsm"):
         ordered = sorted(shards, key=lambda s: s.name)
         self.shards: dict[str, Shard] = {}
         for shard in ordered:
@@ -280,6 +297,13 @@ class FederationView:
                 owners.setdefault(name, set()).add(shard.name)
         self._owners = {name: tuple(sorted(names))
                         for name, names in owners.items()}
+        self._dispatch = dispatch
+        # the compiled ownership matcher, built lazily on the first
+        # suffix dispatch (exact-name surfaces never need it, and a
+        # dict-mode view never pays for it)
+        self._owner_auto: SuffixAutomaton | None = None
+        self._owner_match = None
+        self._owner_pairs: list[tuple] | None = None
         self._gateways: dict[tuple[str, str], tuple] = {}
         names = list(self.shards)
         for i, a in enumerate(names):
@@ -313,13 +337,44 @@ class FederationView:
         """Hosts with route tables in both shard ``a`` and shard ``b``."""
         return self._gateways.get((a, b), ())
 
+    @property
+    def dispatch(self) -> str:
+        """This view's suffix-dispatch mode (``fsm`` or ``dict``)."""
+        return self._dispatch
+
+    def _owner_automaton(self) -> SuffixAutomaton:
+        """The compiled matcher over the merged ownership index
+        (cached): the ``(key, owning shard names)`` answer pairs are
+        mapped straight into the matcher's nodes, so a hit *is* the
+        answer — no post-lookup indexing."""
+        auto = self._owner_auto
+        if auto is None:
+            keys = sorted(self._owners, key=lambda n: n.encode("utf-8"))
+            self._owner_pairs = [(k, self._owners[k]) for k in keys]
+            auto = compile_keys(keys)
+            self._owner_auto = auto
+            self._owner_match = auto.matcher(
+                payloads=self._owner_pairs, default=("", ()))
+        return auto
+
     def owners_of(self, target: str) -> tuple[str, tuple]:
         """``(matched key, owning shard names)`` for a destination.
 
-        Walks the domain-suffix sequence over the merged source/domain
-        index; the first (longest) key present wins.  Returns
-        ``("", ())`` when no suffix is known to any shard.
+        The paper's domain-suffix dispatch over the merged
+        source/domain index: the longest key present wins (the exact
+        name beats any suffix).  In ``fsm`` mode — the default — one
+        O(labels) automaton match answers; ``dict`` mode walks
+        :func:`~repro.service.resolver.domain_suffixes` probe by probe
+        (the differential oracle; both are asserted to agree on every
+        surface).  Returns ``("", ())`` when no suffix is known to any
+        shard.
         """
+        if self._dispatch != "dict":
+            match = self._owner_match
+            if match is None:
+                self._owner_automaton()
+                match = self._owner_match
+            return match(target)
         for key in domain_suffixes(target):
             names = self._owners.get(key)
             if names:
@@ -364,33 +419,55 @@ class FederationView:
         """
         if shard.name not in self.shards:
             return FederationView(
-                list(self.shards.values()) + [shard])
+                list(self.shards.values()) + [shard],
+                dispatch=self._dispatch)
         return self._with_replaced(shard)
 
     def _with_replaced(self, shard: Shard) -> "FederationView":
         """Clone this view with one same-named shard swapped, patching
         ``_owners``/``_gateways``/``_all_gates`` for just that shard's
         entries — byte-equivalent to a full rebuild, O(one shard's
-        names) instead of O(every shard's)."""
+        names) instead of O(every shard's).
+
+        When the replacement's routing index is unchanged (the
+        cost-only churn hot path: revisions reprice links without
+        renaming hosts), the merged ownership structures — the
+        compiled owner automaton included — are *shared* with this
+        view, so per-event swap cost stays independent of federation
+        size; otherwise the automaton cache resets and recompiles
+        lazily on the next suffix dispatch.
+        """
         old = self.shards[shard.name]
         view = object.__new__(FederationView)
         view.shards = {name: (shard if name == shard.name else s)
                        for name, s in self.shards.items()}
-        owners = dict(self._owners)
-        for name, _is_domain in old.routing_index():
-            names = owners.get(name)
-            if names is None:
-                continue
-            remaining = tuple(n for n in names if n != shard.name)
-            if remaining:
-                owners[name] = remaining
-            else:
-                del owners[name]
-        for name, _is_domain in shard.routing_index():
-            names = owners.get(name, ())
-            if shard.name not in names:
-                owners[name] = tuple(sorted(names + (shard.name,)))
-        view._owners = owners
+        view._dispatch = self._dispatch
+        old_index = old.routing_index()
+        new_index = shard.routing_index()
+        if old_index == new_index:
+            view._owners = self._owners
+            view._owner_auto = self._owner_auto
+            view._owner_match = self._owner_match
+            view._owner_pairs = self._owner_pairs
+        else:
+            owners = dict(self._owners)
+            for name, _is_domain in old_index:
+                names = owners.get(name)
+                if names is None:
+                    continue
+                remaining = tuple(n for n in names if n != shard.name)
+                if remaining:
+                    owners[name] = remaining
+                else:
+                    del owners[name]
+            for name, _is_domain in new_index:
+                names = owners.get(name, ())
+                if shard.name not in names:
+                    owners[name] = tuple(sorted(names + (shard.name,)))
+            view._owners = owners
+            view._owner_auto = None
+            view._owner_match = None
+            view._owner_pairs = None
         gateways = dict(self._gateways)
         for other, other_shard in view.shards.items():
             if other == shard.name:
@@ -414,7 +491,8 @@ class FederationView:
         if name not in self.shards:
             raise UnknownShardError(f"no shard named {name!r}")
         return FederationView(
-            [s for sname, s in self.shards.items() if sname != name])
+            [s for sname, s in self.shards.items() if sname != name],
+            dispatch=self._dispatch)
 
     # -- the federated query ---------------------------------------------------
 

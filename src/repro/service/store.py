@@ -22,8 +22,10 @@ no mapping, no per-line scan:
 * each **table section** is self-contained; in format **v2** (the
   default) it is a directory of tagged blocks — route records
   (``RECS``), unreachable hosts (``UNRC``), tree links (``TREE``),
-  the mapper's full per-state cost/kind records (``STAT``), and the
-  section-local string blob (``BLOB``).  The ``STAT`` block is what
+  the mapper's full per-state cost/kind records (``STAT``), the
+  section-local string blob (``BLOB``), and the compiled
+  suffix-dispatch automaton (``DFSM``, optional on read — see
+  :mod:`repro.service.fsm`).  The ``STAT`` block is what
   v1 threw away: the exact final cost (and state kind, flags, and
   tree-parent link id) for *every* labeled state — nets, domains, and
   private shadows included — which is what lets
@@ -67,9 +69,16 @@ from repro.core.fastmap import (
     state_costs,
     tree_link_pairs,
 )
-from repro.errors import PathaliasError
+from repro.errors import PathaliasError, RouteError
 from repro.graph.build import Graph
 from repro.graph.compact import CompactGraph
+from repro.service.fsm import (
+    NAME_F_DOMAIN,
+    AutomatonError,
+    FlatSuffixAutomaton,
+    SuffixAutomaton,
+    compile_keys,
+)
 from repro.service.resolver import Resolution, SuffixResolver
 
 MAGIC = b"PATHSNP1"
@@ -82,8 +91,10 @@ SUPPORTED_VERSIONS = (1, 2)
 
 #: The tagged blocks a v2 table section is made of, in emission order.
 #: ``docs/snapshot-format.md`` must document exactly these tags —
-#: ``tools/check_docs.py`` enforces it.
-TABLE_SECTION_TAGS = ("RECS", "UNRC", "TREE", "STAT", "BLOB")
+#: ``tools/check_docs.py`` enforces it.  ``DFSM`` (the compiled
+#: suffix-automaton dispatch block) is *optional on read*: pre-PR-9
+#: v2 files lack it and lazily compile the automaton in memory.
+TABLE_SECTION_TAGS = ("RECS", "UNRC", "TREE", "STAT", "BLOB", "DFSM")
 
 #: header flag bits
 FLAG_SECOND_BEST = 1
@@ -257,7 +268,8 @@ def decode_meta_section(data: bytes) -> HeuristicConfig:
 
 
 def encode_table_section(records, unreachable, tree_links,
-                         states=(), fmt: int = VERSION) -> bytes:
+                         states=(), fmt: int = VERSION,
+                         dfsm: bytes | None = None) -> bytes:
     """Encode one source's table in the requested format.
 
     ``records`` is ``(cost, name, route)`` tuples (any order — they are
@@ -265,6 +277,15 @@ def encode_table_section(records, unreachable, tree_links,
     name list, ``tree_links`` ``(from, to)`` pairs, and ``states`` the
     per-state records from :func:`repro.core.fastmap.state_costs`
     (ignored by the v1 layout, which has nowhere to put them).
+
+    For v2 the section also carries a ``DFSM`` block — the record
+    names compiled into a serialized suffix automaton
+    (:mod:`repro.service.fsm`), built here once so every later open
+    maps it zero-copy.  ``dfsm`` lets the incremental updater splice a
+    previous section's block verbatim when the record *name set* is
+    unchanged; since the encoding is a pure function of the sorted
+    name sequence, a spliced block is byte-identical to a recompiled
+    one (and asserted so in the tests).
     """
     _check_format(fmt)
     pool = _StringPool()
@@ -289,8 +310,11 @@ def encode_table_section(records, unreachable, tree_links,
     stat = b"".join(
         _STATE.pack(cid, cost, parent, flags, kind)
         for cid, flags, kind, cost, parent in states)
+    if dfsm is None:
+        dfsm = compile_keys(
+            [name for _, name, _ in by_name]).to_bytes()
     blocks = dict(RECS=recs, UNRC=unrc, TREE=tree, STAT=stat,
-                  BLOB=blob)
+                  BLOB=blob, DFSM=dfsm)
     parts = [struct.pack("<I", len(TABLE_SECTION_TAGS))]
     parts += [_TAG.pack(tag.encode("ascii"), len(blocks[tag]))
               for tag in TABLE_SECTION_TAGS]
@@ -314,10 +338,16 @@ class SnapshotTable(SuffixResolver):
     Destination lookup is a binary search over the fixed-width record
     entries, comparing UTF-8 name bytes in the section's string blob —
     the "format appropriate for rapid database retrieval" the paper
-    leaves as an exercise.  The suffix-search surface (``resolve`` /
-    ``resolve_with_cost`` / ``resolve_bang``) is inherited from
-    :class:`~repro.service.resolver.SuffixResolver` — the one shared
-    implementation behind every lookup surface.
+    leaves as an exercise.  The suffix-search surface
+    (:meth:`resolve_with_cost` and the inherited ``resolve`` /
+    ``resolve_bang``) dispatches through the section's compiled suffix
+    automaton (the ``DFSM`` block, inflated lazily on first use;
+    sections without one — v1, or v2 files written before the block
+    existed — compile it in memory from the record names), and is
+    byte-identical to the dict walk in
+    :class:`~repro.service.resolver.SuffixResolver`, which stays
+    reachable as :meth:`resolve_with_cost_dict` for differential
+    oracles.
 
     For v2 sections the mapper's per-state records are exposed through
     :meth:`state_records` / :meth:`state_cost_map` /
@@ -328,7 +358,8 @@ class SnapshotTable(SuffixResolver):
     __slots__ = ("source", "version", "_data", "_state_map",
                  "_rc", "_uc", "_tc", "_sc",
                  "_records_off", "_unreach_off", "_pairs_off",
-                 "_states_off", "_blob_off", "_file_off")
+                 "_states_off", "_blob_off", "_file_off",
+                 "_dfsm_off", "_dfsm_len", "_auto")
 
     def __init__(self, source: str, data, version: int = VERSION,
                  file_offset: int | None = None):
@@ -340,6 +371,9 @@ class SnapshotTable(SuffixResolver):
         self._data = data
         self._file_off = file_offset
         self._state_map: dict | None = None
+        self._dfsm_off = None
+        self._dfsm_len = 0
+        self._auto: SuffixAutomaton | None = None
         if version == 1:
             self._init_v1(data)
         else:
@@ -421,6 +455,34 @@ class SnapshotTable(SuffixResolver):
         self._states_off, length = blocks[b"STAT"]
         self._sc = length // _STATE.size
         self._blob_off, _ = blocks[b"BLOB"]
+        # DFSM is the optional compiled-dispatch block: absent in v2
+        # files written before it existed (the automaton is then
+        # compiled lazily in memory — every existing file keeps
+        # serving, byte-identically).
+        if b"DFSM" in blocks:
+            self._dfsm_off, self._dfsm_len = blocks[b"DFSM"]
+
+    def block_map(self) -> list[tuple[str, int, int]]:
+        """The section's tagged blocks as ``(tag, offset, length)`` in
+        directory order, offsets relative to the section start (v1
+        sections have no directory and report an empty list).  What
+        ``pathalias inspect`` prints and the format-compat CI job
+        asserts over."""
+        if self.version == 1:
+            return []
+        data = self._data
+        (tag_count,) = struct.unpack_from("<I", data, 0)
+        pos = 4
+        directory = []
+        for _ in range(tag_count):
+            tag, length = _TAG.unpack_from(data, pos)
+            pos += _TAG.size
+            directory.append((bytes(tag).decode("ascii"), length))
+        out = []
+        for tag, length in directory:
+            out.append((tag, pos, length))
+            pos += length
+        return out
 
     def __len__(self) -> int:
         return self._rc
@@ -475,6 +537,101 @@ class SnapshotTable(SuffixResolver):
         for i in range(self._rc):
             cost, noff, nlen, roff, rlen = self._record(i)
             yield cost, self._text(noff, nlen), self._text(roff, rlen)
+
+    def record_names(self) -> list[str]:
+        """The record names alone, in (sorted) record order — the key
+        sequence the section's ``DFSM`` block is compiled from, and
+        what the incremental updater compares to decide whether a
+        stored block can be spliced verbatim."""
+        out = []
+        for i in range(self._rc):
+            _, noff, nlen, _, _ = self._record(i)
+            out.append(self._text(noff, nlen))
+        return out
+
+    # -- compiled suffix dispatch ---------------------------------------------
+
+    @property
+    def has_automaton(self) -> bool:
+        """Whether this section carries a stored ``DFSM`` block (False
+        means :meth:`automaton` compiles one in memory on first use)."""
+        return self._dfsm_off is not None
+
+    def dfsm_bytes(self) -> bytes | None:
+        """The raw stored ``DFSM`` block as real ``bytes`` (splice
+        export, like :meth:`SnapshotReader.table_bytes`), or None for
+        sections without one."""
+        if self._dfsm_off is None:
+            return None
+        return bytes(self._data[self._dfsm_off:
+                                self._dfsm_off + self._dfsm_len])
+
+    def flat_automaton(self) -> FlatSuffixAutomaton | None:
+        """A zero-copy flat matcher over the stored ``DFSM`` block
+        (None when the section has no block).  Used by ``pathalias
+        inspect`` and the differential tests; the serving hot path
+        inflates instead (:meth:`automaton`)."""
+        if self._dfsm_off is None:
+            return None
+        try:
+            return FlatSuffixAutomaton(
+                self._data[self._dfsm_off:
+                           self._dfsm_off + self._dfsm_len])
+        except AutomatonError as exc:
+            raise SnapshotError(
+                f"table section for {self.source!r}{self._where()}: "
+                f"{exc}") from None
+
+    def automaton(self) -> SuffixAutomaton:
+        """The section's suffix-dispatch matcher (cached).
+
+        Inflated from the mapped ``DFSM`` block when the section has
+        one — a single linear pass, no trie rebuild — and compiled
+        from the record names otherwise (the lazy-build fallback that
+        keeps every pre-block snapshot serving).  Payloads are record
+        indexes into this section's sorted ``RECS`` array.
+        """
+        auto = self._auto
+        if auto is None:
+            flat = self.flat_automaton()
+            if flat is not None:
+                auto = flat.inflate()
+            else:
+                auto = compile_keys(self.record_names())
+            self._auto = auto
+        return auto
+
+    def resolve_with_cost(self, target: str, user: str = "%s"
+                          ) -> tuple[int, Resolution]:
+        """Domain-suffix search through the compiled automaton.
+
+        One O(labels) match replaces the dict walk's per-suffix string
+        building and probing; the matched record, the cost, the
+        gateway-relative argument rule, and the miss error are all
+        byte-identical to :meth:`resolve_with_cost_dict` (continuously
+        asserted by the differential fuzz tests).
+        """
+        auto = self._auto
+        if auto is None:
+            auto = self.automaton()
+        idx = auto.match(target)
+        if idx < 0:
+            raise RouteError(f"no route to {target!r}")
+        cost, noff, nlen, roff, rlen = self._record(idx)
+        matched = self._text(noff, nlen)
+        route = self._text(roff, rlen)
+        argument = user if matched == target else f"{target}!{user}"
+        return cost, Resolution(
+            target=target, matched=matched, route=route,
+            address=route.replace("%s", argument, 1))
+
+    #: The original suffix-walk dispatch
+    #: (:meth:`~repro.service.resolver.SuffixResolver.resolve_with_cost`
+    #: over binary-searched probes) — the differential oracle the
+    #: automaton is measured and verified against, and what serves when
+    #: a daemon runs ``--dispatch dict``.  Aliased, not wrapped: the
+    #: method object *is* the shared implementation.
+    resolve_with_cost_dict = SuffixResolver.resolve_with_cost
 
     def unreachable(self) -> list[str]:
         """Host names this source could not reach."""
@@ -610,6 +767,8 @@ class SnapshotReader:
         self._tables: dict[str, SnapshotTable] = {}
         self._graph: CompactGraph | None = None
         self._domains: list[str] | None = None
+        self._index_auto: SuffixAutomaton | None = None
+        self._index_fsm: bytes | None = None
 
     def _validate(self, data) -> None:
         """Header, section-bounds, and payload-CRC checks — every
@@ -928,6 +1087,31 @@ class SnapshotReader:
         merged.sort()
         return merged
 
+    def index_automaton(self) -> SuffixAutomaton:
+        """The compiled ownership matcher over :meth:`routing_index`
+        (cached) — payloads are rows in that index.  What a local
+        :class:`~repro.service.shard.Shard` answers ``owns``-style
+        dispatch with, and the matcher serialized for the wire by
+        :meth:`index_fsm_bytes`."""
+        if self._index_auto is None:
+            self._index_auto = compile_keys(
+                [name for name, _ in self.routing_index()])
+        return self._index_auto
+
+    def index_fsm_bytes(self) -> bytes:
+        """The ownership index as a self-contained serialized ``DFSM``
+        block (cached): the routing-index names are embedded as the
+        payload table, domains flagged ``NAME_F_DOMAIN``.  This is
+        what ``TABLE --fsm`` ships, letting a federation front end
+        inflate a remote shard's index in one linear pass instead of
+        re-deriving dicts from text lines."""
+        if self._index_fsm is None:
+            index = self.routing_index()
+            self._index_fsm = self.index_automaton().to_bytes(
+                names=[(name, NAME_F_DOMAIN if is_domain else 0)
+                       for name, is_domain in index])
+        return self._index_fsm
+
     def __repr__(self) -> str:
         return (f"SnapshotReader({str(self.path)!r}, v{self.version}, "
                 f"{self.source_count} sources, {self.size} bytes)")
@@ -951,6 +1135,12 @@ class SnapshotResolver(SuffixResolver):
     def lookup(self, name: str) -> tuple[int, str] | None:
         """Exact-name binary search in the bound table."""
         return self._table.lookup(name)
+
+    def resolve_with_cost(self, target: str, user: str = "%s"
+                          ) -> tuple[int, Resolution]:
+        """Suffix search through the table's compiled automaton
+        (:meth:`SnapshotTable.resolve_with_cost`)."""
+        return self._table.resolve_with_cost(target, user)
 
     def source_table(self) -> str:
         """The bound source host."""

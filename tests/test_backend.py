@@ -229,6 +229,77 @@ class TestBackendShard:
 
         asyncio.run(scenario())
 
+    def test_connect_ships_the_compiled_index(self, shard_paths):
+        # the front end gets its ownership automaton over the wire
+        # (bulk TABLE --fsm), not by re-deriving dicts from the text
+        # index — and the shipped block answers like a local compile
+        async def scenario():
+            cluster = _Cluster()
+            spec = await cluster.start("arpa", shard_paths["arpa"])
+            host, port = parse_backend_spec(spec)
+            shard = await BackendShard.connect(
+                "arpa", ShardBackend("arpa", host, port))
+            assert shard.index_automaton is not None
+            local = Shard.open("arpa", shard_paths["arpa"])
+            index = local.routing_index()
+            assert shard.routing_index() == index
+            # payload i is position i of the shipped name table, and
+            # every index name is a literal key of the automaton
+            match = shard.index_automaton.matcher()
+            for i, (name, _is_domain) in enumerate(index):
+                assert match(name) == i
+            assert match("no.such.name.anywhere") == -1
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_pre_fsm_daemon_falls_back_to_text_index(self,
+                                                     shard_paths):
+        # an old daemon parses "--fsm" as a source name and answers
+        # ERR unknown-source; the client must fall back to TABLE text
+        async def scenario():
+            cluster = _Cluster()
+            spec = await cluster.start("arpa", shard_paths["arpa"])
+            host, port = parse_backend_spec(spec)
+            backend = ShardBackend("arpa", host, port)
+            real_call = backend._call_bulk
+
+            async def old_daemon(line):
+                if line == "TABLE --fsm":
+                    return "ERR unknown-source --fsm", []
+                return await real_call(line)
+
+            backend._call_bulk = old_daemon
+            shard = await BackendShard.connect("arpa", backend)
+            assert shard.index_automaton is None
+            local = Shard.open("arpa", shard_paths["arpa"])
+            assert shard.routing_index() == local.routing_index()
+            await cluster.close()
+
+        asyncio.run(scenario())
+
+    def test_corrupt_shipped_index_is_federation_error(self,
+                                                       shard_paths):
+        async def scenario():
+            cluster = _Cluster()
+            spec = await cluster.start("arpa", shard_paths["arpa"])
+            host, port = parse_backend_spec(spec)
+            backend = ShardBackend("arpa", host, port)
+            real_call = backend._call_bulk
+
+            async def corrupting(line):
+                if line == "TABLE --fsm":
+                    return "OK fsm 1", ["bm90LWEtYmxvY2s="]
+                return await real_call(line)
+
+            backend._call_bulk = corrupting
+            with pytest.raises(FederationError,
+                               match="corrupt index automaton"):
+                await BackendShard.connect("arpa", backend)
+            await cluster.close()
+
+        asyncio.run(scenario())
+
     def test_unreachable_backend_is_federation_error(self):
         async def scenario():
             backend = ShardBackend("ghost", "127.0.0.1", 1,

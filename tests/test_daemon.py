@@ -354,6 +354,13 @@ class TestHotSwapUnderLoad:
             stats = service.stats_line()
             assert f"n_route={clients * requests_per_client}" in stats
             assert f"n_reload={reloads}" in stats
+            # the compiled-dispatch counters ride the same bar: the
+            # default mode is fsm, every hit was counted, and ten hot
+            # swaps reset nothing
+            assert "dispatch=fsm" in stats
+            assert (f"n_fsm_hits={clients * requests_per_client}"
+                    in stats)
+            assert "n_fsm_misses=0" in stats
             server.close()
             await server.wait_closed()
             return results
@@ -418,6 +425,14 @@ class TestFederatedHotSwapUnderLoad:
 
             results = await asyncio.gather(
                 *(client(i) for i in range(clients)), reloader())
+            # the front end dispatches through the compiled automaton
+            # by default, and per-shard hot swaps must not reset the
+            # fsm counters any more than the others
+            stats = service.stats_line()
+            assert "dispatch=fsm" in stats
+            assert (f"n_fsm_hits={clients * requests_per_client}"
+                    in stats)
+            assert "n_fsm_misses=0" in stats
             server.close()
             await server.wait_closed()
             return results

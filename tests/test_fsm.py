@@ -1,0 +1,292 @@
+"""Compiled suffix-automaton dispatch: differential fuzz against the
+dict walk on every lookup surface.
+
+The automaton is a pure optimisation — its one contract is *byte
+identity* with the per-suffix dict walk
+(:meth:`repro.service.resolver.SuffixResolver.resolve_with_cost`).
+These tests hold that contract over randomized label sets: degenerate
+labels (empty, dotted edges), unicode-adjacent bytes, single-label
+hosts, deep subdomains, overlapping suffixes, and absent names.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pathalias import Pathalias
+from repro.errors import RouteError
+from repro.mailer.routedb import RouteDatabase
+from repro.service.fsm import (
+    FSM_MAGIC,
+    NAME_F_DOMAIN,
+    AutomatonError,
+    FlatSuffixAutomaton,
+    SuffixAutomaton,
+    compile_keys,
+    load,
+)
+from repro.service.resolver import domain_suffixes
+from repro.service.shard import FederationView, Shard
+from repro.service.store import SnapshotReader, build_snapshot
+
+
+# -- the oracle ---------------------------------------------------------------
+
+def walk_match(keys: set, target: str) -> str | None:
+    """The paper's dict walk, verbatim: the first present suffix key
+    (exact name first, then each leading-dot domain suffix)."""
+    for key in domain_suffixes(target):
+        if key in keys:
+            return key
+    return None
+
+
+LABELS = [
+    "a", "b", "ab", "edu", "com", "rutgers", "caip", "x",
+    "seismo", "ihnp4", "",            # empty label: "a..b" forms
+    "münchen", "café",      # unicode-adjacent bytes
+    "xn--node", "very-long-label-with-many-characters",
+]
+
+
+def random_name(rng: random.Random, depth: int) -> str:
+    return ".".join(rng.choice(LABELS) for _ in range(depth))
+
+
+def random_key_set(rng: random.Random, n: int) -> list[str]:
+    """Mixed exact-host and leading-dot domain keys, deduplicated,
+    biased toward overlapping suffix chains."""
+    keys: set = set()
+    while len(keys) < n:
+        name = random_name(rng, rng.randint(1, 5))
+        if not name:
+            continue
+        if rng.random() < 0.4:
+            keys.add("." + name)
+        else:
+            keys.add(name)
+        # half the time, also insert a suffix of what we just made,
+        # so deep/shallow domain keys compete for the same targets
+        if rng.random() < 0.5 and "." in name:
+            keys.add("." + name.split(".", 1)[1])
+    return sorted(keys, key=lambda k: k.encode("utf-8"))
+
+
+def probe_targets(rng: random.Random, keys: list) -> list:
+    """Hits, near-misses, subdomain extensions, and absent names."""
+    out = []
+    for key in keys:
+        out.append(key)                       # the key itself
+        out.append(key.lstrip("."))           # dotless twin
+        out.append(random_name(rng, 1) + key if key.startswith(".")
+                   else "sub." + key)         # deeper than the key
+    for _ in range(len(keys)):
+        out.append(random_name(rng, rng.randint(1, 6)))  # mostly absent
+    out.extend(["", ".", "..", "a.", ".a", "a..b", "!weird"])
+    return out
+
+
+# -- the matcher alone --------------------------------------------------------
+
+class TestMatcherDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_match_agrees_with_walk(self, seed):
+        rng = random.Random(seed)
+        keys = random_key_set(rng, 40)
+        auto = compile_keys(keys)
+        flat = load(auto.to_bytes())
+        inflated = flat.inflate()
+        for target in probe_targets(rng, keys):
+            expect = walk_match(set(keys), target)
+            for impl in (auto, flat, inflated):
+                idx = impl.match(target)
+                got = keys[idx] if idx >= 0 else None
+                assert got == expect, (
+                    f"seed={seed} target={target!r}: "
+                    f"{type(impl).__name__} matched {got!r}, "
+                    f"walk matched {expect!r}")
+
+    def test_exact_beats_domain(self):
+        keys = [".edu", "a.edu"]             # payload = position in list
+        auto = compile_keys(keys)
+        assert keys[auto.match("a.edu")] == "a.edu"
+        assert keys[auto.match("b.edu")] == ".edu"
+        assert auto.match("edu") == -1       # ".edu" covers *.edu only
+
+    def test_leading_dot_target_hits_literal_key(self):
+        # a leading-dot *target* can match a leading-dot key exactly
+        keys = sorted([".edu", ".rutgers.edu"],
+                      key=lambda k: k.encode("utf-8"))
+        auto = compile_keys(keys)
+        assert keys[auto.match(".rutgers.edu")] == ".rutgers.edu"
+        assert keys[auto.match(".other.edu")] == ".edu"
+
+    def test_empty_keyset(self):
+        auto = compile_keys([])
+        assert auto.match("anything") == -1
+        flat = load(auto.to_bytes())
+        assert flat.match("anything") == -1
+
+
+# -- serialization ------------------------------------------------------------
+
+class TestSerialization:
+    def test_round_trip_is_deterministic(self):
+        # the block is a pure function of the (sorted) key sequence:
+        # recompile → same bytes; inflate → recompile → same bytes
+        rng = random.Random(99)
+        keys = random_key_set(rng, 30)
+        blob = compile_keys(keys).to_bytes()
+        assert blob == compile_keys(list(keys)).to_bytes()
+        assert blob.startswith(FSM_MAGIC)
+        assert load(blob).inflate().to_bytes() == blob
+
+    def test_names_round_trip(self):
+        names = [("a.edu", 0), (".edu", NAME_F_DOMAIN)]
+        auto = compile_keys([n for n, _ in names])
+        blob = auto.to_bytes(names=names)
+        assert load(blob).names() == names
+
+    def test_corrupt_blobs_are_refused(self):
+        blob = compile_keys(["a.b"]).to_bytes()
+        with pytest.raises(AutomatonError):
+            load(b"NOPE" + blob[4:])
+        with pytest.raises(AutomatonError):
+            load(blob[:20])
+        with pytest.raises(AutomatonError):
+            load(b"")
+
+
+# -- the snapshot surface -----------------------------------------------------
+
+MAP = """\
+a b(3), c(5), .edu(9)
+b c(2), caip.rutgers.edu(4)
+caip.rutgers.edu .rutgers.edu(1), deep.sub.example.com(7)
+c a(1), single(2)
+"""
+
+
+@pytest.fixture(scope="module")
+def reader(tmp_path_factory):
+    graph = Pathalias().build([("d.map", MAP)])
+    out = tmp_path_factory.mktemp("fsm") / "fsm.snap"
+    build_snapshot(graph, out)
+    return SnapshotReader.open(out)
+
+
+class TestSnapshotTableDifferential:
+    def test_stored_block_serves_lookups(self, reader):
+        table = reader.table("a")
+        assert table.has_automaton
+        assert table.flat_automaton() is not None
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_resolve_agrees_with_dict_walk(self, reader, seed):
+        rng = random.Random(seed)
+        for source in reader.sources():
+            table = reader.table(source)
+            targets = probe_targets(rng, table.record_names())
+            for target in targets:
+                try:
+                    expect = table.resolve_with_cost_dict(target, "u")
+                except RouteError as exc:
+                    with pytest.raises(RouteError) as err:
+                        table.resolve_with_cost(target, "u")
+                    assert str(err.value) == str(exc)
+                else:
+                    assert table.resolve_with_cost(target, "u") \
+                        == expect
+
+    def test_v1_snapshot_lazily_compiles(self, tmp_path):
+        graph = Pathalias().build([("d.map", MAP)])
+        out = tmp_path / "v1.snap"
+        build_snapshot(graph, out, fmt=1)
+        table = SnapshotReader.open(out).table("a")
+        assert not table.has_automaton
+        assert table.dfsm_bytes() is None
+        # ...but the automaton surface still answers, identically
+        assert table.resolve_with_cost("b", "u") \
+            == table.resolve_with_cost_dict("b", "u")
+        with pytest.raises(RouteError):
+            table.resolve_with_cost("nowhere.at.all", "u")
+
+
+# -- the federation ownership surface -----------------------------------------
+
+class TestFederationViewDifferential:
+    @pytest.fixture(scope="class")
+    def snaps(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("fed")
+        east = "a b(1), .edu(4)\nb a(1)\n"
+        west = "c d(2), .rutgers.edu(3)\nd c(2), a(9)\n"
+        paths = {}
+        for name, text in (("east", east), ("west", west)):
+            graph = Pathalias().build([(f"{name}.map", text)])
+            out = tmp / f"{name}.snap"
+            build_snapshot(graph, out)
+            paths[name] = out
+        return paths
+
+    def test_owners_of_fsm_equals_dict(self, snaps):
+        fsm = FederationView(
+            [Shard.open(n, p) for n, p in snaps.items()])
+        oracle = FederationView(
+            [Shard.open(n, p, dispatch="dict")
+             for n, p in snaps.items()], dispatch="dict")
+        assert fsm.dispatch == "fsm" and oracle.dispatch == "dict"
+        targets = ["a", "b", "c", "d", "x.edu", "y.rutgers.edu",
+                   "deep.x.rutgers.edu", "nowhere", ".edu", "edu",
+                   "a.b.c.d", ""]
+        for target in targets:
+            assert fsm.owners_of(target) == oracle.owners_of(target), \
+                f"owners_of({target!r}) diverged"
+
+    def test_dispatch_survives_shard_swap(self, snaps):
+        view = FederationView(
+            [Shard.open(n, p) for n, p in snaps.items()])
+        replaced = view._with_replaced(
+            Shard.open("east", snaps["east"]))
+        assert replaced.dispatch == view.dispatch
+        assert replaced.owners_of("x.edu") == view.owners_of("x.edu")
+
+
+# -- the in-memory mailer surface ---------------------------------------------
+
+class TestRouteDatabaseDifferential:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_resolve_agrees_with_walk(self, seed):
+        rng = random.Random(1000 + seed)
+        keys = random_key_set(rng, 25)
+        db = RouteDatabase({k: f"{k}!%s" for k in keys},
+                           costs={k: i for i, k in enumerate(keys)})
+        for target in probe_targets(rng, keys):
+            try:
+                expect = db.resolve_with_cost_dict(target, "u")
+            except RouteError:
+                with pytest.raises(RouteError):
+                    db.resolve_with_cost(target, "u")
+            else:
+                assert db.resolve_with_cost(target, "u") == expect
+
+
+# -- incremental splice -------------------------------------------------------
+
+class TestIncrementalSplice:
+    def test_cost_only_update_reuses_dfsm_bytes(self, tmp_path):
+        from repro.service.incremental import update_snapshot
+
+        base = "a b(3), c(5)\nb c(2)\nc a(1)\n"
+        revised = "a b(4), c(5)\nb c(2)\nc a(1)\n"
+        old = tmp_path / "old.snap"
+        new = tmp_path / "new.snap"
+        build_snapshot(Pathalias().build([("d.map", base)]), old)
+        reader = SnapshotReader.open(old)
+        update_snapshot(reader, Pathalias().build(
+            [("d.map", revised)]), new)
+        old_r, new_r = SnapshotReader.open(old), SnapshotReader.open(new)
+        for source in new_r.sources():
+            assert new_r.table(source).dfsm_bytes() \
+                == old_r.table(source).dfsm_bytes()

@@ -28,7 +28,11 @@ falls back to a full rebuild.  This driver is the serving half:
 4. after every generation, a **differential invariant checker**
    replays sampled SOURCE/ROUTE/EXACT probes over the wire and
    byte-compares each reply against an independent in-process oracle
-   federation holding the same generation's snapshots; every
+   federation holding the same generation's snapshots — the oracle is
+   pinned to ``dispatch="dict"`` (the paper's per-suffix walk), so
+   when the cluster under test runs the default compiled automaton
+   every probe also differentially proves the FSM against the dict
+   walk; every
    ``--oracle-every`` generations the touched shard's snapshot is
    additionally rebuilt from scratch and byte-compared against the
    incrementally-updated file;
@@ -145,7 +149,7 @@ class Conn:
             pass
 
 
-def _spawn_shard_daemon(snapshot_path: str):
+def _spawn_shard_daemon(snapshot_path: str, dispatch: str = "fsm"):
     """One ``pathalias serve`` subprocess on an ephemeral port;
     returns ``(proc, (host, port))`` parsed from its startup line."""
     import os
@@ -156,7 +160,7 @@ def _spawn_shard_daemon(snapshot_path: str):
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", snapshot_path,
-         "--port", "0"],
+         "--port", "0", "--dispatch", dispatch],
         stderr=subprocess.PIPE, text=True, env=env)
     chatter = []
     while True:
@@ -319,7 +323,8 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
             "event log failed to round-trip its own stream")
 
     print(f"soak: {args.nodes} nodes, {scenario.regions} shards, "
-          f"{len(scenario.stream)} events, seed {args.seed}"
+          f"{len(scenario.stream)} events, seed {args.seed}, "
+          f"dispatch={args.dispatch} (oracle: dict)"
           + (", backend daemons" if args.backend else ", local"),
           flush=True)
 
@@ -342,13 +347,15 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
             specs = {}
             for name in scenario.shard_names:
                 proc, addr = await asyncio.to_thread(
-                    _spawn_shard_daemon, paths[name])
+                    _spawn_shard_daemon, paths[name], args.dispatch)
                 procs.append(proc)
                 specs[name] = f"{addr[0]}:{addr[1]}"
             front = await FederationService.create(
-                backends=specs, pipeline=not args.no_pipeline)
+                backends=specs, pipeline=not args.no_pipeline,
+                dispatch=args.dispatch)
         else:
-            front = FederationService(dict(paths))
+            front = FederationService(dict(paths),
+                                      dispatch=args.dispatch)
         server = await serve(front, "127.0.0.1", 0)
         addr = server.sockets[0].getsockname()[:2]
         if args.backend:
@@ -357,7 +364,10 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
                 backend_admin[name] = await Conn.open(host, int(port))
 
         # -- the independent oracle -----------------------------------
-        oracle = FederationService(dict(paths))
+        # pinned to the dict walk: with the cluster under test on the
+        # default compiled automaton, every differential probe also
+        # proves the FSM against the paper's per-suffix dispatch
+        oracle = FederationService(dict(paths), dispatch="dict")
 
         # -- clients --------------------------------------------------
         stop = asyncio.Event()
@@ -481,6 +491,7 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
         "events": len(scenario.stream),
         "seed": args.seed,
         "backend": args.backend,
+        "dispatch": args.dispatch,
         "reloads": reloads,
         "resyncs": front.resyncs,
         "scratch_oracle_checks": scratch_checks,
@@ -511,6 +522,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", action="store_true",
                         help="spawn one shard daemon per region and "
                              "reload them directly (NOTIFY path)")
+    parser.add_argument("--dispatch", choices=("fsm", "dict"),
+                        default="fsm",
+                        help="suffix-dispatch engine for the cluster "
+                             "under test (the oracle always walks "
+                             "dicts, so the default differentially "
+                             "proves the compiled automaton)")
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--samples", type=int, default=6,
                         help="differential probes per generation")
