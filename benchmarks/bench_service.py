@@ -139,7 +139,7 @@ def bench_daemon(tmp: Path, clients: int, requests: int,
     base, alt = str(tmp / "base.snap"), str(tmp / "inc.snap")
 
     async def scenario() -> dict:
-        service = RouteService(base)
+        service = RouteService(base, cache_size=0)
         server = await serve(service)
         port = server.sockets[0].getsockname()[1]
         reader = SnapshotReader.open(base)
@@ -264,7 +264,8 @@ def bench_federation(tmp: Path, regions: int, hosts: int,
 
     async def scenario() -> dict:
         service = FederationService(paths,
-                                    default_source="r0h000")
+                                    default_source="r0h000",
+                                    cache_size=0)
         server = await serve(service)
         port = server.sockets[0].getsockname()[1]
 
@@ -331,7 +332,11 @@ def bench_federation(tmp: Path, regions: int, hosts: int,
 def _spawn_shard_daemon(snapshot_path: str,
                         extra_args: tuple = ()):
     """One `pathalias serve` subprocess on an ephemeral port; returns
-    ``(proc, "host:port")`` parsed from its startup line."""
+    ``(proc, "host:port")`` parsed from its startup line.
+
+    Spawned daemons serve with ``--no-cache`` so the bench legs keep
+    measuring the raw dispatch path; the cache has its own leg.
+    """
     import os
     import subprocess
 
@@ -340,7 +345,7 @@ def _spawn_shard_daemon(snapshot_path: str,
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", snapshot_path,
-         "--port", "0", *extra_args],
+         "--port", "0", "--no-cache", *extra_args],
         stderr=subprocess.PIPE, text=True, env=env)
     # scan for the listening line (warnings may precede it); EOF
     # means the child died and is the only startup failure
@@ -415,7 +420,8 @@ def bench_fanout(tmp: Path, regions: int, hosts: int,
 
     async def run_inprocess():
         return await hammer(
-            FederationService(paths, default_source="r0h000"))
+            FederationService(paths, default_source="r0h000",
+                              cache_size=0))
 
     in_total, in_seconds = asyncio.run(run_inprocess())
     in_rate = in_total / in_seconds if in_seconds > 0 else 0.0
@@ -431,7 +437,7 @@ def bench_fanout(tmp: Path, regions: int, hosts: int,
         async def run_fanout(pipeline: bool):
             service = await FederationService.create(
                 backends=backends, default_source="r0h000",
-                pipeline=pipeline)
+                pipeline=pipeline, cache_size=0)
             total, elapsed = await hammer(service)
             shards = service.view.shards.values()
             roundtrips = sum(s.backend.requests for s in shards)
@@ -828,6 +834,124 @@ def bench_dispatch(sizes: list, probes: int) -> dict:
     return out
 
 
+def bench_cache(tmp: Path, nodes: int, probes: int) -> dict:
+    """The generation-stamped result cache: hot-pair speedup, hit
+    ratio under power-law skew, and invalidation cost.
+
+    One churn-shaped federation (the soak generator's topology, so
+    destinations include cross-shard stitches and domain-suffix
+    matches) serves the same traffic twice — uncached
+    (``cache_size=0``, the differential-oracle configuration) and
+    through the default bounded cache:
+
+    * **hot pair** — one (source, dest) hammered through
+      ``handle_line``; the cached-over-uncached speedup is the CI
+      gate (``--min-cache-speedup``), reproducing the paper-era
+      observation that query traffic concentrates while tables
+      change rarely.
+    * **skew** — ``probes`` power-law-skewed draws over the whole
+      destination inventory (the shape mail traffic actually has):
+      served hit ratio and per-lookup time with the default-sized
+      cache, versus the same draws uncached.
+    * **invalidation** — the O(1) generation bump timed over a cache
+      filled to capacity (no key scanning: the time must not scale
+      with the entry count), plus the first post-bump (refill)
+      lookup.
+    """
+    import random as _random
+
+    from repro.netsim.churn import ChurnParams, ChurnScenario
+    from repro.service.federation import FederationService
+
+    scenario = ChurnScenario(ChurnParams(nodes=nodes, events=1,
+                                         seed=11))
+    graphs = scenario.build_graphs()
+    paths: dict[str, str] = {}
+    t0 = time.perf_counter()
+    for name in scenario.shard_names:
+        paths[name] = str(tmp / f"cache-{name}.snap")
+        build_snapshot(graphs[name], paths[name])
+    build_s = time.perf_counter() - t0
+
+    async def measure() -> dict:
+        uncached = FederationService(dict(paths), cache_size=0)
+        cached = FederationService(dict(paths))
+        rng = _random.Random(5)
+        src, dst = next(iter(scenario.sample_pairs(rng, 1)))
+
+        async def hammer(svc, lines, warm: int = 10) -> float:
+            state = svc.initial_state()
+            await svc.handle_line(f"SOURCE {src}", state)
+            for line in lines[:warm]:
+                reply = await svc.handle_line(line, state)
+                assert reply.startswith("OK"), reply
+            t0 = time.perf_counter()
+            for line in lines:
+                await svc.handle_line(line, state)
+            return time.perf_counter() - t0
+
+        # -- hot pair ----------------------------------------------
+        hot = [f"ROUTE {dst} u"] * probes
+        unc_s = await hammer(uncached, hot)
+        hit_s = await hammer(cached, hot)
+
+        # -- power-law skew over the whole inventory ---------------
+        dests = scenario.destinations
+        draws = [f"ROUTE {dests[int(len(dests) * rng.random() ** 3)]}"
+                 for _ in range(probes)]
+        skew_unc_s = await hammer(uncached, draws, warm=0)
+        cache = cached.cache
+        h0, m0 = cache.hits, cache.misses
+        skew_hit_s = await hammer(cached, draws, warm=0)
+        dh, dm = cache.hits - h0, cache.misses - m0
+
+        # -- invalidation ------------------------------------------
+        # fill to capacity, then time the bump: an O(1) counter
+        # increment, never a scan of the 4096 live entries
+        state = cached.initial_state()
+        await cached.handle_line(f"SOURCE {src}", state)
+        for name in dests[:cache.size]:
+            await cached.handle_line(f"ROUTE {name}", state)
+        rounds = 1000
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            cache.bump()
+        bump_s = (time.perf_counter() - t0) / rounds
+        t0 = time.perf_counter()
+        await cached.handle_line(f"ROUTE {dst} u", state)
+        refill_s = time.perf_counter() - t0
+
+        return {
+            "nodes": nodes,
+            "shards": scenario.regions,
+            "probes": probes,
+            "cache_entries": cache.size,
+            "build_gen0_sec": round(build_s, 3),
+            "hot_pair": {
+                "uncached_us": round(unc_s / probes * 1e6, 2),
+                "cached_us": round(hit_s / probes * 1e6, 2),
+                "uncached_per_sec": round(probes / unc_s, 1),
+                "cached_per_sec": round(probes / hit_s, 1),
+                "speedup": round(unc_s / hit_s, 2)
+                if hit_s > 0 else None,
+            },
+            "skew": {
+                "hit_ratio": round(dh / (dh + dm), 4)
+                if dh + dm else None,
+                "uncached_us": round(skew_unc_s / probes * 1e6, 2),
+                "cached_us": round(skew_hit_s / probes * 1e6, 2),
+                "speedup": round(skew_unc_s / skew_hit_s, 2)
+                if skew_hit_s > 0 else None,
+            },
+            "invalidation": {
+                "bump_us": round(bump_s * 1e6, 3),
+                "refill_lookup_us": round(refill_s * 1e6, 2),
+            },
+        }
+
+    return asyncio.run(measure())
+
+
 def bench_churn(tmp: Path, nodes: int, events: int) -> dict:
     """Churn replay: revision events/s applied end to end, and lookup
     latency measured *during* the replay.
@@ -856,7 +980,7 @@ def bench_churn(tmp: Path, nodes: int, events: int) -> dict:
     build_s = time.perf_counter() - t0
 
     async def replay():
-        service = FederationService(dict(paths))
+        service = FederationService(dict(paths), cache_size=0)
         rng = _random.Random(99)
         latencies: list[float] = []
         fallbacks = 0
@@ -923,14 +1047,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
     parser.add_argument("--only", choices=("fanout", "workers",
-                                           "churn", "dispatch"),
+                                           "churn", "dispatch",
+                                           "cache"),
                         default=None,
                         help="run a single section (the CI cluster "
                              "job measures just the fan-out tier; "
                              "the multicore leg just the workers; "
                              "the soak job just the churn replay; "
                              "the dispatch leg just the compiled "
-                             "suffix automaton vs the dict walk)")
+                             "suffix automaton vs the dict walk; "
+                             "the cache leg just the generation-"
+                             "stamped result cache)")
     parser.add_argument("--dispatch-entries",
                         default="10000,100000,1000000",
                         metavar="N,N,...",
@@ -947,6 +1074,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="churn scenario size (nodes)")
     parser.add_argument("--churn-events", type=int, default=100,
                         help="churn revision events to replay")
+    parser.add_argument("--cache-nodes", type=int, default=20000,
+                        help="cache-section scenario size (nodes; "
+                             "the CI gate runs 100000)")
+    parser.add_argument("--cache-probes", type=int, default=20000,
+                        help="lookups per cache measurement")
+    parser.add_argument("--min-cache-speedup", type=float,
+                        default=None, metavar="X",
+                        help="exit nonzero unless the cached hot-pair "
+                             "lookup beats the uncached daemon path "
+                             "by X (the CI cache gate)")
     parser.add_argument("--min-fanout-ratio", type=float, default=None,
                         metavar="X",
                         help="exit nonzero unless pipelined fan-out "
@@ -1000,6 +1137,11 @@ def main(argv: list[str] | None = None) -> int:
                      args.dispatch_entries.split(",") if s]
             section["dispatch"] = bench_dispatch(
                 sizes, args.dispatch_probes)
+        if args.only in (None, "cache"):
+            print("benchmarking generation-stamped result cache vs "
+                  "uncached lookups...", file=sys.stderr)
+            section["cache"] = bench_cache(
+                tmp, args.cache_nodes, args.cache_probes)
 
     out = Path(args.out)
     document = json.loads(out.read_text()) if out.exists() else {
@@ -1013,6 +1155,14 @@ def main(argv: list[str] | None = None) -> int:
         if ratio is None or ratio < args.min_fanout_ratio:
             print(f"FAIL: pipelined fan-out at {ratio}x in-process "
                   f"is below the {args.min_fanout_ratio}x floor",
+                  file=sys.stderr)
+            return 1
+    if args.min_cache_speedup is not None and "cache" in section:
+        speedup = section["cache"]["hot_pair"]["speedup"]
+        if speedup is None or speedup < args.min_cache_speedup:
+            print(f"FAIL: cached hot-pair lookup at {speedup}x the "
+                  f"uncached daemon path is below the "
+                  f"{args.min_cache_speedup}x floor",
                   file=sys.stderr)
             return 1
     if args.min_dispatch_speedup is not None and \

@@ -321,7 +321,16 @@ def build_service_parser(command: str) -> argparse.ArgumentParser:
                      help="suffix-lookup dispatch: the compiled "
                           "automaton (fsm, default) or the original "
                           "per-suffix dict walk (dict — the "
-                          "differential oracle)")
+                          "differential oracle; forces --no-cache)")
+    srv.add_argument("--cache", type=int, default=None, metavar="SIZE",
+                     help="bound the generation-stamped (source, "
+                          "dest) result cache at SIZE hot pairs "
+                          "(default 4096); invalidated O(1) on every "
+                          "RELOAD/ATTACH/DETACH/NOTIFY")
+    srv.add_argument("--no-cache", action="store_true",
+                     help="serve every lookup uncached (pins a "
+                          "differential oracle; implied by "
+                          "--dispatch dict)")
     return srv
 
 
@@ -695,7 +704,8 @@ def service_main(argv: list[str]) -> int:
                     shards, host=args.host, port=args.port,
                     source=args.source, require_format=args.fmt,
                     backends=backends, pipeline=args.pipeline,
-                    dispatch=args.dispatch)
+                    dispatch=args.dispatch,
+                    cache_size=0 if args.no_cache else args.cache)
             if args.snapshot is None:
                 raise PathaliasError(
                     "serve needs a snapshot file or --shard/--backend "
@@ -706,7 +716,9 @@ def service_main(argv: list[str]) -> int:
                               port=args.port, source=args.source,
                               require_format=args.fmt,
                               workers=args.workers,
-                              dispatch=args.dispatch)
+                              dispatch=args.dispatch,
+                              cache_size=0 if args.no_cache else
+                              args.cache)
     except PathaliasError as exc:
         print(f"pathalias: {args.command}: {exc}", file=sys.stderr)
         return 1

@@ -9,6 +9,10 @@ separate program, grown into a serving tier:
   every lookup surface satisfies (in-process snapshot, daemon client,
   federation, in-memory mailer table) and the shared implementation
   of the paper's domain-suffix search;
+* :mod:`repro.service.cache` — caching as a composable *layer*: any
+  resolver wrapped in a bounded, generation-stamped result cache,
+  invalidated O(1) by bumping a generation token on every snapshot
+  swap (RELOAD, ATTACH/DETACH, NOTIFY-driven re-syncs);
 * :mod:`repro.service.store` — a binary on-disk *route snapshot*: a
   compiled graph plus every source's route table in flat,
   offset-indexed sections, opened and searched by bisection without
@@ -38,6 +42,12 @@ from repro.service.resolver import (
     Resolver,
     SuffixResolver,
     domain_suffixes,
+)
+from repro.service.cache import (
+    DEFAULT_CACHE_SIZE,
+    CachingResolver,
+    Generations,
+    ResultCache,
 )
 from repro.service.store import (
     SnapshotError,
@@ -76,6 +86,10 @@ __all__ = [
     "Resolver",
     "SuffixResolver",
     "domain_suffixes",
+    "DEFAULT_CACHE_SIZE",
+    "CachingResolver",
+    "Generations",
+    "ResultCache",
     "SnapshotError",
     "SnapshotInfo",
     "SnapshotReader",

@@ -93,6 +93,8 @@ import sys
 import time
 
 from repro.errors import RouteError
+from repro.service.cache import (DEFAULT_CACHE_SIZE, ResultCache,
+                                 cache_stats_tokens, instantiate)
 from repro.service.resolver import Resolution
 from repro.service.store import SnapshotError, SnapshotReader
 
@@ -420,16 +422,31 @@ class RouteService(LineService):
                  reader: SnapshotReader | None = None,
                  default_source: str | None = None,
                  require_format: int | None = None,
-                 dispatch: str = "fsm"):
+                 dispatch: str = "fsm",
+                 cache_size: int | None = None):
         """``require_format`` pins the snapshot format version: the
         initial snapshot *and every later RELOAD* must match, so an
         operator who depends on v2-only data (per-state costs) cannot
         be silently downgraded mid-flight.  ``dispatch`` selects the
         suffix-search engine — ``fsm`` (the compiled automaton,
         default) or ``dict`` (the original walk, kept as a live
-        differential oracle; ``serve --dispatch dict``)."""
+        differential oracle; ``serve --dispatch dict``).
+        ``cache_size`` bounds the generation-stamped result cache
+        (``serve --cache``): None takes the default, 0 disables
+        (``--no-cache``), and ``dict`` dispatch forces it off — the
+        dict walk *is* the differential oracle, and an oracle that
+        answered from a cache would compare cache to cache."""
         super().__init__(require_format=require_format)
         self.dispatch = dispatch
+        if dispatch == "dict":
+            cache_size = 0
+        size = DEFAULT_CACHE_SIZE if cache_size is None else cache_size
+        #: The generation-stamped result cache (None when disabled).
+        #: Service-owned like every counter here: a RELOAD swaps the
+        #: reader and bumps the cache's generation, but the cache
+        #: object — and its hit/miss/invalidation counters — survive.
+        self.cache: ResultCache | None = \
+            ResultCache(size) if size > 0 else None
         if reader is None:
             if snapshot_path is None:
                 raise SnapshotError("RouteService needs a snapshot "
@@ -481,14 +498,11 @@ class RouteService(LineService):
 
     # -- operations -----------------------------------------------------------
 
-    def lookup(self, source: str, target: str,
-               user: str | None = None) -> tuple[int, Resolution]:
-        """Suffix-search ``target`` in ``source``'s table.
-
-        Returns ``(cost, resolution)``; raises
-        :class:`~repro.errors.RouteError` on a miss.  Counts both ways.
-        """
-        reader = self.reader  # pin one snapshot for this request
+    def _resolve_pinned(self, reader: SnapshotReader, source: str,
+                        target: str, user: str | None
+                        ) -> tuple[int, Resolution]:
+        """The uncached suffix search against one pinned reader,
+        counting lookups/hits/misses and the dispatch counters."""
         self.lookups += 1
         fsm = self.dispatch != "dict"
         try:
@@ -517,9 +531,57 @@ class RouteService(LineService):
             self.fsm_hits += 1
         return cost, resolution
 
-    def exact(self, source: str, target: str) -> tuple[int, str]:
-        """Exact-name lookup in ``source``'s table: ``(cost, route)``."""
-        reader = self.reader
+    def lookup(self, source: str, target: str,
+               user: str | None = None) -> tuple[int, Resolution]:
+        """Suffix-search ``target`` in ``source``'s table.
+
+        Returns ``(cost, resolution)``; raises
+        :class:`~repro.errors.RouteError` on a miss.  Counts both ways.
+
+        With the result cache on, the relative-template resolution of
+        ``(source, target)`` is cached generation-stamped and
+        instantiated per user, so repeat traffic on a hot pair skips
+        the suffix walk entirely; a cache hit bumps ``lookups`` and
+        ``hits`` (or ``misses`` for a cached noroute) but *not* the
+        ``fsm_*`` dispatch counters — no dispatch ran.  The stamp is
+        read before the reader is pinned, and :meth:`reload` bumps
+        only after publishing its swap, so an entry stamped current
+        was computed against the current snapshot.
+        """
+        cache = self.cache
+        if cache is None or "%s" in target:
+            # a literal %s in the name cannot template-substitute
+            return self._resolve_pinned(self.reader, source, target,
+                                        user)
+        stamp = cache.epoch   # read the stamp, *then* pin: a swap
+        reader = self.reader  # between the two strands the stamp
+        key = ("R", source, target)
+        hit = cache.get(key)
+        if hit is not None:
+            self.lookups += 1
+            negative, payload = hit
+            if negative:
+                self.misses += 1
+                cache.raise_negative(payload)
+            self.hits += 1
+            cost, template = payload
+            return cost, instantiate(template,
+                                     "%s" if user is None else user)
+        try:
+            cost, template = self._resolve_pinned(reader, source,
+                                                  target, None)
+        except SnapshotError:
+            raise  # never cached: the source may reappear on reload
+        except RouteError as exc:
+            cache.put_negative(key, exc, stamp)
+            raise
+        cache.put(key, (cost, template), stamp)
+        return cost, instantiate(template,
+                                 "%s" if user is None else user)
+
+    def _exact_pinned(self, reader: SnapshotReader, source: str,
+                      target: str) -> tuple[int, str]:
+        """The uncached exact-name lookup against one pinned reader."""
         self.lookups += 1
         try:
             hit = reader.table(source).lookup(target)
@@ -531,6 +593,37 @@ class RouteService(LineService):
             raise RouteError(f"no route to {target!r}")
         self.hits += 1
         return hit
+
+    def exact(self, source: str, target: str) -> tuple[int, str]:
+        """Exact-name lookup in ``source``'s table: ``(cost, route)``.
+
+        Cached under its own key kind (``EXACT`` and ``ROUTE`` answers
+        for one pair differ), with the same stamp discipline as
+        :meth:`lookup`."""
+        cache = self.cache
+        if cache is None:
+            return self._exact_pinned(self.reader, source, target)
+        stamp = cache.epoch
+        reader = self.reader
+        key = ("E", source, target)
+        hit = cache.get(key)
+        if hit is not None:
+            self.lookups += 1
+            negative, payload = hit
+            if negative:
+                self.misses += 1
+                cache.raise_negative(payload)
+            self.hits += 1
+            return payload
+        try:
+            result = self._exact_pinned(reader, source, target)
+        except SnapshotError:
+            raise
+        except RouteError as exc:
+            cache.put_negative(key, exc, stamp)
+            raise
+        cache.put(key, result, stamp)
+        return result
 
     def table_reply(self, args: list[str]) -> str:
         """The TABLE bulk verb: a multi-line data export.
@@ -638,6 +731,11 @@ class RouteService(LineService):
                 self.default_source = sources[0]
             self.reader = reader
             self.reloads += 1
+            if self.cache is not None:
+                # Bump *after* publishing the swap and *before* the
+                # caller acks: no post-ack request can be answered
+                # from a pre-swap cache entry.
+                self.cache.bump()
             self._push_reloaded(reader)
             return reader
 
@@ -802,6 +900,7 @@ class RouteService(LineService):
         reader = self.reader
         uptime = time.monotonic() - self.started
         verbs = self.verb_stats()
+        cache = cache_stats_tokens(self.cache)
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} reloads={self.reloads} "
                 f"notify_pushes={self.notify_pushes} "
@@ -812,6 +911,7 @@ class RouteService(LineService):
                 f"dispatch={self.dispatch} "
                 f"n_fsm_hits={self.fsm_hits} "
                 f"n_fsm_misses={self.fsm_misses} "
+                f"{cache} "
                 f"{verbs} "
                 f"uptime_sec={uptime:.1f} "
                 f"source={self.default_source} "
@@ -926,7 +1026,8 @@ async def serve(service: LineService, host: str = "127.0.0.1",
 def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
                port: int = 4176, source: str | None = None,
                require_format: int | None = None,
-               workers: int = 1, dispatch: str = "fsm") -> int:
+               workers: int = 1, dispatch: str = "fsm",
+               cache_size: int | None = None) -> int:
     """Blocking daemon entry point for ``pathalias serve``.
 
     ``workers > 1`` hands off to :func:`run_multi_daemon`: N
@@ -936,12 +1037,14 @@ def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
         return run_multi_daemon(snapshot_path, host=host, port=port,
                                 source=source,
                                 require_format=require_format,
-                                workers=workers, dispatch=dispatch)
+                                workers=workers, dispatch=dispatch,
+                                cache_size=cache_size)
 
     async def main() -> None:
         service = RouteService(snapshot_path, default_source=source,
                                require_format=require_format,
-                               dispatch=dispatch)
+                               dispatch=dispatch,
+                               cache_size=cache_size)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         print(f"pathalias: serve: {service.reader.source_count} "
@@ -960,12 +1063,13 @@ def run_daemon(snapshot_path: str, host: str = "127.0.0.1",
 async def _worker_serve(worker_id: int, snapshot_path: str, host: str,
                         port: int, source: str | None,
                         require_format: int | None, conn,
-                        dispatch: str = "fsm") -> None:
+                        dispatch: str = "fsm",
+                        cache_size: int | None = None) -> None:
     """One worker's async body: the shared-port listener, the loopback
     control listener, and the control-port exchange with the parent."""
     service = RouteService(snapshot_path, default_source=source,
                            require_format=require_format,
-                           dispatch=dispatch)
+                           dispatch=dispatch, cache_size=cache_size)
     service.worker_id = worker_id
     server = await asyncio.start_server(
         service.handle_connection, host, port, reuse_port=True)
@@ -983,13 +1087,15 @@ async def _worker_serve(worker_id: int, snapshot_path: str, host: str,
 def _worker_main(worker_id: int, snapshot_path: str, host: str,
                  port: int, source: str | None,
                  require_format: int | None, conn,
-                 dispatch: str = "fsm") -> None:
+                 dispatch: str = "fsm",
+                 cache_size: int | None = None) -> None:
     """Process entry point of one SO_REUSEPORT worker."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent coordinates
     try:
         asyncio.run(_worker_serve(worker_id, snapshot_path, host, port,
                                   source, require_format, conn,
-                                  dispatch=dispatch))
+                                  dispatch=dispatch,
+                                  cache_size=cache_size))
     except SnapshotError as exc:
         print(f"pathalias: serve: worker {worker_id}: {exc}",
               file=sys.stderr, flush=True)
@@ -999,7 +1105,8 @@ def _worker_main(worker_id: int, snapshot_path: str, host: str,
 def run_multi_daemon(snapshot_path: str, host: str = "127.0.0.1",
                      port: int = 4176, source: str | None = None,
                      require_format: int | None = None,
-                     workers: int = 2, dispatch: str = "fsm") -> int:
+                     workers: int = 2, dispatch: str = "fsm",
+                     cache_size: int | None = None) -> int:
     """Serve one snapshot from N ``SO_REUSEPORT`` worker processes.
 
     Every worker listens on the *same* ``host:port`` — the kernel
@@ -1049,7 +1156,8 @@ def run_multi_daemon(snapshot_path: str, host: str = "127.0.0.1",
             proc = ctx.Process(
                 target=_worker_main,
                 args=(wid, snapshot_path, host, port, source,
-                      require_format, child_conn, dispatch))
+                      require_format, child_conn, dispatch,
+                      cache_size))
             proc.start()
             child_conn.close()
             procs.append(proc)
@@ -1251,6 +1359,17 @@ class DaemonRouteDatabase:
                 f"target!user)")
         target, user = bang_address.split("!", 1)
         return self.resolve(target, user)
+
+    def cached(self, size: int = DEFAULT_CACHE_SIZE):
+        """This client behind a *client-side* generation-stamped
+        result cache: hot pairs skip the network round trip entirely.
+        The daemon's own cache invalidates itself on RELOAD; a
+        client-side layer must be bumped by whoever learns of the
+        swap (e.g. a NOTIFY subscription) — or sized small enough
+        that staleness is bounded by LRU turnover."""
+        from repro.service.cache import CachingResolver
+
+        return CachingResolver(self, size=size)
 
     def stats(self) -> dict[str, str]:
         """The daemon's STATS counters as a string-valued dict."""

@@ -83,6 +83,8 @@ from repro.service.backend import (
     ShardBackend,
     parse_backend_spec,
 )
+from repro.service.cache import (DEFAULT_CACHE_SIZE, ResultCache,
+                                 cache_stats_tokens, instantiate)
 from repro.service.daemon import DaemonRouteDatabase, LineService, serve
 from repro.service.resolver import Resolution
 from repro.service.shard import FederationView, Shard
@@ -104,7 +106,8 @@ class FederationService(LineService):
 
     def __init__(self, shards, default_source: str | None = None,
                  require_format: int | None = None,
-                 dispatch: str = "fsm"):
+                 dispatch: str = "fsm",
+                 cache_size: int | None = None):
         """``shards`` maps shard names to snapshot paths (or is an
         iterable of :class:`Shard` / :class:`BackendShard` objects —
         remote backends need the async :meth:`create` constructor).
@@ -113,9 +116,24 @@ class FederationService(LineService):
         selects the suffix-dispatch engine for the ownership index
         and every locally-served shard table: ``fsm`` (the compiled
         automaton, default) or ``dict`` (the original walk — the
-        differential oracle, ``serve --dispatch dict``)."""
+        differential oracle, ``serve --dispatch dict``).
+        ``cache_size`` bounds the generation-stamped result cache:
+        None takes the default, 0 disables, and ``dict`` dispatch
+        forces it off (the oracle must never answer from a cache)."""
         super().__init__(require_format=require_format)
         self.dispatch = dispatch
+        if dispatch == "dict":
+            cache_size = 0
+        size = DEFAULT_CACHE_SIZE if cache_size is None else cache_size
+        #: The generation-stamped result cache (None when disabled).
+        #: Every view swap — ATTACH, DETACH, per-shard RELOAD, and
+        #: NOTIFY-driven re-syncs — bumps the reloaded shard's
+        #: generation token, which strands every stamped entry: a
+        #: repriced shard can change the best *stitched* route for
+        #: pairs whose old answer never touched it, so per-entry
+        #: dependency tracking could not invalidate safely.
+        self.cache: ResultCache | None = \
+            ResultCache(size) if size > 0 else None
         if isinstance(shards, dict):
             shards = [Shard.open(name, path, dispatch=dispatch)
                       for name, path in sorted(shards.items())]
@@ -183,7 +201,9 @@ class FederationService(LineService):
                      require_format: int | None = None,
                      pool_size: int = 2,
                      pipeline: bool = True,
-                     dispatch: str = "fsm") -> "FederationService":
+                     dispatch: str = "fsm",
+                     cache_size: int | None = None
+                     ) -> "FederationService":
         """Build a service over local snapshots *and* remote backends.
 
         ``shards`` maps shard names to snapshot paths (served in
@@ -209,7 +229,8 @@ class FederationService(LineService):
                                    pipeline=pipeline)
             objs.append(await BackendShard.connect(name, backend))
         service = cls(objs, default_source=default_source,
-                      require_format=require_format, dispatch=dispatch)
+                      require_format=require_format, dispatch=dispatch,
+                      cache_size=cache_size)
         service.backend_pool_size = pool_size
         service.backend_pipeline = pipeline
         for name, shard in service.view.shards.items():
@@ -229,16 +250,12 @@ class FederationService(LineService):
     # closed only after the swap, with a grace window for requests
     # still pinned to the outgoing view.
 
-    async def lookup(self, source: str, target: str,
-                     user: str | None = None) -> tuple[int, Resolution]:
-        """Federated suffix-search from ``source``: ``(cost, resolution)``.
-
-        Raises :class:`FederationError` when the owner shard is
-        unreachable through gateways, :class:`RouteError` on a plain
-        miss, and :class:`SnapshotError` when no shard owns ``source``
-        (it may have vanished in a DETACH or RELOAD).
+    async def _lookup_pinned(self, view, source: str, target: str,
+                             user: str | None):
+        """The uncached federated search against one pinned view,
+        counting lookups/hits/misses and the dispatch counters;
+        returns the :class:`~repro.service.shard.FederatedResolution`.
         """
-        view = self.view  # pin one federation picture for this request
         self.lookups += 1
         fsm = self.dispatch != "dict"
         if view.home_shard(source) is None:
@@ -257,7 +274,61 @@ class FederationService(LineService):
             self.fsm_hits += 1
         if fed.federated:
             self.federated += 1
-        return fed.cost, fed.resolution
+        return fed
+
+    async def lookup(self, source: str, target: str,
+                     user: str | None = None) -> tuple[int, Resolution]:
+        """Federated suffix-search from ``source``: ``(cost, resolution)``.
+
+        Raises :class:`FederationError` when the owner shard is
+        unreachable through gateways, :class:`RouteError` on a plain
+        miss, and :class:`SnapshotError` when no shard owns ``source``
+        (it may have vanished in a DETACH or RELOAD).
+
+        With the result cache on, the relative-template answer for
+        ``(source, target)`` is cached generation-stamped —
+        *including* federated misses, cached as their error class so a
+        replayed ``FederationError`` still reports the ``federation``
+        wire code.  The stamp is read in the same event-loop step that
+        pins the view (no await between), and every mutator bumps
+        only *after* publishing its swap, so a stitched answer
+        computed across await points against a swapped-out view can
+        never be inserted as current: its stamp is already stranded
+        and :meth:`~repro.service.cache.ResultCache.put` drops it.
+        """
+        cache = self.cache
+        if cache is None or "%s" in target:
+            # a literal %s in the name cannot template-substitute
+            fed = await self._lookup_pinned(self.view, source,
+                                            target, user)
+            return fed.cost, fed.resolution
+        stamp = cache.epoch  # stamp, *then* pin — same loop step
+        view = self.view
+        key = ("R", source, target)
+        hit = cache.get(key)
+        if hit is not None:
+            self.lookups += 1
+            negative, payload = hit
+            if negative:
+                self.misses += 1
+                cache.raise_negative(payload)
+            self.hits += 1
+            cost, template, federated = payload
+            if federated:
+                self.federated += 1
+            return cost, instantiate(template,
+                                     "%s" if user is None else user)
+        try:
+            fed = await self._lookup_pinned(view, source, target, None)
+        except SnapshotError:
+            raise  # never cached: sources can reappear on ATTACH
+        except RouteError as exc:
+            cache.put_negative(key, exc, stamp)
+            raise
+        cache.put(key, (fed.cost, fed.resolution, fed.federated),
+                  stamp)
+        return fed.cost, instantiate(fed.resolution,
+                                     "%s" if user is None else user)
 
     def resolver(self, source: str):
         """The bound :class:`~repro.service.resolver.Resolver` surface
@@ -266,9 +337,10 @@ class FederationService(LineService):
         federation picture, like every request handler does."""
         return self.view.resolver(source)
 
-    async def exact(self, source: str, target: str) -> tuple[int, str]:
-        """Exact-name federated lookup: ``(cost, route template)``."""
-        view = self.view
+    async def _exact_pinned(self, view, source: str,
+                            target: str) -> tuple[int, str, bool]:
+        """The uncached exact federated lookup against one pinned
+        view: ``(cost, route template, crossed a shard boundary)``."""
         self.lookups += 1
         if view.home_shard(source) is None:
             self.misses += 1
@@ -281,7 +353,44 @@ class FederationService(LineService):
         self.hits += 1
         if fed.federated:
             self.federated += 1
-        return fed.cost, fed.resolution.route
+        return fed.cost, fed.resolution.route, fed.federated
+
+    async def exact(self, source: str, target: str) -> tuple[int, str]:
+        """Exact-name federated lookup: ``(cost, route template)``.
+
+        Cached under its own key kind (EXACT and ROUTE answers for a
+        pair differ), with the same stamp discipline as
+        :meth:`lookup`."""
+        cache = self.cache
+        if cache is None:
+            cost, route, _ = await self._exact_pinned(self.view,
+                                                      source, target)
+            return cost, route
+        stamp = cache.epoch
+        view = self.view
+        key = ("E", source, target)
+        hit = cache.get(key)
+        if hit is not None:
+            self.lookups += 1
+            negative, payload = hit
+            if negative:
+                self.misses += 1
+                cache.raise_negative(payload)
+            self.hits += 1
+            cost, route, federated = payload
+            if federated:
+                self.federated += 1
+            return cost, route
+        try:
+            cost, route, federated = await self._exact_pinned(
+                view, source, target)
+        except SnapshotError:
+            raise
+        except RouteError as exc:
+            cache.put_negative(key, exc, stamp)
+            raise
+        cache.put(key, (cost, route, federated), stamp)
+        return cost, route
 
     def _retire(self, old) -> None:
         """Schedule a replaced/removed backend shard's pool for
@@ -344,7 +453,22 @@ class FederationService(LineService):
         Runs on the backend's notify-listener task, so it only
         *schedules* — the swap itself takes ``_swap_lock``.  Pushes
         for a shard whose re-sync is already pending coalesce.
+
+        The result cache is bumped *immediately* (before the re-sync
+        lands): the backend daemon has already swapped its snapshot,
+        so cached answers touching this shard may already be stale —
+        exactly the shard's generation token moves.  The bump is
+        skipped when the view already describes the pushed path,
+        which is the forwarded-RELOAD coalescing case:
+        :meth:`reload_shard` re-synced and bumped inside its own
+        swap, and this push is its echo.  (A daemon too old to carry
+        NOTIFY never calls this at all — the front end degrades to
+        pull-only re-syncs, exactly its pre-push behavior.)
         """
+        if self.cache is not None:
+            current = self.view.shards.get(name)
+            if getattr(current, "snapshot", "") != path:
+                self.cache.bump(name)
         if name in self._resync_pending:
             return
         self._resync_pending.add(name)
@@ -379,6 +503,11 @@ class FederationService(LineService):
                 current.drop_cached_legs()
                 self.view = self.view.with_shard(shard)
                 self.resyncs += 1
+                if self.cache is not None:
+                    # a second bump, after the swap: lookups cached
+                    # during the push-to-re-sync window were computed
+                    # against the outgoing view and must not outlive it
+                    self.cache.bump(name)
         finally:
             self._resync_pending.discard(name)
 
@@ -390,6 +519,8 @@ class FederationService(LineService):
             old = self.view.shards.get(name)
             self.view = self.view.with_shard(shard)
             self.attaches += 1
+            if self.cache is not None:
+                self.cache.bump(name)
         if old is not None:
             self._retire(old)
         return shard
@@ -407,6 +538,8 @@ class FederationService(LineService):
             old = self.view.shards.get(name)
             self.view = self.view.without_shard(name)
             self.detaches += 1
+            if self.cache is not None:
+                self.cache.bump(name)
         self._retire(old)
 
     async def reload_shard(self, name: str, snapshot_path: str):
@@ -454,6 +587,11 @@ class FederationService(LineService):
                     # the pre-rollback snapshot on the shard we are
                     # keeping — drop them so nothing poisoned persists
                     current.drop_cached_legs()
+                    if self.cache is not None:
+                        # ... and result-cache entries stitched from
+                        # those legs; no swap happened, so only an
+                        # explicit bump strands them
+                        self.cache.bump(name)
                     raise
                 # same window, success path: the outgoing shard stays
                 # pinned by in-flight lookups; stale-vs-new mixtures
@@ -466,6 +604,10 @@ class FederationService(LineService):
                 self._check_format(shard)
             self.view = self.view.with_shard(shard)
             self.reloads += 1
+            if self.cache is not None:
+                # after the swap, before the ack: no post-ack request
+                # can be answered from a pre-swap cache entry
+                self.cache.bump(name)
             return shard
 
     def stats_line(self) -> str:
@@ -491,11 +633,13 @@ class FederationService(LineService):
         health = "".join(
             f"backend_{name}={backend.health()} "
             for name, backend in backends)
+        cache = cache_stats_tokens(self.cache)
         return (f"lookups={self.lookups} hits={self.hits} "
                 f"misses={self.misses} federated={self.federated} "
                 f"dispatch={self.dispatch} "
                 f"n_fsm_hits={self.fsm_hits} "
                 f"n_fsm_misses={self.fsm_misses} "
+                f"{cache} "
                 f"reloads={self.reloads} resyncs={self.resyncs} "
                 f"attaches={self.attaches} "
                 f"detaches={self.detaches} "
@@ -620,7 +764,8 @@ def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
                           require_format: int | None = None,
                           backends: dict | None = None,
                           pipeline: bool = True,
-                          dispatch: str = "fsm") -> int:
+                          dispatch: str = "fsm",
+                          cache_size: int | None = None) -> int:
     """Blocking entry point for ``pathalias serve --shard/--backend``.
 
     ``shards`` maps names to local snapshot paths, ``backends`` maps
@@ -640,7 +785,7 @@ def run_federation_daemon(shards: dict, host: str = "127.0.0.1",
         service = await FederationService.create(
             shards=shards, backends=backends, default_source=source,
             require_format=require_format, pipeline=pipeline,
-            dispatch=dispatch)
+            dispatch=dispatch, cache_size=cache_size)
         server = await serve(service, host, port)
         bound = server.sockets[0].getsockname()
         names = ",".join(service.view.shard_names())

@@ -769,6 +769,20 @@ class FederationResolver:
         """The bound source host."""
         return self.source
 
+    def cached(self, size: int | None = None):
+        """This resolver behind a generation-stamped result cache
+        (:class:`~repro.service.cache.CachingResolver`): hot pairs
+        skip the stitch.  A bound resolver pins one *immutable* view,
+        so the wrapper never needs a bump — rebind (and re-wrap)
+        when the federation swaps; the live-service equivalent is
+        :class:`~repro.service.federation.FederationService`'s own
+        bump-on-swap cache."""
+        from repro.service.cache import DEFAULT_CACHE_SIZE, \
+            CachingResolver
+
+        return CachingResolver(
+            self, size=DEFAULT_CACHE_SIZE if size is None else size)
+
     def stats(self) -> dict:
         """View-level facts: shard count, tables, per-shard formats."""
         shards = self.view.shards

@@ -1142,6 +1142,23 @@ class SnapshotResolver(SuffixResolver):
         (:meth:`SnapshotTable.resolve_with_cost`)."""
         return self._table.resolve_with_cost(target, user)
 
+    def resolve_with_cost_dict(self, target: str, user: str = "%s"
+                               ) -> tuple[int, Resolution]:
+        """The dict-walk differential oracle over the same table."""
+        return self._table.resolve_with_cost_dict(target, user)
+
+    def cached(self, size: int | None = None):
+        """This resolver behind a generation-stamped result cache
+        (:class:`~repro.service.cache.CachingResolver`): hot pairs
+        skip the suffix walk.  A snapshot table is immutable, so the
+        wrapper never needs a bump — swap the wrapper with the
+        snapshot."""
+        from repro.service.cache import DEFAULT_CACHE_SIZE, \
+            CachingResolver
+
+        return CachingResolver(
+            self, size=DEFAULT_CACHE_SIZE if size is None else size)
+
     def source_table(self) -> str:
         """The bound source host."""
         return self.source

@@ -794,3 +794,72 @@ class TestBackendAdministration:
             await cluster.close()
 
         asyncio.run(scenario())
+
+
+class TestNotifyInvalidatesCache:
+    """A backend daemon reloaded *directly* (never through the front
+    end) pushes NOTIFY; the front end's result cache must bump for
+    exactly that shard — once on the push, again after the re-sync
+    swap — so no caller ever gets a pre-reload cached answer after
+    the new generation is visible."""
+
+    async def request(self, r, w, line):
+        w.write(line.encode() + b"\n")
+        await w.drain()
+        return (await r.readline()).decode().rstrip("\n")
+
+    def test_direct_backend_reload_bumps_the_front_cache(
+            self, shard_paths, tmp_path):
+        revised = (DATA / "d.universities").read_text().replace(
+            "princeton\tallegra(DEMAND), rutgers-ru(LOCAL), "
+            "winnie(HOURLY)",
+            "princeton\tallegra(DEMAND), rutgers-ru(DEMAND), "
+            "winnie(HOURLY)")
+        revised_snap = tmp_path / "universities-notify.snap"
+        build_snapshot(
+            Pathalias().build([("d.universities", revised)]),
+            revised_snap)
+
+        async def scenario():
+            cluster = _Cluster()
+            backends = {}
+            for name, path in shard_paths.items():
+                backends[name] = await cluster.start(name, path)
+            service = await FederationService.create(
+                backends=backends, default_source="ihnp4")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            # prime the cache with the old-generation answer
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 650 ")
+            assert (await self.request(r, w, "ROUTE topaz v")
+                    ).startswith("OK 650 ")
+            assert service.cache.hits == 1
+            # reload the backend daemon directly — the front end
+            # learns only through the NOTIFY push
+            await cluster.services["universities"].reload(
+                str(revised_snap))
+            for _ in range(500):
+                if service.resyncs >= 1:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.resyncs == 1
+            assert service.reloads == 0
+            # bumped on the push AND after the re-sync swap, for
+            # exactly the reloaded shard
+            assert service.cache.invalidations >= 2
+            assert service.cache.generations.token(
+                "universities") >= 2
+            assert service.cache.generations.token("backbone") == 0
+            # the next answer is the new generation's, not the cache's
+            assert (await self.request(r, w, "ROUTE topaz u")
+                    ).startswith("OK 925 ")
+            stats = await self.request(r, w, "STATS")
+            assert "n_cache_invalidations=" in stats
+            w.close()
+            server.close()
+            await server.wait_closed()
+            await cluster.close()
+
+        asyncio.run(scenario())

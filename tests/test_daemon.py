@@ -301,6 +301,106 @@ class TestMalformedLines:
         asyncio.run(scenario())
 
 
+class TestResultCacheOverWire:
+    """The generation-stamped result cache as the daemon serves it:
+    STATS keys, RELOAD invalidation ordering, the dict-oracle pin."""
+
+    def test_stats_survive_reload_and_answers_stay_fresh(
+            self, snapshots):
+        """Cache counters are service-owned (they survive RELOAD like
+        every other counter), the RELOAD bumps the generation before
+        acking, and the very next ROUTE serves the new snapshot —
+        never a pre-swap cache entry."""
+        snap1, snap2 = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 30 d b!c!d!%s b!c!d!u"  # miss, filled
+            assert await request(r, w, "ROUTE d other") == \
+                "OK 30 d b!c!d!%s b!c!d!other"  # hit, re-addressed
+            assert await request(r, w, "EXACT b") == "OK 10 b b!%s"
+            assert await request(r, w, "EXACT b") == "OK 10 b b!%s"
+            stats = await request(r, w, "STATS")
+            assert "cache=4096" in stats
+            assert "n_cache_hits=2" in stats
+            assert "n_cache_misses=2" in stats
+            assert "n_cache_invalidations=0" in stats
+            # RELOAD bumps before it acks: the reply IS the fence
+            assert (await request(r, w,
+                                  f"RELOAD {snap2}")).startswith("OK")
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 110 d c!d!%s c!d!u"
+            stats = await request(r, w, "STATS")
+            assert "n_cache_hits=2" in stats  # survived the swap
+            assert "n_cache_invalidations=1" in stats
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_cached_errors_replay_the_same_wire_code(self, snapshots):
+        snap1, _ = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a")
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            first = await request(r, w, "ROUTE nowhere u")
+            assert first == "ERR noroute nowhere"
+            assert await request(r, w, "ROUTE nowhere v") == first
+            assert service.cache.hits == 1
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_dict_dispatch_pins_the_cache_off(self, snapshots):
+        """dispatch="dict" is the differential oracle; it must answer
+        from the snapshot walk every time, and say so in STATS."""
+        snap1, _ = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a",
+                                   dispatch="dict")
+            assert service.cache is None
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert await request(r, w, "ROUTE d u") == \
+                "OK 30 d b!c!d!%s b!c!d!u"
+            stats = await request(r, w, "STATS")
+            assert "cache=0" in stats
+            assert "n_cache_hits=0" in stats
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_explicit_cache_size_reported(self, snapshots):
+        snap1, _ = snapshots
+
+        async def scenario():
+            service = RouteService(snap1, default_source="a",
+                                   cache_size=7)
+            server = await serve(service)
+            port = server.sockets[0].getsockname()[1]
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            assert "cache=7" in await request(r, w, "STATS")
+            w.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
 class TestHotSwapUnderLoad:
     def test_no_request_dropped_during_reload(self, snapshots):
         """The acceptance bar: clients hammer ROUTE while another
@@ -355,12 +455,17 @@ class TestHotSwapUnderLoad:
             assert f"n_route={clients * requests_per_client}" in stats
             assert f"n_reload={reloads}" in stats
             # the compiled-dispatch counters ride the same bar: the
-            # default mode is fsm, every hit was counted, and ten hot
-            # swaps reset nothing
+            # default mode is fsm, and with the result cache on a hot
+            # pair's repeats answer from the cache — dispatches plus
+            # cache hits must still account for every lookup, and ten
+            # hot swaps reset none of the counters
             assert "dispatch=fsm" in stats
-            assert (f"n_fsm_hits={clients * requests_per_client}"
-                    in stats)
+            total = clients * requests_per_client
+            assert service.fsm_hits + service.cache.hits == total
+            assert service.fsm_hits >= 1  # at least the first walk
             assert "n_fsm_misses=0" in stats
+            # every RELOAD bumped the cache generation exactly once
+            assert f"n_cache_invalidations={reloads}" in stats
             server.close()
             await server.wait_closed()
             return results
@@ -426,13 +531,18 @@ class TestFederatedHotSwapUnderLoad:
             results = await asyncio.gather(
                 *(client(i) for i in range(clients)), reloader())
             # the front end dispatches through the compiled automaton
-            # by default, and per-shard hot swaps must not reset the
-            # fsm counters any more than the others
+            # by default; with the result cache on, hot-pair repeats
+            # answer from the cache, so dispatches plus cache hits
+            # account for every lookup — and per-shard hot swaps must
+            # not reset the fsm counters any more than the others
             stats = service.stats_line()
             assert "dispatch=fsm" in stats
-            assert (f"n_fsm_hits={clients * requests_per_client}"
-                    in stats)
+            total = clients * requests_per_client
+            assert service.fsm_hits + service.cache.hits == total
+            assert service.fsm_hits >= 1
             assert "n_fsm_misses=0" in stats
+            # every per-shard RELOAD bumped the cache generation
+            assert service.cache.invalidations == reloads
             server.close()
             await server.wait_closed()
             return results

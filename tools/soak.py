@@ -35,7 +35,11 @@ falls back to a full rebuild.  This driver is the serving half:
    walk; every
    ``--oracle-every`` generations the touched shard's snapshot is
    additionally rebuilt from scratch and byte-compared against the
-   incrementally-updated file;
+   incrementally-updated file.  With ``--cache`` the cluster under
+   test serves through the generation-stamped result cache while the
+   oracle stays uncached (``dict`` dispatch forces its cache off), so
+   the same byte-comparison proves no stale cached answer ever
+   survives a RELOAD/NOTIFY invalidation;
 5. STATS counters are polled each generation and asserted monotone.
 
 Exit status is non-zero on any violation: a differential mismatch, a
@@ -77,7 +81,9 @@ from repro.service.store import build_snapshot  # noqa: E402
 
 #: STATS counters that may only ever grow (the monotonicity invariant).
 MONOTONE_KEYS = ("lookups", "hits", "misses", "reloads", "resyncs",
-                 "connections", "n_route", "n_exact", "n_reload")
+                 "connections", "n_route", "n_exact", "n_reload",
+                 "n_cache_hits", "n_cache_misses",
+                 "n_cache_invalidations")
 
 #: How often the staleness poll re-reads SHARDS, seconds.
 POLL_INTERVAL = 0.02
@@ -149,7 +155,8 @@ class Conn:
             pass
 
 
-def _spawn_shard_daemon(snapshot_path: str, dispatch: str = "fsm"):
+def _spawn_shard_daemon(snapshot_path: str, dispatch: str = "fsm",
+                        cache: bool = False):
     """One ``pathalias serve`` subprocess on an ephemeral port;
     returns ``(proc, (host, port))`` parsed from its startup line."""
     import os
@@ -160,7 +167,8 @@ def _spawn_shard_daemon(snapshot_path: str, dispatch: str = "fsm"):
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", snapshot_path,
-         "--port", "0", "--dispatch", dispatch],
+         "--port", "0", "--dispatch", dispatch]
+        + ([] if cache else ["--no-cache"]),
         stderr=subprocess.PIPE, text=True, env=env)
     chatter = []
     while True:
@@ -325,6 +333,8 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
     print(f"soak: {args.nodes} nodes, {scenario.regions} shards, "
           f"{len(scenario.stream)} events, seed {args.seed}, "
           f"dispatch={args.dispatch} (oracle: dict)"
+          + (", result cache ON (oracle: uncached)" if args.cache
+             else "")
           + (", backend daemons" if args.backend else ", local"),
           flush=True)
 
@@ -343,19 +353,30 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
     backend_admin: dict[str, Conn] = {}
     try:
         # -- the cluster under test -----------------------------------
+        # --cache turns the generation-stamped result cache on for
+        # the whole cluster under test (front end and any spawned
+        # shard daemons); otherwise everything serves uncached, so
+        # the legacy legs keep measuring the raw lookup path.  The
+        # oracle below is always uncached (dict dispatch forces its
+        # cache off), so a --cache run byte-compares cached replies
+        # against an uncached oracle on every churn generation —
+        # any stale answer surviving an invalidation is a mismatch.
+        cache_size = None if args.cache else 0
         if args.backend:
             specs = {}
             for name in scenario.shard_names:
                 proc, addr = await asyncio.to_thread(
-                    _spawn_shard_daemon, paths[name], args.dispatch)
+                    _spawn_shard_daemon, paths[name], args.dispatch,
+                    args.cache)
                 procs.append(proc)
                 specs[name] = f"{addr[0]}:{addr[1]}"
             front = await FederationService.create(
                 backends=specs, pipeline=not args.no_pipeline,
-                dispatch=args.dispatch)
+                dispatch=args.dispatch, cache_size=cache_size)
         else:
             front = FederationService(dict(paths),
-                                      dispatch=args.dispatch)
+                                      dispatch=args.dispatch,
+                                      cache_size=cache_size)
         server = await serve(front, "127.0.0.1", 0)
         addr = server.sockets[0].getsockname()[:2]
         if args.backend:
@@ -457,6 +478,16 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
                       f"({rate:.1f} events/s)", flush=True)
         replay_s = time.perf_counter() - replay_t0
 
+        # A --cache run in which the cache never answered anything
+        # proved nothing; the differential probes alone re-ask the
+        # same hot pairs every generation, so zero hits means the
+        # cache layer is not actually in the serving path.
+        if args.cache and front.cache is not None \
+                and front.cache.hits == 0:
+            violations.stats.append(
+                "--cache run finished with zero cache hits — the "
+                "cache layer never served a reply")
+
         # In backend mode the front end must have tracked every swap
         # through NOTIFY pushes alone: its own RELOAD verb unused.
         if args.backend:
@@ -492,6 +523,11 @@ async def _soak(args: argparse.Namespace, workdir: Path) -> dict:
         "seed": args.seed,
         "backend": args.backend,
         "dispatch": args.dispatch,
+        "cache": bool(args.cache),
+        "cache_hits": front.cache.hits if front.cache else 0,
+        "cache_misses": front.cache.misses if front.cache else 0,
+        "cache_invalidations": (front.cache.invalidations
+                                if front.cache else 0),
         "reloads": reloads,
         "resyncs": front.resyncs,
         "scratch_oracle_checks": scratch_checks,
@@ -528,6 +564,13 @@ def main(argv: list[str] | None = None) -> int:
                              "under test (the oracle always walks "
                              "dicts, so the default differentially "
                              "proves the compiled automaton)")
+    parser.add_argument("--cache", action="store_true",
+                        help="turn the generation-stamped result "
+                             "cache on across the cluster under test "
+                             "and byte-compare its replies against "
+                             "the always-uncached oracle — the proof "
+                             "that no stale answer survives any "
+                             "RELOAD/NOTIFY invalidation")
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--samples", type=int, default=6,
                         help="differential probes per generation")
